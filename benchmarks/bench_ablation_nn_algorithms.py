@@ -1,0 +1,46 @@
+"""Ablation: best-first [HS99] vs depth-first [RKV95] kNN search.
+
+The paper's step (i) can use either; [HS99] is I/O-optimal.  This bench
+measures the node-access gap on the uniform datasets.
+"""
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.queries import nearest_neighbors
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def run_nn_algorithm_ablation():
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        per_method = {}
+        for method in ("best_first", "depth_first"):
+            tree.disk.reset_stats()
+            for q in queries:
+                for k in (1, 10):
+                    nearest_neighbors(tree, q, k=k, method=method)
+            per_method[method] = (tree.disk.stats.total_node_accesses
+                                  / len(queries))
+        rows.append((n, per_method["best_first"], per_method["depth_first"]))
+    print_table("Ablation: kNN algorithm node accesses (k=1 and k=10)",
+                ["N", "best-first [HS99]", "depth-first [RKV95]"], rows)
+    return rows
+
+
+def test_nn_algorithms(benchmark):
+    rows = run_once(benchmark, run_nn_algorithm_ablation)
+    for _, bf, df in rows:
+        assert bf <= df  # [HS99] never reads more nodes
+
+
+if __name__ == "__main__":
+    run_nn_algorithm_ablation()

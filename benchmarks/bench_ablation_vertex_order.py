@@ -1,0 +1,54 @@
+"""Ablation: does the vertex-selection order matter?
+
+The paper's algorithm picks "any non-confirmed vertex" (Lemma 3.2 makes
+the total n_inf + n_v regardless).  This bench quantifies how the
+choice affects the TP-query count and node accesses in practice.
+"""
+
+import random
+
+from common import CONFIG, print_table, query_workload, run_once, \
+    uniform_dataset, uniform_tree
+from repro.core import compute_nn_validity
+from repro.core.nn_validity import VERTEX_POLICIES
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def run_vertex_order_ablation():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for policy in VERTEX_POLICIES:
+        rng = random.Random(12345)
+        tp = confirmations = sinf = 0
+        tree.disk.reset_stats()
+        for q in queries:
+            res = compute_nn_validity(tree, q, k=1, universe=UNIT_UNIVERSE,
+                                      vertex_policy=policy, rng=rng)
+            tp += res.num_tp_queries
+            confirmations += res.num_confirmations
+            sinf += res.num_influence_objects
+        nq = len(queries)
+        na = tree.disk.stats.node_accesses_by_phase().get("tpnn", 0)
+        rows.append((policy, tp / nq, confirmations / nq, sinf / nq,
+                     na / nq))
+    print_table("Ablation: vertex selection policy (uniform, k=1)",
+                ["policy", "TP queries", "confirms", "|S_inf|",
+                 "TPNN node accesses"], rows)
+    return rows
+
+
+def test_vertex_order(benchmark):
+    rows = run_once(benchmark, run_vertex_order_ablation)
+    sinfs = [r[3] for r in rows]
+    # Lemma 3.1: every policy finds the same influence set size.
+    assert max(sinfs) - min(sinfs) < 0.01
+    # Lemma 3.2: TP queries = |S_inf| + confirmations for every policy.
+    for _, tp, conf, sinf, _ in rows:
+        assert abs(tp - (sinf + conf)) < 0.01
+
+
+if __name__ == "__main__":
+    run_vertex_order_ablation()

@@ -1,0 +1,58 @@
+"""Ablation: how much area does the conservative rectangle give up?
+
+The paper ships a rectangle instead of the exact (rectilinear) validity
+region (Figure 19/33), arguing that corner-overlapping outer objects —
+the only case where the rectangle loses area — are rare.  This bench
+measures the retained-area ratio.
+"""
+
+import math
+
+from common import (
+    CONFIG,
+    geometric_mean,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_window_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def run_conservative_ablation():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for qs in CONFIG.window_fractions:
+        side = math.sqrt(qs)
+        ratios = []
+        non_rect = 0
+        for q in queries:
+            res = compute_window_validity(tree, q, side, side,
+                                          universe=UNIT_UNIVERSE)
+            exact = res.exact_region.area()
+            if exact > 0:
+                ratios.append(res.conservative_region.area() / exact)
+            if res.conservative_region.area() < exact * (1 - 1e-9):
+                non_rect += 1
+        rows.append((f"{qs:.2%}", geometric_mean(ratios),
+                     non_rect / len(queries)))
+    print_table("Ablation: conservative vs exact window validity region",
+                ["qs", "area retained (geo-mean)", "non-rect fraction"],
+                rows)
+    return rows
+
+
+def test_conservative_region(benchmark):
+    rows = run_once(benchmark, run_conservative_ablation)
+    for _, retained, _ in rows:
+        # The rectangle keeps the lion's share of the exact region.
+        assert retained > 0.5
+
+
+if __name__ == "__main__":
+    run_conservative_ablation()

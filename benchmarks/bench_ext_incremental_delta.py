@@ -1,0 +1,58 @@
+"""Extension (§7): incremental (delta) result transmission.
+
+When a client leaves the validity region and re-queries, the new result
+usually overlaps the old one heavily; shipping only the delta "can
+dramatically reduce the transmission overhead" (paper, conclusion).
+This bench replays the same trajectory with full-response and
+delta-response clients and compares bytes on the wire.
+"""
+
+import math
+
+from common import CONFIG, print_table, run_once, uniform_tree
+from repro.core import LocationServer, MobileClient
+from repro.datasets.synthetic import UNIT_UNIVERSE
+from repro.mobility import random_waypoint
+
+NUM_STEPS = 200 if CONFIG.num_queries <= 50 else 500
+
+
+def run_incremental_delta():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    server = LocationServer(tree, UNIT_UNIVERSE)
+    rows = []
+    for qs in CONFIG.window_fractions:
+        side = math.sqrt(qs)
+        trajectory = random_waypoint(UNIT_UNIVERSE, NUM_STEPS,
+                                     speed=side / 20.0, seed=31)
+        plain = MobileClient(server)
+        delta = MobileClient(server, incremental=True)
+        for step in trajectory:
+            a = plain.window(step.position, side, side)
+            b = delta.window(step.position, side, side)
+            assert {e.oid for e in a} == {e.oid for e in b}
+        saved = 1.0 - (delta.stats.bytes_received
+                       / max(plain.stats.bytes_received, 1))
+        rows.append((f"{qs:.2%}", plain.stats.server_queries,
+                     plain.stats.bytes_received,
+                     delta.stats.bytes_received, f"{saved:.1%}"))
+    print_table(
+        f"Extension: delta transmission for window re-queries (N={n})",
+        ["qs", "re-queries", "full bytes", "delta bytes", "saved"],
+        rows)
+    return rows
+
+
+def test_incremental_delta(benchmark):
+    rows = run_once(benchmark, run_incremental_delta)
+    for _, requeries, full_bytes, delta_bytes, _ in rows:
+        if requeries > 1 and full_bytes > 0:
+            assert delta_bytes <= full_bytes
+    # For large overlapping windows the saving must be substantial.
+    _, _, full_bytes, delta_bytes, _ = rows[-1]
+    assert delta_bytes < 0.8 * full_bytes
+
+
+if __name__ == "__main__":
+    run_incremental_delta()

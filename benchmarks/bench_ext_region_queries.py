@@ -1,0 +1,66 @@
+"""Extension (§7): location-based circular *region* queries.
+
+The paper's conclusion proposes validity regions for "all restaurants
+within a 5 km radius" queries.  This bench measures the conservative
+validity-disk radius, the influence-set size (at most two objects) and
+the server cost, across range radii — the same quantities Figures
+29-35 report for windows.
+"""
+
+import math
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_range_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def run_region_queries():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for qs in CONFIG.window_fractions:
+        radius = math.sqrt(qs / math.pi)  # disk of area qs * universe
+        tree.attach_lru_buffer(0.1)
+        tree.disk.cold_restart()
+        area = 0.0
+        sinf = 0
+        for q in queries:
+            res = compute_range_validity(tree, q, radius)
+            rho = res.validity_radius
+            if math.isfinite(rho):
+                area += math.pi * rho * rho
+            sinf += len(res.influence_set)
+        nq = len(queries)
+        na = tree.disk.stats.node_accesses_by_phase()
+        pa = tree.disk.stats.page_faults_by_phase()
+        rows.append((f"{qs:.2%}", area / nq, sinf / nq,
+                     (na.get("result", 0) + na.get("influence", 0)) / nq,
+                     (pa.get("result", 0) + pa.get("influence", 0)) / nq))
+        tree.disk.set_buffer(0)
+    print_table(
+        f"Extension: region-query validity disks (uniform, N={n})",
+        ["area", "validity disk area", "|S_inf|", "NA", "PA(10% LRU)"],
+        rows)
+    return rows
+
+
+def test_region_queries(benchmark):
+    rows = run_once(benchmark, run_region_queries)
+    areas = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(areas, areas[1:]))  # shrinks with qs
+    for _, _, sinf, na, pa in rows:
+        assert sinf <= 2.0   # at most one inner + one outer object
+        assert pa <= na
+
+
+if __name__ == "__main__":
+    run_region_queries()

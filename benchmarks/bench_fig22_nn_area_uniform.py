@@ -1,0 +1,75 @@
+"""Figure 22: area of V(q) for nearest-neighbour queries (uniform data).
+
+(a) k = 1, cardinality N swept — the area drops linearly with N.
+(b) N fixed, k swept — the area shrinks roughly with 1/(2k-1).
+
+Both series print the measured mean area next to the Section 5
+estimate, mirroring the paper's actual/estimated pairs.
+"""
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.analysis import expected_nn_validity_area
+from repro.core import compute_nn_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def _mean_area(tree, queries, k):
+    areas = [
+        compute_nn_validity(tree, q, k=k, universe=UNIT_UNIVERSE).region.area()
+        for q in queries
+    ]
+    return sum(areas) / len(areas)
+
+
+def run_fig22a():
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        actual = _mean_area(tree, queries, k=1)
+        estimated = expected_nn_validity_area(n, 1, 1.0)
+        rows.append((n, actual, estimated))
+    print_table("Figure 22a: area of V(q) vs N (uniform, k=1)",
+                ["N", "actual", "estimated"], rows)
+    return rows
+
+
+def run_fig22b():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for k in CONFIG.ks:
+        actual = _mean_area(tree, queries, k=k)
+        estimated = expected_nn_validity_area(n, k, 1.0)
+        rows.append((k, actual, estimated))
+    print_table(f"Figure 22b: area of V(q) vs k (uniform, N={n})",
+                ["k", "actual", "estimated"], rows)
+    return rows
+
+
+def test_fig22a(benchmark):
+    rows = run_once(benchmark, run_fig22a)
+    # The paper's headline shape: area drops linearly with N.
+    assert rows[0][1] > rows[-1][1]
+
+
+def test_fig22b(benchmark):
+    rows = run_once(benchmark, run_fig22b)
+    # Area shrinks monotonically with k.
+    areas = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+
+
+if __name__ == "__main__":
+    run_fig22a()
+    run_fig22b()

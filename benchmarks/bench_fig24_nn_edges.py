@@ -1,0 +1,68 @@
+"""Figure 24: number of edges of V(q) (uniform data).
+
+The edge count measures the client-side validity-check cost (one
+half-plane test per edge).  The paper finds ~6 under every setting —
+the classic expected edge count of (order-k) Voronoi cells.
+"""
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.analysis import expected_nn_edges
+from repro.core import compute_nn_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def _mean_edges(tree, queries, k):
+    edges = [
+        compute_nn_validity(tree, q, k=k, universe=UNIT_UNIVERSE).num_edges
+        for q in queries
+    ]
+    return sum(edges) / len(edges)
+
+
+def run_fig24a():
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        rows.append((n, _mean_edges(tree, queries, 1), expected_nn_edges(1)))
+    print_table("Figure 24a: #edges of V(q) vs N (uniform, k=1)",
+                ["N", "edges", "expected"], rows)
+    return rows
+
+
+def run_fig24b():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = [(k, _mean_edges(tree, queries, k), expected_nn_edges(k))
+            for k in CONFIG.ks]
+    print_table(f"Figure 24b: #edges of V(q) vs k (uniform, N={n})",
+                ["k", "edges", "expected"], rows)
+    return rows
+
+
+def test_fig24a(benchmark):
+    rows = run_once(benchmark, run_fig24a)
+    for _, edges, _ in rows:
+        assert 4.5 < edges < 9.0  # "around 6"; random-cell sampling
+        # is size-biased, which adds a fraction of an edge at large k
+
+
+def test_fig24b(benchmark):
+    rows = run_once(benchmark, run_fig24b)
+    for _, edges, _ in rows:
+        assert 4.5 < edges < 9.0
+
+
+if __name__ == "__main__":
+    run_fig24a()
+    run_fig24b()

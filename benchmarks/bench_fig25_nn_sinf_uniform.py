@@ -1,0 +1,69 @@
+"""Figure 25: influence-set size |S_inf| for NN queries (uniform data).
+
+|S_inf| is the network payload of the validity region.  For k = 1 it
+equals the edge count (~6); for k >= 10 it drops to ~4 because one
+influence object can contribute several edges (one per result object it
+pairs with) while the total edge count stays near 6.
+"""
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_nn_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def _mean_sinf(tree, queries, k):
+    sizes = [
+        compute_nn_validity(tree, q, k=k,
+                            universe=UNIT_UNIVERSE).num_influence_objects
+        for q in queries
+    ]
+    return sum(sizes) / len(sizes)
+
+
+def run_fig25a():
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        rows.append((n, _mean_sinf(tree, queries, 1)))
+    print_table("Figure 25a: |S_inf| vs N (uniform, k=1)",
+                ["N", "|S_inf|"], rows)
+    return rows
+
+
+def run_fig25b():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = [(k, _mean_sinf(tree, queries, k)) for k in CONFIG.ks]
+    print_table(f"Figure 25b: |S_inf| vs k (uniform, N={n})",
+                ["k", "|S_inf|"], rows)
+    return rows
+
+
+def test_fig25a(benchmark):
+    rows = run_once(benchmark, run_fig25a)
+    for _, sinf in rows:
+        assert 4.5 < sinf < 8.0  # ~6 for all cardinalities
+
+
+def test_fig25b(benchmark):
+    rows = run_once(benchmark, run_fig25b)
+    by_k = dict(rows)
+    # |S_inf| decreases towards ~4 for large k.
+    assert by_k[max(CONFIG.ks)] < by_k[1]
+    assert 3.0 < by_k[max(CONFIG.ks)] < 6.0
+
+
+if __name__ == "__main__":
+    run_fig25a()
+    run_fig25b()

@@ -1,0 +1,38 @@
+"""Figure 26: influence-set size |S_inf| vs k on the real-like datasets."""
+
+from common import CONFIG, REAL_DATASETS, print_table, query_workload, run_once
+from repro.core import compute_nn_validity
+
+
+def run_fig26(name):
+    dataset_fn, tree_fn, _, universe = REAL_DATASETS[name]
+    tree = tree_fn()
+    queries = query_workload(dataset_fn(), universe, CONFIG.num_queries_real)
+    rows = []
+    for k in CONFIG.ks:
+        sinf = sum(
+            compute_nn_validity(tree, q, k=k,
+                                universe=universe).num_influence_objects
+            for q in queries) / len(queries)
+        rows.append((k, sinf))
+    print_table(f"Figure 26 ({name}): |S_inf| vs k", ["k", "|S_inf|"], rows)
+    return rows
+
+
+def test_fig26_gr(benchmark):
+    rows = run_once(benchmark, lambda: run_fig26("GR"))
+    by_k = dict(rows)
+    assert 4.0 < by_k[1] < 9.0          # ~6 at k=1
+    assert by_k[max(CONFIG.ks)] <= by_k[1]  # decreases with k
+
+
+def test_fig26_na(benchmark):
+    rows = run_once(benchmark, lambda: run_fig26("NA"))
+    by_k = dict(rows)
+    assert 4.0 < by_k[1] < 9.0
+    assert by_k[max(CONFIG.ks)] <= by_k[1]
+
+
+if __name__ == "__main__":
+    run_fig26("GR")
+    run_fig26("NA")

@@ -1,0 +1,65 @@
+"""Figure 27: server cost of location-based NN queries (uniform, k=1).
+
+(a) Node accesses per query vs N, split into the initial NN query and
+    the follow-up TPNN queries.  The paper: TPNN cost ~12x the NN cost
+    (about 6 TPNN queries to find influence objects + 6 to confirm
+    vertices).
+(b) Page accesses per query with an LRU buffer of 10 % of the tree: the
+    buffer absorbs most of the TPNN cost because all TP queries touch
+    the same neighbourhood the NN query just loaded.
+"""
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_nn_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+
+def _workload_cost(tree, queries, k=1):
+    """Per-query NA and PA, split by phase, with a warm 10% LRU buffer."""
+    tree.attach_lru_buffer(0.1)
+    tree.disk.cold_restart()
+    for q in queries:
+        compute_nn_validity(tree, q, k=k, universe=UNIT_UNIVERSE)
+    stats = tree.disk.stats
+    nq = len(queries)
+    na = stats.node_accesses_by_phase()
+    pa = stats.page_faults_by_phase()
+    tree.disk.set_buffer(0)  # leave the tree unbuffered for other benches
+    return (na.get("nn", 0) / nq, na.get("tpnn", 0) / nq,
+            pa.get("nn", 0) / nq, pa.get("tpnn", 0) / nq)
+
+
+def run_fig27():
+    rows_a, rows_b = [], []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        na_nn, na_tp, pa_nn, pa_tp = _workload_cost(tree, queries)
+        rows_a.append((n, na_nn, na_tp, na_nn + na_tp))
+        rows_b.append((n, pa_nn, pa_tp, pa_nn + pa_tp))
+    print_table("Figure 27a: node accesses vs N (uniform, k=1)",
+                ["N", "NN query", "TPNN queries", "total"], rows_a)
+    print_table("Figure 27b: page accesses vs N (10% LRU buffer)",
+                ["N", "NN query", "TPNN queries", "total"], rows_b)
+    return rows_a, rows_b
+
+
+def test_fig27(benchmark):
+    rows_a, rows_b = run_once(benchmark, run_fig27)
+    for (_, na_nn, na_tp, _), (_, pa_nn, pa_tp, _) in zip(rows_a, rows_b):
+        # TPNN node accesses dominate (paper: ~12x the NN query).
+        assert na_tp > 4 * na_nn
+        # The buffer absorbs most of the TPNN cost.
+        assert pa_tp < 0.5 * na_tp
+
+
+if __name__ == "__main__":
+    run_fig27()

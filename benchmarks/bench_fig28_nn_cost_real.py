@@ -1,0 +1,53 @@
+"""Figure 28: cost of location-based NN queries vs k (GR and NA).
+
+Node accesses and page accesses (10 % LRU buffer) per query, split into
+the initial kNN query and the TPkNN queries.  The number of TP queries
+stays ~12 regardless of k, but each one grows more expensive with k.
+"""
+
+from common import CONFIG, REAL_DATASETS, print_table, query_workload, run_once
+from repro.core import compute_nn_validity
+
+
+def run_fig28(name):
+    dataset_fn, tree_fn, _, universe = REAL_DATASETS[name]
+    tree = tree_fn()
+    queries = query_workload(dataset_fn(), universe, CONFIG.num_queries_real)
+    rows_na, rows_pa = [], []
+    for k in CONFIG.ks:
+        tree.attach_lru_buffer(0.1)
+        tree.disk.cold_restart()
+        for q in queries:
+            compute_nn_validity(tree, q, k=k, universe=universe)
+        nq = len(queries)
+        na = tree.disk.stats.node_accesses_by_phase()
+        pa = tree.disk.stats.page_faults_by_phase()
+        rows_na.append((k, na.get("nn", 0) / nq, na.get("tpnn", 0) / nq))
+        rows_pa.append((k, pa.get("nn", 0) / nq, pa.get("tpnn", 0) / nq))
+        tree.disk.set_buffer(0)
+    print_table(f"Figure 28 ({name}): node accesses vs k",
+                ["k", "NN query", "TPNN queries"], rows_na)
+    print_table(f"Figure 28 ({name}): page accesses vs k (10% LRU)",
+                ["k", "NN query", "TPNN queries"], rows_pa)
+    return rows_na, rows_pa
+
+
+def test_fig28_gr(benchmark):
+    rows_na, rows_pa = run_once(benchmark, lambda: run_fig28("GR"))
+    na_by_k = {k: nn + tp for k, nn, tp in rows_na}
+    # Node accesses increase with k (each TP query costs more).
+    assert na_by_k[max(CONFIG.ks)] > na_by_k[1]
+    # Buffer absorbs most of the TP cost at every k.
+    for (k, _, na_tp), (_, _, pa_tp) in zip(rows_na, rows_pa):
+        assert pa_tp < 0.6 * na_tp
+
+
+def test_fig28_na(benchmark):
+    rows_na, rows_pa = run_once(benchmark, lambda: run_fig28("NA"))
+    na_by_k = {k: nn + tp for k, nn, tp in rows_na}
+    assert na_by_k[max(CONFIG.ks)] > na_by_k[1]
+
+
+if __name__ == "__main__":
+    run_fig28("GR")
+    run_fig28("NA")

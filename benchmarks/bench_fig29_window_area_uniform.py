@@ -1,0 +1,82 @@
+"""Figure 29: area of V(q) for window queries (uniform data).
+
+(a) window size fixed at qs = 0.1 % of the universe, N swept;
+(b) N fixed, qs swept.  Both shrink with density and with window size,
+and both are printed against the sweeping-region estimate
+(eqs. 5-4 / 5-5).
+"""
+
+import math
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.analysis import expected_window_validity_area
+from repro.core import compute_window_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+FIXED_QS = 0.001  # 0.1% of the data space, the paper's Figure 29a setting
+
+
+def _mean_area(tree, queries, side):
+    areas = [
+        compute_window_validity(tree, q, side, side,
+                                universe=UNIT_UNIVERSE).exact_region.area()
+        for q in queries
+    ]
+    return sum(areas) / len(areas)
+
+
+def run_fig29a():
+    side = math.sqrt(FIXED_QS)
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        actual = _mean_area(tree, queries, side)
+        estimated = expected_window_validity_area(n, side, side, 1.0)
+        rows.append((n, actual, estimated))
+    print_table("Figure 29a: window V(q) area vs N (qs=0.1%)",
+                ["N", "actual", "estimated"], rows)
+    return rows
+
+
+def run_fig29b():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for qs in CONFIG.window_fractions:
+        side = math.sqrt(qs)
+        actual = _mean_area(tree, queries, side)
+        estimated = expected_window_validity_area(n, side, side, 1.0)
+        rows.append((f"{qs:.2%}", actual, estimated))
+    print_table(f"Figure 29b: window V(q) area vs qs (N={n})",
+                ["qs", "actual", "estimated"], rows)
+    return rows
+
+
+def test_fig29a(benchmark):
+    rows = run_once(benchmark, run_fig29a)
+    areas = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(areas, areas[1:]))  # drops with N
+    for _, actual, est in rows:
+        assert est / 5 < actual < est * 5  # estimate tracks measurement
+
+
+def test_fig29b(benchmark):
+    rows = run_once(benchmark, run_fig29b)
+    areas = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(areas, areas[1:]))  # drops with qs
+
+
+if __name__ == "__main__":
+    run_fig29a()
+    run_fig29b()

@@ -1,0 +1,64 @@
+"""Figure 30: window V(q) area vs qs on the real-like datasets.
+
+qs ranges over 100..10000 km^2 as in the paper; areas are reported in
+m^2.  The estimate uses the Minskew histogram's boundary density.
+"""
+
+import math
+
+from common import CONFIG, REAL_DATASETS, print_table, query_workload, run_once
+from repro.analysis import expected_window_validity_area_hist
+from repro.core import compute_window_validity
+from repro.geometry import Rect
+
+KM2_TO_M2 = 1_000_000.0
+
+
+def run_fig30(name):
+    dataset_fn, tree_fn, hist_fn, universe = REAL_DATASETS[name]
+    tree = tree_fn()
+    hist = hist_fn()
+    queries = query_workload(dataset_fn(), universe, CONFIG.num_queries_real)
+    rows = []
+    for qs_km2 in CONFIG.real_window_areas_km2:
+        side = math.sqrt(qs_km2 * KM2_TO_M2)
+        actual = est = 0.0
+        for q in queries:
+            res = compute_window_validity(tree, q, side, side,
+                                          universe=universe)
+            actual += res.exact_region.area()
+            est += expected_window_validity_area_hist(
+                hist, Rect.around(q, side, side))
+        rows.append((f"{qs_km2:g}", actual / len(queries), est / len(queries)))
+    print_table(f"Figure 30 ({name}): window V(q) area vs qs  [m^2]",
+                ["qs(km^2)", "actual", "estimated(Minskew)"], rows)
+    return rows
+
+
+def test_fig30_gr(benchmark):
+    rows = run_once(benchmark, lambda: run_fig30("GR"))
+    # Windows of 10,000 km^2 on the 800 km GR universe frequently overhang
+    # the data-space boundary, which legitimately *grows* their validity
+    # regions; per-row monotonicity does not hold there, so assert the
+    # paper's quantitative envelope instead.
+    for _, actual, est in rows:
+        # Paper: sizes are "rather large" — thousands of m^2 and up.
+        assert actual > 1_000.0
+        # Histogram estimate tracks the measurement on a log scale.
+        assert est / 100 < actual < est * 100
+    # The estimate itself decreases with qs, as in Figure 29b.
+    ests = [r[2] for r in rows]
+    assert all(a >= b for a, b in zip(ests, ests[1:]))
+
+
+def test_fig30_na(benchmark):
+    rows = run_once(benchmark, lambda: run_fig30("NA"))
+    areas = [r[1] for r in rows]
+    assert areas[-1] < areas[0]
+    for _, actual, _ in rows:
+        assert actual > 1_000.0
+
+
+if __name__ == "__main__":
+    run_fig30("GR")
+    run_fig30("NA")

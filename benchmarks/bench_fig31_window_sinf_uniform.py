@@ -1,0 +1,79 @@
+"""Figure 31: window-query influence sets (uniform data).
+
+Split into inner and outer influence objects; the paper finds roughly
+two of each under all settings, so the validity region's network cost
+is negligible.
+"""
+
+import math
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_window_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+FIXED_QS = 0.001
+
+
+def _mean_influence(tree, queries, side):
+    inner = outer = 0
+    for q in queries:
+        res = compute_window_validity(tree, q, side, side,
+                                      universe=UNIT_UNIVERSE)
+        inner += len(res.inner_influence)
+        outer += len(res.outer_influence)
+    return inner / len(queries), outer / len(queries)
+
+
+def run_fig31a():
+    side = math.sqrt(FIXED_QS)
+    rows = []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        inner, outer = _mean_influence(tree, queries, side)
+        rows.append((n, inner, outer, inner + outer))
+    print_table("Figure 31a: window |S_inf| vs N (qs=0.1%)",
+                ["N", "inner", "outer", "total"], rows)
+    return rows
+
+
+def run_fig31b():
+    n = CONFIG.default_n
+    tree = uniform_tree(n)
+    queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                             CONFIG.num_queries)
+    rows = []
+    for qs in CONFIG.window_fractions:
+        side = math.sqrt(qs)
+        inner, outer = _mean_influence(tree, queries, side)
+        rows.append((f"{qs:.2%}", inner, outer, inner + outer))
+    print_table(f"Figure 31b: window |S_inf| vs qs (N={n})",
+                ["qs", "inner", "outer", "total"], rows)
+    return rows
+
+
+def test_fig31a(benchmark):
+    rows = run_once(benchmark, run_fig31a)
+    for _, inner, outer, total in rows:
+        assert 0.5 < inner < 3.5   # "about two inner ..."
+        assert 0.5 < outer < 3.5   # "... and two outer"
+        assert total < 6.0
+
+
+def test_fig31b(benchmark):
+    rows = run_once(benchmark, run_fig31b)
+    for _, inner, outer, total in rows:
+        assert total < 6.0
+
+
+if __name__ == "__main__":
+    run_fig31a()
+    run_fig31b()

@@ -1,0 +1,46 @@
+"""Figure 32: window-query influence sets vs qs (GR and NA)."""
+
+import math
+
+from common import CONFIG, REAL_DATASETS, print_table, query_workload, run_once
+from repro.core import compute_window_validity
+
+KM2_TO_M2 = 1_000_000.0
+
+
+def run_fig32(name):
+    dataset_fn, tree_fn, _, universe = REAL_DATASETS[name]
+    tree = tree_fn()
+    queries = query_workload(dataset_fn(), universe, CONFIG.num_queries_real)
+    rows = []
+    for qs_km2 in CONFIG.real_window_areas_km2:
+        side = math.sqrt(qs_km2 * KM2_TO_M2)
+        inner = outer = 0
+        for q in queries:
+            res = compute_window_validity(tree, q, side, side,
+                                          universe=universe)
+            inner += len(res.inner_influence)
+            outer += len(res.outer_influence)
+        rows.append((f"{qs_km2:g}", inner / len(queries),
+                     outer / len(queries),
+                     (inner + outer) / len(queries)))
+    print_table(f"Figure 32 ({name}): window |S_inf| vs qs",
+                ["qs(km^2)", "inner", "outer", "total"], rows)
+    return rows
+
+
+def test_fig32_gr(benchmark):
+    rows = run_once(benchmark, lambda: run_fig32("GR"))
+    for _, inner, outer, total in rows:
+        assert total < 6.0  # a handful of influence objects at most
+
+
+def test_fig32_na(benchmark):
+    rows = run_once(benchmark, lambda: run_fig32("NA"))
+    for _, inner, outer, total in rows:
+        assert total < 6.0
+
+
+if __name__ == "__main__":
+    run_fig32("GR")
+    run_fig32("NA")

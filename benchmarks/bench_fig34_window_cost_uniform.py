@@ -1,0 +1,64 @@
+"""Figure 34: server cost of location-based window queries vs N (uniform).
+
+Two window queries are charged per location-based query: one for the
+result and one (over the marginal rectangle) for the candidate outer
+influence objects.  With a 10 % LRU buffer the second query is nearly
+free because its nodes were just loaded by the first.
+"""
+
+import math
+
+from common import (
+    CONFIG,
+    print_table,
+    query_workload,
+    run_once,
+    uniform_dataset,
+    uniform_tree,
+)
+from repro.core import compute_window_validity
+from repro.datasets.synthetic import UNIT_UNIVERSE
+
+FIXED_QS = 0.001
+
+
+def run_fig34():
+    side = math.sqrt(FIXED_QS)
+    rows_na, rows_pa = [], []
+    for n in CONFIG.uniform_cardinalities:
+        tree = uniform_tree(n)
+        queries = query_workload(uniform_dataset(n), UNIT_UNIVERSE,
+                                 CONFIG.num_queries)
+        tree.attach_lru_buffer(0.1)
+        tree.disk.cold_restart()
+        for q in queries:
+            compute_window_validity(tree, q, side, side,
+                                    universe=UNIT_UNIVERSE)
+        nq = len(queries)
+        na = tree.disk.stats.node_accesses_by_phase()
+        pa = tree.disk.stats.page_faults_by_phase()
+        rows_na.append((n, na.get("result", 0) / nq,
+                        na.get("influence", 0) / nq))
+        rows_pa.append((n, pa.get("result", 0) / nq,
+                        pa.get("influence", 0) / nq))
+        tree.disk.set_buffer(0)
+    print_table("Figure 34a: window query node accesses vs N (qs=0.1%)",
+                ["N", "result query", "influence query"], rows_na)
+    print_table("Figure 34b: window query page accesses vs N (10% LRU)",
+                ["N", "result query", "influence query"], rows_pa)
+    return rows_na, rows_pa
+
+
+def test_fig34(benchmark):
+    rows_na, rows_pa = run_once(benchmark, run_fig34)
+    for (_, na_res, na_inf), (_, pa_res, pa_inf) in zip(rows_na, rows_pa):
+        # The influence query costs no more than the result query in NA...
+        assert na_inf <= na_res * 1.5
+        # ...and nearly nothing in PA (paper: 0.04-0.1 faults/query).
+        assert pa_inf < 0.5 * max(na_inf, 1.0)
+    # NA grows with N (more, smaller nodes intersect the same window).
+    assert rows_na[-1][1] >= rows_na[0][1] * 0.8
+
+
+if __name__ == "__main__":
+    run_fig34()

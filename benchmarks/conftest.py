@@ -1,0 +1,7 @@
+"""Pytest wiring for the experiment benches."""
+
+import os
+import sys
+
+# Make `import common` work both under pytest and as plain scripts.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,45 @@
+"""Render the paper's explanatory figures as SVG files.
+
+Produces three drawings in the working directory:
+
+* ``nn_validity.svg``     — Figure 7: a 1NN query, its Voronoi-cell
+                            validity region and the influence objects;
+* ``knn_validity.svg``    — the order-k generalization (k = 5);
+* ``window_validity.svg`` — Figure 17: a window query, the inner region
+                            and the conservative validity rectangle.
+
+Run:  python examples/draw_validity_regions.py
+"""
+
+from repro import Rect, bulk_load_str, uniform_points
+from repro.core import compute_nn_validity, compute_window_validity
+from repro.viz import render_nn_validity, render_window_validity
+
+UNIVERSE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def main():
+    points = uniform_points(400, seed=6)
+    tree = bulk_load_str(points, capacity=16)
+
+    nn = compute_nn_validity(tree, (0.42, 0.55), k=1, universe=UNIVERSE)
+    render_nn_validity(nn, UNIVERSE, points=points).save("nn_validity.svg")
+    print(f"nn_validity.svg      : 1NN region with {nn.num_edges} edges, "
+          f"|S_inf| = {nn.num_influence_objects}")
+
+    knn = compute_nn_validity(tree, (0.42, 0.55), k=5, universe=UNIVERSE)
+    render_nn_validity(knn, UNIVERSE, points=points).save("knn_validity.svg")
+    print(f"knn_validity.svg     : order-5 region with {knn.num_edges} "
+          f"edges, |S_inf| = {knn.num_influence_objects}")
+
+    win = compute_window_validity(tree, (0.42, 0.55), 0.18, 0.12,
+                                  universe=UNIVERSE)
+    render_window_validity(win, UNIVERSE, points=points).save(
+        "window_validity.svg")
+    print(f"window_validity.svg  : {len(win.result)} results, "
+          f"{len(win.inner_influence)} inner + "
+          f"{len(win.outer_influence)} outer influence objects")
+
+
+if __name__ == "__main__":
+    main()

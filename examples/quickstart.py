@@ -1,0 +1,38 @@
+"""Quickstart: location-based nearest-neighbour queries in ten lines.
+
+Builds a server over synthetic points, then moves a client in small
+steps.  Most steps are answered from the cached validity region without
+contacting the server — the paper's core claim.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LocationServer, MobileClient, uniform_points
+
+
+def main():
+    # 10,000 points of interest in a unit city, R*-tree built server-side.
+    server = LocationServer.from_points(uniform_points(10_000, seed=1))
+    client = MobileClient(server)
+
+    position = [0.500, 0.500]
+    for step in range(200):
+        nearest = client.knn(tuple(position), k=1)[0]
+        if step % 40 == 0:
+            print(f"step {step:3d}  at ({position[0]:.3f}, {position[1]:.3f})"
+                  f"  nearest poi = #{nearest.oid}"
+                  f"  ({nearest.x:.3f}, {nearest.y:.3f})")
+        position[0] += 0.0004  # drift east, a small step per update
+        position[1] += 0.0001
+
+    stats = client.stats
+    print()
+    print(f"position updates : {stats.position_updates}")
+    print(f"server queries   : {stats.server_queries}")
+    print(f"answered locally : {stats.cache_answers} "
+          f"({stats.query_saving:.0%} saved)")
+    print(f"bytes received   : {stats.bytes_received}")
+
+
+if __name__ == "__main__":
+    main()

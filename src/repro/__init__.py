@@ -1,0 +1,78 @@
+"""repro — Location-based Spatial Queries (SIGMOD 2003), reproduced.
+
+A mobile client issuing nearest-neighbour or window queries with
+respect to its own position can avoid most server round-trips if the
+server returns, together with each result, a **validity region**: the
+area within which the result provably stays the same.  This library
+implements the full system of the paper:
+
+>>> from repro import LocationServer, MobileClient, uniform_points
+>>> server = LocationServer.from_points(uniform_points(10_000, seed=1))
+>>> client = MobileClient(server)
+>>> nearest = client.knn((0.5, 0.5), k=1)
+>>> nearest == client.knn((0.5001, 0.5001), k=1)  # served from cache
+True
+
+See README.md for the architecture and EXPERIMENTS.md for the
+reproduction of every figure of the paper's evaluation.
+"""
+
+from repro.geometry import ConvexPolygon, HalfPlane, Point, Rect, RectilinearRegion
+from repro.index import RStarTree, bulk_load_str
+from repro.queries import nearest_neighbors, tp_knn, tp_nn, tp_window, window_query
+from repro.core import (
+    LocationServer,
+    MobileClient,
+    compute_nn_validity,
+    compute_range_validity,
+    compute_window_validity,
+)
+from repro.analysis import (
+    MinskewHistogram,
+    expected_nn_validity_area,
+    expected_window_validity_area,
+)
+from repro.datasets import (
+    make_greece_like,
+    make_north_america_like,
+    uniform_points,
+)
+from repro.mobility import (
+    random_walk,
+    random_waypoint,
+    simulate_knn_protocols,
+    simulate_window_protocols,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Rect",
+    "HalfPlane",
+    "ConvexPolygon",
+    "RectilinearRegion",
+    "RStarTree",
+    "bulk_load_str",
+    "nearest_neighbors",
+    "window_query",
+    "tp_nn",
+    "tp_knn",
+    "tp_window",
+    "LocationServer",
+    "MobileClient",
+    "compute_nn_validity",
+    "compute_window_validity",
+    "compute_range_validity",
+    "MinskewHistogram",
+    "expected_nn_validity_area",
+    "expected_window_validity_area",
+    "uniform_points",
+    "make_greece_like",
+    "make_north_america_like",
+    "random_waypoint",
+    "random_walk",
+    "simulate_knn_protocols",
+    "simulate_window_protocols",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Analytical models of Section 5.
+
+* :mod:`repro.analysis.nn_model` — expected area of (k)NN validity
+  regions: order-k Voronoi cell expectations, with a histogram-corrected
+  variant for skewed data.
+* :mod:`repro.analysis.window_model` — expected area of window-query
+  validity regions (the sweeping-region integral, eqs. 5-4/5-5) and the
+  expected extents of the inner validity region (eq. 5-6).
+* :mod:`repro.analysis.cost_model` — node-access estimates for window
+  queries [TSS00] and for the marginal-rectangle second step.
+* :mod:`repro.analysis.histogram` — the Minskew spatial histogram
+  [APR99] used to adapt the uniform models to real data (eq. 5-7).
+"""
+
+from repro.analysis.histogram import MinskewHistogram, Bucket
+from repro.analysis.nn_model import (
+    expected_nn_validity_area,
+    expected_nn_validity_area_hist,
+    expected_nn_edges,
+)
+from repro.analysis.window_model import (
+    expected_window_validity_area,
+    expected_window_validity_area_hist,
+    expected_inner_extents,
+)
+from repro.analysis.cost_model import (
+    knn_query_node_accesses,
+    window_query_node_accesses,
+    contained_node_accesses,
+    marginal_query_node_accesses,
+    location_window_query_node_accesses,
+)
+
+__all__ = [
+    "MinskewHistogram",
+    "Bucket",
+    "expected_nn_validity_area",
+    "expected_nn_validity_area_hist",
+    "expected_nn_edges",
+    "expected_window_validity_area",
+    "expected_window_validity_area_hist",
+    "expected_inner_extents",
+    "knn_query_node_accesses",
+    "window_query_node_accesses",
+    "contained_node_accesses",
+    "marginal_query_node_accesses",
+    "location_window_query_node_accesses",
+]

@@ -1,0 +1,116 @@
+"""Node-access cost models for R-tree window queries [TSS00].
+
+For uniformly distributed queries, a node whose MBR has extents
+``(sx, sy)`` intersects a ``qx x qy`` window with probability
+``(sx + qx) * (sy + qy) / A`` (ignoring boundary effects), so the
+expected node accesses of a window query are
+
+    NA(q) = 1 + sum over non-root levels of n_l * P(intersect).
+
+The second step of the paper's location-based window algorithm queries
+the *marginal* rectangle: the extended window ``q'`` minus the original
+window ``q``.  Nodes fully contained in ``q`` need not be re-read
+(their points are all inner), hence (Section 5):
+
+    NA_marginal = NA_intersect(q') - NA_contained(q).
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Sequence
+
+from repro.index.metrics import LevelStats
+
+
+def window_query_node_accesses(levels: Sequence[LevelStats], qx: float,
+                               qy: float, universe_area: float) -> float:
+    """Expected NA of a window query (the root is always read)."""
+    _check(qx, qy, universe_area)
+    if not levels:
+        return 1.0
+    total = 1.0  # the root
+    root_level = max(s.level for s in levels)
+    for stats in levels:
+        if stats.level == root_level:
+            continue
+        p_intersect = min(
+            1.0,
+            (stats.avg_extent_x + qx) * (stats.avg_extent_y + qy) / universe_area)
+        total += stats.num_nodes * p_intersect
+    return total
+
+
+def contained_node_accesses(levels: Sequence[LevelStats], qx: float,
+                            qy: float, universe_area: float) -> float:
+    """Expected number of nodes fully contained in the window."""
+    _check(qx, qy, universe_area)
+    total = 0.0
+    root_level = max((s.level for s in levels), default=0)
+    for stats in levels:
+        if stats.level == root_level:
+            continue
+        px = max(0.0, qx - stats.avg_extent_x)
+        py = max(0.0, qy - stats.avg_extent_y)
+        total += stats.num_nodes * min(1.0, px * py / universe_area)
+    return total
+
+
+def marginal_query_node_accesses(levels: Sequence[LevelStats],
+                                 qx: float, qy: float,
+                                 ext_qx: float, ext_qy: float,
+                                 universe_area: float) -> float:
+    """Expected NA of the influence-object (second) query.
+
+    ``ext_qx``/``ext_qy`` are the extents of the extended window
+    (original window grown by the inner validity region extents).
+    """
+    extended = window_query_node_accesses(levels, ext_qx, ext_qy, universe_area)
+    contained = contained_node_accesses(levels, qx, qy, universe_area)
+    return max(1.0, extended - contained)
+
+
+def location_window_query_node_accesses(levels: Sequence[LevelStats],
+                                        qx: float, qy: float,
+                                        ext_qx: float, ext_qy: float,
+                                        universe_area: float) -> float:
+    """Expected total NA of a location-based window query (both steps)."""
+    return (window_query_node_accesses(levels, qx, qy, universe_area)
+            + marginal_query_node_accesses(levels, qx, qy, ext_qx, ext_qy,
+                                           universe_area))
+
+
+def knn_query_node_accesses(levels: Sequence[LevelStats], k: int, n: int,
+                            universe_area: float) -> float:
+    """Expected NA of a best-first kNN query [HS99] on uniform data.
+
+    The optimal algorithm reads exactly the nodes whose MBRs intersect
+    the disk around the query with the k-th neighbour's radius,
+    ``d_k = sqrt(k / (pi * density))``.  A node of extents (sx, sy)
+    intersects that disk with probability given by the area of its
+    Minkowski sum with the disk [BBKK97-style estimate].
+    """
+    if k < 1 or n < 1:
+        raise ValueError("k and n must be positive")
+    if universe_area <= 0:
+        raise ValueError("universe area must be positive")
+    density = n / universe_area
+    d_k = math.sqrt(k / (math.pi * density))
+    total = 1.0  # the root
+    root_level = max((s.level for s in levels), default=0)
+    for stats in levels:
+        if stats.level == root_level:
+            continue
+        minkowski = (stats.avg_extent_x * stats.avg_extent_y
+                     + 2.0 * d_k * (stats.avg_extent_x + stats.avg_extent_y)
+                     + math.pi * d_k * d_k)
+        total += stats.num_nodes * min(1.0, minkowski / universe_area)
+    return total
+
+
+def _check(qx: float, qy: float, universe_area: float) -> None:
+    if qx < 0 or qy < 0:
+        raise ValueError("window extents must be non-negative")
+    if universe_area <= 0:
+        raise ValueError("universe area must be positive")

@@ -1,0 +1,62 @@
+"""Expected validity-region size for (k)NN queries (paper, Section 5).
+
+For uniform data the validity region of a kNN query is an order-k
+Voronoi cell, whose expected area is inversely proportional to
+``2k - 1`` [OBSC00, cited by the paper]: order-1 cells tessellate the
+plane into ``N`` regions of expected area ``A/N``, and the order-k
+tessellation has roughly ``(2k - 1) * N`` cells.  Non-uniform data is
+handled by substituting a local density estimated from a Minskew
+histogram (eq. 5-7): starting from the bucket containing the query
+point and expanding to neighbouring buckets until enough points are
+covered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.histogram import MinskewHistogram
+
+#: Expected edge count of a (order-k) Voronoi cell for uniform data
+#: [A91, OBSC00] — the paper's Figure 24 baseline.
+EXPECTED_VORONOI_EDGES = 6.0
+
+
+def expected_nn_validity_area(n: int, k: int, universe_area: float) -> float:
+    """E[area(V(q))] for a kNN query over ``n`` uniform points.
+
+    ``A / ((2k - 1) * n)`` — for ``k = 1`` this is the exact expected
+    Voronoi-cell area ``A / n``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if k < 1:
+        raise ValueError("k must be positive")
+    if k >= n:
+        return universe_area  # the result can never change
+    return universe_area / ((2 * k - 1) * n)
+
+
+def expected_nn_validity_area_hist(hist: MinskewHistogram, query, k: int,
+                                   min_points: Optional[float] = None) -> float:
+    """Histogram-corrected E[area(V(q))] at a specific query location.
+
+    The local density substitutes the global one; ``min_points``
+    controls how far the bucket expansion reaches (default: enough
+    points to determine an order-k neighbourhood).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if min_points is None:
+        min_points = max(16.0, 4.0 * k)
+    density = hist.local_density_nn(query, min_points)
+    if density <= 0.0:
+        return hist.universe.area()
+    return 1.0 / ((2 * k - 1) * density)
+
+
+def expected_nn_edges(k: int = 1) -> float:
+    """Expected edge count of the validity region (≈ 6, independent of k)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    return EXPECTED_VORONOI_EDGES

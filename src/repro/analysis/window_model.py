@@ -1,0 +1,120 @@
+"""Expected validity-region size for window queries (paper, Section 5).
+
+The derivation follows the paper's sweeping-region argument: let
+``dist(theta)`` be the distance the focus can travel in direction
+``theta`` before the result changes.  The result survives distance
+``xi`` iff no data point lies in the region swept by the window's edges
+(eq. 5-4):
+
+    SR(xi, theta) = 2*xi*(qy*cos + qx*sin) - xi^2 * cos*sin,
+
+so for ``N`` uniform points ``P{dist > xi} = (1 - SR/A)^N`` and
+(eq. 5-5)
+
+    E[dist(theta)^2] = integral_0^inf 2*xi*(1 - SR/A)^N dxi,
+
+using ``E[X^2] = int 2x P{X > x} dx`` for non-negative ``X``.  Treating
+the validity region as star-shaped around the focus, its expected area
+is the polar integral ``E[A] = 1/2 * integral_0^{2pi} E[dist^2] dtheta``
+(eq. 5-3).  Symmetry of the square sweeping formula reduces the angular
+range to one quadrant.
+
+The histogram-corrected variant replaces the binomial survival with a
+Poisson one using the density of the buckets crossing the window
+boundary (eq. 5-7), since boundary points are the ones that invalidate
+the result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.histogram import MinskewHistogram
+from repro.geometry import Rect
+
+
+def expected_window_validity_area(n: int, qx: float, qy: float,
+                                  universe_area: float,
+                                  angular_steps: int = 64,
+                                  radial_steps: int = 2048) -> float:
+    """E[area(V(q))] of a ``qx x qy`` window over ``n`` uniform points."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if qx <= 0 or qy <= 0:
+        raise ValueError("window extents must be positive")
+    density = n / universe_area
+
+    def survival_exponent(sr: np.ndarray) -> np.ndarray:
+        # (1 - SR/A)^N, computed stably in log space.
+        frac = np.clip(sr / universe_area, 0.0, 1.0 - 1e-15)
+        return n * np.log1p(-frac)
+
+    thetas = np.linspace(0.0, math.pi / 2.0, angular_steps)
+    e_dist_sq = np.empty_like(thetas)
+    for i, theta in enumerate(thetas):
+        e_dist_sq[i] = _expected_dist_sq(theta, qx, qy, density,
+                                         survival_exponent, radial_steps)
+    # E[A] = 1/2 * int_0^{2pi} = 2 * int_0^{pi/2} by symmetry.
+    # Sparse datasets can push the unclipped polar integral beyond the
+    # data space; a validity region never exceeds the universe.
+    return min(2.0 * float(np.trapezoid(e_dist_sq, thetas)), universe_area)
+
+
+def expected_window_validity_area_hist(hist: MinskewHistogram, window: Rect,
+                                       angular_steps: int = 64,
+                                       radial_steps: int = 2048) -> float:
+    """Histogram-corrected E[area(V(q))] for a specific window."""
+    qx, qy = window.width, window.height
+    if qx <= 0 or qy <= 0:
+        raise ValueError("window extents must be positive")
+    density = hist.boundary_density(window)
+    if density <= 0.0:
+        return hist.universe.area()
+
+    def survival_exponent(sr: np.ndarray) -> np.ndarray:
+        return -density * sr  # Poisson survival exp(-rho * SR)
+
+    thetas = np.linspace(0.0, math.pi / 2.0, angular_steps)
+    e_dist_sq = np.empty_like(thetas)
+    for i, theta in enumerate(thetas):
+        e_dist_sq[i] = _expected_dist_sq(theta, qx, qy, density,
+                                         survival_exponent, radial_steps)
+    return min(2.0 * float(np.trapezoid(e_dist_sq, thetas)),
+               hist.universe.area())
+
+
+def _expected_dist_sq(theta: float, qx: float, qy: float, density: float,
+                      survival_exponent, radial_steps: int) -> float:
+    """``E[dist(theta)^2] = int 2 xi exp(survival_exponent(SR)) dxi``."""
+    cos_t = math.cos(theta)
+    sin_t = math.sin(theta)
+    edge = qy * cos_t + qx * sin_t
+    # Characteristic invalidation distance: one expected point in the
+    # sweep.  Integrate far enough for the survival tail to vanish.
+    xi_char = 1.0 / max(density * edge, 1e-300)
+    xi_max = 50.0 * xi_char
+    xi = np.linspace(0.0, xi_max, radial_steps)
+    sweep = 2.0 * xi * edge - xi * xi * cos_t * sin_t
+    # Beyond the formula's validity (sweep must be non-decreasing in xi)
+    # clamp at the maximum reached so far — the probability mass out
+    # there is negligible anyway.
+    sweep = np.maximum.accumulate(np.maximum(sweep, 0.0))
+    survival = np.exp(survival_exponent(sweep))
+    return float(np.trapezoid(2.0 * xi * survival, xi))
+
+
+def expected_inner_extents(density: float, qx: float, qy: float
+                           ) -> Tuple[float, float]:
+    """Expected half-extents of the inner validity region (eq. 5-6).
+
+    The focus travels ``dist_x`` along +x until the window's left edge
+    sweeps over one expected point: ``qy * dist_x * density = 1``.
+    Returns ``(dist_x, dist_y)``; by symmetry each applies to both
+    directions of its axis.
+    """
+    if density <= 0.0:
+        raise ValueError("density must be positive")
+    return 1.0 / (density * qy), 1.0 / (density * qx)

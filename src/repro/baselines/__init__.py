@@ -1,0 +1,37 @@
+"""Competitor techniques the paper surveys (Section 2).
+
+* :mod:`repro.baselines.naive` — re-query the server on every position
+  update (the conventional approach the paper's introduction criticizes).
+* :mod:`repro.baselines.voronoi` — Zheng & Lee [ZL01]: a pre-computed
+  Voronoi diagram on the server and conservative validity *times* from
+  a maximum client speed.  Also hosts the from-scratch Voronoi / order-k
+  cell construction used as ground truth in the test-suite.
+* :mod:`repro.baselines.sr01` — Song & Roussopoulos [SR01]: ship m > k
+  neighbours and re-answer locally while
+  ``2 * dist(q, q') <= dist(m) - dist(k)``.
+* :mod:`repro.baselines.tp_baseline` — time-parameterized queries
+  [TP02] for clients with known, piecewise-constant velocity.
+"""
+
+from repro.baselines.naive import NaiveClient
+from repro.baselines.voronoi import (
+    VoronoiBaselineServer,
+    VoronoiClient,
+    order_k_voronoi_cell,
+    voronoi_cell,
+    voronoi_cell_indexed,
+)
+from repro.baselines.sr01 import SR01Client, SR01Server
+from repro.baselines.tp_baseline import TPClient
+
+__all__ = [
+    "NaiveClient",
+    "VoronoiBaselineServer",
+    "VoronoiClient",
+    "voronoi_cell",
+    "voronoi_cell_indexed",
+    "order_k_voronoi_cell",
+    "SR01Server",
+    "SR01Client",
+    "TPClient",
+]

@@ -1,0 +1,36 @@
+"""The conventional approach: a fresh server query per position update."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.geometry import Rect
+from repro.queries.nn import nearest_neighbors
+from repro.core.validity import POINT_BYTES
+
+
+class NaiveClient:
+    """Re-queries the server on every update (no validity information)."""
+
+    def __init__(self, tree: RStarTree):
+        self.tree = tree
+        self.position_updates = 0
+        self.server_queries = 0
+        self.cache_answers = 0
+        self.bytes_received = 0
+
+    def knn(self, location, k: int = 1) -> List[LeafEntry]:
+        self.position_updates += 1
+        self.server_queries += 1
+        result = [n.entry for n in nearest_neighbors(self.tree, location, k=k)]
+        self.bytes_received += POINT_BYTES * len(result)
+        return result
+
+    def window(self, focus, width: float, height: float) -> List[LeafEntry]:
+        self.position_updates += 1
+        self.server_queries += 1
+        result = self.tree.window(Rect.around(focus, width, height))
+        self.bytes_received += POINT_BYTES * len(result)
+        return result

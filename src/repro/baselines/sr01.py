@@ -1,0 +1,80 @@
+"""The Song & Roussopoulos [SR01] moving-kNN technique.
+
+The server answers a kNN query with ``m > k`` neighbours.  At a new
+location ``q'`` the cached superset is guaranteed to contain the true
+k nearest neighbours as long as
+
+    2 * dist(q, q') <= dist(m) - dist(k),
+
+where ``dist(i)`` is the distance of the i-th cached neighbour from the
+original query point ``q``.  The client then re-ranks the ``m`` cached
+points locally.  The paper's critique: a good ``m`` is hard to choose —
+too large wastes network and client memory, too small saves nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.geometry import Point, distance_sq
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.queries.nn import Neighbor, nearest_neighbors
+from repro.core.validity import POINT_BYTES
+
+
+class SR01Server:
+    """Answers kNN queries with an ``m``-neighbour superset."""
+
+    def __init__(self, tree: RStarTree):
+        self.tree = tree
+        self.queries_processed = 0
+
+    def query(self, location, k: int, m: int) -> List[Neighbor]:
+        if m < k:
+            raise ValueError("m must be at least k")
+        self.queries_processed += 1
+        return nearest_neighbors(self.tree, location, k=m)
+
+
+class SR01Client:
+    """Client-side caching per [SR01]."""
+
+    def __init__(self, server: SR01Server, k: int, m: int):
+        if m < k:
+            raise ValueError("m must be at least k")
+        self.server = server
+        self.k = k
+        self.m = m
+        self.position_updates = 0
+        self.server_queries = 0
+        self.cache_answers = 0
+        self.bytes_received = 0
+        self._anchor: Optional[Point] = None
+        self._cached: List[Neighbor] = []
+        self._slack: float = -math.inf  # (dist(m) - dist(k)) / 2
+
+    def knn(self, location) -> List[LeafEntry]:
+        """The k nearest neighbours at ``location``, nearest first."""
+        self.position_updates += 1
+        location = Point(float(location[0]), float(location[1]))
+        if (self._anchor is not None
+                and location.distance_to(self._anchor) <= self._slack):
+            self.cache_answers += 1
+            return self._rank(location)
+        result = self.server.query(location, self.k, self.m)
+        self.server_queries += 1
+        self.bytes_received += POINT_BYTES * len(result)
+        self._anchor = location
+        self._cached = result
+        if len(result) >= self.m and self.m > self.k:
+            self._slack = (result[self.m - 1].dist - result[self.k - 1].dist) / 2.0
+        else:
+            self._slack = -math.inf  # dataset smaller than m: no guarantee
+        return self._rank(location)
+
+    def _rank(self, location: Point) -> List[LeafEntry]:
+        ranked = sorted(self._cached,
+                        key=lambda n: distance_sq((n.entry.x, n.entry.y), location))
+        return [n.entry for n in ranked[:self.k]]

@@ -1,0 +1,78 @@
+"""Time-parameterized baseline [TP02] for velocity-aware clients.
+
+When the client's velocity is known and constant, the server can return
+the result together with its expiry time ``T`` and the objects causing
+the change.  The catch — and the paper's motivation — is that ``T``
+becomes worthless the moment the client turns or changes speed, so the
+client must re-query at every velocity change as well as at every
+expiry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.geometry import Rect
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.queries.nn import nearest_neighbors
+from repro.queries.tp import tp_knn, tp_window
+from repro.core.validity import POINT_BYTES
+
+
+class TPClient:
+    """kNN / window client using TP queries; velocity must be supplied."""
+
+    def __init__(self, tree: RStarTree):
+        self.tree = tree
+        self.position_updates = 0
+        self.server_queries = 0
+        self.cache_answers = 0
+        self.bytes_received = 0
+        self._nn_cache: Optional[Tuple[float, Tuple[float, float], List[LeafEntry]]] = None
+        self._win_cache: Optional[Tuple[float, Tuple[float, float], List[LeafEntry]]] = None
+
+    def knn(self, location, velocity, now: float, k: int = 1) -> List[LeafEntry]:
+        """kNN at ``location``; ``velocity`` is the client's current vector."""
+        self.position_updates += 1
+        cached = self._nn_cache
+        if cached is not None:
+            expiry, vel, result = cached
+            if vel == tuple(velocity) and now < expiry:
+                self.cache_answers += 1
+                return list(result)
+        speed = math.hypot(velocity[0], velocity[1])
+        result = [n.entry for n in nearest_neighbors(self.tree, location, k=k)]
+        self.server_queries += 1
+        self.bytes_received += POINT_BYTES * (len(result) + 1)  # + change obj
+        if speed == 0.0:
+            expiry = math.inf
+        else:
+            event = tp_knn(self.tree, location,
+                           (velocity[0] / speed, velocity[1] / speed), result)
+            expiry = now + event.time / speed  # TP time is travelled distance
+        self._nn_cache = (expiry, tuple(velocity), result)
+        return list(result)
+
+    def window(self, focus, width: float, height: float,
+               velocity, now: float) -> List[LeafEntry]:
+        """Window result at ``focus`` for a client moving with ``velocity``."""
+        self.position_updates += 1
+        cached = self._win_cache
+        if cached is not None:
+            expiry, vel, result = cached
+            if vel == tuple(velocity) and now < expiry:
+                self.cache_answers += 1
+                return list(result)
+        rect = Rect.around(focus, width, height)
+        result = self.tree.window(rect)
+        self.server_queries += 1
+        self.bytes_received += POINT_BYTES * (len(result) + 1)
+        if velocity[0] == 0.0 and velocity[1] == 0.0:
+            expiry = math.inf
+        else:
+            event = tp_window(self.tree, rect, velocity)
+            expiry = now + event.time
+        self._win_cache = (expiry, tuple(velocity), result)
+        return list(result)

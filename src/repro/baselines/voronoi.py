@@ -1,0 +1,168 @@
+"""Voronoi cells and the Zheng & Lee [ZL01] baseline.
+
+Provides order-k Voronoi cell construction *from first principles*
+(iterated half-plane clipping).  ``voronoi_cell`` is the O(n) exact
+version used as ground truth in tests; ``voronoi_cell_indexed`` prunes
+candidates through the R*-tree with the classic doubling argument: once
+the cell built from the ``m`` nearest sites has circumradius ``R`` and
+the ``(m+1)``-th site is farther than ``2R``, no farther site can cut
+the cell, because a cutting bisector must pass within distance ``R`` of
+the cell's site.
+
+The [ZL01] baseline pre-computes every cell and answers a moving NN
+query with the current neighbour plus a conservative validity *time*
+``T = dist(q, cell boundary) / v_max`` (the paper's Figure 4): correct
+only under the assumed maximum speed, and k = 1 only — the limitations
+that motivate the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.geometry import ConvexPolygon, Point, Rect, bisector_halfplane
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.queries.nn import nearest_neighbors
+
+
+def voronoi_cell(sites: Sequence, index: int, universe: Rect,
+                 eps: float = 0.0) -> ConvexPolygon:
+    """Exact Voronoi cell of ``sites[index]``, clipped to the universe."""
+    site = sites[index]
+    poly = ConvexPolygon.from_rect(universe)
+    for j, other in enumerate(sites):
+        if j == index:
+            continue
+        poly = poly.clip(bisector_halfplane(site, other), eps=eps)
+        if poly.is_empty:
+            break
+    return poly
+
+
+def order_k_voronoi_cell(result: Sequence, others: Sequence, universe: Rect,
+                         eps: float = 0.0) -> ConvexPolygon:
+    """Exact order-k Voronoi cell of the set ``result``.
+
+    The cell is the locus of points whose k nearest sites are exactly
+    ``result``: the intersection, over every (o in result, a in others),
+    of the half-plane closer to ``o`` than to ``a``.
+    """
+    poly = ConvexPolygon.from_rect(universe)
+    for o in result:
+        for a in others:
+            poly = poly.clip(bisector_halfplane(o, a), eps=eps)
+            if poly.is_empty:
+                return poly
+    return poly
+
+
+def voronoi_cell_indexed(tree: RStarTree, site: LeafEntry, universe: Rect,
+                         initial_candidates: int = 16,
+                         eps: float = 0.0) -> ConvexPolygon:
+    """Voronoi cell of a stored point using the index for candidates."""
+    m = initial_candidates
+    total = len(tree)
+    center = (site.x, site.y)
+    while True:
+        m = min(m, total)
+        candidates = nearest_neighbors(tree, center, k=m)
+        poly = ConvexPolygon.from_rect(universe)
+        for neighbor in candidates:
+            if neighbor.entry.oid == site.oid:
+                continue
+            poly = poly.clip(
+                bisector_halfplane(center, (neighbor.entry.x, neighbor.entry.y)),
+                eps=eps)
+        if poly.is_empty:
+            return poly
+        if m >= total:
+            return poly
+        radius = max(math.dist(center, v) for v in poly.vertices)
+        if candidates[-1].dist > 2.0 * radius:
+            return poly
+        m *= 2
+
+
+class VoronoiBaselineServer:
+    """[ZL01]: pre-computed Voronoi cells, validity expressed as time."""
+
+    def __init__(self, tree: RStarTree, universe: Optional[Rect] = None):
+        self.tree = tree
+        self.universe = universe if universe is not None else tree.root.mbr
+        self._cells: Dict[int, ConvexPolygon] = {}
+        self.queries_processed = 0
+
+    def precompute(self) -> None:
+        """Materialize every cell (the [ZL01] preprocessing step)."""
+        for entry in list(self.tree.points()):
+            self._cells[entry.oid] = voronoi_cell_indexed(
+                self.tree, entry, self.universe)
+
+    def cell_of(self, oid: int) -> ConvexPolygon:
+        if oid not in self._cells:
+            raise KeyError(f"cell of object {oid} not precomputed")
+        return self._cells[oid]
+
+    def query(self, location, v_max: float) -> Tuple[LeafEntry, float]:
+        """Nearest neighbour + conservative validity time.
+
+        ``T`` is the earliest instant a client moving at up to ``v_max``
+        could cross the cell boundary.
+        """
+        if v_max <= 0.0:
+            raise ValueError("v_max must be positive")
+        self.queries_processed += 1
+        nearest = nearest_neighbors(self.tree, location, k=1)[0].entry
+        cell = self.cell_of(nearest.oid)
+        boundary_dist = _distance_to_boundary(cell, location)
+        return nearest, boundary_dist / v_max
+
+
+class VoronoiClient:
+    """Client of the [ZL01] server; validity checked against elapsed time."""
+
+    def __init__(self, server: VoronoiBaselineServer, v_max: float):
+        self.server = server
+        self.v_max = v_max
+        self.position_updates = 0
+        self.server_queries = 0
+        self.cache_answers = 0
+        self._expiry: float = -math.inf
+        self._cached: Optional[LeafEntry] = None
+
+    def nn(self, location, now: float) -> LeafEntry:
+        """The nearest neighbour at ``location`` and wall-clock ``now``."""
+        self.position_updates += 1
+        if self._cached is not None and now < self._expiry:
+            self.cache_answers += 1
+            return self._cached
+        nearest, validity = self.server.query(location, self.v_max)
+        self.server_queries += 1
+        self._cached = nearest
+        self._expiry = now + validity
+        return nearest
+
+
+def _distance_to_boundary(poly: ConvexPolygon, location) -> float:
+    """Distance from an interior point to the polygon boundary (0 outside)."""
+    if poly.is_empty or not poly.contains(location):
+        return 0.0
+    verts = poly.vertices
+    best = math.inf
+    for i, a in enumerate(verts):
+        b = verts[(i + 1) % len(verts)]
+        best = min(best, _point_segment_distance(location, a, b))
+    return best
+
+
+def _point_segment_distance(p, a: Point, b: Point) -> float:
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.dist((p[0], p[1]), (ax, ay))
+    t = ((p[0] - ax) * dx + (p[1] - ay) * dy) / seg_len_sq
+    t = min(1.0, max(0.0, t))
+    return math.dist((p[0], p[1]), (ax + t * dx, ay + t * dy))

@@ -1,0 +1,59 @@
+"""Location-based spatial queries: the paper's contribution.
+
+A location-based query returns, besides the ordinary result, a
+**validity region** within which the result stays correct, plus the
+minimal **influence set** of data points that determine that region.
+The mobile client then answers repeated queries locally for as long as
+it remains inside the region.
+
+* :mod:`repro.core.nn_validity` — Section 3: validity regions of (k)NN
+  queries, computed with TPNN/TPkNN probes aimed at the vertices of a
+  shrinking convex region.
+* :mod:`repro.core.window_validity` — Section 4: validity regions of
+  window queries via Minkowski regions of inner and outer objects.
+* :mod:`repro.core.server` / :mod:`repro.core.client` — the
+  client/server protocol the paper's introduction motivates.
+"""
+
+from repro.core.validity import NNValidityRegion, WindowValidityRegion
+from repro.core.nn_validity import (
+    NNValidityResult,
+    compute_nn_validity,
+    retrieve_influence_set_1nn,
+    retrieve_influence_set_knn,
+)
+from repro.core.window_validity import WindowValidityResult, compute_window_validity
+from repro.core.range_validity import (
+    RangeValidityRegion,
+    RangeValidityResult,
+    compute_range_validity,
+)
+from repro.core.server import (
+    DeltaResponse,
+    KNNResponse,
+    LocationServer,
+    RangeResponse,
+    WindowResponse,
+)
+from repro.core.client import MobileClient, ClientStats
+
+__all__ = [
+    "NNValidityRegion",
+    "WindowValidityRegion",
+    "NNValidityResult",
+    "compute_nn_validity",
+    "retrieve_influence_set_1nn",
+    "retrieve_influence_set_knn",
+    "WindowValidityResult",
+    "compute_window_validity",
+    "RangeValidityRegion",
+    "RangeValidityResult",
+    "compute_range_validity",
+    "LocationServer",
+    "KNNResponse",
+    "WindowResponse",
+    "RangeResponse",
+    "DeltaResponse",
+    "MobileClient",
+    "ClientStats",
+]

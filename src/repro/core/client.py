@@ -1,0 +1,163 @@
+"""The mobile client: caching, validity checking, local re-answering.
+
+The client keeps the latest response and, on every position update,
+first checks whether it is still inside the cached validity region.
+If so, the cached result is re-used (for kNN the *set* is unchanged but
+the ordering may not be — the client re-sorts the k cached points by
+distance, a trivial local computation); otherwise a fresh query goes to
+the server.  :class:`ClientStats` records exactly the savings the
+paper's motivation claims.
+
+With ``incremental=True`` the client uses the delta protocol of the
+paper's Section 7 on re-queries: the server ships only the objects
+added and the ids removed relative to the cached result, which the
+client applies locally — same answers, fewer bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.geometry import distance_sq
+from repro.index.entry import LeafEntry
+from repro.core.server import (
+    DeltaResponse,
+    KNNResponse,
+    LocationServer,
+    RangeResponse,
+    WindowResponse,
+)
+
+
+@dataclass
+class ClientStats:
+    """Protocol accounting for one client session."""
+
+    position_updates: int = 0
+    server_queries: int = 0
+    cache_answers: int = 0
+    bytes_received: int = 0
+
+    @property
+    def query_saving(self) -> float:
+        """Fraction of position updates answered without the server."""
+        if self.position_updates == 0:
+            return 0.0
+        return self.cache_answers / self.position_updates
+
+
+class MobileClient:
+    """A location-aware client talking to a :class:`LocationServer`."""
+
+    def __init__(self, server: LocationServer, incremental: bool = False):
+        self.server = server
+        self.incremental = incremental
+        self.stats = ClientStats()
+        # Caches carry the server epoch they were computed under; a
+        # bumped epoch (dataset update) invalidates them.
+        self._knn_cache: Optional[Tuple[int, KNNResponse, List[LeafEntry],
+                                        int]] = None
+        self._window_cache: Optional[
+            Tuple[float, float, WindowResponse, List[LeafEntry], int]] = None
+        self._range_cache: Optional[Tuple[float, RangeResponse, int]] = None
+
+    # ------------------------------------------------------------------
+    # kNN
+    # ------------------------------------------------------------------
+    def knn(self, location, k: int = 1) -> List[LeafEntry]:
+        """The k nearest neighbours at ``location``, nearest first.
+
+        Served locally whenever the cached validity region still covers
+        the location (and the cached ``k`` matches).
+        """
+        self.stats.position_updates += 1
+        cached = self._knn_cache
+        if cached is not None and cached[3] != self.server.epoch:
+            cached = self._knn_cache = None
+        if cached is not None:
+            cached_k, response, entries, _ = cached
+            if cached_k == k and response.region.contains(location):
+                self.stats.cache_answers += 1
+                return _sorted_by_distance(entries, location)
+        if self.incremental and cached is not None and cached[0] == k:
+            delta = self.server.knn_query_delta(
+                location, k, (e.oid for e in cached[2]))
+            entries = _apply_delta(cached[2], delta)
+            response = delta.full
+            self.stats.bytes_received += delta.transfer_bytes()
+        else:
+            response = self.server.knn_query(location, k=k)
+            entries = list(response.neighbors)
+            self.stats.bytes_received += response.transfer_bytes()
+        self.stats.server_queries += 1
+        self._knn_cache = (k, response, entries, self.server.epoch)
+        return _sorted_by_distance(entries, location)
+
+    # ------------------------------------------------------------------
+    # window
+    # ------------------------------------------------------------------
+    def window(self, focus, width: float, height: float) -> List[LeafEntry]:
+        """The window result for a window of fixed extents at ``focus``."""
+        self.stats.position_updates += 1
+        cached = self._window_cache
+        if cached is not None and cached[4] != self.server.epoch:
+            cached = self._window_cache = None
+        if cached is not None:
+            cw, ch, response, entries, _ = cached
+            if (cw, ch) == (width, height) and response.region.contains(focus):
+                self.stats.cache_answers += 1
+                return list(entries)
+        if (self.incremental and cached is not None
+                and (cached[0], cached[1]) == (width, height)):
+            delta = self.server.window_query_delta(
+                focus, width, height, (e.oid for e in cached[3]))
+            entries = _apply_delta(cached[3], delta)
+            response = delta.full
+            self.stats.bytes_received += delta.transfer_bytes()
+        else:
+            response = self.server.window_query(focus, width, height)
+            entries = list(response.result)
+            self.stats.bytes_received += response.transfer_bytes()
+        self.stats.server_queries += 1
+        self._window_cache = (width, height, response, entries,
+                              self.server.epoch)
+        return list(entries)
+
+    # ------------------------------------------------------------------
+    # circular range (§7 extension)
+    # ------------------------------------------------------------------
+    def range(self, location, radius: float) -> List[LeafEntry]:
+        """All objects within ``radius`` of ``location``."""
+        self.stats.position_updates += 1
+        cached = self._range_cache
+        if cached is not None and cached[2] != self.server.epoch:
+            cached = self._range_cache = None
+        if cached is not None:
+            cr, response, _ = cached
+            if cr == radius and response.region.contains(location):
+                self.stats.cache_answers += 1
+                return list(response.result)
+        response = self.server.range_query(location, radius)
+        self.stats.server_queries += 1
+        self.stats.bytes_received += response.transfer_bytes()
+        self._range_cache = (radius, response, self.server.epoch)
+        return list(response.result)
+
+    def invalidate_cache(self) -> None:
+        self._knn_cache = None
+        self._window_cache = None
+        self._range_cache = None
+
+
+def _sorted_by_distance(entries: List[LeafEntry], location) -> List[LeafEntry]:
+    return sorted(entries,
+                  key=lambda e: distance_sq((e.x, e.y), location))
+
+
+def _apply_delta(previous: List[LeafEntry],
+                 delta: DeltaResponse) -> List[LeafEntry]:
+    removed = set(delta.removed_ids)
+    entries = [e for e in previous if e.oid not in removed]
+    entries.extend(delta.added)
+    return entries

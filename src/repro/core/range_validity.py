@@ -1,0 +1,117 @@
+"""Validity regions for location-based *region* (range) queries.
+
+The paper's conclusion (Section 7) sketches this extension: for a query
+"all objects within radius r of me", the exact validity region is
+bounded by circular arcs (intersections of disks), which is costly to
+represent and to check on a thin client.  We implement the natural
+conservative representation — a **validity disk** around the query
+focus — which keeps both the payload and the client check constant
+size:
+
+* an inner object at distance ``d`` stays in the result while the focus
+  moves less than ``r - d``;
+* an outer object at distance ``d`` stays out while the focus moves
+  less than ``d - r``;
+
+so the result is provably unchanged within the disk of radius
+
+    rho = min( min over inner (r - d),  nearest-outside distance - r ).
+
+Server processing: one circular range query for the result, one
+constrained NN query (nearest object beyond ``r``) for the bounding
+outer object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry import Point
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.queries.range import nearest_outside, range_query
+
+#: Payload of a validity disk: centre (2 x 8 bytes) + radius (8 bytes).
+DISK_BYTES = 24
+
+
+class RangeValidityRegion:
+    """A conservative validity disk for a range query."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Point, radius: float):
+        self.center = center
+        self.radius = radius
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        if math.isinf(self.radius):
+            return True
+        return self.center.distance_to(location) <= self.radius + eps
+
+    def area(self) -> float:
+        if math.isinf(self.radius):
+            return math.inf
+        return math.pi * self.radius * self.radius
+
+    def transfer_bytes(self) -> int:
+        return DISK_BYTES
+
+
+@dataclass
+class RangeValidityResult:
+    """Everything the server computes for one location-based range query."""
+
+    focus: Point
+    radius: float
+    result: List[LeafEntry]
+    #: The inner object whose exit bounds the disk (None if none binds).
+    inner_influence: Optional[LeafEntry]
+    #: The outer object whose entry bounds the disk (None if none exists).
+    outer_influence: Optional[LeafEntry]
+    validity_radius: float
+
+    @property
+    def influence_set(self) -> List[LeafEntry]:
+        return [e for e in (self.inner_influence, self.outer_influence)
+                if e is not None]
+
+    def validity_region(self) -> RangeValidityRegion:
+        return RangeValidityRegion(self.focus, self.validity_radius)
+
+
+def compute_range_validity(tree: RStarTree, focus, radius: float,
+                           result_phase: str = "result",
+                           influence_phase: str = "influence"
+                           ) -> RangeValidityResult:
+    """Process a location-based range query end to end."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    focus = Point(float(focus[0]), float(focus[1]))
+
+    with tree.disk.phase(result_phase):
+        result = range_query(tree, focus, radius)
+    with tree.disk.phase(influence_phase):
+        outside = nearest_outside(tree, focus, radius)
+
+    inner_influence = None
+    inner_slack = math.inf
+    for e in result:
+        slack = radius - focus.distance_to((e.x, e.y))
+        if slack < inner_slack:
+            inner_slack = slack
+            inner_influence = e
+
+    outer_slack = outside.dist - radius if outside is not None else math.inf
+    validity_radius = min(inner_slack, outer_slack)
+
+    return RangeValidityResult(
+        focus=focus,
+        radius=radius,
+        result=result,
+        inner_influence=inner_influence,
+        outer_influence=outside.entry if outside is not None else None,
+        validity_radius=validity_radius,
+    )

@@ -1,0 +1,207 @@
+"""The location server: the public query-processing facade.
+
+Wraps an R*-tree and answers location-based queries with (result,
+validity region, influence set) triples, tracking the server-side I/O
+statistics that Section 6 reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry import Rect
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.index.bulk import bulk_load_str
+from repro.core.nn_validity import NNValidityResult, compute_nn_validity
+from repro.core.range_validity import (
+    RangeValidityRegion,
+    RangeValidityResult,
+    compute_range_validity,
+    DISK_BYTES,
+)
+from repro.core.validity import (
+    NNValidityRegion,
+    WindowValidityRegion,
+    POINT_BYTES,
+    RECT_BYTES,
+)
+from repro.core.window_validity import WindowValidityResult, compute_window_validity
+
+
+@dataclass
+class KNNResponse:
+    """What the server ships back for a kNN query."""
+
+    neighbors: List[LeafEntry]
+    region: NNValidityRegion
+    detail: NNValidityResult
+
+    def transfer_bytes(self) -> int:
+        """Result points + influence payload (paper's network-cost model)."""
+        return POINT_BYTES * len(self.neighbors) + self.region.transfer_bytes()
+
+
+@dataclass
+class WindowResponse:
+    """What the server ships back for a window query."""
+
+    result: List[LeafEntry]
+    region: WindowValidityRegion
+    detail: WindowValidityResult
+
+    def transfer_bytes(self) -> int:
+        return POINT_BYTES * len(self.result) + RECT_BYTES
+
+
+@dataclass
+class RangeResponse:
+    """What the server ships back for a circular range query (§7 ext.)."""
+
+    result: List[LeafEntry]
+    region: RangeValidityRegion
+    detail: RangeValidityResult
+
+    def transfer_bytes(self) -> int:
+        return POINT_BYTES * len(self.result) + DISK_BYTES
+
+
+@dataclass
+class DeltaResponse:
+    """Incremental re-query response (the §7 delta-transmission idea).
+
+    Instead of the full result, the server ships only the objects
+    *added* since the client's previous result and the ids *removed*
+    from it, together with the fresh validity region.
+    """
+
+    added: List[LeafEntry]
+    removed_ids: List[int]
+    #: The fresh full response (regions, details); its result list is
+    #: what the client reconstructs from its cache plus the delta.
+    full: object
+
+    def transfer_bytes(self) -> int:
+        region_bytes = self.full.region.transfer_bytes()
+        return (POINT_BYTES * len(self.added)
+                + 4 * len(self.removed_ids) + region_bytes)
+
+
+class LocationServer:
+    """Answers location-based spatial queries over a point dataset.
+
+    The dataset is *mostly* static (the paper's setting), but updates
+    are supported: every :meth:`insert_object` / :meth:`delete_object`
+    bumps the server ``epoch``.  Clients remember the epoch their cached
+    validity region was computed under and drop the cache when it goes
+    stale — modelling the invalidation broadcast a deployed system would
+    push to its subscribers.  This is exactly where validity regions
+    beat the pre-computed Voronoi diagram of [ZL01], whose maintenance
+    cost under updates the paper criticizes.
+    """
+
+    def __init__(self, tree: RStarTree, universe: Optional[Rect] = None):
+        self.tree = tree
+        self.universe = universe if universe is not None else tree.root.mbr
+        self.queries_processed = 0
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        """Add a data point; invalidates all outstanding validity regions."""
+        self.tree.insert(oid, x, y)
+        self.epoch += 1
+
+    def delete_object(self, oid: int, x: float, y: float) -> bool:
+        """Remove a data point; invalidates all outstanding regions."""
+        removed = self.tree.delete(oid, x, y)
+        if removed:
+            self.epoch += 1
+        return removed
+
+    @classmethod
+    def from_points(cls, points: Sequence, universe: Optional[Rect] = None,
+                    capacity: Optional[int] = None, fill: float = 0.7,
+                    buffer_fraction: float = 0.0) -> "LocationServer":
+        """Bulk-load a server over raw ``(x, y)`` data."""
+        tree = bulk_load_str(points, capacity=capacity, fill=fill)
+        if buffer_fraction > 0.0:
+            tree.attach_lru_buffer(buffer_fraction)
+        return cls(tree, universe)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def knn_query(self, location, k: int = 1,
+                  vertex_policy: str = "fifo",
+                  rng: Optional[random.Random] = None) -> KNNResponse:
+        """Location-based kNN: result + validity region + influence set."""
+        detail = compute_nn_validity(self.tree, location, k=k,
+                                     universe=self.universe,
+                                     vertex_policy=vertex_policy, rng=rng)
+        self.queries_processed += 1
+        return KNNResponse(
+            neighbors=detail.neighbors,
+            region=detail.validity_region(self.universe),
+            detail=detail,
+        )
+
+    def window_query(self, focus, width: float, height: float) -> WindowResponse:
+        """Location-based window query around a focus point."""
+        detail = compute_window_validity(self.tree, focus, width, height,
+                                         universe=self.universe)
+        self.queries_processed += 1
+        return WindowResponse(
+            result=detail.result,
+            region=detail.validity_region(),
+            detail=detail,
+        )
+
+    def range_query(self, location, radius: float) -> RangeResponse:
+        """Location-based circular range query (§7 extension)."""
+        detail = compute_range_validity(self.tree, location, radius)
+        self.queries_processed += 1
+        return RangeResponse(
+            result=detail.result,
+            region=detail.validity_region(),
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # incremental (delta) re-queries — the §7 extension
+    # ------------------------------------------------------------------
+    def knn_query_delta(self, location, k: int,
+                        previous_ids) -> DeltaResponse:
+        """kNN re-query shipping only the change versus ``previous_ids``."""
+        full = self.knn_query(location, k=k)
+        return _delta(full, full.neighbors, previous_ids)
+
+    def window_query_delta(self, focus, width: float, height: float,
+                           previous_ids) -> DeltaResponse:
+        """Window re-query shipping only the change versus ``previous_ids``."""
+        full = self.window_query(focus, width, height)
+        return _delta(full, full.result, previous_ids)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def io_stats(self):
+        return self.tree.disk.stats
+
+    def reset_io_stats(self) -> None:
+        self.tree.disk.reset_stats()
+
+
+def _delta(full, result: List[LeafEntry], previous_ids) -> DeltaResponse:
+    previous = set(previous_ids)
+    current = {e.oid for e in result}
+    return DeltaResponse(
+        added=[e for e in result if e.oid not in previous],
+        removed_ids=sorted(previous - current),
+        full=full,
+    )

@@ -1,0 +1,94 @@
+"""Client-side validity-region representations.
+
+The paper requires the shipped representation to (i) be compact and
+(ii) make the client-side validity check cheap.  For (k)NN queries the
+server ships the influence *pairs* — each pair (result object,
+influence object) encodes one bisector half-plane — and the client
+checks membership in all half-planes (paper, Section 3.1).  For window
+queries the server ships the conservative rectangle, a constant-size
+payload.
+
+Sizes are modelled with the paper's storage constants: a data point is
+20 bytes (two 8-byte coordinates + 4-byte id), a rectangle 32 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import ConvexPolygon, HalfPlane, Rect, bisector_halfplane
+from repro.index.entry import LeafEntry
+
+POINT_BYTES = 20
+RECT_BYTES = 32
+
+
+class NNValidityRegion:
+    """The validity region of a (k)NN query, as the client sees it.
+
+    Built from influence pairs; membership is the conjunction of the
+    bisector half-plane tests, which is exactly the computation the
+    paper assigns to the client ("determining whether the current
+    position is still inside all the half-planes").
+    """
+
+    __slots__ = ("_halfplanes", "_pairs", "_universe")
+
+    def __init__(self, pairs: Sequence[Tuple[LeafEntry, LeafEntry]],
+                 universe: Rect):
+        """``pairs`` holds (result object, influence object) tuples."""
+        self._pairs = tuple(pairs)
+        self._universe = universe
+        self._halfplanes: List[HalfPlane] = [
+            bisector_halfplane(res.point, inf.point) for res, inf in self._pairs
+        ]
+
+    @property
+    def pairs(self) -> Tuple[Tuple[LeafEntry, LeafEntry], ...]:
+        return self._pairs
+
+    @property
+    def halfplanes(self) -> List[HalfPlane]:
+        return list(self._halfplanes)
+
+    @property
+    def num_halfplane_checks(self) -> int:
+        """Client work per position update (the Figure 24 metric)."""
+        return len(self._halfplanes)
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        """Is the result still valid at ``location``?"""
+        if not self._universe.contains_point(location, eps):
+            return False
+        return all(hp.contains(location, eps) for hp in self._halfplanes)
+
+    def polygon(self) -> ConvexPolygon:
+        """Materialize the region as a polygon (plotting / area)."""
+        return ConvexPolygon.from_halfplanes(self._halfplanes, self._universe)
+
+    def transfer_bytes(self) -> int:
+        """Network payload: the influence objects (one point each).
+
+        Result objects are paid for by the query result itself; pair
+        structure costs one 4-byte id reference per pair.
+        """
+        influence_oids = {inf.oid for _, inf in self._pairs}
+        return POINT_BYTES * len(influence_oids) + 4 * len(self._pairs)
+
+
+class WindowValidityRegion:
+    """The (conservative, rectangular) validity region of a window query."""
+
+    __slots__ = ("rect",)
+
+    def __init__(self, rect: Rect):
+        self.rect = rect
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        return self.rect.contains_point(location, eps)
+
+    def area(self) -> float:
+        return self.rect.area()
+
+    def transfer_bytes(self) -> int:
+        return RECT_BYTES

@@ -1,0 +1,38 @@
+"""Dataset and workload generators for the experiments of Section 6.
+
+The paper evaluates on uniform data plus two real datasets from a
+long-defunct archive: **GR** (23 268 street-segment centroids of
+Greece) and **NA** (569 120 populated places of North America).  This
+package generates the uniform data exactly and ships deterministic
+synthetic stand-ins for GR and NA that reproduce their cardinality,
+universe, and strong spatial skew (see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.synthetic import uniform_points, gaussian_clusters
+from repro.datasets.real_like import (
+    GR_CARDINALITY,
+    GR_UNIVERSE,
+    NA_CARDINALITY,
+    NA_UNIVERSE,
+    make_greece_like,
+    make_north_america_like,
+)
+from repro.datasets.workload import (
+    data_following_queries,
+    square_windows_for_area_fraction,
+    window_side_for_area,
+)
+
+__all__ = [
+    "uniform_points",
+    "gaussian_clusters",
+    "make_greece_like",
+    "make_north_america_like",
+    "GR_CARDINALITY",
+    "GR_UNIVERSE",
+    "NA_CARDINALITY",
+    "NA_UNIVERSE",
+    "data_following_queries",
+    "square_windows_for_area_fraction",
+    "window_side_for_area",
+]

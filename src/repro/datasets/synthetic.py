@@ -1,0 +1,66 @@
+"""Synthetic point generators."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+
+#: The unit square, the paper's universe for uniform experiments.
+UNIT_UNIVERSE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def uniform_points(n: int, universe: Rect = UNIT_UNIVERSE,
+                   seed: Optional[int] = None) -> np.ndarray:
+    """``n`` points uniform in ``universe``; shape ``(n, 2)``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    pts[:, 0] = universe.xmin + pts[:, 0] * universe.width
+    pts[:, 1] = universe.ymin + pts[:, 1] * universe.height
+    return pts
+
+
+def gaussian_clusters(n: int, num_clusters: int, spread: float,
+                      universe: Rect = UNIT_UNIVERSE,
+                      seed: Optional[int] = None,
+                      size_skew: float = 0.0,
+                      centers: Optional[np.ndarray] = None) -> np.ndarray:
+    """``n`` points from a mixture of isotropic Gaussian clusters.
+
+    ``spread`` is the cluster standard deviation as a fraction of the
+    universe width.  With ``size_skew > 0`` cluster populations follow a
+    power law ``rank**-size_skew`` (large cities vs villages); 0 gives
+    equal-size clusters.  Points are clamped to the universe.
+
+    ``centers`` optionally fixes the cluster centres (shape
+    ``(num_clusters, 2)``); by default they are drawn uniformly.
+    Passing centres that are themselves clustered produces the
+    two-level (region -> city) skew of real settlement data.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if num_clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = np.random.default_rng(seed)
+    if centers is None:
+        centers = uniform_points(num_clusters, universe,
+                                 seed=rng.integers(0, 2**31))
+    else:
+        centers = np.asarray(centers, dtype=float)
+        if centers.shape != (num_clusters, 2):
+            raise ValueError("centers must have shape (num_clusters, 2)")
+    if size_skew > 0.0:
+        weights = np.arange(1, num_clusters + 1, dtype=float) ** -size_skew
+    else:
+        weights = np.ones(num_clusters)
+    weights /= weights.sum()
+    assignment = rng.choice(num_clusters, size=n, p=weights)
+    sigma = spread * universe.width
+    pts = centers[assignment] + rng.normal(0.0, sigma, size=(n, 2))
+    np.clip(pts[:, 0], universe.xmin, universe.xmax, out=pts[:, 0])
+    np.clip(pts[:, 1], universe.ymin, universe.ymax, out=pts[:, 1])
+    return pts

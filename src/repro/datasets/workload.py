@@ -1,0 +1,60 @@
+"""Query workloads.
+
+The paper executes workloads of 500 queries "whose distribution
+conforms to the distribution of the data objects", and square window
+queries whose area ``qs`` is given as a fraction of the universe (for
+uniform data) or in km² (for the real datasets).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+
+
+def data_following_queries(points: np.ndarray, num: int, universe: Rect,
+                           jitter: float = 0.01,
+                           seed: Optional[int] = None) -> np.ndarray:
+    """``num`` query locations distributed like the data.
+
+    Each query is a data point plus Gaussian jitter of ``jitter`` times
+    the universe width (so queries land *near* data, not on it), clamped
+    to the universe.
+    """
+    if num < 0:
+        raise ValueError("num must be non-negative")
+    if len(points) == 0:
+        raise ValueError("cannot follow an empty dataset")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(points), size=num)
+    qs = np.asarray(points)[picks] + rng.normal(
+        0.0, jitter * universe.width, size=(num, 2))
+    np.clip(qs[:, 0], universe.xmin, universe.xmax, out=qs[:, 0])
+    np.clip(qs[:, 1], universe.ymin, universe.ymax, out=qs[:, 1])
+    return qs
+
+
+def window_side_for_area(area: float) -> float:
+    """Side length of a square window of the given area."""
+    if area < 0:
+        raise ValueError("area must be non-negative")
+    return math.sqrt(area)
+
+
+def square_windows_for_area_fraction(points: np.ndarray, num: int,
+                                     universe: Rect, area_fraction: float,
+                                     seed: Optional[int] = None) -> list:
+    """``num`` square windows of area ``area_fraction * universe.area()``.
+
+    Returns ``(focus, side)`` pairs with data-following foci (the shape
+    used throughout Figures 29-35).
+    """
+    if not 0.0 < area_fraction <= 1.0:
+        raise ValueError("area_fraction must be in (0, 1]")
+    side = window_side_for_area(area_fraction * universe.area())
+    foci = data_following_queries(points, num, universe, seed=seed)
+    return [(tuple(f), side) for f in foci]

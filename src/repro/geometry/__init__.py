@@ -1,0 +1,34 @@
+"""Planar geometry kernel used by every other subsystem.
+
+The kernel is deliberately free of any indexing or storage knowledge: it
+provides points, axis-aligned rectangles, half-planes, perpendicular
+bisectors, convex polygons with half-plane clipping, and rectilinear
+regions (a rectangle minus a set of rectangles).  These are exactly the
+primitives needed by the validity-region algorithms of the paper:
+
+* nearest-neighbour validity regions are intersections of half-planes
+  bounded by perpendicular bisectors (order-k Voronoi cells), maintained
+  as :class:`ConvexPolygon` instances;
+* window-query validity regions are intersections / differences of
+  Minkowski rectangles, maintained as :class:`Rect` /
+  :class:`RectilinearRegion` instances.
+"""
+
+from repro.geometry.point import Point, distance, distance_sq, midpoint
+from repro.geometry.rect import Rect
+from repro.geometry.halfplane import HalfPlane, bisector_halfplane, perpendicular_bisector
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rectilinear import RectilinearRegion
+
+__all__ = [
+    "Point",
+    "Rect",
+    "HalfPlane",
+    "ConvexPolygon",
+    "RectilinearRegion",
+    "distance",
+    "distance_sq",
+    "midpoint",
+    "bisector_halfplane",
+    "perpendicular_bisector",
+]

@@ -1,0 +1,91 @@
+"""Half-planes and perpendicular bisectors.
+
+A half-plane is stored in normalized implicit form ``a*x + b*y <= c``
+with ``(a, b)`` a unit vector, so that ``signed_distance`` is a true
+Euclidean distance and tolerance parameters have a geometric meaning.
+
+The central construction of the paper is :func:`bisector_halfplane`:
+given the query's nearest neighbour ``o`` and another data point ``other``,
+the set of locations that remain closer to ``o`` is the half-plane bounded
+by the perpendicular bisector of ``o`` and ``other`` that contains ``o``.
+The validity region of a (k)NN query is an intersection of such
+half-planes (paper, Section 3.1, Observation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Tuple
+
+from repro.geometry.point import Point, midpoint
+
+
+class HalfPlane(NamedTuple):
+    """The closed half-plane ``a*x + b*y <= c`` with ``(a, b)`` unit length."""
+
+    a: float
+    b: float
+    c: float
+
+    @classmethod
+    def make(cls, a: float, b: float, c: float) -> "HalfPlane":
+        """Build a half-plane, normalizing ``(a, b)`` to unit length."""
+        norm = math.hypot(a, b)
+        if norm == 0.0:
+            raise ValueError("half-plane normal must be non-zero")
+        return cls(a / norm, b / norm, c / norm)
+
+    def signed_distance(self, p) -> float:
+        """Euclidean distance of ``p`` from the boundary line.
+
+        Negative inside the half-plane, positive outside.
+        """
+        return self.a * p[0] + self.b * p[1] - self.c
+
+    def contains(self, p, eps: float = 0.0) -> bool:
+        """Closed containment with tolerance ``eps``."""
+        return self.signed_distance(p) <= eps
+
+    def boundary_points(self, span: float = 1.0) -> Tuple[Point, Point]:
+        """Two distinct points on the boundary line, ``2*span`` apart.
+
+        Useful for plotting and for constructing explicit bisector segments
+        in tests.
+        """
+        # Foot of the perpendicular from the origin, then walk along the line.
+        foot = Point(self.a * self.c, self.b * self.c)
+        direction = Point(-self.b, self.a)
+        return (
+            Point(foot.x - span * direction.x, foot.y - span * direction.y),
+            Point(foot.x + span * direction.x, foot.y + span * direction.y),
+        )
+
+    def flipped(self) -> "HalfPlane":
+        """The complementary half-plane (same boundary, other side)."""
+        return HalfPlane(-self.a, -self.b, -self.c)
+
+
+def perpendicular_bisector(p, q) -> HalfPlane:
+    """The half-plane of points at least as close to ``p`` as to ``q``.
+
+    The boundary is the perpendicular bisector of segment ``pq``; the
+    half-plane contains ``p``.  Raises :class:`ValueError` for coincident
+    points (their bisector is undefined).
+    """
+    ax = q[0] - p[0]
+    ay = q[1] - p[1]
+    if ax == 0.0 and ay == 0.0:
+        raise ValueError("bisector undefined for coincident points")
+    mid = midpoint(p, q)
+    # Points x with (q - p) . x <= (q - p) . mid are closer to p.
+    return HalfPlane.make(ax, ay, ax * mid.x + ay * mid.y)
+
+
+def bisector_halfplane(kept, other) -> HalfPlane:
+    """Alias of :func:`perpendicular_bisector` with intent-revealing names.
+
+    Returns the half-plane within which ``kept`` stays at least as close
+    to the (moving) query as ``other`` — one constraint of a (k)NN
+    validity region.
+    """
+    return perpendicular_bisector(kept, other)

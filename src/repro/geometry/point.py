@@ -1,0 +1,62 @@
+"""Points and elementary point arithmetic.
+
+``Point`` is a ``NamedTuple`` so that instances are immutable, hashable,
+cheap, and unpack naturally (``x, y = p``).  All distance helpers accept
+either ``Point`` instances or plain ``(x, y)`` tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """An immutable point in the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other[0], self.y - other[1])
+
+    def distance_sq_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (avoids the sqrt)."""
+        dx = self.x - other[0]
+        dy = self.y - other[1]
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Point") -> "Point":
+        """Unit direction vector from this point towards ``other``.
+
+        Raises :class:`ValueError` for coincident points, because a query
+        aimed "towards" its own location has no defined direction.
+        """
+        dx = other[0] - self.x
+        dy = other[1] - self.y
+        norm = math.hypot(dx, dy)
+        if norm == 0.0:
+            raise ValueError("direction undefined for coincident points")
+        return Point(dx / norm, dy / norm)
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two point-likes."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distance_sq(a, b) -> float:
+    """Squared Euclidean distance between two point-likes."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def midpoint(a, b) -> Point:
+    """Midpoint of the segment ``ab``."""
+    return Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)

@@ -1,0 +1,221 @@
+"""Convex polygons with half-plane clipping.
+
+Validity regions of (k)NN queries are intersections of half-planes.  The
+paper's algorithm maintains the current candidate region explicitly as a
+convex polygon whose vertices carry "confirmed" flags; each newly
+discovered influence object clips the polygon by one more bisector
+half-plane.  :class:`ConvexPolygon` provides exactly that operation
+(a single-plane Sutherland–Hodgman clip) plus the measures the
+experiments report (area, number of edges).
+
+Vertices are stored in counter-clockwise order.  Clipping preserves the
+exact coordinates of surviving vertices, so callers may track vertex
+identity across clips by coordinate equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class ConvexPolygon:
+    """An immutable convex polygon (possibly empty)."""
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence, dedupe_eps: float = 0.0):
+        """Build from CCW vertices.
+
+        ``dedupe_eps`` > 0 merges consecutive vertices closer than the
+        tolerance (useful after clipping, where intersection points can
+        coincide with surviving vertices).
+        """
+        pts = [Point(float(v[0]), float(v[1])) for v in vertices]
+        if dedupe_eps > 0.0:
+            pts = _dedupe(pts, dedupe_eps)
+        self._vertices: Tuple[Point, ...] = tuple(pts)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ConvexPolygon":
+        return cls(())
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "ConvexPolygon":
+        return cls(tuple(rect.corners()))
+
+    @classmethod
+    def from_halfplanes(cls, halfplanes: Sequence[HalfPlane], universe: Rect,
+                        eps: float = 0.0) -> "ConvexPolygon":
+        """Intersection of half-planes, clipped to a bounding universe."""
+        poly = cls.from_rect(universe)
+        for hp in halfplanes:
+            poly = poly.clip(hp, eps=eps)
+            if poly.is_empty:
+                break
+        return poly
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        return self._vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count; 0 for degenerate (< 3 vertices) polygons."""
+        return len(self._vertices) if len(self._vertices) >= 3 else 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the polygon has no interior (fewer than 3 vertices)."""
+        return len(self._vertices) < 3
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConvexPolygon({list(self._vertices)!r})"
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Polygon area by the shoelace formula (0 for degenerate)."""
+        verts = self._vertices
+        if len(verts) < 3:
+            return 0.0
+        total = 0.0
+        for i, (x1, y1) in enumerate(verts):
+            x2, y2 = verts[(i + 1) % len(verts)]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        verts = self._vertices
+        if len(verts) < 2:
+            return 0.0
+        return sum(verts[i].distance_to(verts[(i + 1) % len(verts)])
+                   for i in range(len(verts)))
+
+    def centroid(self) -> Point:
+        """Area centroid (vertex mean for degenerate polygons)."""
+        verts = self._vertices
+        if not verts:
+            raise ValueError("empty polygon has no centroid")
+        if len(verts) < 3:
+            return Point(sum(v.x for v in verts) / len(verts),
+                         sum(v.y for v in verts) / len(verts))
+        cx = cy = 0.0
+        twice_area = 0.0
+        for i, (x1, y1) in enumerate(verts):
+            x2, y2 = verts[(i + 1) % len(verts)]
+            cross = x1 * y2 - x2 * y1
+            twice_area += cross
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        if twice_area == 0.0:
+            return Point(sum(v.x for v in verts) / len(verts),
+                         sum(v.y for v in verts) / len(verts))
+        return Point(cx / (3.0 * twice_area), cy / (3.0 * twice_area))
+
+    def bounding_rect(self) -> Rect:
+        if not self._vertices:
+            raise ValueError("empty polygon has no bounding rectangle")
+        return Rect.from_points(self._vertices)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains(self, p, eps: float = 0.0) -> bool:
+        """Closed point-in-convex-polygon test with tolerance ``eps``.
+
+        ``eps`` is an absolute distance: points within ``eps`` outside an
+        edge still count as inside (use a negative ``eps`` for a strict
+        interior test).
+        """
+        verts = self._vertices
+        if len(verts) < 3:
+            return False
+        for i, (x1, y1) in enumerate(verts):
+            x2, y2 = verts[(i + 1) % len(verts)]
+            ex, ey = x2 - x1, y2 - y1
+            # CCW orientation: interior lies to the left of each edge.
+            cross = ex * (p[1] - y1) - ey * (p[0] - x1)
+            norm = math.hypot(ex, ey)
+            if norm == 0.0:
+                continue
+            if cross / norm < -eps:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # clipping
+    # ------------------------------------------------------------------
+    def clip(self, hp: HalfPlane, eps: float = 0.0) -> "ConvexPolygon":
+        """Intersect with the half-plane ``hp``.
+
+        Vertices within ``eps`` of the boundary are treated as inside,
+        which keeps repeated clipping numerically stable.  Surviving
+        vertices keep their exact coordinates.
+        """
+        verts = self._vertices
+        if len(verts) < 3:
+            return ConvexPolygon.empty()
+        out: List[Point] = []
+        dists = [hp.signed_distance(v) for v in verts]
+        for i, v in enumerate(verts):
+            j = (i + 1) % len(verts)
+            w = verts[j]
+            dv, dw = dists[i], dists[j]
+            v_in = dv <= eps
+            w_in = dw <= eps
+            if v_in:
+                out.append(v)
+                if not w_in:
+                    out.append(_edge_plane_intersection(v, w, dv, dw))
+            elif w_in:
+                out.append(_edge_plane_intersection(v, w, dv, dw))
+        dedupe = eps if eps > 0.0 else 1e-12
+        result = ConvexPolygon(out, dedupe_eps=dedupe)
+        if result.is_empty:
+            return ConvexPolygon.empty()
+        return result
+
+
+def _edge_plane_intersection(v: Point, w: Point, dv: float, dw: float) -> Point:
+    """Intersection of segment ``vw`` with the boundary line.
+
+    ``dv``/``dw`` are signed distances of the endpoints, known to have
+    opposite signs (up to tolerance handled by the caller).
+    """
+    denom = dv - dw
+    if denom == 0.0:
+        # Segment parallel to (and on) the boundary: either endpoint works.
+        return v
+    t = dv / denom
+    t = min(max(t, 0.0), 1.0)
+    return Point(v.x + t * (w.x - v.x), v.y + t * (w.y - v.y))
+
+
+def _dedupe(pts: List[Point], eps: float) -> List[Point]:
+    """Drop consecutive (cyclically) near-duplicate vertices."""
+    if not pts:
+        return pts
+    result: List[Point] = []
+    for p in pts:
+        if result and abs(p.x - result[-1].x) <= eps and abs(p.y - result[-1].y) <= eps:
+            continue
+        result.append(p)
+    while len(result) > 1 and (abs(result[0].x - result[-1].x) <= eps
+                               and abs(result[0].y - result[-1].y) <= eps):
+        result.pop()
+    return result

@@ -1,0 +1,24 @@
+"""R*-tree spatial index over the simulated disk.
+
+Implements the access method of the paper's experimental setup
+[BKSS90]: ChooseSubtree with overlap minimization, the R* topological
+split, forced reinsertion, deletion with tree condensation, and STR
+bulk loading for building large trees quickly.  One node occupies one
+simulated page; the default geometry (4 KB pages, 20-byte entries)
+yields the paper's node capacity of 204 entries.
+"""
+
+from repro.index.entry import LeafEntry
+from repro.index.node import Node
+from repro.index.rstar import RStarTree
+from repro.index.bulk import bulk_load_str
+from repro.index.metrics import LevelStats, tree_level_stats
+
+__all__ = [
+    "LeafEntry",
+    "Node",
+    "RStarTree",
+    "bulk_load_str",
+    "LevelStats",
+    "tree_level_stats",
+]

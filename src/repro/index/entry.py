@@ -1,0 +1,27 @@
+"""Leaf entries of the R*-tree.
+
+The paper indexes point datasets, so a leaf entry is an object id plus
+a point; its MBR is the degenerate rectangle at that point.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.geometry import Point, Rect
+
+
+class LeafEntry(NamedTuple):
+    """A data point stored at the leaf level."""
+
+    oid: int
+    x: float
+    y: float
+
+    @property
+    def point(self) -> Point:
+        return Point(self.x, self.y)
+
+    @property
+    def mbr(self) -> Rect:
+        return Rect(self.x, self.y, self.x, self.y)

@@ -1,0 +1,62 @@
+"""Structural statistics of a built tree.
+
+The analytical node-access models of Section 5 need, per tree level,
+the number of nodes and their average extents.  These statistics are
+collected here, outside the hot query paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.index.rstar import RStarTree
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregate statistics of all nodes at one tree level."""
+
+    level: int
+    num_nodes: int
+    avg_extent_x: float
+    avg_extent_y: float
+    avg_fanout: float
+
+
+def tree_level_stats(tree: RStarTree) -> List[LevelStats]:
+    """Per-level statistics, leaf level (0) first."""
+    counts: Dict[int, int] = {}
+    sum_x: Dict[int, float] = {}
+    sum_y: Dict[int, float] = {}
+    sum_fanout: Dict[int, int] = {}
+    for node in tree.nodes():
+        lvl = node.level
+        counts[lvl] = counts.get(lvl, 0) + 1
+        sum_x[lvl] = sum_x.get(lvl, 0.0) + node.mbr.width
+        sum_y[lvl] = sum_y.get(lvl, 0.0) + node.mbr.height
+        sum_fanout[lvl] = sum_fanout.get(lvl, 0) + len(node.entries)
+    return [
+        LevelStats(
+            level=lvl,
+            num_nodes=counts[lvl],
+            avg_extent_x=sum_x[lvl] / counts[lvl],
+            avg_extent_y=sum_y[lvl] / counts[lvl],
+            avg_fanout=sum_fanout[lvl] / counts[lvl],
+        )
+        for lvl in sorted(counts)
+    ]
+
+
+def average_occupancy(tree: RStarTree) -> float:
+    """Mean node fill ratio across all non-root nodes."""
+    total = 0
+    nodes = 0
+    for node in tree.nodes():
+        if node is tree.root:
+            continue
+        total += len(node.entries)
+        nodes += 1
+    if nodes == 0:
+        return len(tree.root.entries) / tree.capacity if tree.capacity else 0.0
+    return total / (nodes * tree.capacity)

@@ -1,0 +1,48 @@
+"""R*-tree nodes."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.geometry import Rect
+from repro.index.entry import LeafEntry
+
+
+class Node:
+    """One R*-tree node, occupying one simulated disk page.
+
+    ``level`` 0 is the leaf level.  A leaf's ``entries`` are
+    :class:`LeafEntry` instances; an inner node's ``entries`` are child
+    ``Node`` instances.  ``mbr`` is kept tight by the tree operations.
+    """
+
+    __slots__ = ("level", "entries", "mbr", "page_id")
+
+    def __init__(self, level: int, page_id: int):
+        self.level = level
+        self.entries: List[Union[LeafEntry, "Node"]] = []
+        self.mbr: Rect = Rect(0.0, 0.0, 0.0, 0.0)
+        self.page_id = page_id
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def recompute_mbr(self) -> None:
+        """Tighten ``mbr`` to exactly cover the current entries."""
+        if not self.entries:
+            self.mbr = Rect(0.0, 0.0, 0.0, 0.0)
+            return
+        self.mbr = Rect.from_rects([entry_mbr(e) for e in self.entries])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"inner(level={self.level})"
+        return f"<Node {kind} page={self.page_id} fanout={len(self.entries)}>"
+
+
+def entry_mbr(entry: Union[LeafEntry, Node]) -> Rect:
+    """MBR of either kind of entry."""
+    return entry.mbr

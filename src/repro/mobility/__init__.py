@@ -1,0 +1,35 @@
+"""Client mobility: trajectories and end-to-end protocol simulation.
+
+The paper's motivating scenario — "the closest restaurant as the user
+moves along" — needs moving clients.  This package generates standard
+mobility traces (random waypoint, random walk, straight runs) and
+replays them against any of the client protocols (validity regions,
+naive re-query, [SR01], [ZL01], TP), producing the query-saving and
+network statistics that quantify the paper's claimed benefit.
+"""
+
+from repro.mobility.trajectory import (
+    Trajectory,
+    TrajectoryStep,
+    random_walk,
+    random_waypoint,
+    straight_run,
+)
+from repro.mobility.network import NetworkModel
+from repro.mobility.simulator import (
+    ProtocolReport,
+    simulate_knn_protocols,
+    simulate_window_protocols,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryStep",
+    "random_waypoint",
+    "random_walk",
+    "straight_run",
+    "NetworkModel",
+    "ProtocolReport",
+    "simulate_knn_protocols",
+    "simulate_window_protocols",
+]

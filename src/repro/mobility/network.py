@@ -1,0 +1,57 @@
+"""A simple wireless-network cost model for the protocol comparison.
+
+The paper argues validity regions "reduce the number of queries issued
+to the server, while introducing minimal computational and network
+overhead".  To make that claim quantitative end to end, this model
+converts a protocol report (round-trips + bytes) into time and energy
+figures for a parameterized wireless link — the classic two-parameter
+model: per-request latency plus payload over bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mobility.simulator import ProtocolReport
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A wireless uplink/downlink abstraction.
+
+    Defaults approximate a 2003-era GPRS link (the paper's era):
+    600 ms round-trip latency, 40 kbit/s downlink, 60 bytes of uplink
+    per query, 1 J per second of active radio.
+    """
+
+    round_trip_s: float = 0.6
+    downlink_bytes_per_s: float = 5_000.0
+    uplink_bytes_per_query: int = 60
+    radio_watts: float = 1.0
+
+    def __post_init__(self):
+        if self.round_trip_s < 0:
+            raise ValueError("latency must be non-negative")
+        if self.downlink_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time_s(self, report: ProtocolReport) -> float:
+        """Total time the client spends waiting on the network."""
+        payload = (report.bytes_received
+                   + report.server_queries * self.uplink_bytes_per_query)
+        return (report.server_queries * self.round_trip_s
+                + payload / self.downlink_bytes_per_s)
+
+    def radio_energy_j(self, report: ProtocolReport) -> float:
+        """Energy spent with the radio active (time x power)."""
+        return self.transfer_time_s(report) * self.radio_watts
+
+    def mean_response_time_s(self, report: ProtocolReport) -> float:
+        """Average response latency per position update.
+
+        Cache answers are free (local computation); only server
+        round-trips pay network time.
+        """
+        if report.position_updates == 0:
+            return 0.0
+        return self.transfer_time_s(report) / report.position_updates

@@ -1,0 +1,176 @@
+"""End-to-end protocol simulation over a mobility trace.
+
+Replays one trajectory against each client protocol over the *same*
+dataset and reports, per protocol, how many position updates required a
+server round-trip.  This is the system-level payoff the paper's
+introduction promises; the per-query server cost is measured separately
+by the Figure 27/34 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry import Rect
+from repro.index.rstar import RStarTree
+from repro.core.client import MobileClient
+from repro.core.server import LocationServer
+from repro.baselines.naive import NaiveClient
+from repro.baselines.sr01 import SR01Client, SR01Server
+from repro.baselines.tp_baseline import TPClient
+from repro.baselines.voronoi import VoronoiBaselineServer, VoronoiClient
+from repro.mobility.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class ProtocolReport:
+    """Outcome of one protocol over one trajectory."""
+
+    protocol: str
+    position_updates: int
+    server_queries: int
+    bytes_received: int
+
+    @property
+    def query_saving(self) -> float:
+        if self.position_updates == 0:
+            return 0.0
+        return 1.0 - self.server_queries / self.position_updates
+
+    def row(self) -> str:
+        return (f"{self.protocol:<18} {self.position_updates:>8} "
+                f"{self.server_queries:>8} {self.query_saving:>8.1%} "
+                f"{self.bytes_received:>10}")
+
+
+def simulate_window_protocols(tree: RStarTree, trajectory: Trajectory,
+                              width: float, height: float,
+                              universe: Optional[Rect] = None,
+                              include_tp: bool = True,
+                              incremental: bool = False
+                              ) -> List[ProtocolReport]:
+    """Run every window protocol over ``trajectory`` and report savings.
+
+    Answers are cross-checked against the naive client at every step.
+    """
+    if universe is None:
+        universe = tree.root.mbr
+    server = LocationServer(tree, universe)
+    validity_client = MobileClient(server, incremental=incremental)
+    naive_client = NaiveClient(tree)
+    tp_client = TPClient(tree) if include_tp else None
+
+    for step in trajectory:
+        reference = validity_client.window(step.position, width, height)
+        ref_ids = sorted(e.oid for e in reference)
+        naive_ids = sorted(
+            e.oid for e in naive_client.window(step.position, width, height))
+        if naive_ids != ref_ids:
+            raise AssertionError(
+                f"naive window protocol diverged at t={step.time}")
+        if tp_client is not None:
+            tp_ids = sorted(e.oid for e in tp_client.window(
+                step.position, width, height, step.velocity, step.time))
+            if tp_ids != ref_ids:
+                raise AssertionError(
+                    f"tp window protocol diverged at t={step.time}")
+
+    name = "validity-region" + ("+delta" if incremental else "")
+    reports = [
+        ProtocolReport(name,
+                       validity_client.stats.position_updates,
+                       validity_client.stats.server_queries,
+                       validity_client.stats.bytes_received),
+        ProtocolReport("naive", naive_client.position_updates,
+                       naive_client.server_queries,
+                       naive_client.bytes_received),
+    ]
+    if tp_client is not None:
+        reports.append(
+            ProtocolReport("tp", tp_client.position_updates,
+                           tp_client.server_queries,
+                           tp_client.bytes_received))
+    return reports
+
+
+def simulate_knn_protocols(tree: RStarTree, trajectory: Trajectory,
+                           k: int = 1, sr01_m: Optional[int] = None,
+                           universe: Optional[Rect] = None,
+                           include_tp: bool = True,
+                           include_zl01: bool = False) -> List[ProtocolReport]:
+    """Run every kNN protocol over ``trajectory`` and report savings.
+
+    Correctness is asserted as we go: every protocol must return the
+    same neighbour *set* as the validity-region client at every step.
+
+    ``include_zl01`` adds the Voronoi baseline [ZL01]; it pre-computes
+    the full Voronoi diagram, so enable it only for small datasets, and
+    only for k = 1 (the baseline's own limitation).  Its conservative
+    validity *times* use the trajectory's exact speed as v_max.
+    """
+    if universe is None:
+        universe = tree.root.mbr
+    m = sr01_m if sr01_m is not None else max(2 * k, k + 4)
+
+    server = LocationServer(tree, universe)
+    validity_client = MobileClient(server)
+    naive_client = NaiveClient(tree)
+    sr01_client = SR01Client(SR01Server(tree), k=k, m=m)
+    tp_client = TPClient(tree) if include_tp else None
+    zl01_client = None
+    if include_zl01:
+        if k != 1:
+            raise ValueError("[ZL01] supports single-NN queries only")
+        zl01_server = VoronoiBaselineServer(tree, universe)
+        zl01_server.precompute()
+        import math as _math
+        v_max = max(_math.hypot(*s.velocity) for s in trajectory)
+        zl01_client = VoronoiClient(zl01_server, v_max=v_max)
+
+    for step in trajectory:
+        reference = validity_client.knn(step.position, k=k)
+        ref_dists = sorted(round(e.point.distance_to(step.position), 9)
+                           for e in reference)
+        answers = [
+            ("naive", naive_client.knn(step.position, k=k)),
+            ("sr01", sr01_client.knn(step.position)),
+            ("tp", tp_client.knn(step.position, step.velocity,
+                                 step.time, k=k) if tp_client else None),
+            ("zl01", [zl01_client.nn(step.position, step.time)]
+             if zl01_client else None),
+        ]
+        for name, answer in answers:
+            if answer is None:
+                continue
+            dists = sorted(round(e.point.distance_to(step.position), 9)
+                           for e in answer)
+            if dists != ref_dists:
+                raise AssertionError(
+                    f"protocol {name} diverged at t={step.time}: "
+                    f"{dists} != {ref_dists}")
+
+    reports = [
+        ProtocolReport("validity-region",
+                       validity_client.stats.position_updates,
+                       validity_client.stats.server_queries,
+                       validity_client.stats.bytes_received),
+        ProtocolReport("naive", naive_client.position_updates,
+                       naive_client.server_queries,
+                       naive_client.bytes_received),
+        ProtocolReport(f"sr01(m={m})", sr01_client.position_updates,
+                       sr01_client.server_queries,
+                       sr01_client.bytes_received),
+    ]
+    if tp_client is not None:
+        reports.append(
+            ProtocolReport("tp", tp_client.position_updates,
+                           tp_client.server_queries,
+                           tp_client.bytes_received))
+    if zl01_client is not None:
+        from repro.core.validity import POINT_BYTES
+        reports.append(
+            ProtocolReport("zl01", zl01_client.position_updates,
+                           zl01_client.server_queries,
+                           zl01_client.server_queries * (POINT_BYTES + 8)))
+    return reports

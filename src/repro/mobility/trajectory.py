@@ -1,0 +1,137 @@
+"""Mobility traces.
+
+A trajectory is a sequence of timed position samples with the velocity
+in effect at each sample — the velocity matters because the TP baseline
+needs it, and because a *changing* velocity is precisely what defeats
+time-based validity schemes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.geometry import Point, Rect
+
+
+class TrajectoryStep(NamedTuple):
+    """One position sample."""
+
+    time: float
+    position: Point
+    velocity: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An immutable sequence of samples at a fixed time step."""
+
+    steps: Tuple[TrajectoryStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TrajectoryStep]:
+        return iter(self.steps)
+
+    def positions(self) -> List[Point]:
+        return [s.position for s in self.steps]
+
+    def total_distance(self) -> float:
+        pos = self.positions()
+        return sum(pos[i].distance_to(pos[i + 1]) for i in range(len(pos) - 1))
+
+
+def random_waypoint(universe: Rect, num_steps: int, speed: float,
+                    dt: float = 1.0,
+                    seed: Optional[int] = None,
+                    start: Optional[Tuple[float, float]] = None) -> Trajectory:
+    """The random-waypoint model: straight legs between random targets.
+
+    The client travels at constant ``speed`` towards a uniformly random
+    waypoint, picks a new one on arrival, and is sampled every ``dt``.
+    """
+    _check(num_steps, speed, dt)
+    rng = random.Random(seed)
+    pos = Point(*start) if start is not None else _random_point(rng, universe)
+    target = _random_point(rng, universe)
+    steps: List[TrajectoryStep] = []
+    for i in range(num_steps):
+        while pos.distance_to(target) < 1e-12:
+            target = _random_point(rng, universe)
+        direction = pos.towards(target)
+        velocity = (direction.x * speed, direction.y * speed)
+        steps.append(TrajectoryStep(i * dt, pos, velocity))
+        remaining = pos.distance_to(target)
+        travel = speed * dt
+        while travel >= remaining:  # may pass through several waypoints
+            pos = target
+            travel -= remaining
+            target = _random_point(rng, universe)
+            while pos.distance_to(target) < 1e-12:
+                target = _random_point(rng, universe)
+            remaining = pos.distance_to(target)
+        if travel > 0.0:
+            direction = pos.towards(target)
+            pos = Point(pos.x + direction.x * travel, pos.y + direction.y * travel)
+    return Trajectory(tuple(steps))
+
+
+def random_walk(universe: Rect, num_steps: int, speed: float,
+                dt: float = 1.0, turn_sigma: float = 0.5,
+                seed: Optional[int] = None,
+                start: Optional[Tuple[float, float]] = None) -> Trajectory:
+    """A correlated random walk: the heading drifts by a Gaussian turn
+    each step and reflects off the universe boundary."""
+    _check(num_steps, speed, dt)
+    rng = random.Random(seed)
+    pos = Point(*start) if start is not None else _random_point(rng, universe)
+    heading = rng.uniform(0.0, 2.0 * math.pi)
+    steps: List[TrajectoryStep] = []
+    for i in range(num_steps):
+        velocity = (speed * math.cos(heading), speed * math.sin(heading))
+        steps.append(TrajectoryStep(i * dt, pos, velocity))
+        nx = pos.x + velocity[0] * dt
+        ny = pos.y + velocity[1] * dt
+        if not universe.xmin <= nx <= universe.xmax:
+            heading = math.pi - heading
+            nx = min(max(nx, universe.xmin), universe.xmax)
+        if not universe.ymin <= ny <= universe.ymax:
+            heading = -heading
+            ny = min(max(ny, universe.ymin), universe.ymax)
+        pos = Point(nx, ny)
+        heading += rng.gauss(0.0, turn_sigma)
+    return Trajectory(tuple(steps))
+
+
+def straight_run(start, direction, num_steps: int, speed: float,
+                 dt: float = 1.0) -> Trajectory:
+    """A constant-velocity run (the TP baseline's best case)."""
+    _check(num_steps, speed, dt)
+    norm = math.hypot(direction[0], direction[1])
+    if norm == 0.0:
+        raise ValueError("direction must be non-zero")
+    vx, vy = direction[0] / norm * speed, direction[1] / norm * speed
+    steps = [
+        TrajectoryStep(i * dt,
+                       Point(start[0] + vx * i * dt, start[1] + vy * i * dt),
+                       (vx, vy))
+        for i in range(num_steps)
+    ]
+    return Trajectory(tuple(steps))
+
+
+def _random_point(rng: random.Random, universe: Rect) -> Point:
+    return Point(rng.uniform(universe.xmin, universe.xmax),
+                 rng.uniform(universe.ymin, universe.ymax))
+
+
+def _check(num_steps: int, speed: float, dt: float) -> None:
+    if num_steps < 0:
+        raise ValueError("num_steps must be non-negative")
+    if speed <= 0.0:
+        raise ValueError("speed must be positive")
+    if dt <= 0.0:
+        raise ValueError("dt must be positive")

@@ -1,0 +1,32 @@
+"""Query algorithms over the R*-tree.
+
+* :mod:`repro.queries.nn` — k-nearest-neighbour search: the depth-first
+  branch-and-bound of Roussopoulos et al. [RKV95] and the optimal
+  best-first algorithm of Hjaltason & Samet [HS99].
+* :mod:`repro.queries.window` — window queries and derived variants.
+* :mod:`repro.queries.tp` — time-parameterized queries [TP02]: given a
+  query moving along a ray, find the object that changes the result
+  first and the time at which it does.  TPNN/TPkNN are the workhorse of
+  the paper's validity-region computation (Section 3.1).
+"""
+
+from repro.queries.nn import Neighbor, nearest_neighbors
+from repro.queries.window import window_query
+from repro.queries.range import nearest_outside, range_query
+from repro.queries.tp import TPEvent, tp_knn, tp_nn, tp_window
+from repro.queries.continuous import TimelineSegment, continuous_knn, continuous_window
+
+__all__ = [
+    "Neighbor",
+    "nearest_neighbors",
+    "window_query",
+    "TPEvent",
+    "tp_nn",
+    "tp_knn",
+    "tp_window",
+    "range_query",
+    "nearest_outside",
+    "continuous_knn",
+    "continuous_window",
+    "TimelineSegment",
+]

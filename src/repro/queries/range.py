@@ -1,0 +1,73 @@
+"""Circular range queries ("all restaurants within 5 km").
+
+These support the region-query extension sketched in the paper's
+conclusion (Section 7).  ``range_query`` retrieves everything within
+the radius; ``nearest_outside`` finds the closest object *beyond* the
+radius — the object that would enter the result first, which bounds the
+validity disk of a location-based range query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional
+
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.queries.nn import Neighbor
+
+
+def range_query(tree: RStarTree, center, radius: float) -> List[LeafEntry]:
+    """All data points within (closed) distance ``radius`` of ``center``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    radius_sq = radius * radius
+    result: List[LeafEntry] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        tree.read_node(node)
+        if node.is_leaf:
+            for e in node.entries:
+                dx = e.x - center[0]
+                dy = e.y - center[1]
+                if dx * dx + dy * dy <= radius_sq:
+                    result.append(e)
+        else:
+            for child in node.entries:
+                if child.mbr.mindist_sq(center) <= radius_sq:
+                    stack.append(child)
+    return result
+
+
+def nearest_outside(tree: RStarTree, center,
+                    radius: float) -> Optional[Neighbor]:
+    """The nearest data point strictly farther than ``radius``.
+
+    Best-first search ordered by mindist; nodes cannot be pruned by the
+    radius (a node overlapping the disk may still contain points beyond
+    it), only by the best candidate found so far.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    best: Optional[Neighbor] = None
+    counter = 0
+    heap = [(0.0, counter, tree.root)]
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if best is not None and dist >= best.dist:
+            break
+        tree.read_node(node)
+        if node.is_leaf:
+            for e in node.entries:
+                d = math.hypot(e.x - center[0], e.y - center[1])
+                if d > radius and (best is None or d < best.dist):
+                    best = Neighbor(e, d)
+        else:
+            for child in node.entries:
+                child_dist = child.mbr.mindist(center)
+                if best is None or child_dist < best.dist:
+                    counter += 1
+                    heapq.heappush(heap, (child_dist, counter, child))
+    return best

@@ -1,0 +1,337 @@
+"""Time-parameterized (TP) queries [TP02].
+
+A TP query takes the *current* result of a spatial query plus a motion
+(the query point moving along a ray, or a window translating with a
+velocity vector) and returns the first future **influence event**: the
+object that changes the result, and the time at which it does.
+
+The influence time is used as a distance metric in a best-first search
+over the R*-tree, exactly as mindist is used in ordinary NN search; the
+MBR bounds below are admissible lower bounds of the influence time of
+any point inside the rectangle, so the search only visits nodes that
+may contain the first influencing object.
+
+For nearest-neighbour queries the influence time of a candidate ``p``
+with respect to a current neighbour ``o`` is the instant the moving
+query crosses their perpendicular bisector.  With the query at ``q``
+moving along unit direction ``v``, squaring distances gives
+
+    |q + t*v - p|^2 - |q + t*v - o|^2
+        = (|q - p|^2 - |q - o|^2) - 2*t*(v . (p - o)),
+
+which is *linear* in ``t``; the crossing time is
+
+    t = (|q - p|^2 - |q - o|^2) / (2 * v . (p - o)),
+
+defined (and non-negative) whenever ``v . (p - o) > 0``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, NamedTuple, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+
+INFINITY = math.inf
+
+#: Leaf scans with more than this many (entry, result) pairs switch to
+#: the vectorized numpy path.
+_VECTORIZE_THRESHOLD = 512
+
+
+class TPEvent(NamedTuple):
+    """The first influence event of a TP nearest-neighbour query.
+
+    ``influence`` is the data point that will change the result (``None``
+    when nothing ever does), ``paired_with`` is the current result object
+    whose bisector is crossed first (for 1NN queries this is *the*
+    nearest neighbour), and ``time`` is the travelled distance at which
+    the crossing happens (the paper's validity computation issues TPNN
+    queries with unit speed, so time equals distance).
+    """
+
+    time: float
+    influence: Optional[LeafEntry]
+    paired_with: Optional[LeafEntry]
+
+    @property
+    def found(self) -> bool:
+        return self.influence is not None
+
+
+class WindowTPEvent(NamedTuple):
+    """The first influence event of a TP window query.
+
+    ``arrivals``/``departures`` list every object entering/leaving the
+    result at ``time`` (the paper's change set ``C``).
+    """
+
+    time: float
+    arrivals: Tuple[LeafEntry, ...]
+    departures: Tuple[LeafEntry, ...]
+
+
+# ----------------------------------------------------------------------
+# TP nearest neighbour
+# ----------------------------------------------------------------------
+def tp_nn(tree: RStarTree, q, direction, nearest: LeafEntry,
+          prefer_new: Optional[Set[int]] = None) -> TPEvent:
+    """TPNN: first object to become closer than ``nearest``.
+
+    ``direction`` must be a unit vector; ``q`` moves as ``q + t*direction``.
+    """
+    return tp_knn(tree, q, direction, [nearest], prefer_new=prefer_new)
+
+
+def tp_knn(tree: RStarTree, q, direction, result: Sequence[LeafEntry],
+           prefer_new: Optional[Set[int]] = None) -> TPEvent:
+    """TPkNN: first swap between a non-result object and a result object.
+
+    Parameters
+    ----------
+    result:
+        The current k nearest neighbours of ``q``.
+    prefer_new:
+        Object ids already known to the caller.  When two candidate
+        events happen at exactly the same time, an object *not* in this
+        set is preferred — this resolves degenerate ties (cocircular
+        points) in favour of discovering new influence objects, which
+        the validity-region algorithm needs for completeness.
+    """
+    vx, vy = float(direction[0]), float(direction[1])
+    norm = math.hypot(vx, vy)
+    if norm == 0.0:
+        raise ValueError("TP query direction must be non-zero")
+    vx /= norm
+    vy /= norm
+    qx, qy = float(q[0]), float(q[1])
+    known = prefer_new or frozenset()
+    result_oids = {e.oid for e in result}
+    # Per result object o: (dist_sq(q, o), v . o) reused by every bound.
+    res_info = [((e.x - qx) ** 2 + (e.y - qy) ** 2, vx * e.x + vy * e.y, e)
+                for e in result]
+
+    def exact_time(p: LeafEntry) -> Tuple[float, Optional[LeafEntry]]:
+        p_dist_sq = (p.x - qx) ** 2 + (p.y - qy) ** 2
+        v_dot_p = vx * p.x + vy * p.y
+        best_t, best_o = INFINITY, None
+        for o_dist_sq, v_dot_o, o in res_info:
+            den = 2.0 * (v_dot_p - v_dot_o)
+            if den <= 0.0:
+                continue
+            t = (p_dist_sq - o_dist_sq) / den
+            if t < 0.0:
+                t = 0.0  # p already as close as o: immediate influence
+            if t < best_t:
+                best_t, best_o = t, o
+        return best_t, best_o
+
+    def node_bound(mbr: Rect) -> float:
+        """Admissible lower bound of the influence time of any p in mbr."""
+        min_p_dist_sq = mbr.mindist_sq((qx, qy))
+        # max of v . p over the rectangle is attained at a corner.
+        v_dot_p_max = (vx * (mbr.xmax if vx > 0 else mbr.xmin)
+                       + vy * (mbr.ymax if vy > 0 else mbr.ymin))
+        bound = INFINITY
+        for o_dist_sq, v_dot_o, _ in res_info:
+            den_max = 2.0 * (v_dot_p_max - v_dot_o)
+            if den_max <= 0.0:
+                continue
+            num_min = min_p_dist_sq - o_dist_sq
+            pair = num_min / den_max if num_min > 0.0 else 0.0
+            if pair < bound:
+                bound = pair
+        return bound
+
+    best_time = INFINITY
+    best_entry: Optional[LeafEntry] = None
+    best_pair: Optional[LeafEntry] = None
+    counter = 0
+    heap = [(node_bound(tree.root.mbr), counter, tree.root)]
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if bound > best_time:
+            break
+        if bound == best_time and not (best_entry is not None
+                                       and best_entry.oid in known):
+            # Nothing in this subtree can beat or usefully tie the winner.
+            break
+        tree.read_node(node)
+        if node.is_leaf:
+            if len(node.entries) * len(result) >= _VECTORIZE_THRESHOLD:
+                candidates = _leaf_scan_vectorized(
+                    node.entries, qx, qy, vx, vy, res_info, result_oids)
+            else:
+                candidates = ((e, *exact_time(e)) for e in node.entries
+                              if e.oid not in result_oids)
+            for e, t, paired in candidates:
+                if paired is None:
+                    continue
+                wins = t < best_time or (
+                    t == best_time
+                    and best_entry is not None
+                    and best_entry.oid in known
+                    and e.oid not in known)
+                if wins:
+                    best_time, best_entry, best_pair = t, e, paired
+        else:
+            for child in node.entries:
+                child_bound = node_bound(child.mbr)
+                if child_bound <= best_time:
+                    counter += 1
+                    heapq.heappush(heap, (child_bound, counter, child))
+    if best_entry is None:
+        return TPEvent(INFINITY, None, None)
+    return TPEvent(best_time, best_entry, best_pair)
+
+
+def _leaf_scan_vectorized(entries, qx, qy, vx, vy, res_info, result_oids):
+    """Vectorized leaf scan for large k: the per-entry minimum crossing
+    time over all result objects, returning the entries achieving the
+    leaf-wide minimum (all of them, so tie preferences still apply)."""
+    xs = np.fromiter((e.x for e in entries), dtype=float, count=len(entries))
+    ys = np.fromiter((e.y for e in entries), dtype=float, count=len(entries))
+    p_dist_sq = (xs - qx) ** 2 + (ys - qy) ** 2
+    v_dot_p = vx * xs + vy * ys
+    best_t = np.full(len(entries), np.inf)
+    best_j = np.zeros(len(entries), dtype=int)
+    for j, (o_dist_sq, v_dot_o, _) in enumerate(res_info):
+        den = 2.0 * (v_dot_p - v_dot_o)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(den > 0.0,
+                         np.maximum((p_dist_sq - o_dist_sq)
+                                    / np.where(den > 0.0, den, 1.0), 0.0),
+                         np.inf)
+        improved = t < best_t
+        best_t[improved] = t[improved]
+        best_j[improved] = j
+    for i, e in enumerate(entries):
+        if e.oid in result_oids:
+            best_t[i] = np.inf
+    leaf_min = best_t.min()
+    if not np.isfinite(leaf_min):
+        return []
+    return [(entries[i], float(best_t[i]), res_info[best_j[i]][2])
+            for i in np.nonzero(best_t == leaf_min)[0]]
+
+
+# ----------------------------------------------------------------------
+# TP window
+# ----------------------------------------------------------------------
+def tp_window(tree: RStarTree, rect: Rect, velocity) -> WindowTPEvent:
+    """First influence event of a window translating with ``velocity``.
+
+    Objects currently inside influence the result when the trailing
+    boundary passes them; outside objects influence it when the leading
+    boundary reaches them (Figure 6a of the paper).
+    """
+    vx, vy = float(velocity[0]), float(velocity[1])
+    if vx == 0.0 and vy == 0.0:
+        return WindowTPEvent(INFINITY, (), ())
+
+    def point_interval(px: float, py: float) -> Tuple[float, float]:
+        """The (possibly empty) time interval during which the moving
+        window contains the point; empty is returned as (inf, -inf)."""
+        t_lo, t_hi = -INFINITY, INFINITY
+        for p, lo, hi, v in ((px, rect.xmin, rect.xmax, vx),
+                             (py, rect.ymin, rect.ymax, vy)):
+            if v == 0.0:
+                if not lo <= p <= hi:
+                    return INFINITY, -INFINITY
+            else:
+                a = (p - hi) / v
+                b = (p - lo) / v
+                if a > b:
+                    a, b = b, a
+                t_lo = max(t_lo, a)
+                t_hi = min(t_hi, b)
+        if t_lo > t_hi:
+            return INFINITY, -INFINITY
+        return t_lo, t_hi
+
+    def influence_time(e: LeafEntry) -> float:
+        t_lo, t_hi = point_interval(e.x, e.y)
+        if t_lo > t_hi or t_hi < 0.0:
+            return INFINITY
+        if t_lo <= 0.0:  # currently inside: influences when it leaves
+            return t_hi
+        return t_lo      # currently outside: influences when it enters
+
+    def node_bound(mbr: Rect) -> float:
+        """Admissible lower bound of influence_time over points in mbr."""
+        bounds = []
+        # Entry bound: the moving window must touch the rectangle first.
+        t_lo, t_hi = _moving_rect_meet(rect, mbr, vx, vy)
+        if t_lo <= t_hi and t_hi >= 0.0:
+            bounds.append(max(t_lo, 0.0))
+        # Exit bound for the part of the rectangle already inside.
+        overlap = rect.intersection(mbr)
+        if overlap is not None:
+            exit_bound = INFINITY
+            if vx > 0.0:
+                exit_bound = min(exit_bound, (overlap.xmin - rect.xmin) / vx)
+            elif vx < 0.0:
+                exit_bound = min(exit_bound, (rect.xmax - overlap.xmax) / -vx)
+            if vy > 0.0:
+                exit_bound = min(exit_bound, (overlap.ymin - rect.ymin) / vy)
+            elif vy < 0.0:
+                exit_bound = min(exit_bound, (rect.ymax - overlap.ymax) / -vy)
+            bounds.append(exit_bound)
+        return min(bounds) if bounds else INFINITY
+
+    best_time = INFINITY
+    events: List[Tuple[float, bool, LeafEntry]] = []  # (time, was_inside, e)
+    counter = 0
+    heap = [(node_bound(tree.root.mbr), counter, tree.root)]
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if bound > best_time:
+            break
+        tree.read_node(node)
+        if node.is_leaf:
+            for e in node.entries:
+                t = influence_time(e)
+                if t < best_time:
+                    best_time = t
+                    events = [(t, rect.contains_point((e.x, e.y)), e)]
+                elif t == best_time and t < INFINITY:
+                    events.append((t, rect.contains_point((e.x, e.y)), e))
+        else:
+            for child in node.entries:
+                child_bound = node_bound(child.mbr)
+                if child_bound <= best_time:
+                    counter += 1
+                    heapq.heappush(heap, (child_bound, counter, child))
+    if best_time is INFINITY or not events:
+        return WindowTPEvent(INFINITY, (), ())
+    departures = tuple(e for t, inside, e in events if inside)
+    arrivals = tuple(e for t, inside, e in events if not inside)
+    return WindowTPEvent(best_time, arrivals, departures)
+
+
+def _moving_rect_meet(moving: Rect, static: Rect,
+                      vx: float, vy: float) -> Tuple[float, float]:
+    """Time interval during which ``moving + t*v`` intersects ``static``."""
+    t_lo, t_hi = -INFINITY, INFINITY
+    for m_lo, m_hi, s_lo, s_hi, v in (
+            (moving.xmin, moving.xmax, static.xmin, static.xmax, vx),
+            (moving.ymin, moving.ymax, static.ymin, static.ymax, vy)):
+        if v == 0.0:
+            if m_hi < s_lo or m_lo > s_hi:
+                return INFINITY, -INFINITY
+        else:
+            a = (s_lo - m_hi) / v
+            b = (s_hi - m_lo) / v
+            if a > b:
+                a, b = b, a
+            t_lo = max(t_lo, a)
+            t_hi = min(t_hi, b)
+    if t_lo > t_hi:
+        return INFINITY, -INFINITY
+    return t_lo, t_hi

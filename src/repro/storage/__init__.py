@@ -1,0 +1,21 @@
+"""Simulated paged storage.
+
+The paper reports two server-side cost metrics:
+
+* **NA** — node accesses: every R*-tree node touched by a query;
+* **PA** — page accesses: node accesses that miss an LRU buffer sized at
+  10 % of the tree (Section 6).
+
+This package provides the machinery to measure both: a page allocator
+(:class:`PageStore`), an LRU buffer pool (:class:`LRUBufferPool`) and a
+:class:`DiskSimulator` that the index consults on every node read,
+attributing costs to named *phases* (e.g. the initial NN query versus
+the subsequent TPNN queries of Figure 27).
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.counters import AccessStats
+from repro.storage.disk import DiskSimulator
+from repro.storage.pages import PageStore
+
+__all__ = ["LRUBufferPool", "AccessStats", "DiskSimulator", "PageStore"]

@@ -1,0 +1,60 @@
+"""An LRU buffer pool over simulated pages."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBufferPool:
+    """Fixed-capacity page buffer with least-recently-used eviction.
+
+    ``capacity`` is a number of pages.  A capacity of zero models the
+    unbuffered case: every access is a fault.  The pool only tracks page
+    *identities* — the actual node objects live in Python memory — which
+    is all that is needed to count page faults.
+    """
+
+    __slots__ = ("_capacity", "_pages", "hits", "misses")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self._capacity = capacity
+        self._pages: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def access(self, page_id: int) -> bool:
+        """Touch a page; return ``True`` on a fault (miss), ``False`` on a hit."""
+        if self._capacity == 0:
+            self.misses += 1
+            return True
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return False
+        self.misses += 1
+        if len(self._pages) >= self._capacity:
+            self._pages.popitem(last=False)
+        self._pages[page_id] = True
+        return True
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page (e.g. after a node is deleted or split away)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool (a cold restart) without resetting hit counters."""
+        self._pages.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

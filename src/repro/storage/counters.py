@@ -1,0 +1,57 @@
+"""Per-phase access statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class AccessStats:
+    """Node-access and page-fault counts, attributed to named phases.
+
+    Phases let one experiment split a single buffer-sharing run into the
+    components the paper plots separately — e.g. Figure 27 stacks the
+    cost of the initial NN query and the cost of the follow-up TPNN
+    queries, while Figure 34 stacks the result window query and the
+    influence-object window query.
+    """
+
+    __slots__ = ("node_accesses", "page_faults")
+
+    def __init__(self) -> None:
+        self.node_accesses: Counter = Counter()
+        self.page_faults: Counter = Counter()
+
+    def record(self, phase: str, fault: bool) -> None:
+        """Record one node access (and optionally one page fault)."""
+        self.node_accesses[phase] += 1
+        if fault:
+            self.page_faults[phase] += 1
+
+    @property
+    def total_node_accesses(self) -> int:
+        return sum(self.node_accesses.values())
+
+    @property
+    def total_page_faults(self) -> int:
+        return sum(self.page_faults.values())
+
+    def node_accesses_by_phase(self) -> Dict[str, int]:
+        return dict(self.node_accesses)
+
+    def page_faults_by_phase(self) -> Dict[str, int]:
+        return dict(self.page_faults)
+
+    def reset(self) -> None:
+        self.node_accesses.clear()
+        self.page_faults.clear()
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate another run's counts into this one."""
+        self.node_accesses.update(other.node_accesses)
+        self.page_faults.update(other.page_faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessStats(NA={self.total_node_accesses}, "
+                f"PA={self.total_page_faults}, "
+                f"phases={sorted(self.node_accesses)})")

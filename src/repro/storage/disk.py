@@ -1,0 +1,77 @@
+"""The simulated disk: where node accesses become NA/PA statistics."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.counters import AccessStats
+
+DEFAULT_PHASE = "default"
+
+
+class DiskSimulator:
+    """Counts node accesses and page faults through an optional buffer.
+
+    The index calls :meth:`read` for every node it touches.  Experiments
+    wrap query executions in :meth:`phase` blocks so costs can be
+    attributed ("nn" vs "tpnn", "result" vs "influence"), and size the
+    buffer with :meth:`set_buffer`.
+    """
+
+    __slots__ = ("stats", "_buffer", "_phase")
+
+    def __init__(self, buffer_pages: int = 0):
+        self.stats = AccessStats()
+        self._buffer: Optional[LRUBufferPool] = (
+            LRUBufferPool(buffer_pages) if buffer_pages > 0 else None
+        )
+        self._phase = DEFAULT_PHASE
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_buffer(self, pages: int) -> None:
+        """(Re)install an LRU buffer of ``pages`` pages (0 disables it)."""
+        self._buffer = LRUBufferPool(pages) if pages > 0 else None
+
+    @property
+    def buffer(self) -> Optional[LRUBufferPool]:
+        return self._buffer
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> None:
+        """Register an access to ``page_id`` under the current phase."""
+        fault = True if self._buffer is None else self._buffer.access(page_id)
+        self.stats.record(self._phase, fault)
+
+    def invalidate(self, page_id: int) -> None:
+        """Forget a page (freed by the index) from the buffer."""
+        if self._buffer is not None:
+            self._buffer.invalidate(page_id)
+
+    # ------------------------------------------------------------------
+    # phases and lifecycle
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute enclosed accesses to phase ``name`` (re-entrant)."""
+        previous = self._phase
+        self._phase = name
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    def reset_stats(self) -> None:
+        """Zero the counters; the buffer contents stay warm."""
+        self.stats.reset()
+
+    def cold_restart(self) -> None:
+        """Zero the counters and empty the buffer."""
+        self.stats.reset()
+        if self._buffer is not None:
+            self._buffer.clear()

@@ -1,0 +1,44 @@
+"""Page identity allocation for the simulated disk."""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class PageStore:
+    """Allocates and frees page identifiers.
+
+    Each R*-tree node occupies one page (paper setup: 4 KB pages, one
+    node per page).  The store tracks how many pages are live so buffer
+    pools can be sized as a fraction of the tree ("LRU buffer equal to
+    10 % of the R-tree size").
+    """
+
+    __slots__ = ("_next_id", "_live")
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self._live: Set[int] = set()
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._live.add(page_id)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page id.
+
+        Raises :class:`KeyError` if the page is not live — freeing twice
+        indicates a structural bug in the index.
+        """
+        self._live.remove(page_id)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of live pages (the on-disk size of the structure)."""
+        return len(self._live)
+
+    def is_live(self, page_id: int) -> bool:
+        return page_id in self._live

@@ -1,0 +1,14 @@
+"""Dependency-free SVG rendering of datasets, queries and validity regions.
+
+The evaluation figures of the paper are line charts (regenerated as
+text tables by ``benchmarks/``); its *explanatory* figures are spatial
+drawings — query points, windows, Voronoi cells, Minkowski regions.
+:class:`SvgCanvas` reproduces those: it renders points, rectangles,
+polygons and disks into a standalone ``.svg`` file using nothing but
+the standard library, so the library can illustrate its own output in
+any environment.
+"""
+
+from repro.viz.svg import SvgCanvas, render_nn_validity, render_window_validity
+
+__all__ = ["SvgCanvas", "render_nn_validity", "render_window_validity"]

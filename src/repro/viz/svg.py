@@ -1,0 +1,146 @@
+"""A minimal SVG canvas for spatial drawings."""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, List, Optional, Sequence
+
+from repro.geometry import ConvexPolygon, Rect
+
+
+class SvgCanvas:
+    """Accumulates shapes in *world* coordinates, renders to SVG.
+
+    World coordinates are mapped so the given universe fills the canvas
+    with the y-axis pointing up (SVG's own y points down).
+    """
+
+    def __init__(self, universe: Rect, width_px: int = 640,
+                 margin_px: int = 10):
+        universe.validate()
+        if universe.width <= 0 or universe.height <= 0:
+            raise ValueError("universe must have positive extent")
+        self.universe = universe
+        self.width_px = width_px
+        self.margin_px = margin_px
+        scale = (width_px - 2 * margin_px) / universe.width
+        self._scale = scale
+        self.height_px = int(universe.height * scale) + 2 * margin_px
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def _x(self, wx: float) -> float:
+        return self.margin_px + (wx - self.universe.xmin) * self._scale
+
+    def _y(self, wy: float) -> float:
+        return (self.height_px - self.margin_px
+                - (wy - self.universe.ymin) * self._scale)
+
+    # ------------------------------------------------------------------
+    # shapes
+    # ------------------------------------------------------------------
+    def add_points(self, points: Iterable, radius_px: float = 1.5,
+                   color: str = "#555555", opacity: float = 1.0) -> None:
+        for p in points:
+            self._elements.append(
+                f'<circle cx="{self._x(p[0]):.2f}" cy="{self._y(p[1]):.2f}" '
+                f'r="{radius_px}" fill="{color}" opacity="{opacity}"/>')
+
+    def add_marker(self, point, color: str = "#d62728",
+                   radius_px: float = 4.0, label: Optional[str] = None) -> None:
+        self.add_points([point], radius_px=radius_px, color=color)
+        if label:
+            self._elements.append(
+                f'<text x="{self._x(point[0]) + 6:.2f}" '
+                f'y="{self._y(point[1]) - 6:.2f}" font-size="11" '
+                f'fill="{color}">{html.escape(label)}</text>')
+
+    def add_rect(self, rect: Rect, stroke: str = "#1f77b4",
+                 fill: str = "none", opacity: float = 0.35,
+                 dashed: bool = False) -> None:
+        dash = ' stroke-dasharray="4 3"' if dashed else ""
+        self._elements.append(
+            f'<rect x="{self._x(rect.xmin):.2f}" y="{self._y(rect.ymax):.2f}" '
+            f'width="{rect.width * self._scale:.2f}" '
+            f'height="{rect.height * self._scale:.2f}" '
+            f'stroke="{stroke}" fill="{fill}" fill-opacity="{opacity}"{dash}/>')
+
+    def add_polygon(self, polygon: ConvexPolygon, stroke: str = "#2ca02c",
+                    fill: str = "#2ca02c", opacity: float = 0.25) -> None:
+        if polygon.is_empty:
+            return
+        points = " ".join(f"{self._x(v.x):.2f},{self._y(v.y):.2f}"
+                          for v in polygon.vertices)
+        self._elements.append(
+            f'<polygon points="{points}" stroke="{stroke}" '
+            f'fill="{fill}" fill-opacity="{opacity}"/>')
+
+    def add_disk(self, center, radius: float, stroke: str = "#9467bd",
+                 fill: str = "#9467bd", opacity: float = 0.2) -> None:
+        self._elements.append(
+            f'<circle cx="{self._x(center[0]):.2f}" '
+            f'cy="{self._y(center[1]):.2f}" '
+            f'r="{radius * self._scale:.2f}" stroke="{stroke}" '
+            f'fill="{fill}" fill-opacity="{opacity}"/>')
+
+    def add_title(self, text: str) -> None:
+        self._elements.append(
+            f'<text x="{self.margin_px}" y="{self.margin_px + 4}" '
+            f'font-size="13" fill="#000">{html.escape(text)}</text>')
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f'  {body}\n</svg>\n')
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_svg())
+
+
+def render_nn_validity(result, universe: Rect, points: Sequence = (),
+                       width_px: int = 640) -> SvgCanvas:
+    """Draw an :class:`NNValidityResult`: data, query, neighbours,
+    influence set and the validity region (paper Figure 7 style)."""
+    canvas = SvgCanvas(universe, width_px=width_px)
+    canvas.add_points(points, radius_px=1.2, color="#999999", opacity=0.7)
+    canvas.add_polygon(result.region)
+    for e in result.influence_set:
+        canvas.add_marker((e.x, e.y), color="#ff7f0e", radius_px=3.0)
+    for e in result.neighbors:
+        canvas.add_marker((e.x, e.y), color="#2ca02c", radius_px=3.5)
+    canvas.add_marker(result.query, color="#d62728", label="q")
+    canvas.add_title(f"kNN validity region: {result.num_edges} edges, "
+                     f"|S_inf|={result.num_influence_objects}")
+    return canvas
+
+
+def render_window_validity(result, universe: Rect, points: Sequence = (),
+                           width_px: int = 640) -> SvgCanvas:
+    """Draw a :class:`WindowValidityResult`: the window, its inner and
+    conservative regions and the influence objects (Figure 17 style)."""
+    canvas = SvgCanvas(universe, width_px=width_px)
+    canvas.add_points(points, radius_px=1.2, color="#999999", opacity=0.7)
+    canvas.add_rect(result.window, stroke="#1f77b4")
+    canvas.add_rect(result.inner_region, stroke="#2ca02c", dashed=True)
+    canvas.add_rect(result.conservative_region, stroke="#2ca02c",
+                    fill="#2ca02c")
+    for e in result.inner_influence:
+        canvas.add_marker((e.x, e.y), color="#2ca02c", radius_px=3.0)
+    for e in result.outer_influence:
+        canvas.add_marker((e.x, e.y), color="#ff7f0e", radius_px=3.0)
+    canvas.add_marker(result.focus, color="#d62728", label="focus")
+    canvas.add_title(
+        f"window validity: {len(result.result)} results, "
+        f"{len(result.inner_influence)}+{len(result.outer_influence)} "
+        f"influence objects")
+    return canvas

@@ -1,0 +1,124 @@
+"""Tests for the Minskew histogram."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.analysis import MinskewHistogram
+from repro.datasets import uniform_points, make_greece_like
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestConstruction:
+    def test_bucket_count_respected(self):
+        pts = uniform_points(2000, seed=0)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=400,
+                                      num_buckets=50)
+        assert len(hist) <= 50
+
+    def test_total_count_preserved(self):
+        pts = uniform_points(1234, seed=1)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=400,
+                                      num_buckets=30)
+        assert math.isclose(sum(b.count for b in hist.buckets), 1234)
+        assert hist.total == 1234
+
+    def test_buckets_tile_universe(self):
+        pts = uniform_points(500, seed=2)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=100,
+                                      num_buckets=20)
+        assert math.isclose(sum(b.area for b in hist.buckets), 1.0,
+                            rel_tol=1e-9)
+        # No two buckets overlap.
+        buckets = hist.buckets
+        for i, a in enumerate(buckets):
+            for b in buckets[i + 1:]:
+                assert a.rect.overlap_area(b.rect) < 1e-12
+
+    def test_uniform_data_one_bucket_is_enough(self):
+        """On perfectly uniform grids there is no skew to reduce."""
+        grid = np.full((10, 10), 5.0)
+        hist = MinskewHistogram.from_grid(grid, UNIT, num_buckets=50)
+        assert len(hist) == 1
+
+    def test_skewed_data_splits_where_the_skew_is(self):
+        grid = np.zeros((10, 10))
+        grid[0, 0] = 1000.0  # one hot cell
+        hist = MinskewHistogram.from_grid(grid, UNIT, num_buckets=10)
+        assert len(hist) > 1
+        hot = hist.bucket_at((0.05, 0.05))
+        assert hot.count == 1000.0
+
+    def test_points_on_universe_edge_binned(self):
+        hist = MinskewHistogram.build([(1.0, 1.0), (0.0, 0.0)], UNIT,
+                                      initial_cells=100, num_buckets=4)
+        assert hist.total == 2
+
+
+class TestEstimation:
+    def test_estimate_whole_universe(self):
+        pts = uniform_points(3000, seed=3)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=400,
+                                      num_buckets=40)
+        assert math.isclose(hist.estimate_count(UNIT), 3000, rel_tol=1e-9)
+
+    def test_estimate_uniform_subwindow(self):
+        pts = uniform_points(20_000, seed=4)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        got = hist.estimate_count(Rect(0.1, 0.1, 0.6, 0.6))
+        assert abs(got - 20_000 * 0.25) / (20_000 * 0.25) < 0.1
+
+    def test_estimate_skewed_window(self):
+        pts = make_greece_like(n=5000, seed=7)
+        from repro.datasets import GR_UNIVERSE
+        hist = MinskewHistogram.build(pts, GR_UNIVERSE, initial_cells=2500,
+                                      num_buckets=200)
+        rect = Rect(0, 0, GR_UNIVERSE.xmax / 2, GR_UNIVERSE.ymax / 2)
+        truth = sum(1 for p in pts if rect.contains_point(p))
+        assert abs(hist.estimate_count(rect) - truth) / max(truth, 1) < 0.15
+
+    def test_bucket_at(self):
+        pts = uniform_points(100, seed=5)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=100,
+                                      num_buckets=10)
+        b = hist.bucket_at((0.5, 0.5))
+        assert b is not None and b.rect.contains_point((0.5, 0.5))
+        assert hist.bucket_at((5.0, 5.0)) is None
+
+    def test_local_density_nn_uniform(self):
+        pts = uniform_points(10_000, seed=6)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        density = hist.local_density_nn((0.5, 0.5), min_points=50)
+        assert abs(density - 10_000) / 10_000 < 0.5
+
+    def test_local_density_skew_sensitive(self):
+        # Dense left half, sparse right half.
+        rnd = random.Random(0)
+        pts = ([(rnd.random() * 0.5, rnd.random()) for _ in range(9000)]
+               + [(0.5 + rnd.random() * 0.5, rnd.random())
+                  for _ in range(1000)])
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        dense = hist.local_density_nn((0.25, 0.5), min_points=100)
+        sparse = hist.local_density_nn((0.75, 0.5), min_points=100)
+        assert dense > 3 * sparse
+
+    def test_boundary_density(self):
+        pts = uniform_points(10_000, seed=8)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        rho = hist.boundary_density(Rect(0.4, 0.4, 0.6, 0.6))
+        assert abs(rho - 10_000) / 10_000 < 0.5
+
+    def test_boundary_density_degenerate_window(self):
+        pts = uniform_points(100, seed=9)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=100,
+                                      num_buckets=10)
+        # A window covering everything: falls back to global density.
+        assert hist.boundary_density(Rect(-1, -1, 2, 2)) == pytest.approx(100.0)

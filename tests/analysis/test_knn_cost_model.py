@@ -1,0 +1,50 @@
+"""Tests for the kNN node-access model."""
+
+import random
+
+import pytest
+
+from repro.analysis import knn_query_node_accesses
+from repro.datasets import uniform_points
+from repro.index import bulk_load_str, tree_level_stats
+from repro.queries import nearest_neighbors
+
+
+class TestKNNCostModel:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        n = 20_000
+        tree = bulk_load_str(uniform_points(n, seed=15), capacity=32)
+        return n, tree, tree_level_stats(tree)
+
+    def test_model_tracks_measurement(self, setup):
+        n, tree, levels = setup
+        rnd = random.Random(1)
+        for k in (1, 10, 100):
+            measured = []
+            for _ in range(30):
+                q = (rnd.uniform(0.1, 0.9), rnd.uniform(0.1, 0.9))
+                tree.disk.reset_stats()
+                nearest_neighbors(tree, q, k=k)
+                measured.append(tree.disk.stats.total_node_accesses)
+            avg = sum(measured) / len(measured)
+            model = knn_query_node_accesses(levels, k, n, 1.0)
+            assert 0.4 < avg / model < 2.5, (k, avg, model)
+
+    def test_monotone_in_k(self, setup):
+        n, _, levels = setup
+        costs = [knn_query_node_accesses(levels, k, n, 1.0)
+                 for k in (1, 10, 100, 1000)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_invalid_args(self, setup):
+        _, _, levels = setup
+        with pytest.raises(ValueError):
+            knn_query_node_accesses(levels, 0, 100, 1.0)
+        with pytest.raises(ValueError):
+            knn_query_node_accesses(levels, 1, 0, 1.0)
+        with pytest.raises(ValueError):
+            knn_query_node_accesses(levels, 1, 100, 0.0)
+
+    def test_empty_levels(self):
+        assert knn_query_node_accesses([], 1, 100, 1.0) == 1.0

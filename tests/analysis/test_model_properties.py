@@ -1,0 +1,113 @@
+"""Property-based tests for the analytical models and the histogram."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.analysis import (
+    MinskewHistogram,
+    expected_nn_validity_area,
+    expected_window_validity_area,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestNNModelProperties:
+    @given(st.integers(min_value=2, max_value=10**7),
+           st.integers(min_value=1, max_value=100))
+    def test_positive_and_bounded(self, n, k):
+        a = expected_nn_validity_area(n, k, 1.0)
+        assert 0.0 < a <= 1.0
+
+    @given(st.integers(min_value=1000, max_value=10**6))
+    def test_monotone_decreasing_in_n(self, n):
+        assert (expected_nn_validity_area(2 * n, 1, 1.0)
+                < expected_nn_validity_area(n, 1, 1.0))
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_monotone_decreasing_in_k(self, k):
+        n = 10**6
+        assert (expected_nn_validity_area(n, k + 1, 1.0)
+                <= expected_nn_validity_area(n, k, 1.0))
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_scales_with_universe_area(self, area):
+        base = expected_nn_validity_area(1000, 1, 1.0)
+        assert math.isclose(expected_nn_validity_area(1000, 1, area),
+                            base * area, rel_tol=1e-12)
+
+
+class TestWindowModelProperties:
+    @given(st.integers(min_value=100, max_value=200_000),
+           st.floats(min_value=0.005, max_value=0.2))
+    @settings(deadline=None, max_examples=25)
+    def test_positive_and_below_universe(self, n, side):
+        a = expected_window_validity_area(n, side, side, 1.0)
+        # Sparse datasets clamp to the whole universe.
+        assert 0.0 < a <= 1.0
+
+    @given(st.floats(min_value=0.005, max_value=0.1))
+    @settings(deadline=None, max_examples=15)
+    def test_monotone_in_n(self, side):
+        small = expected_window_validity_area(5_000, side, side, 1.0)
+        large = expected_window_validity_area(50_000, side, side, 1.0)
+        assert large < small
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=5_000, max_value=100_000))
+    def test_aspect_ratio_symmetry(self, n):
+        """A w x h window and an h x w window have the same expected
+        validity area (the model must be axis-symmetric)."""
+        a = expected_window_validity_area(n, 0.02, 0.08, 1.0)
+        b = expected_window_validity_area(n, 0.08, 0.02, 1.0)
+        assert math.isclose(a, b, rel_tol=1e-6)
+
+    def test_scaling_like_inverse_density_squared(self):
+        """Doubling density roughly quarters the area (dist ~ 1/rho)."""
+        a = expected_window_validity_area(10_000, 0.05, 0.05, 1.0)
+        b = expected_window_validity_area(40_000, 0.05, 0.05, 1.0)
+        assert 0.04 < b / a < 0.12
+
+
+class TestHistogramProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=2, max_value=60))
+    @settings(deadline=None, max_examples=25)
+    def test_split_conserves_mass_and_area(self, seed, buckets):
+        rng = np.random.default_rng(seed)
+        grid = rng.poisson(3.0, size=(12, 12)).astype(float)
+        hist = MinskewHistogram.from_grid(grid, UNIT, num_buckets=buckets)
+        assert math.isclose(sum(b.count for b in hist.buckets), grid.sum())
+        assert math.isclose(sum(b.area for b in hist.buckets), 1.0,
+                            rel_tol=1e-9)
+        assert len(hist) <= buckets
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(deadline=None, max_examples=20)
+    def test_estimate_count_never_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.poisson(2.0, size=(8, 8)).astype(float)
+        hist = MinskewHistogram.from_grid(grid, UNIT, num_buckets=16)
+        r = Rect(rng.uniform(0, 0.5), rng.uniform(0, 0.5),
+                 rng.uniform(0.5, 1), rng.uniform(0.5, 1))
+        est = hist.estimate_count(r)
+        assert 0.0 <= est <= grid.sum() + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(deadline=None, max_examples=20)
+    def test_more_buckets_never_worse_on_grid_aligned_queries(self, seed):
+        """With queries aligned to grid cells the histogram is exact
+        regardless of bucketing (mass conservation within buckets)."""
+        rng = np.random.default_rng(seed)
+        grid = rng.poisson(2.0, size=(8, 8)).astype(float)
+        hist = MinskewHistogram.from_grid(grid, UNIT, num_buckets=64)
+        # 64 buckets over 64 cells: each bucket is one cell, so any
+        # cell-aligned rectangle estimate is exact.
+        if len(hist) == 64:
+            r = Rect(0.25, 0.25, 0.75, 0.75)
+            truth = grid[2:6, 2:6].sum()
+            assert math.isclose(hist.estimate_count(r), truth, rel_tol=1e-9)

@@ -1,0 +1,195 @@
+"""Tests for the analytical models of Section 5 against measurements."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str, tree_level_stats
+from repro.core import compute_nn_validity, compute_window_validity
+from repro.analysis import (
+    MinskewHistogram,
+    contained_node_accesses,
+    expected_inner_extents,
+    expected_nn_edges,
+    expected_nn_validity_area,
+    expected_nn_validity_area_hist,
+    expected_window_validity_area,
+    expected_window_validity_area_hist,
+    location_window_query_node_accesses,
+    marginal_query_node_accesses,
+    window_query_node_accesses,
+)
+from repro.datasets import uniform_points
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestNNModel:
+    def test_k1_exact_expectation(self):
+        # Order-1 Voronoi cells tile the universe: E[area] = A/N exactly.
+        assert expected_nn_validity_area(1000, 1, 1.0) == 1e-3
+
+    def test_scaling_in_k(self):
+        a1 = expected_nn_validity_area(1000, 1, 1.0)
+        a10 = expected_nn_validity_area(1000, 10, 1.0)
+        assert math.isclose(a1 / a10, 19.0)
+
+    def test_k_ge_n_is_universe(self):
+        assert expected_nn_validity_area(5, 5, 2.0) == 2.0
+        assert expected_nn_validity_area(5, 9, 2.0) == 2.0
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            expected_nn_validity_area(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            expected_nn_validity_area(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            expected_nn_edges(0)
+
+    def test_matches_measurement_uniform(self):
+        """Estimated vs measured (paper Fig 22).
+
+        A random query point lands in large cells more often than in
+        small ones (size-biased sampling), so the measured mean sits a
+        modest constant factor above the cell-average estimate — ~1.3x
+        for k=1 and growing slowly with k.  The paper's log-scale plots
+        absorb this factor; the assertions here bound it explicitly.
+        """
+        pts = uniform_points(5000, seed=0)
+        tree = bulk_load_str(pts, capacity=32)
+        rnd = random.Random(1)
+        for k, hi in ((1, 2.0), (5, 6.0)):
+            areas = []
+            for _ in range(40):
+                q = (rnd.random(), rnd.random())
+                res = compute_nn_validity(tree, q, k=k, universe=UNIT)
+                areas.append(res.region.area())
+            measured = sum(areas) / len(areas)
+            estimated = expected_nn_validity_area(5000, k, 1.0)
+            assert 0.8 < measured / estimated < hi
+
+    def test_hist_variant_uniform_agrees_with_closed_form(self):
+        pts = uniform_points(10_000, seed=2)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        hist_est = expected_nn_validity_area_hist(hist, (0.5, 0.5), 1)
+        closed = expected_nn_validity_area(10_000, 1, 1.0)
+        assert 0.4 < hist_est / closed < 2.5
+
+    def test_expected_edges_is_six(self):
+        assert expected_nn_edges(1) == 6.0
+        assert expected_nn_edges(50) == 6.0
+
+
+class TestWindowModel:
+    def test_decreases_with_n(self):
+        a = expected_window_validity_area(10_000, 0.03, 0.03, 1.0)
+        b = expected_window_validity_area(100_000, 0.03, 0.03, 1.0)
+        assert b < a
+
+    def test_decreases_with_window_size(self):
+        a = expected_window_validity_area(10_000, 0.01, 0.01, 1.0)
+        b = expected_window_validity_area(10_000, 0.1, 0.1, 1.0)
+        assert b < a
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            expected_window_validity_area(0, 0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            expected_window_validity_area(10, 0.0, 0.1, 1.0)
+
+    def test_matches_measurement_uniform(self):
+        """Estimated vs measured (paper Fig 29)."""
+        pts = uniform_points(10_000, seed=3)
+        tree = bulk_load_str(pts, capacity=32)
+        rnd = random.Random(4)
+        side = math.sqrt(0.001)  # qs = 0.1% of the universe
+        areas = []
+        for _ in range(60):
+            f = (rnd.random(), rnd.random())
+            res = compute_window_validity(tree, f, side, side, universe=UNIT)
+            areas.append(res.exact_region.area())
+        measured = sum(areas) / len(areas)
+        estimated = expected_window_validity_area(10_000, side, side, 1.0)
+        assert 0.3 < measured / estimated < 3.0
+
+    def test_hist_variant_uniform(self):
+        pts = uniform_points(10_000, seed=5)
+        hist = MinskewHistogram.build(pts, UNIT, initial_cells=2500,
+                                      num_buckets=100)
+        window = Rect.around((0.5, 0.5), 0.03, 0.03)
+        hist_est = expected_window_validity_area_hist(hist, window)
+        closed = expected_window_validity_area(10_000, 0.03, 0.03, 1.0)
+        assert 0.3 < hist_est / closed < 3.0
+
+    def test_inner_extents(self):
+        dx, dy = expected_inner_extents(10_000.0, 0.02, 0.05)
+        assert math.isclose(dx, 1.0 / (10_000 * 0.05))
+        assert math.isclose(dy, 1.0 / (10_000 * 0.02))
+
+    def test_inner_extents_bad_density(self):
+        with pytest.raises(ValueError):
+            expected_inner_extents(0.0, 0.1, 0.1)
+
+    def test_inner_extents_match_measurement(self):
+        pts = uniform_points(20_000, seed=6)
+        tree = bulk_load_str(pts, capacity=32)
+        rnd = random.Random(7)
+        side = 0.05
+        widths = []
+        for _ in range(60):
+            f = (rnd.uniform(0.2, 0.8), rnd.uniform(0.2, 0.8))
+            res = compute_window_validity(tree, f, side, side, universe=UNIT)
+            widths.append(res.inner_region.width)
+        measured = sum(widths) / len(widths)
+        dx, _ = expected_inner_extents(20_000.0, side, side)
+        assert 0.3 < measured / (2 * dx) < 3.0
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return bulk_load_str(uniform_points(20_000, seed=8), capacity=32)
+
+    def test_window_na_model_close_to_measured(self, tree):
+        levels = tree_level_stats(tree)
+        rnd = random.Random(9)
+        side = 0.1
+        measured = []
+        for _ in range(30):
+            f = (rnd.uniform(0.1, 0.9), rnd.uniform(0.1, 0.9))
+            tree.disk.reset_stats()
+            tree.window(Rect.around(f, side, side))
+            measured.append(tree.disk.stats.total_node_accesses)
+        model = window_query_node_accesses(levels, side, side, 1.0)
+        avg = sum(measured) / len(measured)
+        assert 0.5 < avg / model < 2.0
+
+    def test_contained_fewer_than_intersecting(self, tree):
+        levels = tree_level_stats(tree)
+        na = window_query_node_accesses(levels, 0.2, 0.2, 1.0)
+        cont = contained_node_accesses(levels, 0.2, 0.2, 1.0)
+        assert 0.0 <= cont < na
+
+    def test_marginal_cheaper_than_two_full_queries(self, tree):
+        levels = tree_level_stats(tree)
+        na = window_query_node_accesses(levels, 0.1, 0.1, 1.0)
+        marginal = marginal_query_node_accesses(levels, 0.1, 0.1,
+                                                0.12, 0.12, 1.0)
+        total = location_window_query_node_accesses(levels, 0.1, 0.1,
+                                                    0.12, 0.12, 1.0)
+        assert math.isclose(total, na + marginal)
+        bigger = window_query_node_accesses(levels, 0.12, 0.12, 1.0)
+        assert marginal <= bigger
+
+    def test_invalid_args_raise(self, tree):
+        levels = tree_level_stats(tree)
+        with pytest.raises(ValueError):
+            window_query_node_accesses(levels, -0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            window_query_node_accesses(levels, 0.1, 0.1, 0.0)
+
+    def test_empty_levels(self):
+        assert window_query_node_accesses([], 0.1, 0.1, 1.0) == 1.0

@@ -1,0 +1,124 @@
+"""Tests for the [SR01], TP, and naive baselines."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.baselines import NaiveClient, SR01Client, SR01Server, TPClient
+from repro.mobility import random_waypoint, straight_run
+from tests.conftest import brute_knn_set, brute_window
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestSR01:
+    def test_server_returns_m_results(self, small_tree):
+        server = SR01Server(small_tree)
+        got = server.query((0.5, 0.5), k=2, m=8)
+        assert len(got) == 8
+
+    def test_m_less_than_k_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            SR01Server(small_tree).query((0.5, 0.5), k=5, m=2)
+        with pytest.raises(ValueError):
+            SR01Client(SR01Server(small_tree), k=5, m=2)
+
+    def test_client_answers_correct_along_walk(self, small_tree, uniform_1k,
+                                               rng):
+        client = SR01Client(SR01Server(small_tree), k=2, m=10)
+        pos = [0.5, 0.5]
+        for _ in range(80):
+            pos[0] = min(max(pos[0] + rng.uniform(-0.01, 0.01), 0), 1)
+            pos[1] = min(max(pos[1] + rng.uniform(-0.01, 0.01), 0), 1)
+            got = client.knn(tuple(pos))
+            assert {e.oid for e in got} == brute_knn_set(uniform_1k,
+                                                         tuple(pos), 2)
+        assert client.cache_answers > 0
+        assert client.server_queries < client.position_updates
+
+    def test_larger_m_saves_more_queries(self, small_tree, rng):
+        paths = random_waypoint(UNIT, 100, speed=0.005, seed=3)
+        small_m = SR01Client(SR01Server(small_tree), k=1, m=2)
+        large_m = SR01Client(SR01Server(small_tree), k=1, m=16)
+        for step in paths:
+            small_m.knn(step.position)
+            large_m.knn(step.position)
+        assert large_m.server_queries <= small_m.server_queries
+
+    def test_dataset_smaller_than_m(self):
+        tree = bulk_load_str([(0.2, 0.2), (0.8, 0.8)], capacity=4)
+        client = SR01Client(SR01Server(tree), k=1, m=10)
+        assert client.knn((0.0, 0.0))[0].oid == 0
+        assert client.knn((1.0, 1.0))[0].oid == 1  # must re-query correctly
+
+
+class TestTPClient:
+    def test_straight_run_caches(self, small_tree):
+        traj = straight_run((0.1, 0.5), (1.0, 0.0), num_steps=50,
+                            speed=0.002)
+        client = TPClient(small_tree)
+        for step in traj:
+            client.knn(step.position, step.velocity, step.time, k=1)
+        assert client.cache_answers > 0
+        assert client.server_queries < 50
+
+    def test_velocity_change_forces_requery(self, small_tree):
+        client = TPClient(small_tree)
+        client.knn((0.5, 0.5), (1.0, 0.0), now=0.0)
+        client.knn((0.5, 0.5), (0.0, 1.0), now=1e-9)
+        assert client.server_queries == 2
+
+    def test_answers_correct_on_waypoint_path(self, small_tree, uniform_1k):
+        traj = random_waypoint(UNIT, 60, speed=0.01, seed=8)
+        client = TPClient(small_tree)
+        for step in traj:
+            got = client.knn(step.position, step.velocity, step.time, k=1)
+            assert {e.oid for e in got} == brute_knn_set(
+                uniform_1k, step.position, 1)
+
+    def test_window_answers_correct(self, small_tree, uniform_1k):
+        traj = straight_run((0.3, 0.5), (1.0, 0.2), num_steps=40,
+                            speed=0.003)
+        client = TPClient(small_tree)
+        for step in traj:
+            got = client.window(step.position, 0.1, 0.1, step.velocity,
+                                step.time)
+            want = brute_window(uniform_1k,
+                                Rect.around(step.position, 0.1, 0.1))
+            assert sorted(e.oid for e in got) == want
+        assert client.cache_answers > 0
+
+    def test_stationary_client_never_requeries(self, small_tree):
+        client = TPClient(small_tree)
+        for t in range(5):
+            client.knn((0.5, 0.5), (0.0, 0.0), now=float(t))
+        assert client.server_queries == 1
+
+
+class TestNaive:
+    def test_always_queries(self, small_tree):
+        client = NaiveClient(small_tree)
+        for _ in range(10):
+            client.knn((0.5, 0.5), k=1)
+        assert client.server_queries == 10
+        assert client.cache_answers == 0
+
+    def test_knn_correct(self, small_tree, uniform_1k, rng):
+        client = NaiveClient(small_tree)
+        q = (rng.random(), rng.random())
+        got = client.knn(q, k=3)
+        assert {e.oid for e in got} == brute_knn_set(uniform_1k, q, 3)
+
+    def test_window_correct(self, small_tree, uniform_1k):
+        client = NaiveClient(small_tree)
+        got = client.window((0.5, 0.5), 0.2, 0.2)
+        assert sorted(e.oid for e in got) == brute_window(
+            uniform_1k, Rect.around((0.5, 0.5), 0.2, 0.2))
+
+    def test_bytes_accounted(self, small_tree):
+        client = NaiveClient(small_tree)
+        client.knn((0.5, 0.5), k=3)
+        assert client.bytes_received == 60

@@ -1,0 +1,133 @@
+"""Tests for Voronoi-cell construction and the [ZL01] baseline."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.queries import nearest_neighbors
+from repro.baselines import (
+    VoronoiBaselineServer,
+    VoronoiClient,
+    order_k_voronoi_cell,
+    voronoi_cell,
+    voronoi_cell_indexed,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestVoronoiCell:
+    def test_two_sites_halves(self):
+        sites = [(0.25, 0.5), (0.75, 0.5)]
+        cell = voronoi_cell(sites, 0, UNIT)
+        assert math.isclose(cell.area(), 0.5)
+
+    def test_cells_partition_the_universe(self, rng):
+        sites = [(rng.random(), rng.random()) for _ in range(30)]
+        total = sum(voronoi_cell(sites, i, UNIT).area()
+                    for i in range(len(sites)))
+        assert math.isclose(total, 1.0, rel_tol=1e-6)
+
+    def test_cell_contains_its_site(self, rng):
+        sites = [(rng.random(), rng.random()) for _ in range(20)]
+        for i in range(20):
+            assert voronoi_cell(sites, i, UNIT).contains(sites[i], eps=1e-9)
+
+    def test_indexed_matches_exact(self, rng):
+        sites = [(rng.random(), rng.random()) for _ in range(200)]
+        tree = bulk_load_str(sites, capacity=8)
+        entries = {e.oid: e for e in tree.points()}
+        for i in rng.sample(range(200), 25):
+            exact = voronoi_cell(sites, i, UNIT)
+            indexed = voronoi_cell_indexed(tree, entries[i], UNIT)
+            assert math.isclose(exact.area(), indexed.area(),
+                                rel_tol=1e-6, abs_tol=1e-12)
+
+    def test_indexed_single_point(self):
+        tree = bulk_load_str([(0.5, 0.5)], capacity=4)
+        entry = next(tree.points())
+        cell = voronoi_cell_indexed(tree, entry, UNIT)
+        assert math.isclose(cell.area(), 1.0)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=20)
+    def test_order_k_cells_partition(self, seed):
+        """Order-k cells over all k-subsets tile the universe."""
+        rnd = random.Random(seed)
+        sites = [(rnd.random(), rnd.random()) for _ in range(7)]
+        k = rnd.randint(1, 3)
+        from itertools import combinations
+        total = 0.0
+        for subset in combinations(range(len(sites)), k):
+            inside = [sites[i] for i in subset]
+            outside = [sites[i] for i in range(len(sites))
+                       if i not in subset]
+            total += order_k_voronoi_cell(inside, outside, UNIT).area()
+        assert math.isclose(total, 1.0, rel_tol=1e-6)
+
+
+class TestZL01Baseline:
+    @pytest.fixture(scope="class")
+    def server(self):
+        rnd = random.Random(5)
+        sites = [(rnd.random(), rnd.random()) for _ in range(150)]
+        tree = bulk_load_str(sites, capacity=8)
+        server = VoronoiBaselineServer(tree, UNIT)
+        server.precompute()
+        return server
+
+    def test_query_returns_true_nn(self, server, rng):
+        for _ in range(20):
+            q = (rng.random(), rng.random())
+            nn, validity = server.query(q, v_max=1.0)
+            want = nearest_neighbors(server.tree, q, k=1)[0].entry
+            assert nn.oid == want.oid
+            assert validity >= 0.0
+
+    def test_validity_time_is_conservative(self, server, rng):
+        """Within time T at speed <= v_max the NN provably cannot change."""
+        for _ in range(20):
+            q = (rng.random(), rng.random())
+            nn, t = server.query(q, v_max=1.0)
+            if t == 0.0:
+                continue
+            ang = rng.random() * 2 * math.pi
+            # Move exactly t * v_max * 0.99 in a random direction.
+            p = (q[0] + math.cos(ang) * t * 0.99,
+                 q[1] + math.sin(ang) * t * 0.99)
+            if not UNIT.contains_point(p):
+                continue
+            assert nearest_neighbors(server.tree, p, k=1)[0].entry.oid == nn.oid
+
+    def test_higher_vmax_shorter_validity(self, server):
+        _, t_slow = server.query((0.5, 0.5), v_max=1.0)
+        _, t_fast = server.query((0.5, 0.5), v_max=10.0)
+        assert math.isclose(t_slow, 10.0 * t_fast, rel_tol=1e-9)
+
+    def test_bad_vmax_raises(self, server):
+        with pytest.raises(ValueError):
+            server.query((0.5, 0.5), v_max=0.0)
+
+    def test_cell_not_precomputed_raises(self):
+        tree = bulk_load_str([(0.5, 0.5)], capacity=4)
+        server = VoronoiBaselineServer(tree, UNIT)
+        with pytest.raises(KeyError):
+            server.cell_of(0)
+
+    def test_client_caches_until_expiry(self, server):
+        client = VoronoiClient(server, v_max=0.5)
+        a = client.nn((0.5, 0.5), now=0.0)
+        b = client.nn((0.5, 0.5), now=1e-6)
+        assert a.oid == b.oid
+        assert client.server_queries == 1
+        assert client.cache_answers == 1
+
+    def test_client_requeries_after_expiry(self, server):
+        client = VoronoiClient(server, v_max=0.5)
+        client.nn((0.5, 0.5), now=0.0)
+        client.nn((0.9, 0.9), now=1e9)
+        assert client.server_queries == 2

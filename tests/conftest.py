@@ -1,0 +1,92 @@
+"""Shared fixtures and brute-force oracles for the test-suite.
+
+Every non-trivial algorithm in the library is tested against a
+brute-force reference implemented here from first principles (linear
+scans and full half-plane intersections), so the oracles share no code
+with the structures under test.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import ConvexPolygon, Rect, bisector_halfplane
+from repro.index import RStarTree, bulk_load_str
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# datasets / trees
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def uniform_1k():
+    """1000 uniform points in the unit square (session-cached)."""
+    rng = random.Random(1234)
+    return [(rng.random(), rng.random()) for _ in range(1000)]
+
+
+@pytest.fixture(scope="session")
+def small_tree(uniform_1k):
+    """A bulk-loaded tree over the 1k uniform points, fanout 16."""
+    return bulk_load_str(uniform_1k, capacity=16)
+
+
+@pytest.fixture(scope="session")
+def clustered_300():
+    """300 points in three tight clusters (stress for skew handling)."""
+    rng = random.Random(99)
+    centers = [(0.2, 0.2), (0.8, 0.3), (0.5, 0.85)]
+    pts = []
+    for i in range(300):
+        cx, cy = centers[i % 3]
+        pts.append((min(max(cx + rng.gauss(0, 0.03), 0.0), 1.0),
+                    min(max(cy + rng.gauss(0, 0.03), 0.0), 1.0)))
+    return pts
+
+
+@pytest.fixture(scope="session")
+def clustered_tree(clustered_300):
+    return bulk_load_str(clustered_300, capacity=8)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(42)
+
+
+# ----------------------------------------------------------------------
+# brute-force oracles
+# ----------------------------------------------------------------------
+def brute_knn(points, q, k):
+    """k nearest (index, distance) pairs by linear scan."""
+    ranked = sorted(
+        ((math.dist(p, q), i) for i, p in enumerate(points)))
+    return [(i, d) for d, i in ranked[:k]]
+
+
+def brute_window(points, rect: Rect):
+    """Object ids inside the closed rectangle, by linear scan."""
+    return sorted(i for i, p in enumerate(points) if rect.contains_point(p))
+
+
+def brute_order_k_cell(points, q, k, universe: Rect) -> ConvexPolygon:
+    """The order-k Voronoi cell containing ``q``: full O(n^2) clipping."""
+    ranked = sorted(range(len(points)), key=lambda i: math.dist(points[i], q))
+    inside, outside = ranked[:k], ranked[k:]
+    poly = ConvexPolygon.from_rect(universe)
+    for o in inside:
+        for a in outside:
+            poly = poly.clip(bisector_halfplane(points[o], points[a]),
+                             eps=1e-12)
+            if poly.is_empty:
+                return poly
+    return poly
+
+
+def brute_knn_set(points, q, k):
+    """The set of indices of the k nearest points."""
+    return {i for i, _ in brute_knn(points, q, k)}

@@ -1,0 +1,109 @@
+"""Metamorphic tests: geometric transformations of the whole instance.
+
+Validity regions are purely geometric objects, so translating or
+uniformly scaling the dataset, the universe, and the query must
+translate/scale the regions accordingly.  These tests catch hidden
+absolute-coordinate assumptions (hard-coded epsilons, origin bias).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.core import (
+    compute_nn_validity,
+    compute_range_validity,
+    compute_window_validity,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+# Offsets/scales are bounded so that coordinates keep ~10 significant
+# digits after cancellation; beyond that, float conditioning (not the
+# algorithms) dominates the comparison.
+offsets = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+scales = st.floats(min_value=1e-2, max_value=1e3, allow_nan=False)
+
+
+def _instance(seed, n=120):
+    rnd = random.Random(seed)
+    points = [(rnd.random(), rnd.random()) for _ in range(n)]
+    query = (rnd.random(), rnd.random())
+    return points, query
+
+
+def _transform(points, query, dx, dy, s):
+    pts = [(p[0] * s + dx, p[1] * s + dy) for p in points]
+    q = (query[0] * s + dx, query[1] * s + dy)
+    universe = Rect(dx, dy, s + dx, s + dy)
+    return pts, q, universe
+
+
+class TestNNValidityInvariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), offsets, offsets,
+           scales)
+    @settings(deadline=None, max_examples=20)
+    def test_translation_and_scale(self, seed, dx, dy, s):
+        points, query = _instance(seed)
+        base_tree = bulk_load_str(points, capacity=8)
+        base = compute_nn_validity(base_tree, query, k=2, universe=UNIT)
+
+        pts2, q2, universe2 = _transform(points, query, dx, dy, s)
+        tree2 = bulk_load_str(pts2, capacity=8)
+        moved = compute_nn_validity(tree2, q2, k=2, universe=universe2)
+
+        assert ({e.oid for e in moved.neighbors}
+                == {e.oid for e in base.neighbors})
+        assert math.isclose(moved.region.area(), base.region.area() * s * s,
+                            rel_tol=1e-4, abs_tol=1e-9)
+        assert (moved.num_influence_objects
+                == base.num_influence_objects)
+
+
+class TestWindowValidityInvariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), offsets, offsets,
+           scales)
+    @settings(deadline=None, max_examples=20)
+    def test_translation_and_scale(self, seed, dx, dy, s):
+        points, query = _instance(seed)
+        base_tree = bulk_load_str(points, capacity=8)
+        base = compute_window_validity(base_tree, query, 0.2, 0.15,
+                                       universe=UNIT)
+
+        pts2, q2, universe2 = _transform(points, query, dx, dy, s)
+        tree2 = bulk_load_str(pts2, capacity=8)
+        moved = compute_window_validity(tree2, q2, 0.2 * s, 0.15 * s,
+                                        universe=universe2)
+
+        assert ({e.oid for e in moved.result}
+                == {e.oid for e in base.result})
+        assert math.isclose(moved.conservative_region.area(),
+                            base.conservative_region.area() * s * s,
+                            rel_tol=1e-4, abs_tol=1e-9)
+        assert (len(moved.inner_influence) == len(base.inner_influence))
+        assert (len(moved.outer_influence) == len(base.outer_influence))
+
+
+class TestRangeValidityInvariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1), offsets, offsets,
+           scales)
+    @settings(deadline=None, max_examples=20)
+    def test_translation_and_scale(self, seed, dx, dy, s):
+        points, query = _instance(seed)
+        base_tree = bulk_load_str(points, capacity=8)
+        base = compute_range_validity(base_tree, query, 0.15)
+
+        pts2, q2, _ = _transform(points, query, dx, dy, s)
+        tree2 = bulk_load_str(pts2, capacity=8)
+        moved = compute_range_validity(tree2, q2, 0.15 * s)
+
+        assert ({e.oid for e in moved.result}
+                == {e.oid for e in base.result})
+        if math.isfinite(base.validity_radius):
+            assert math.isclose(moved.validity_radius,
+                                base.validity_radius * s,
+                                rel_tol=1e-4, abs_tol=1e-9)

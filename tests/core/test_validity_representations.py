@@ -1,0 +1,95 @@
+"""Tests for the client-side validity-region representations."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str, LeafEntry
+from repro.core import compute_nn_validity
+from repro.core.validity import (
+    NNValidityRegion,
+    WindowValidityRegion,
+    POINT_BYTES,
+    RECT_BYTES,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def _pair(res_xy, inf_xy, res_oid=0, inf_oid=1):
+    return (LeafEntry(res_oid, *res_xy), LeafEntry(inf_oid, *inf_xy))
+
+
+class TestNNValidityRegion:
+    def test_single_pair_is_halfplane(self):
+        region = NNValidityRegion([_pair((0.25, 0.5), (0.75, 0.5))], UNIT)
+        assert region.contains((0.2, 0.9))      # left of x = 0.5
+        assert region.contains((0.5, 0.1))      # on the bisector (closed)
+        assert not region.contains((0.6, 0.5))
+
+    def test_universe_clipping(self):
+        region = NNValidityRegion([], UNIT)
+        assert region.contains((0.5, 0.5))
+        assert not region.contains((1.2, 0.5))
+
+    def test_polygon_matches_halfplane_membership(self, rng):
+        pairs = [_pair((0.4, 0.4), (0.9, 0.4), 0, 1),
+                 _pair((0.4, 0.4), (0.4, 0.95), 0, 2),
+                 _pair((0.4, 0.4), (0.05, 0.1), 0, 3)]
+        region = NNValidityRegion(pairs, UNIT)
+        poly = region.polygon()
+        for _ in range(200):
+            p = (rng.random(), rng.random())
+            margin = max(hp.signed_distance(p) for hp in region.halfplanes)
+            if abs(margin) < 1e-9:
+                continue
+            assert poly.contains(p, eps=1e-9) == region.contains(p)
+
+    def test_transfer_bytes_counts_distinct_objects(self):
+        # The same influence object in two pairs is shipped once.
+        shared = LeafEntry(7, 0.9, 0.9)
+        pairs = [(LeafEntry(0, 0.4, 0.4), shared),
+                 (LeafEntry(1, 0.5, 0.5), shared)]
+        region = NNValidityRegion(pairs, UNIT)
+        assert region.transfer_bytes() == POINT_BYTES * 1 + 4 * 2
+
+    def test_num_halfplane_checks(self):
+        pairs = [_pair((0.4, 0.4), (0.9, 0.4)),
+                 _pair((0.4, 0.4), (0.4, 0.9), 0, 2)]
+        assert NNValidityRegion(pairs, UNIT).num_halfplane_checks == 2
+
+    def test_matches_server_side_region(self, small_tree, rng):
+        """Client-side reconstruction == server-side polygon."""
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            res = compute_nn_validity(small_tree, q, k=3, universe=UNIT)
+            client_region = res.validity_region(UNIT)
+            assert math.isclose(client_region.polygon().area(),
+                                res.region.area(), rel_tol=1e-6,
+                                abs_tol=1e-12)
+            for _ in range(20):
+                p = (rng.random(), rng.random())
+                if res.region.contains(p, eps=-1e-9):
+                    assert client_region.contains(p, eps=1e-12)
+                elif not res.region.contains(p, eps=1e-9):
+                    assert not client_region.contains(p, eps=-1e-12)
+
+    def test_eps_tolerance(self):
+        region = NNValidityRegion([_pair((0.25, 0.5), (0.75, 0.5))], UNIT)
+        assert region.contains((0.5005, 0.5), eps=1e-3)
+        assert not region.contains((0.5005, 0.5), eps=0.0)
+
+
+class TestWindowValidityRegionRepr:
+    def test_contains_and_area(self):
+        region = WindowValidityRegion(Rect(0.1, 0.2, 0.5, 0.4))
+        assert region.contains((0.3, 0.3))
+        assert not region.contains((0.6, 0.3))
+        assert math.isclose(region.area(), 0.4 * 0.2)
+        assert region.transfer_bytes() == RECT_BYTES
+
+    def test_degenerate_rect(self):
+        region = WindowValidityRegion(Rect(0.5, 0.5, 0.5, 0.5))
+        assert region.contains((0.5, 0.5))
+        assert region.area() == 0.0

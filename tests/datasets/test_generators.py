@@ -1,0 +1,160 @@
+"""Tests for dataset and workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.datasets import (
+    GR_CARDINALITY,
+    GR_UNIVERSE,
+    NA_CARDINALITY,
+    NA_UNIVERSE,
+    data_following_queries,
+    make_greece_like,
+    make_north_america_like,
+    square_windows_for_area_fraction,
+    uniform_points,
+    window_side_for_area,
+)
+from repro.datasets.synthetic import gaussian_clusters
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def spatial_skew(points, universe, grid=10):
+    """Coefficient of variation of grid-cell counts (0 for uniform)."""
+    counts = np.zeros((grid, grid))
+    ix = np.clip(((points[:, 0] - universe.xmin) / universe.width
+                  * grid).astype(int), 0, grid - 1)
+    iy = np.clip(((points[:, 1] - universe.ymin) / universe.height
+                  * grid).astype(int), 0, grid - 1)
+    np.add.at(counts, (ix, iy), 1)
+    return counts.std() / counts.mean()
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        pts = uniform_points(500, seed=0)
+        assert pts.shape == (500, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_points(100, seed=7),
+                              uniform_points(100, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(uniform_points(100, seed=1),
+                                  uniform_points(100, seed=2))
+
+    def test_custom_universe(self):
+        u = Rect(10, 20, 30, 25)
+        pts = uniform_points(200, universe=u, seed=3)
+        assert pts[:, 0].min() >= 10 and pts[:, 0].max() <= 30
+        assert pts[:, 1].min() >= 20 and pts[:, 1].max() <= 25
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+
+    def test_low_skew(self):
+        pts = uniform_points(20_000, seed=4)
+        assert spatial_skew(pts, UNIT) < 0.2
+
+
+class TestClusters:
+    def test_shape(self):
+        pts = gaussian_clusters(300, 5, spread=0.02, seed=0)
+        assert pts.shape == (300, 2)
+
+    def test_clamped_to_universe(self):
+        pts = gaussian_clusters(1000, 3, spread=0.5, seed=1)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_more_skewed_than_uniform(self):
+        clustered = gaussian_clusters(20_000, 10, spread=0.02, seed=2)
+        uniform = uniform_points(20_000, seed=2)
+        assert spatial_skew(clustered, UNIT) > 2 * spatial_skew(uniform, UNIT)
+
+    def test_size_skew_concentrates(self):
+        even = gaussian_clusters(20_000, 50, spread=0.01, seed=3,
+                                 size_skew=0.0)
+        skewed = gaussian_clusters(20_000, 50, spread=0.01, seed=3,
+                                   size_skew=2.0)
+        assert spatial_skew(skewed, UNIT) > spatial_skew(even, UNIT)
+
+    def test_zero_clusters_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 0, spread=0.1)
+
+
+class TestRealLike:
+    def test_gr_defaults(self):
+        pts = make_greece_like(n=2000)
+        assert pts.shape == (2000, 2)
+        assert GR_UNIVERSE.contains_point((pts[:, 0].min(), pts[:, 1].min()))
+        assert GR_UNIVERSE.contains_point((pts[:, 0].max(), pts[:, 1].max()))
+
+    def test_gr_full_cardinality_constant(self):
+        assert GR_CARDINALITY == 23_268
+        assert NA_CARDINALITY == 569_120
+
+    def test_gr_deterministic(self):
+        assert np.array_equal(make_greece_like(n=500), make_greece_like(n=500))
+
+    def test_gr_heavily_skewed(self):
+        # Road-network skew shows up at finer grids (line features are
+        # thin); a 20x20 grid resolves them.
+        pts = make_greece_like(n=10_000)
+        assert spatial_skew(pts, GR_UNIVERSE, grid=20) > 1.0
+
+    def test_na_skewed(self):
+        pts = make_north_america_like(n=20_000)
+        assert pts.shape == (20_000, 2)
+        assert spatial_skew(pts, NA_UNIVERSE) > 1.0
+
+    def test_na_deterministic(self):
+        assert np.array_equal(make_north_america_like(n=500),
+                              make_north_america_like(n=500))
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            make_greece_like(n=-1)
+        with pytest.raises(ValueError):
+            make_north_america_like(n=-1)
+
+
+class TestWorkload:
+    def test_data_following_in_universe(self):
+        pts = uniform_points(1000, seed=0)
+        qs = data_following_queries(pts, 200, UNIT, seed=1)
+        assert qs.shape == (200, 2)
+        assert qs.min() >= 0.0 and qs.max() <= 1.0
+
+    def test_data_following_follows_data(self):
+        pts = gaussian_clusters(5000, 3, spread=0.01, seed=2)
+        qs = data_following_queries(pts, 2000, UNIT, jitter=0.005, seed=3)
+        assert spatial_skew(qs, UNIT) > 1.0
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            data_following_queries(np.empty((0, 2)), 10, UNIT)
+
+    def test_window_side(self):
+        assert math.isclose(window_side_for_area(0.04), 0.2)
+        with pytest.raises(ValueError):
+            window_side_for_area(-1.0)
+
+    def test_square_windows(self):
+        pts = uniform_points(1000, seed=4)
+        wins = square_windows_for_area_fraction(pts, 50, UNIT, 0.01, seed=5)
+        assert len(wins) == 50
+        for focus, side in wins:
+            assert math.isclose(side, 0.1)
+            assert UNIT.contains_point(focus)
+
+    def test_bad_area_fraction_raises(self):
+        pts = uniform_points(10, seed=6)
+        with pytest.raises(ValueError):
+            square_windows_for_area_fraction(pts, 5, UNIT, 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the two-level cluster generation used by the NA stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestExplicitCenters:
+    def test_centers_respected(self):
+        centers = np.array([[0.1, 0.1], [0.9, 0.9]])
+        pts = gaussian_clusters(500, 2, spread=0.001, seed=0,
+                                centers=centers)
+        # Every point hugs one of the two centres.
+        d0 = np.hypot(pts[:, 0] - 0.1, pts[:, 1] - 0.1)
+        d1 = np.hypot(pts[:, 0] - 0.9, pts[:, 1] - 0.9)
+        assert (np.minimum(d0, d1) < 0.02).all()
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 3, spread=0.01,
+                              centers=np.zeros((2, 2)))
+
+    def test_deterministic_with_centers(self):
+        centers = uniform_points(5, seed=1)
+        a = gaussian_clusters(100, 5, spread=0.01, seed=2, centers=centers)
+        b = gaussian_clusters(100, 5, spread=0.01, seed=2, centers=centers)
+        assert np.array_equal(a, b)
+
+    def test_clustered_centers_increase_large_scale_skew(self):
+        """Two-level clustering concentrates mass at continental scale."""
+        def coarse_skew(points):
+            grid = 5
+            counts = np.zeros((grid, grid))
+            ix = np.clip((points[:, 0] * grid).astype(int), 0, grid - 1)
+            iy = np.clip((points[:, 1] * grid).astype(int), 0, grid - 1)
+            np.add.at(counts, (ix, iy), 1)
+            return counts.std() / counts.mean()
+
+        flat_centers = uniform_points(200, seed=3)
+        lumpy_centers = gaussian_clusters(200, 4, spread=0.03, seed=3)
+        flat = gaussian_clusters(20_000, 200, spread=0.005, seed=4,
+                                 centers=flat_centers)
+        lumpy = gaussian_clusters(20_000, 200, spread=0.005, seed=4,
+                                  centers=lumpy_centers)
+        assert coarse_skew(lumpy) > coarse_skew(flat)

@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.halfplane."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import HalfPlane, Point, bisector_halfplane, perpendicular_bisector
+from repro.geometry.point import distance
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestHalfPlane:
+    def test_make_normalizes(self):
+        hp = HalfPlane.make(3, 4, 10)
+        assert math.isclose(math.hypot(hp.a, hp.b), 1.0)
+        assert math.isclose(hp.c, 2.0)
+
+    def test_make_zero_normal_raises(self):
+        with pytest.raises(ValueError):
+            HalfPlane.make(0, 0, 1)
+
+    def test_contains_closed(self):
+        hp = HalfPlane.make(1, 0, 1)  # x <= 1
+        assert hp.contains((0.5, 7))
+        assert hp.contains((1.0, -3))
+        assert not hp.contains((1.5, 0))
+
+    def test_contains_eps(self):
+        hp = HalfPlane.make(1, 0, 1)
+        assert hp.contains((1.0005, 0), eps=0.001)
+
+    def test_signed_distance_is_euclidean(self):
+        hp = HalfPlane.make(0, 2, 4)  # y <= 2
+        assert math.isclose(hp.signed_distance((0, 5)), 3.0)
+        assert math.isclose(hp.signed_distance((0, -1)), -3.0)
+
+    def test_flipped(self):
+        hp = HalfPlane.make(1, 0, 1)
+        assert not hp.flipped().contains((0, 0))
+        assert hp.flipped().contains((2, 0))
+
+    def test_boundary_points_on_line(self):
+        hp = HalfPlane.make(1, 2, 3)
+        for p in hp.boundary_points(span=5.0):
+            assert abs(hp.signed_distance(p)) < 1e-9
+
+    def test_boundary_points_distinct(self):
+        a, b = HalfPlane.make(0, 1, 0).boundary_points(span=2.0)
+        assert math.isclose(math.dist(a, b), 4.0)
+
+
+class TestBisector:
+    def test_contains_first_point(self):
+        hp = perpendicular_bisector((0, 0), (2, 0))
+        assert hp.contains((0, 0))
+        assert not hp.contains((2, 0))
+
+    def test_boundary_is_midline(self):
+        hp = perpendicular_bisector((0, 0), (2, 0))
+        assert abs(hp.signed_distance((1, 123.0))) < 1e-9
+
+    def test_coincident_raises(self):
+        with pytest.raises(ValueError):
+            perpendicular_bisector((1, 1), (1, 1))
+
+    def test_alias(self):
+        assert bisector_halfplane((0, 0), (1, 1)) == perpendicular_bisector(
+            (0, 0), (1, 1))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_halfplane_matches_distance_comparison(self, px, py, qx, qy, tx, ty):
+        p, q, t = (px, py), (qx, qy), (tx, ty)
+        if distance(p, q) < 1e-6:
+            return
+        hp = perpendicular_bisector(p, q)
+        dp, dq = distance(t, p), distance(t, q)
+        if abs(dp - dq) < 1e-6:
+            return  # too close to the boundary for strict comparison
+        assert hp.contains(t) == (dp < dq)
+
+    @given(coords, coords, coords, coords)
+    def test_midpoint_on_boundary(self, px, py, qx, qy):
+        if distance((px, py), (qx, qy)) < 1e-6:
+            return
+        hp = perpendicular_bisector((px, py), (qx, qy))
+        mid = ((px + qx) / 2, (py + qy) / 2)
+        assert abs(hp.signed_distance(mid)) < 1e-6

@@ -1,0 +1,81 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, distance, distance_sq, midpoint
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_is_tuple_like(self):
+        p = Point(1.0, 2.0)
+        x, y = p
+        assert (x, y) == (1.0, 2.0)
+        assert p[0] == 1.0 and p[1] == 2.0
+
+    def test_hashable_and_equal(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_accepts_tuples(self):
+        assert Point(0, 0).distance_to((3, 4)) == 5.0
+
+    def test_distance_sq_to(self):
+        assert Point(1, 1).distance_sq_to(Point(4, 5)) == 25.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(0.5, -0.5) == Point(1.5, 1.5)
+
+    def test_towards_unit_vector(self):
+        d = Point(0, 0).towards(Point(10, 0))
+        assert d == Point(1.0, 0.0)
+
+    def test_towards_diagonal(self):
+        d = Point(0, 0).towards(Point(1, 1))
+        assert math.isclose(d.x, 1 / math.sqrt(2))
+        assert math.isclose(d.y, 1 / math.sqrt(2))
+
+    def test_towards_coincident_raises(self):
+        with pytest.raises(ValueError):
+            Point(1, 1).towards(Point(1, 1))
+
+    @given(finite, finite, finite, finite)
+    def test_towards_has_unit_norm(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        if a.distance_to(b) < 1e-9:
+            return
+        d = a.towards(b)
+        assert math.isclose(math.hypot(d.x, d.y), 1.0, rel_tol=1e-9)
+
+
+class TestHelpers:
+    def test_distance_symmetric(self):
+        assert distance((0, 0), (1, 1)) == distance((1, 1), (0, 0))
+
+    def test_distance_matches_sq(self):
+        assert math.isclose(distance((0, 1), (2, 5)) ** 2,
+                            distance_sq((0, 1), (2, 5)))
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1.0, 2.0)
+
+    @given(finite, finite, finite, finite)
+    def test_midpoint_equidistant(self, ax, ay, bx, by):
+        m = midpoint((ax, ay), (bx, by))
+        assert math.isclose(distance(m, (ax, ay)), distance(m, (bx, by)),
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        origin = (0.0, 0.0)
+        assert (distance(origin, (bx, by))
+                <= distance(origin, (ax, ay)) + distance((ax, ay), (bx, by))
+                + 1e-6)

@@ -1,0 +1,185 @@
+"""Tests for repro.geometry.polygon."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import ConvexPolygon, HalfPlane, Point, Rect
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def halfplanes(draw):
+    a = draw(coords)
+    b = draw(coords)
+    if math.hypot(a, b) < 1e-6:
+        a, b = 1.0, 0.0
+    c = draw(coords)
+    return HalfPlane.make(a, b, c)
+
+
+class TestConstruction:
+    def test_empty(self):
+        p = ConvexPolygon.empty()
+        assert p.is_empty and p.area() == 0.0 and len(p) == 0
+
+    def test_from_rect(self):
+        p = ConvexPolygon.from_rect(Rect(0, 0, 2, 1))
+        assert p.num_edges == 4
+        assert p.area() == 2.0
+
+    def test_degenerate_two_vertices(self):
+        p = ConvexPolygon([(0, 0), (1, 1)])
+        assert p.is_empty and p.num_edges == 0
+
+    def test_dedupe(self):
+        p = ConvexPolygon([(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 1e-15)],
+                          dedupe_eps=1e-12)
+        assert len(p) == 4
+
+    def test_from_halfplanes_strip(self):
+        hps = [HalfPlane.make(1, 0, 0.7), HalfPlane.make(-1, 0, -0.3)]
+        p = ConvexPolygon.from_halfplanes(hps, UNIT)
+        assert math.isclose(p.area(), 0.4, rel_tol=1e-9)
+
+    def test_from_halfplanes_infeasible(self):
+        hps = [HalfPlane.make(1, 0, 0.2), HalfPlane.make(-1, 0, -0.8)]
+        assert ConvexPolygon.from_halfplanes(hps, UNIT).is_empty
+
+
+class TestMeasures:
+    def test_triangle_area(self):
+        p = ConvexPolygon([(0, 0), (2, 0), (0, 2)])
+        assert p.area() == 2.0
+
+    def test_perimeter(self):
+        p = ConvexPolygon.from_rect(Rect(0, 0, 3, 4))
+        assert p.perimeter() == 14.0
+
+    def test_centroid_square(self):
+        p = ConvexPolygon.from_rect(Rect(0, 0, 2, 2))
+        assert p.centroid() == Point(1, 1)
+
+    def test_centroid_triangle(self):
+        p = ConvexPolygon([(0, 0), (3, 0), (0, 3)])
+        c = p.centroid()
+        assert math.isclose(c.x, 1.0) and math.isclose(c.y, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon.empty().centroid()
+
+    def test_bounding_rect(self):
+        p = ConvexPolygon([(0, 0), (2, 0), (1, 3)])
+        assert p.bounding_rect() == Rect(0, 0, 2, 3)
+
+    def test_bounding_rect_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon.empty().bounding_rect()
+
+
+class TestContains:
+    def test_interior(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        assert p.contains((0.5, 0.5))
+
+    def test_boundary_closed(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        assert p.contains((0.0, 0.5))
+        assert p.contains((1.0, 1.0))
+
+    def test_outside(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        assert not p.contains((1.1, 0.5))
+
+    def test_negative_eps_strict(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        assert not p.contains((0.0, 0.5), eps=-1e-6)
+        assert p.contains((0.5, 0.5), eps=-1e-6)
+
+    def test_empty_contains_nothing(self):
+        assert not ConvexPolygon.empty().contains((0, 0))
+
+
+class TestClip:
+    def test_clip_half(self):
+        p = ConvexPolygon.from_rect(UNIT).clip(HalfPlane.make(1, 0, 0.5))
+        assert math.isclose(p.area(), 0.5)
+
+    def test_clip_no_effect(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        q = p.clip(HalfPlane.make(1, 0, 5.0))
+        assert q.vertices == p.vertices
+
+    def test_clip_everything(self):
+        p = ConvexPolygon.from_rect(UNIT).clip(HalfPlane.make(1, 0, -1.0))
+        assert p.is_empty
+
+    def test_clip_corner_makes_pentagon(self):
+        hp = HalfPlane.make(1, 1, 1.5)  # cuts the (1,1) corner
+        p = ConvexPolygon.from_rect(UNIT).clip(hp)
+        assert p.num_edges == 5
+        assert math.isclose(p.area(), 1 - 0.125)
+
+    def test_clip_preserves_surviving_vertices_exactly(self):
+        p = ConvexPolygon.from_rect(UNIT)
+        q = p.clip(HalfPlane.make(1, 0, 0.5))
+        assert Point(0.0, 0.0) in q.vertices
+        assert Point(0.0, 1.0) in q.vertices
+
+    def test_clip_empty_stays_empty(self):
+        assert ConvexPolygon.empty().clip(HalfPlane.make(1, 0, 10)).is_empty
+
+    @given(halfplanes())
+    def test_clip_never_grows_area(self, hp):
+        p = ConvexPolygon.from_rect(UNIT)
+        assert p.clip(hp).area() <= p.area() + 1e-9
+
+    @given(st.lists(halfplanes(), min_size=1, max_size=8))
+    @settings(deadline=None)
+    def test_clip_result_inside_all_halfplanes(self, hps):
+        p = ConvexPolygon.from_rect(UNIT)
+        for hp in hps:
+            p = p.clip(hp)
+        for v in p.vertices:
+            assert UNIT.contains_point(v, eps=1e-9)
+            for hp in hps:
+                assert hp.contains(v, eps=1e-7)
+
+    @given(st.lists(halfplanes(), min_size=1, max_size=6), st.randoms())
+    @settings(deadline=None, max_examples=50)
+    def test_clip_agrees_with_pointwise_membership(self, hps, rnd):
+        p = ConvexPolygon.from_rect(UNIT)
+        for hp in hps:
+            p = p.clip(hp)
+        for _ in range(20):
+            pt = (rnd.random(), rnd.random())
+            truth = all(hp.contains(pt) for hp in hps)
+            if truth:
+                # Interior points of the intersection must be in the polygon.
+                margin = min(-hp.signed_distance(pt) for hp in hps)
+                if margin > 1e-6:
+                    assert p.contains(pt, eps=1e-9)
+            else:
+                margin = max(hp.signed_distance(pt) for hp in hps)
+                if margin > 1e-6:
+                    assert not p.contains(pt, eps=-1e-9) or p.is_empty
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_clip_order_independent_area(self, seed):
+        rnd = random.Random(seed)
+        hps = [HalfPlane.make(rnd.uniform(-1, 1), rnd.uniform(-1, 1) or 1.0,
+                              rnd.uniform(-0.5, 1.5)) for _ in range(5)]
+        base = ConvexPolygon.from_rect(UNIT)
+        a = base
+        for hp in hps:
+            a = a.clip(hp)
+        b = base
+        for hp in reversed(hps):
+            b = b.clip(hp)
+        assert math.isclose(a.area(), b.area(), rel_tol=1e-6, abs_tol=1e-9)

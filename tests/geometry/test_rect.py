@@ -1,0 +1,189 @@
+"""Tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_from_points(self):
+        r = Rect.from_points([(0, 1), (2, -1), (1, 5)])
+        assert r == Rect(0, -1, 2, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_rects(self):
+        r = Rect.from_rects([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert r == Rect(0, -1, 3, 1)
+
+    def test_from_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_rects([])
+
+    def test_around(self):
+        r = Rect.around((1, 2), 4, 6)
+        assert r == Rect(-1, -1, 3, 5)
+
+    def test_around_negative_extent_raises(self):
+        with pytest.raises(ValueError):
+            Rect.around((0, 0), -1, 1)
+
+    def test_validate_degenerate(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1).validate()
+
+    def test_validate_ok_returns_self(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.validate() is r
+
+
+class TestMeasures:
+    def test_area_width_height(self):
+        r = Rect(0, 0, 2, 3)
+        assert (r.width, r.height, r.area()) == (2, 3, 6)
+
+    def test_margin(self):
+        assert Rect(0, 0, 2, 3).margin() == 5
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center() == Point(1, 2)
+
+    def test_corners_ccw(self):
+        corners = list(Rect(0, 0, 1, 2).corners())
+        assert corners == [Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2)]
+
+    def test_degenerate_point_rect(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area() == 0 and not r.is_empty
+
+    def test_is_empty(self):
+        assert Rect(1, 0, 0, 1).is_empty
+        assert Rect(1, 0, 0, 1).area() == 0.0
+
+
+class TestPredicates:
+    def test_contains_point_closed(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point((0, 0))
+        assert r.contains_point((1, 1))
+        assert not r.contains_point((1.0001, 0.5))
+
+    def test_contains_point_eps(self):
+        assert Rect(0, 0, 1, 1).contains_point((1.0001, 0.5), eps=0.001)
+
+    def test_contains_point_open(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point_open((0.5, 0.5))
+        assert not r.contains_point_open((0, 0.5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 2, 2).contains_rect(Rect(0.5, 0.5, 1, 1))
+        assert Rect(0, 0, 2, 2).contains_rect(Rect(0, 0, 2, 2))
+        assert not Rect(0, 0, 2, 2).contains_rect(Rect(1, 1, 3, 1.5))
+
+    def test_intersects_overlap(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+
+class TestConstructions:
+    def test_intersection(self):
+        got = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert got == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_extended(self):
+        assert Rect(0, 0, 1, 1).extended((2, -1)) == Rect(0, -1, 2, 1)
+
+    def test_enlargement(self):
+        assert Rect(0, 0, 1, 1).enlargement(Rect(0, 0, 2, 1)) == 1.0
+        assert Rect(0, 0, 2, 2).enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_inflated(self):
+        assert Rect(0, 0, 1, 1).inflated(0.5, 1) == Rect(-0.5, -1, 1.5, 2)
+
+    def test_inflated_negative_can_empty(self):
+        assert Rect(0, 0, 1, 1).inflated(-1, -1).is_empty
+
+
+class TestDistances:
+    def test_mindist_inside_zero(self):
+        assert Rect(0, 0, 2, 2).mindist((1, 1)) == 0.0
+
+    def test_mindist_side(self):
+        assert Rect(0, 0, 1, 1).mindist((2, 0.5)) == 1.0
+
+    def test_mindist_corner(self):
+        assert math.isclose(Rect(0, 0, 1, 1).mindist((2, 2)), math.sqrt(2))
+
+    def test_maxdist_from_center(self):
+        assert math.isclose(Rect(0, 0, 2, 2).maxdist((1, 1)), math.sqrt(2))
+
+    def test_maxdist_outside(self):
+        assert math.isclose(Rect(0, 0, 1, 1).maxdist((2, 0)), math.sqrt(5))
+
+    @given(rects(), coords, coords)
+    def test_mindist_le_maxdist(self, r, px, py):
+        assert r.mindist((px, py)) <= r.maxdist((px, py)) + 1e-9
+
+    @given(rects(), coords, coords)
+    def test_mindist_bounds_corner_distances(self, r, px, py):
+        md = r.mindist((px, py))
+        for c in r.corners():
+            assert md <= math.dist((px, py), c) + 1e-9
+
+    @given(rects(), coords, coords)
+    def test_mindist_sq_consistent(self, r, px, py):
+        assert math.isclose(r.mindist((px, py)) ** 2, r.mindist_sq((px, py)),
+                            rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestPropertyAlgebra:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter) and b.contains_rect(inter)
+
+    @given(rects(), rects())
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_inclusion_exclusion_bound(self, a, b):
+        # area(union MBR) >= area(a) + area(b) - overlap
+        assert (a.union(b).area()
+                >= a.area() + b.area() - a.overlap_area(b) - 1e-6)

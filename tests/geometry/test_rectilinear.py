@@ -1,0 +1,111 @@
+"""Tests for repro.geometry.rectilinear."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, RectilinearRegion
+
+BASE = Rect(0.0, 0.0, 1.0, 1.0)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def holes_in_unit(draw):
+    n = draw(st.integers(min_value=0, max_value=5))
+    out = []
+    for _ in range(n):
+        x1, x2 = sorted((draw(unit), draw(unit)))
+        y1, y2 = sorted((draw(unit), draw(unit)))
+        out.append(Rect(x1, y1, x2, y2))
+    return out
+
+
+class TestBasics:
+    def test_no_holes_area(self):
+        assert RectilinearRegion(BASE).area() == 1.0
+
+    def test_no_holes_contains(self):
+        r = RectilinearRegion(BASE)
+        assert r.contains((0.5, 0.5)) and not r.contains((1.5, 0.5))
+
+    def test_degenerate_base(self):
+        r = RectilinearRegion(Rect(0, 0, 0, 1))
+        assert r.area() == 0.0
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            RectilinearRegion(Rect(1, 0, 0, 1))
+
+    def test_single_hole_area(self):
+        r = RectilinearRegion(BASE, [Rect(0.25, 0.25, 0.75, 0.75)])
+        assert math.isclose(r.area(), 0.75)
+
+    def test_hole_clipped_to_base(self):
+        r = RectilinearRegion(BASE, [Rect(0.5, -1, 2.0, 2.0)])
+        assert math.isclose(r.area(), 0.5)
+        assert r.holes == [Rect(0.5, 0.0, 1.0, 1.0)]
+
+    def test_disjoint_hole_ignored(self):
+        r = RectilinearRegion(BASE, [Rect(2, 2, 3, 3)])
+        assert r.area() == 1.0 and not r.holes
+
+    def test_zero_area_hole_ignored(self):
+        r = RectilinearRegion(BASE, [Rect(0.5, 0.0, 0.5, 1.0)])
+        assert r.area() == 1.0 and not r.holes
+
+    def test_overlapping_holes_not_double_counted(self):
+        r = RectilinearRegion(BASE, [Rect(0.0, 0.0, 0.6, 1.0),
+                                     Rect(0.4, 0.0, 1.0, 1.0)])
+        assert math.isclose(r.area(), 0.0)
+
+    def test_contains_inside_hole(self):
+        r = RectilinearRegion(BASE, [Rect(0.25, 0.25, 0.75, 0.75)])
+        assert not r.contains((0.5, 0.5))
+        assert r.contains((0.1, 0.1))
+
+    def test_hole_boundary_counts_as_region(self):
+        r = RectilinearRegion(BASE, [Rect(0.25, 0.25, 0.75, 0.75)])
+        assert r.contains((0.25, 0.5))
+
+    def test_full_cover(self):
+        r = RectilinearRegion(BASE, [BASE])
+        assert r.area() == 0.0
+
+
+class TestProperties:
+    @given(holes_in_unit())
+    @settings(deadline=None)
+    def test_area_in_bounds(self, holes):
+        area = RectilinearRegion(BASE, holes).area()
+        assert -1e-9 <= area <= 1.0 + 1e-9
+
+    @given(holes_in_unit())
+    @settings(deadline=None)
+    def test_area_at_least_base_minus_hole_sum(self, holes):
+        area = RectilinearRegion(BASE, holes).area()
+        lower = 1.0 - sum(h.intersection(BASE).area()
+                          for h in holes if h.intersection(BASE))
+        assert area >= lower - 1e-9
+
+    @given(holes_in_unit(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=40)
+    def test_area_matches_monte_carlo(self, holes, seed):
+        rnd = random.Random(seed)
+        region = RectilinearRegion(BASE, holes)
+        samples = 800
+        hits = sum(
+            1 for _ in range(samples)
+            if region.contains((rnd.random(), rnd.random())))
+        assert abs(hits / samples - region.area()) < 0.08
+
+    @given(holes_in_unit())
+    @settings(deadline=None)
+    def test_monotone_adding_holes(self, holes):
+        prev = 1.0
+        for i in range(len(holes) + 1):
+            area = RectilinearRegion(BASE, holes[:i]).area()
+            assert area <= prev + 1e-9
+            prev = area

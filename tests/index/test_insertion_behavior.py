@@ -1,0 +1,106 @@
+"""Behavioural tests for ChooseSubtree and forced reinsertion."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import RStarTree
+from repro.index.metrics import average_occupancy, tree_level_stats
+
+
+def leaf_overlap(tree):
+    """Total pairwise overlap area among leaf MBRs (R* quality metric)."""
+    leaves = [n.mbr for n in tree.nodes() if n.is_leaf]
+    total = 0.0
+    for i, a in enumerate(leaves):
+        for b in leaves[i + 1:]:
+            total += a.overlap_area(b)
+    return total
+
+
+class TestChooseSubtree:
+    def test_point_goes_to_containing_leaf(self):
+        """A point inside exactly one leaf MBR must land there (no
+        enlargement beats zero enlargement)."""
+        tree = RStarTree(capacity=4)
+        # Two well-separated groups => two leaves after the first split.
+        for i, p in enumerate([(0.1, 0.1), (0.12, 0.12), (0.11, 0.13),
+                               (0.9, 0.9), (0.92, 0.92)]):
+            tree.insert(i, p[0], p[1])
+        tree.insert(99, 0.905, 0.915)  # inside the north-east leaf
+        for node in tree.nodes():
+            if node.is_leaf and any(e.oid == 99 for e in node.entries):
+                assert all(e.x > 0.5 for e in node.entries)
+
+    def test_separated_clusters_get_separate_leaves(self):
+        tree = RStarTree(capacity=8)
+        rnd = random.Random(0)
+        for i in range(60):
+            cx = 0.1 if i % 2 == 0 else 0.9
+            tree.insert(i, cx + rnd.uniform(-0.02, 0.02),
+                        0.5 + rnd.uniform(-0.02, 0.02))
+        # No leaf should span both clusters.
+        for node in tree.nodes():
+            if node.is_leaf and node.entries:
+                assert node.mbr.width < 0.5
+
+
+class TestForcedReinsert:
+    def test_reinserted_tree_beats_no_reinsert_on_overlap(self):
+        """R* forced reinsertion exists to reduce node overlap; verify
+        it does on a skewed insertion order (sorted input)."""
+        points = [(i / 500.0, (i * 37 % 500) / 500.0) for i in range(500)]
+        with_reinsert = RStarTree(capacity=8, reinsert_ratio=0.3)
+        without = RStarTree(capacity=8, reinsert_ratio=0.3)
+        # Disable reinsertion in the second tree by marking every level
+        # as already reinserted through a tiny subclass-free trick:
+        # reinsert_count=1 still reinserts; instead build with
+        # min reinsertion by monkeypatching the set each insert.
+        for i, p in enumerate(points):
+            with_reinsert.insert(i, p[0], p[1])
+        for i, p in enumerate(points):
+            without._reinserted_levels = {lvl for lvl in range(20)}
+            without._in_insert = True
+            try:
+                without._insert_at_level(
+                    __import__("repro.index.entry",
+                               fromlist=["LeafEntry"]).LeafEntry(
+                                   i, p[0], p[1]), 0)
+                without._size += 1
+            finally:
+                without._in_insert = False
+        with_reinsert.check_invariants()
+        without.check_invariants()
+        assert leaf_overlap(with_reinsert) <= leaf_overlap(without) * 1.05
+
+    def test_occupancy_reasonable_after_inserts(self):
+        tree = RStarTree(capacity=10)
+        rnd = random.Random(1)
+        for i in range(1000):
+            tree.insert(i, rnd.random(), rnd.random())
+        occ = average_occupancy(tree)
+        assert 0.55 < occ <= 1.0  # R* trees typically sit around 70 %
+
+    def test_sorted_insertion_order_still_legal(self):
+        """Sorted (worst-case) insertion exercises reinsert+split chains."""
+        tree = RStarTree(capacity=6)
+        for i in range(500):
+            tree.insert(i, i / 500.0, i / 500.0)
+        tree.check_invariants()
+        assert len(tree) == 500
+
+    def test_level_stats_consistent_after_heavy_churn(self):
+        tree = RStarTree(capacity=6)
+        rnd = random.Random(2)
+        pts = {}
+        for i in range(600):
+            p = (rnd.random(), rnd.random())
+            tree.insert(i, p[0], p[1])
+            pts[i] = p
+        for i in range(0, 600, 2):
+            assert tree.delete(i, *pts[i])
+        tree.check_invariants()
+        stats = tree_level_stats(tree)
+        assert sum(s.num_nodes for s in stats) == tree.num_pages
+        assert stats[0].avg_fanout >= tree.min_fill * 0.9

@@ -1,0 +1,218 @@
+"""Tests for R*-tree insertion, deletion and window queries."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import RStarTree
+from tests.conftest import brute_window
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def build(points, capacity=8):
+    tree = RStarTree(capacity=capacity)
+    for i, p in enumerate(points):
+        tree.insert(i, p[0], p[1])
+    return tree
+
+
+class TestConstruction:
+    def test_default_capacity_matches_paper(self):
+        tree = RStarTree()
+        assert tree.capacity == 204  # 4096 / 20
+
+    def test_custom_page_geometry(self):
+        tree = RStarTree(page_size=1024, entry_size=32)
+        assert tree.capacity == 32
+
+    def test_capacity_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RStarTree(capacity=3)
+
+    def test_bad_min_fill_raises(self):
+        with pytest.raises(ValueError):
+            RStarTree(capacity=16, min_fill_ratio=0.9)
+
+    def test_empty_tree(self):
+        tree = RStarTree(capacity=8)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.window(UNIT) == []
+
+
+class TestInsert:
+    def test_single_point(self):
+        tree = RStarTree(capacity=8)
+        tree.insert(0, 0.5, 0.5)
+        assert len(tree) == 1
+        assert [e.oid for e in tree.window(UNIT)] == [0]
+
+    def test_grows_in_height(self):
+        rnd = random.Random(0)
+        tree = build([(rnd.random(), rnd.random()) for _ in range(300)],
+                     capacity=8)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_duplicate_coordinates_allowed(self):
+        tree = RStarTree(capacity=4)
+        for i in range(50):
+            tree.insert(i, 0.5, 0.5)
+        tree.check_invariants()
+        assert len(tree.window(Rect(0.5, 0.5, 0.5, 0.5))) == 50
+
+    def test_collinear_points(self):
+        tree = build([(i / 200.0, 0.5) for i in range(200)], capacity=8)
+        tree.check_invariants()
+        got = sorted(e.oid for e in tree.window(Rect(0.0, 0.0, 0.25, 1.0)))
+        assert got == list(range(51))
+
+    def test_window_matches_brute_force(self):
+        rnd = random.Random(3)
+        points = [(rnd.random(), rnd.random()) for _ in range(500)]
+        tree = build(points, capacity=8)
+        for _ in range(30):
+            x1, x2 = sorted((rnd.random(), rnd.random()))
+            y1, y2 = sorted((rnd.random(), rnd.random()))
+            rect = Rect(x1, y1, x2, y2)
+            got = sorted(e.oid for e in tree.window(rect))
+            assert got == brute_window(points, rect)
+
+    def test_extend_assigns_sequential_ids(self):
+        tree = RStarTree(capacity=8)
+        tree.extend([(0.1, 0.1), (0.2, 0.2)])
+        tree.extend([(0.3, 0.3)])
+        assert sorted(e.oid for e in tree.points()) == [0, 1, 2]
+
+    def test_invariants_across_sizes(self):
+        rnd = random.Random(17)
+        tree = RStarTree(capacity=6)
+        for i in range(400):
+            tree.insert(i, rnd.random(), rnd.random())
+            if i % 97 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+
+    def test_clustered_insertion(self):
+        rnd = random.Random(5)
+        pts = [(0.5 + rnd.gauss(0, 0.01), 0.5 + rnd.gauss(0, 0.01))
+               for _ in range(300)]
+        tree = build(pts, capacity=8)
+        tree.check_invariants()
+        assert len(tree) == 300
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([(0.1, 0.1), (0.9, 0.9)], capacity=4)
+        assert tree.delete(0, 0.1, 0.1)
+        assert len(tree) == 1
+        assert [e.oid for e in tree.window(UNIT)] == [1]
+
+    def test_delete_missing_returns_false(self):
+        tree = build([(0.1, 0.1)], capacity=4)
+        assert not tree.delete(5, 0.5, 0.5)
+        assert len(tree) == 1
+
+    def test_delete_wrong_location_returns_false(self):
+        tree = build([(0.1, 0.1)], capacity=4)
+        assert not tree.delete(0, 0.9, 0.9)
+
+    def test_delete_all(self):
+        rnd = random.Random(11)
+        points = [(rnd.random(), rnd.random()) for _ in range(200)]
+        tree = build(points, capacity=6)
+        for i, p in enumerate(points):
+            assert tree.delete(i, p[0], p[1])
+        assert len(tree) == 0
+        assert tree.window(UNIT) == []
+
+    def test_tree_shrinks_after_mass_delete(self):
+        rnd = random.Random(12)
+        points = [(rnd.random(), rnd.random()) for _ in range(400)]
+        tree = build(points, capacity=6)
+        tall = tree.height
+        for i in range(380):
+            tree.delete(i, points[i][0], points[i][1])
+        tree.check_invariants()
+        assert tree.height < tall
+
+    def test_interleaved_insert_delete_matches_model(self):
+        rnd = random.Random(13)
+        tree = RStarTree(capacity=5)
+        model = {}
+        next_id = 0
+        for step in range(800):
+            if model and rnd.random() < 0.4:
+                oid = rnd.choice(list(model))
+                p = model.pop(oid)
+                assert tree.delete(oid, p[0], p[1])
+            else:
+                p = (rnd.random(), rnd.random())
+                tree.insert(next_id, p[0], p[1])
+                model[next_id] = p
+                next_id += 1
+            if step % 101 == 0:
+                tree.check_invariants()
+        rect = Rect(0.2, 0.3, 0.7, 0.9)
+        got = sorted(e.oid for e in tree.window(rect))
+        want = sorted(o for o, p in model.items() if rect.contains_point(p))
+        assert got == want
+
+    def test_delete_frees_pages(self):
+        rnd = random.Random(14)
+        points = [(rnd.random(), rnd.random()) for _ in range(300)]
+        tree = build(points, capacity=6)
+        pages_full = tree.num_pages
+        for i in range(290):
+            tree.delete(i, points[i][0], points[i][1])
+        assert tree.num_pages < pages_full
+
+
+class TestAccessCounting:
+    def test_window_counts_root(self):
+        tree = build([(0.5, 0.5)], capacity=4)
+        tree.disk.reset_stats()
+        tree.window(Rect(0.9, 0.9, 1.0, 1.0))
+        assert tree.disk.stats.total_node_accesses == 1
+
+    def test_build_not_charged(self):
+        rnd = random.Random(2)
+        tree = build([(rnd.random(), rnd.random()) for _ in range(100)],
+                     capacity=8)
+        assert tree.disk.stats.total_node_accesses == 0
+
+    def test_selective_window_visits_fewer_nodes(self):
+        rnd = random.Random(2)
+        tree = build([(rnd.random(), rnd.random()) for _ in range(500)],
+                     capacity=8)
+        tree.disk.reset_stats()
+        tree.window(Rect(0.0, 0.0, 1.0, 1.0))
+        full = tree.disk.stats.total_node_accesses
+        tree.disk.reset_stats()
+        tree.window(Rect(0.4, 0.4, 0.45, 0.45))
+        small = tree.disk.stats.total_node_accesses
+        assert small < full
+        assert full == tree.num_pages  # full scan touches every node
+
+    def test_attach_lru_buffer_sizing(self):
+        rnd = random.Random(2)
+        tree = build([(rnd.random(), rnd.random()) for _ in range(500)],
+                     capacity=8)
+        pages = tree.attach_lru_buffer(0.1)
+        assert pages == max(1, round(tree.num_pages * 0.1))
+        assert tree.disk.buffer.capacity == pages
+
+    def test_buffer_reduces_page_faults_on_repeat(self):
+        rnd = random.Random(2)
+        tree = build([(rnd.random(), rnd.random()) for _ in range(500)],
+                     capacity=8)
+        tree.attach_lru_buffer(1.0)  # buffer as large as the tree
+        rect = Rect(0.2, 0.2, 0.6, 0.6)
+        tree.window(rect)
+        tree.disk.reset_stats()
+        tree.window(rect)
+        assert tree.disk.stats.total_page_faults == 0
+        assert tree.disk.stats.total_node_accesses > 0

@@ -1,0 +1,72 @@
+"""Property-based model checking of the R*-tree.
+
+The tree is driven by random insert/delete programs and compared, after
+every program, against a plain dictionary model — the classic stateful
+model-checking pattern.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.index import RStarTree
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), coord, coord),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=79)),
+    ),
+    max_size=80,
+)
+
+
+@given(ops, st.integers(min_value=4, max_value=12))
+@settings(deadline=None, max_examples=60)
+def test_tree_matches_dict_model(program, capacity):
+    tree = RStarTree(capacity=capacity)
+    model = {}
+    next_id = 0
+    for op in program:
+        if op[0] == "insert":
+            tree.insert(next_id, op[1], op[2])
+            model[next_id] = (op[1], op[2])
+            next_id += 1
+        else:
+            oid = op[1]
+            present = oid in model
+            if present:
+                p = model[oid]
+                assert tree.delete(oid, p[0], p[1])
+                del model[oid]
+            else:
+                assert not tree.delete(oid, 0.5, 0.5)
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    rect = Rect(0.25, 0.25, 0.75, 0.75)
+    got = sorted(e.oid for e in tree.window(rect))
+    want = sorted(o for o, p in model.items() if rect.contains_point(p))
+    assert got == want
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=4, max_value=10))
+@settings(deadline=None, max_examples=30)
+def test_random_windows_match_brute_force(seed, capacity):
+    rnd = random.Random(seed)
+    n = rnd.randint(0, 300)
+    points = [(rnd.random(), rnd.random()) for _ in range(n)]
+    tree = RStarTree(capacity=capacity)
+    for i, p in enumerate(points):
+        tree.insert(i, p[0], p[1])
+    tree.check_invariants()
+    for _ in range(5):
+        x1, x2 = sorted((rnd.random(), rnd.random()))
+        y1, y2 = sorted((rnd.random(), rnd.random()))
+        rect = Rect(x1, y1, x2, y2)
+        got = sorted(e.oid for e in tree.window(rect))
+        want = sorted(i for i, p in enumerate(points)
+                      if rect.contains_point(p))
+        assert got == want

@@ -1,0 +1,67 @@
+"""Tests for the network cost model."""
+
+import math
+
+import pytest
+
+from repro.mobility.network import NetworkModel
+from repro.mobility.simulator import ProtocolReport
+
+
+def report(updates=100, queries=20, received=4000):
+    return ProtocolReport("x", updates, queries, received)
+
+
+class TestNetworkModel:
+    def test_transfer_time_components(self):
+        model = NetworkModel(round_trip_s=1.0, downlink_bytes_per_s=1000.0,
+                             uplink_bytes_per_query=0)
+        rep = report(queries=5, received=2000)
+        # 5 RTTs + 2000 bytes at 1000 B/s.
+        assert math.isclose(model.transfer_time_s(rep), 5.0 + 2.0)
+
+    def test_uplink_accounted(self):
+        model = NetworkModel(round_trip_s=0.0, downlink_bytes_per_s=100.0,
+                             uplink_bytes_per_query=50)
+        rep = report(queries=4, received=0)
+        assert math.isclose(model.transfer_time_s(rep), 200.0 / 100.0)
+
+    def test_zero_queries_zero_time(self):
+        model = NetworkModel()
+        rep = report(queries=0, received=0)
+        assert model.transfer_time_s(rep) == 0.0
+        assert model.radio_energy_j(rep) == 0.0
+
+    def test_energy_scales_with_power(self):
+        low = NetworkModel(radio_watts=1.0)
+        high = NetworkModel(radio_watts=2.0)
+        rep = report()
+        assert math.isclose(high.radio_energy_j(rep),
+                            2.0 * low.radio_energy_j(rep))
+
+    def test_mean_response_time(self):
+        model = NetworkModel(round_trip_s=1.0,
+                             downlink_bytes_per_s=1e12,
+                             uplink_bytes_per_query=0)
+        rep = report(updates=50, queries=10, received=0)
+        assert math.isclose(model.mean_response_time_s(rep), 10.0 / 50.0)
+
+    def test_empty_report(self):
+        model = NetworkModel()
+        rep = report(updates=0, queries=0, received=0)
+        assert model.mean_response_time_s(rep) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(round_trip_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(downlink_bytes_per_s=0.0)
+
+    def test_fewer_queries_beats_fewer_bytes_on_slow_links(self):
+        """The paper's trade-off: validity regions ship more bytes per
+        query but far fewer queries — a win whenever latency dominates."""
+        model = NetworkModel(round_trip_s=0.6, downlink_bytes_per_s=5000.0)
+        validity = ProtocolReport("validity", 100, 10, 4000)
+        naive = ProtocolReport("naive", 100, 100, 2000)
+        assert (model.transfer_time_s(validity)
+                < model.transfer_time_s(naive))

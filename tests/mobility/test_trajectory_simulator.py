@@ -1,0 +1,159 @@
+"""Tests for mobility traces and the protocol simulator."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.datasets import uniform_points
+from repro.mobility import (
+    random_walk,
+    random_waypoint,
+    simulate_knn_protocols,
+    straight_run,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestTrajectories:
+    def test_waypoint_length_and_bounds(self):
+        traj = random_waypoint(UNIT, 200, speed=0.01, seed=0)
+        assert len(traj) == 200
+        for step in traj:
+            assert UNIT.contains_point(step.position, eps=1e-9)
+
+    def test_waypoint_step_distance_is_speed_dt(self):
+        traj = random_waypoint(UNIT, 100, speed=0.01, dt=2.0, seed=1)
+        pos = traj.positions()
+        for a, b in zip(pos, pos[1:]):
+            assert a.distance_to(b) <= 0.02 + 1e-9
+
+    def test_waypoint_deterministic(self):
+        a = random_waypoint(UNIT, 50, speed=0.01, seed=7)
+        b = random_waypoint(UNIT, 50, speed=0.01, seed=7)
+        assert a.positions() == b.positions()
+
+    def test_waypoint_velocity_has_speed(self):
+        traj = random_waypoint(UNIT, 50, speed=0.03, seed=2)
+        for step in traj:
+            assert math.isclose(math.hypot(*step.velocity), 0.03,
+                                rel_tol=1e-9)
+
+    def test_waypoint_start(self):
+        traj = random_waypoint(UNIT, 10, speed=0.01, seed=3,
+                               start=(0.5, 0.5))
+        assert traj.steps[0].position == (0.5, 0.5)
+
+    def test_walk_bounds(self):
+        traj = random_walk(UNIT, 300, speed=0.02, seed=4)
+        for step in traj:
+            assert UNIT.contains_point(step.position, eps=1e-9)
+
+    def test_walk_turns(self):
+        traj = random_walk(UNIT, 50, speed=0.01, seed=5, turn_sigma=1.0)
+        velocities = {step.velocity for step in traj}
+        assert len(velocities) > 10  # heading actually drifts
+
+    def test_straight_run(self):
+        traj = straight_run((0.0, 0.0), (1.0, 0.0), 5, speed=0.1)
+        xs = [p.x for p in traj.positions()]
+        assert xs == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+        assert len({step.velocity for step in traj}) == 1
+
+    def test_straight_run_zero_direction_raises(self):
+        with pytest.raises(ValueError):
+            straight_run((0, 0), (0, 0), 5, speed=0.1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            random_waypoint(UNIT, -1, speed=0.1)
+        with pytest.raises(ValueError):
+            random_waypoint(UNIT, 10, speed=0.0)
+        with pytest.raises(ValueError):
+            random_walk(UNIT, 10, speed=0.1, dt=0.0)
+
+    def test_total_distance(self):
+        traj = straight_run((0, 0), (1, 0), 11, speed=0.1)
+        assert math.isclose(traj.total_distance(), 1.0)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return bulk_load_str(uniform_points(2000, seed=10), capacity=16)
+
+    def test_all_protocols_reported(self, tree):
+        traj = random_waypoint(UNIT, 40, speed=0.005, seed=11)
+        reports = simulate_knn_protocols(tree, traj, k=1)
+        names = {r.protocol for r in reports}
+        assert names == {"validity-region", "naive", "sr01(m=5)", "tp"}
+
+    def test_naive_never_saves(self, tree):
+        traj = random_waypoint(UNIT, 30, speed=0.005, seed=12)
+        reports = {r.protocol: r for r in simulate_knn_protocols(tree, traj)}
+        assert reports["naive"].server_queries == 30
+        assert reports["naive"].query_saving == 0.0
+
+    def test_validity_region_beats_naive(self, tree):
+        traj = random_waypoint(UNIT, 60, speed=0.003, seed=13)
+        reports = {r.protocol: r for r in simulate_knn_protocols(tree, traj)}
+        assert (reports["validity-region"].server_queries
+                < reports["naive"].server_queries)
+        assert reports["validity-region"].query_saving > 0.3
+
+    def test_slow_client_saves_more(self, tree):
+        slow = random_waypoint(UNIT, 50, speed=0.001, seed=14)
+        fast = random_waypoint(UNIT, 50, speed=0.05, seed=14)
+        r_slow = {r.protocol: r for r in simulate_knn_protocols(tree, slow,
+                                                                include_tp=False)}
+        r_fast = {r.protocol: r for r in simulate_knn_protocols(tree, fast,
+                                                                include_tp=False)}
+        assert (r_slow["validity-region"].server_queries
+                <= r_fast["validity-region"].server_queries)
+
+    def test_k_greater_than_one(self, tree):
+        traj = random_waypoint(UNIT, 30, speed=0.004, seed=15)
+        reports = simulate_knn_protocols(tree, traj, k=3, sr01_m=9)
+        names = {r.protocol for r in reports}
+        assert "sr01(m=9)" in names
+
+    def test_report_row_renders(self, tree):
+        traj = random_waypoint(UNIT, 10, speed=0.01, seed=16)
+        for r in simulate_knn_protocols(tree, traj, include_tp=False):
+            row = r.row()
+            assert r.protocol in row
+
+    def test_straight_run_tp_wins_over_naive(self, tree):
+        """With constant velocity the TP baseline shines — that is its
+        designed-for case (and the paper's point is it only has this one)."""
+        traj = straight_run((0.1, 0.5), (1.0, 0.05), 50, speed=0.002)
+        reports = {r.protocol: r for r in simulate_knn_protocols(tree, traj)}
+        assert reports["tp"].server_queries < reports["naive"].server_queries
+
+
+class TestZL01InSimulator:
+    def test_zl01_included_and_correct(self):
+        from repro.index import bulk_load_str
+        from repro.datasets import uniform_points
+        tree = bulk_load_str(uniform_points(400, seed=19), capacity=8)
+        traj = random_waypoint(UNIT, 40, speed=0.003, seed=20)
+        reports = {r.protocol: r
+                   for r in simulate_knn_protocols(tree, traj, k=1,
+                                                   include_zl01=True)}
+        assert "zl01" in reports
+        # [ZL01] caches via validity *times*, so it also beats naive...
+        assert reports["zl01"].server_queries <= reports["naive"].server_queries
+        # ...but its conservative v_max times cannot beat true validity
+        # regions, which are exact in space.
+        assert (reports["validity-region"].server_queries
+                <= reports["zl01"].server_queries)
+
+    def test_zl01_requires_k1(self):
+        from repro.index import bulk_load_str
+        from repro.datasets import uniform_points
+        tree = bulk_load_str(uniform_points(100, seed=21), capacity=8)
+        traj = random_waypoint(UNIT, 5, speed=0.01, seed=22)
+        with pytest.raises(ValueError):
+            simulate_knn_protocols(tree, traj, k=2, include_zl01=True)

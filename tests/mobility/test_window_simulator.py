@@ -1,0 +1,54 @@
+"""Tests for the window-protocol simulator."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.datasets import uniform_points
+from repro.mobility import (
+    random_waypoint,
+    simulate_window_protocols,
+    straight_run,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return bulk_load_str(uniform_points(2000, seed=30), capacity=16)
+
+
+class TestWindowSimulator:
+    def test_protocols_reported(self, tree):
+        traj = random_waypoint(UNIT, 30, speed=0.002, seed=1)
+        reports = simulate_window_protocols(tree, traj, 0.1, 0.1)
+        assert {r.protocol for r in reports} == {"validity-region", "naive",
+                                                 "tp"}
+
+    def test_validity_beats_naive(self, tree):
+        traj = random_waypoint(UNIT, 60, speed=0.001, seed=2)
+        reports = {r.protocol: r
+                   for r in simulate_window_protocols(tree, traj, 0.1, 0.1)}
+        assert (reports["validity-region"].server_queries
+                < reports["naive"].server_queries)
+
+    def test_incremental_variant_fewer_bytes(self, tree):
+        traj = random_waypoint(UNIT, 60, speed=0.002, seed=3)
+        plain = {r.protocol: r
+                 for r in simulate_window_protocols(tree, traj, 0.2, 0.2,
+                                                    include_tp=False)}
+        inc = {r.protocol: r
+               for r in simulate_window_protocols(tree, traj, 0.2, 0.2,
+                                                  include_tp=False,
+                                                  incremental=True)}
+        assert (inc["validity-region+delta"].bytes_received
+                <= plain["validity-region"].bytes_received)
+        assert (inc["validity-region+delta"].server_queries
+                == plain["validity-region"].server_queries)
+
+    def test_tp_shines_on_straight_runs(self, tree):
+        traj = straight_run((0.1, 0.4), (1.0, 0.1), 40, speed=0.002)
+        reports = {r.protocol: r
+                   for r in simulate_window_protocols(tree, traj, 0.1, 0.1)}
+        assert reports["tp"].server_queries < reports["naive"].server_queries

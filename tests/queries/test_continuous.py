@@ -1,0 +1,107 @@
+"""Tests for continuous (timeline) queries."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Rect, distance_sq
+from repro.index import bulk_load_str
+from repro.queries.continuous import continuous_knn, continuous_window
+
+
+def knn_set_at(points, pos, k):
+    ranked = sorted(range(len(points)),
+                    key=lambda i: distance_sq(points[i], pos))
+    return tuple(sorted(ranked[:k]))
+
+
+class TestContinuousKNN:
+    def test_timeline_covers_horizon(self, small_tree):
+        segs = continuous_knn(small_tree, (0.1, 0.5), (0.01, 0.0), 50.0)
+        assert segs[0].t_from == 0.0
+        assert math.isclose(segs[-1].t_to, 50.0)
+        for a, b in zip(segs, segs[1:]):
+            assert a.t_to <= b.t_from + 1e-9
+
+    def test_adjacent_segments_differ(self, small_tree):
+        segs = continuous_knn(small_tree, (0.1, 0.5), (0.01, 0.0), 50.0, k=2)
+        for a, b in zip(segs, segs[1:]):
+            assert a.oids != b.oids
+
+    def test_segments_match_direct_queries(self, small_tree, uniform_1k,
+                                           rng):
+        start = (0.05, 0.35)
+        velocity = (0.012, 0.004)
+        segs = continuous_knn(small_tree, start, velocity, 40.0, k=3)
+        for seg in segs:
+            span = seg.t_to - seg.t_from
+            if span <= 1e-9:
+                continue
+            for _ in range(3):
+                t = seg.t_from + rng.random() * span * 0.98 + span * 0.01
+                pos = (start[0] + velocity[0] * t, start[1] + velocity[1] * t)
+                assert knn_set_at(uniform_1k, pos, 3) == seg.oids, seg
+
+    def test_stationary_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            continuous_knn(small_tree, (0.5, 0.5), (0.0, 0.0), 10.0)
+
+    def test_bad_horizon_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            continuous_knn(small_tree, (0.5, 0.5), (1.0, 0.0), 0.0)
+
+    def test_no_changes_single_segment(self):
+        tree = bulk_load_str([(0.5, 0.5)], capacity=4)
+        segs = continuous_knn(tree, (0.1, 0.1), (0.01, 0.01), 10.0)
+        assert len(segs) == 1
+        assert segs[0].oids == (0,)
+
+    def test_speed_invariance(self, small_tree):
+        """Doubling the speed halves the event times but preserves the
+        sequence of result sets."""
+        slow = continuous_knn(small_tree, (0.2, 0.2), (0.005, 0.002), 100.0)
+        fast = continuous_knn(small_tree, (0.2, 0.2), (0.01, 0.004), 50.0)
+        assert [s.oids for s in slow] == [s.oids for s in fast]
+        for a, b in zip(slow[:-1], fast[:-1]):
+            assert math.isclose(a.t_to, 2 * b.t_to, rel_tol=1e-9)
+
+
+class TestContinuousWindow:
+    def test_timeline_matches_direct_queries(self, small_tree, uniform_1k,
+                                             rng):
+        rect = Rect(0.1, 0.4, 0.2, 0.5)
+        velocity = (0.01, 0.003)
+        segs = continuous_window(small_tree, rect, velocity, 30.0)
+        for seg in segs:
+            span = seg.t_to - seg.t_from
+            if span <= 1e-9:
+                continue
+            for _ in range(3):
+                t = seg.t_from + rng.random() * span * 0.98 + span * 0.01
+                moved = Rect(rect.xmin + velocity[0] * t,
+                             rect.ymin + velocity[1] * t,
+                             rect.xmax + velocity[0] * t,
+                             rect.ymax + velocity[1] * t)
+                want = tuple(sorted(
+                    i for i, p in enumerate(uniform_1k)
+                    if moved.contains_point(p)))
+                assert want == seg.oids
+
+    def test_covers_horizon(self, small_tree):
+        segs = continuous_window(small_tree, Rect(0.4, 0.4, 0.5, 0.5),
+                                 (0.02, 0.0), 20.0)
+        assert segs[0].t_from == 0.0
+        assert math.isclose(segs[-1].t_to, 20.0)
+
+    def test_window_leaving_universe_goes_quiet(self, small_tree):
+        """Once the window has left the data space the result stays
+        empty and the timeline ends with one long empty segment."""
+        segs = continuous_window(small_tree, Rect(0.9, 0.45, 1.0, 0.55),
+                                 (0.05, 0.0), 1000.0)
+        assert segs[-1].oids == ()
+        assert segs[-1].t_to == 1000.0
+
+    def test_stationary_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            continuous_window(small_tree, Rect(0, 0, 0.1, 0.1), (0, 0), 5.0)

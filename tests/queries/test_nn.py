@@ -1,0 +1,128 @@
+"""Tests for kNN search (depth-first [RKV95] and best-first [HS99])."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import bulk_load_str
+from repro.queries import nearest_neighbors
+from tests.conftest import brute_knn
+
+METHODS = ("best_first", "depth_first")
+
+
+@pytest.fixture(params=METHODS)
+def method(request):
+    return request.param
+
+
+class TestCorrectness:
+    def test_single_nn(self, small_tree, uniform_1k, method):
+        q = (0.31, 0.74)
+        got = nearest_neighbors(small_tree, q, k=1, method=method)
+        (want_i, want_d), = brute_knn(uniform_1k, q, 1)
+        assert got[0].entry.oid == want_i
+        assert math.isclose(got[0].dist, want_d)
+
+    def test_knn_distances_match_brute_force(self, small_tree, uniform_1k,
+                                             method, rng):
+        for _ in range(25):
+            q = (rng.random(), rng.random())
+            k = rng.choice([1, 2, 5, 10, 40])
+            got = nearest_neighbors(small_tree, q, k=k, method=method)
+            want = brute_knn(uniform_1k, q, k)
+            assert len(got) == k
+            assert [round(n.dist, 10) for n in got] == [
+                round(d, 10) for _, d in want]
+
+    def test_results_sorted(self, small_tree, method, rng):
+        got = nearest_neighbors(small_tree, (0.5, 0.5), k=20, method=method)
+        dists = [n.dist for n in got]
+        assert dists == sorted(dists)
+
+    def test_k_exceeds_dataset(self, method):
+        tree = bulk_load_str([(0.1, 0.1), (0.9, 0.9)], capacity=4)
+        got = nearest_neighbors(tree, (0.0, 0.0), k=10, method=method)
+        assert [n.entry.oid for n in got] == [0, 1]
+
+    def test_empty_tree(self, method):
+        tree = bulk_load_str([], capacity=4)
+        assert nearest_neighbors(tree, (0.5, 0.5), k=3, method=method) == []
+
+    def test_query_on_data_point(self, small_tree, uniform_1k, method):
+        q = uniform_1k[123]
+        got = nearest_neighbors(small_tree, q, k=1, method=method)
+        assert got[0].entry.oid == 123
+        assert got[0].dist == 0.0
+
+    def test_exclude(self, small_tree, uniform_1k, method):
+        q = (0.5, 0.5)
+        first = nearest_neighbors(small_tree, q, k=1, method=method)[0]
+        second = nearest_neighbors(small_tree, q, k=1, method=method,
+                                   exclude={first.entry.oid})[0]
+        assert second.entry.oid != first.entry.oid
+        want = brute_knn(uniform_1k, q, 2)[1]
+        assert math.isclose(second.dist, want[1])
+
+    def test_invalid_k_raises(self, small_tree, method):
+        with pytest.raises(ValueError):
+            nearest_neighbors(small_tree, (0.5, 0.5), k=0, method=method)
+
+    def test_unknown_method_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            nearest_neighbors(small_tree, (0.5, 0.5), method="bogus")
+
+    def test_query_outside_universe(self, small_tree, uniform_1k, method):
+        q = (3.0, -2.0)
+        got = nearest_neighbors(small_tree, q, k=3, method=method)
+        want = brute_knn(uniform_1k, q, 3)
+        assert [round(n.dist, 10) for n in got] == [
+            round(d, 10) for _, d in want]
+
+    def test_duplicate_points(self, method):
+        tree = bulk_load_str([(0.5, 0.5)] * 7 + [(0.9, 0.9)], capacity=4)
+        got = nearest_neighbors(tree, (0.5, 0.5), k=7, method=method)
+        assert all(n.dist == 0.0 for n in got)
+        assert len({n.entry.oid for n in got}) == 7
+
+
+class TestNodeAccesses:
+    def test_best_first_never_worse_than_depth_first(self, small_tree, rng):
+        """[HS99] is I/O optimal: it reads no more nodes than [RKV95]."""
+        for _ in range(15):
+            q = (rng.random(), rng.random())
+            k = rng.choice([1, 4, 16])
+            small_tree.disk.reset_stats()
+            nearest_neighbors(small_tree, q, k=k, method="best_first")
+            na_bf = small_tree.disk.stats.total_node_accesses
+            small_tree.disk.reset_stats()
+            nearest_neighbors(small_tree, q, k=k, method="depth_first")
+            na_df = small_tree.disk.stats.total_node_accesses
+            assert na_bf <= na_df
+
+    def test_nn_cheaper_than_full_scan(self, small_tree):
+        small_tree.disk.reset_stats()
+        nearest_neighbors(small_tree, (0.5, 0.5), k=1)
+        assert (small_tree.disk.stats.total_node_accesses
+                < small_tree.num_pages)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=30)
+    def test_methods_agree_on_random_data(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 120)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        tree = bulk_load_str(points, capacity=rnd.randint(4, 16))
+        q = (rnd.random(), rnd.random())
+        k = rnd.randint(1, n)
+        bf = nearest_neighbors(tree, q, k=k, method="best_first")
+        df = nearest_neighbors(tree, q, k=k, method="depth_first")
+        assert [round(a.dist, 10) for a in bf] == [
+            round(b.dist, 10) for b in df]
+        want = brute_knn(points, q, k)
+        assert [round(a.dist, 10) for a in bf] == [
+            round(d, 10) for _, d in want]

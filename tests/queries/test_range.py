@@ -1,0 +1,92 @@
+"""Tests for circular range queries."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import bulk_load_str
+from repro.queries.range import nearest_outside, range_query
+
+
+def brute_range(points, center, radius):
+    return sorted(i for i, p in enumerate(points)
+                  if math.dist(p, center) <= radius)
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, small_tree, uniform_1k, rng):
+        for _ in range(25):
+            c = (rng.random(), rng.random())
+            r = rng.uniform(0.01, 0.4)
+            got = sorted(e.oid for e in range_query(small_tree, c, r))
+            assert got == brute_range(uniform_1k, c, r)
+
+    def test_zero_radius(self, small_tree, uniform_1k):
+        x, y = uniform_1k[3]
+        got = {e.oid for e in range_query(small_tree, (x, y), 0.0)}
+        assert 3 in got
+
+    def test_negative_radius_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            range_query(small_tree, (0.5, 0.5), -0.1)
+
+    def test_covers_everything(self, small_tree, uniform_1k):
+        got = range_query(small_tree, (0.5, 0.5), 2.0)
+        assert len(got) == len(uniform_1k)
+
+    def test_boundary_point_included(self):
+        # 0.75 - 0.5 = 0.25 exactly in binary floating point.
+        tree = bulk_load_str([(0.5, 0.5), (0.75, 0.5)], capacity=4)
+        got = {e.oid for e in range_query(tree, (0.5, 0.5), 0.25)}
+        assert got == {0, 1}  # closed range: the boundary point counts
+
+
+class TestNearestOutside:
+    def test_matches_brute_force(self, small_tree, uniform_1k, rng):
+        for _ in range(25):
+            c = (rng.random(), rng.random())
+            r = rng.uniform(0.0, 0.3)
+            got = nearest_outside(small_tree, c, r)
+            outside = [(math.dist(p, c), i) for i, p in enumerate(uniform_1k)
+                       if math.dist(p, c) > r]
+            if not outside:
+                assert got is None
+            else:
+                want = min(outside)
+                assert math.isclose(got.dist, want[0])
+
+    def test_everything_inside_returns_none(self, small_tree):
+        assert nearest_outside(small_tree, (0.5, 0.5), 10.0) is None
+
+    def test_zero_radius_equals_nn_mostly(self, small_tree, uniform_1k, rng):
+        """With r=0 the nearest-outside is the NN (unless the query sits
+        exactly on a data point)."""
+        c = (0.123, 0.456)
+        got = nearest_outside(small_tree, c, 0.0)
+        want = min(math.dist(p, c) for p in uniform_1k)
+        assert math.isclose(got.dist, want)
+
+    def test_negative_radius_raises(self, small_tree):
+        with pytest.raises(ValueError):
+            nearest_outside(small_tree, (0.5, 0.5), -1.0)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=25)
+    def test_random_instances(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 100)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        tree = bulk_load_str(points, capacity=rnd.randint(4, 12))
+        c = (rnd.random(), rnd.random())
+        r = rnd.uniform(0.0, 0.5)
+        got_range = sorted(e.oid for e in range_query(tree, c, r))
+        assert got_range == brute_range(points, c, r)
+        got_out = nearest_outside(tree, c, r)
+        outside = [(math.dist(p, c), i) for i, p in enumerate(points)
+                   if math.dist(p, c) > r]
+        if outside:
+            assert math.isclose(got_out.dist, min(outside)[0])
+        else:
+            assert got_out is None

@@ -1,0 +1,246 @@
+"""Tests for time-parameterized queries.
+
+Every TP result is validated against brute-force influence-time scans
+and, independently, by *replaying* the motion: stepping the query just
+before and just after the reported event time and checking that the
+result actually changes exactly there.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, distance_sq
+from repro.index import bulk_load_str
+from repro.queries import nearest_neighbors, tp_knn, tp_nn, tp_window
+from repro.queries.tp import INFINITY
+from tests.conftest import brute_knn_set
+
+
+def brute_tp_knn(points, q, v, result_ids):
+    """(time, influence index) by scanning all candidate/result pairs."""
+    best = (INFINITY, None)
+    for i, p in enumerate(points):
+        if i in result_ids:
+            continue
+        pd = distance_sq(p, q)
+        vp = v[0] * p[0] + v[1] * p[1]
+        for j in result_ids:
+            o = points[j]
+            od = distance_sq(o, q)
+            vo = v[0] * o[0] + v[1] * o[1]
+            den = 2.0 * (vp - vo)
+            if den <= 0.0:
+                continue
+            t = max(0.0, (pd - od) / den)
+            if t < best[0]:
+                best = (t, i)
+    return best
+
+
+class TestTPNN:
+    def test_simple_crossing(self):
+        # NN is at x=0.4; moving east, point at x=0.8 takes over at the
+        # bisector x=0.6, i.e. after travelling 0.1 from q=(0.5, 0.5).
+        tree = bulk_load_str([(0.4, 0.5), (0.8, 0.5)], capacity=4)
+        o = nearest_neighbors(tree, (0.5, 0.5), k=1)[0].entry
+        event = tp_nn(tree, (0.5, 0.5), (1.0, 0.0), o)
+        assert event.found
+        assert event.influence.oid == 1
+        assert math.isclose(event.time, 0.1)
+
+    def test_moving_away_no_influence(self):
+        tree = bulk_load_str([(0.4, 0.5), (0.8, 0.5)], capacity=4)
+        o = nearest_neighbors(tree, (0.45, 0.5), k=1)[0].entry
+        event = tp_nn(tree, (0.45, 0.5), (-1.0, 0.0), o)
+        assert not event.found and event.time == INFINITY
+
+    def test_direction_normalized(self, small_tree):
+        q = (0.5, 0.5)
+        o = nearest_neighbors(small_tree, q, k=1)[0].entry
+        e1 = tp_nn(small_tree, q, (1.0, 0.0), o)
+        e2 = tp_nn(small_tree, q, (10.0, 0.0), o)
+        assert math.isclose(e1.time, e2.time)
+        assert e1.influence.oid == e2.influence.oid
+
+    def test_zero_direction_raises(self, small_tree):
+        o = nearest_neighbors(small_tree, (0.5, 0.5), k=1)[0].entry
+        with pytest.raises(ValueError):
+            tp_nn(small_tree, (0.5, 0.5), (0.0, 0.0), o)
+
+    def test_matches_brute_force(self, small_tree, uniform_1k, rng):
+        for _ in range(40):
+            q = (rng.random(), rng.random())
+            ang = rng.random() * 2 * math.pi
+            v = (math.cos(ang), math.sin(ang))
+            o = nearest_neighbors(small_tree, q, k=1)[0].entry
+            event = tp_nn(small_tree, q, v, o)
+            bt, bi = brute_tp_knn(uniform_1k, q, v, {o.oid})
+            if bi is None:
+                assert not event.found
+            else:
+                assert math.isclose(event.time, bt, abs_tol=1e-9)
+
+    def test_replay_confirms_event_time(self, small_tree, rng):
+        """Just before the event the NN is unchanged; just after, it isn't."""
+        for _ in range(15):
+            q = (rng.random() * 0.8 + 0.1, rng.random() * 0.8 + 0.1)
+            ang = rng.random() * 2 * math.pi
+            v = (math.cos(ang), math.sin(ang))
+            o = nearest_neighbors(small_tree, q, k=1)[0].entry
+            event = tp_nn(small_tree, q, v, o)
+            if not event.found or event.time < 1e-6:
+                continue
+            before = (q[0] + v[0] * event.time * 0.999,
+                      q[1] + v[1] * event.time * 0.999)
+            after = (q[0] + v[0] * event.time * 1.001,
+                     q[1] + v[1] * event.time * 1.001)
+            assert nearest_neighbors(small_tree, before, k=1)[0].entry.oid == o.oid
+            dist_o = math.dist(after, (o.x, o.y))
+            dist_inf = math.dist(after, (event.influence.x, event.influence.y))
+            assert dist_inf <= dist_o + 1e-9
+
+    def test_paired_with_is_the_nn(self, small_tree, rng):
+        q = (0.3, 0.3)
+        o = nearest_neighbors(small_tree, q, k=1)[0].entry
+        event = tp_nn(small_tree, q, (1, 1), o)
+        assert event.paired_with.oid == o.oid
+
+
+class TestTPkNN:
+    def test_matches_brute_force(self, small_tree, uniform_1k, rng):
+        for _ in range(30):
+            q = (rng.random(), rng.random())
+            k = rng.choice([2, 3, 8])
+            ang = rng.random() * 2 * math.pi
+            v = (math.cos(ang), math.sin(ang))
+            result = [n.entry for n in nearest_neighbors(small_tree, q, k=k)]
+            event = tp_knn(small_tree, q, v, result)
+            bt, bi = brute_tp_knn(uniform_1k, q, v,
+                                  {e.oid for e in result})
+            if bi is None:
+                assert not event.found
+            else:
+                assert math.isclose(event.time, bt, abs_tol=1e-9)
+
+    def test_paired_with_in_result(self, small_tree, rng):
+        q = (0.6, 0.4)
+        result = [n.entry for n in nearest_neighbors(small_tree, q, k=5)]
+        event = tp_knn(small_tree, q, (0, 1), result)
+        assert event.found
+        assert event.paired_with.oid in {e.oid for e in result}
+        assert event.influence.oid not in {e.oid for e in result}
+
+    def test_knn_set_swap_at_event(self, small_tree, rng):
+        """After the event, the influence object is in the kNN set and the
+        paired result object is the one it displaced (by distance)."""
+        for _ in range(10):
+            q = (rng.random() * 0.8 + 0.1, rng.random() * 0.8 + 0.1)
+            ang = rng.random() * 2 * math.pi
+            v = (math.cos(ang), math.sin(ang))
+            result = [n.entry for n in nearest_neighbors(small_tree, q, k=3)]
+            event = tp_knn(small_tree, q, v, result)
+            if not event.found or event.time < 1e-6:
+                continue
+            at = (q[0] + v[0] * event.time, q[1] + v[1] * event.time)
+            d_inf = math.dist(at, (event.influence.x, event.influence.y))
+            d_res = math.dist(at, (event.paired_with.x, event.paired_with.y))
+            assert math.isclose(d_inf, d_res, rel_tol=1e-6, abs_tol=1e-9)
+
+    def test_whole_dataset_as_result(self):
+        pts = [(0.1, 0.1), (0.9, 0.9), (0.5, 0.2)]
+        tree = bulk_load_str(pts, capacity=4)
+        result = [n.entry for n in nearest_neighbors(tree, (0.5, 0.5), k=3)]
+        event = tp_knn(tree, (0.5, 0.5), (1, 0), result)
+        assert not event.found
+
+    def test_prefer_new_breaks_exact_ties(self):
+        # Symmetric grid: two candidates cross at the same time; the one
+        # not yet known must win.
+        pts = [(0.5, 0.5), (0.5, 0.7), (0.5, 0.3)]  # NN plus two symmetric
+        tree = bulk_load_str(pts, capacity=4)
+        o = nearest_neighbors(tree, (0.5, 0.52), k=1)[0].entry
+        assert o.oid == 0
+        first = tp_knn(tree, (0.5, 0.52), (0.0, 1.0), [o])
+        assert first.influence.oid == 1
+        # Moving towards +y only object 1 influences; towards -y object 2.
+        second = tp_knn(tree, (0.5, 0.52), (0.0, -1.0), [o],
+                        prefer_new={first.influence.oid})
+        assert second.influence.oid == 2
+
+
+class TestTPWindow:
+    def test_departure(self):
+        tree = bulk_load_str([(0.45, 0.5)], capacity=4)
+        rect = Rect(0.4, 0.4, 0.6, 0.6)
+        event = tp_window(tree, rect, (1.0, 0.0))
+        # Trailing edge x=0.4 moving right reaches 0.45 at t=0.05.
+        assert math.isclose(event.time, 0.05)
+        assert [e.oid for e in event.departures] == [0]
+        assert event.arrivals == ()
+
+    def test_arrival(self):
+        tree = bulk_load_str([(0.8, 0.5)], capacity=4)
+        rect = Rect(0.4, 0.4, 0.6, 0.6)
+        event = tp_window(tree, rect, (1.0, 0.0))
+        # Leading edge x=0.6 reaches 0.8 at t=0.2.
+        assert math.isclose(event.time, 0.2)
+        assert [e.oid for e in event.arrivals] == [0]
+
+    def test_zero_velocity(self, small_tree):
+        event = tp_window(small_tree, Rect(0.4, 0.4, 0.6, 0.6), (0.0, 0.0))
+        assert event.time == INFINITY
+
+    def test_never_influencing(self):
+        tree = bulk_load_str([(0.5, 5.0)], capacity=4)  # far off the path
+        event = tp_window(tree, Rect(0.4, 0.4, 0.6, 0.6), (1.0, 0.0))
+        assert event.time == INFINITY
+
+    def test_simultaneous_events_all_reported(self):
+        tree = bulk_load_str([(0.45, 0.45), (0.45, 0.55)], capacity=4)
+        rect = Rect(0.4, 0.4, 0.6, 0.6)
+        event = tp_window(tree, rect, (1.0, 0.0))
+        assert math.isclose(event.time, 0.05)
+        assert {e.oid for e in event.departures} == {0, 1}
+
+    def test_replay_confirms_change(self, small_tree, rng):
+        for _ in range(15):
+            cx, cy = rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)
+            rect = Rect(cx - 0.05, cy - 0.05, cx + 0.05, cy + 0.05)
+            v = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+            if v == (0.0, 0.0):
+                continue
+            event = tp_window(small_tree, rect, v)
+            if event.time is INFINITY or event.time < 1e-6:
+                continue
+            def result_at(t):
+                moved = Rect(rect.xmin + v[0] * t, rect.ymin + v[1] * t,
+                             rect.xmax + v[0] * t, rect.ymax + v[1] * t)
+                return {e.oid for e in small_tree.window(moved)}
+            assert result_at(event.time * 0.999) == result_at(0.0)
+            assert result_at(event.time * 1.001) != result_at(0.0)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=30)
+    def test_tpknn_brute_force_random(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 80)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        tree = bulk_load_str(points, capacity=rnd.randint(4, 12))
+        q = (rnd.random(), rnd.random())
+        k = rnd.randint(1, n - 1)
+        ang = rnd.random() * 2 * math.pi
+        v = (math.cos(ang), math.sin(ang))
+        result = [e for e in nearest_neighbors(tree, q, k=k)]
+        entries = [r.entry for r in result]
+        event = tp_knn(tree, q, v, entries)
+        bt, bi = brute_tp_knn(points, q, v, {e.oid for e in entries})
+        if bi is None:
+            assert not event.found
+        else:
+            assert event.found
+            assert math.isclose(event.time, bt, abs_tol=1e-9)

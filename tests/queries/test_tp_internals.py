@@ -1,0 +1,116 @@
+"""Unit tests for TP-query internals: moving-rectangle intersection
+intervals and bound admissibility."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.queries import nearest_neighbors, tp_knn
+from repro.queries.tp import INFINITY, _moving_rect_meet
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False)
+vel = st.floats(min_value=-3, max_value=3, allow_nan=False)
+
+
+@st.composite
+def rect_pair(draw):
+    def rect():
+        x1, x2 = sorted((draw(coord), draw(coord)))
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        return Rect(x1, y1, x2, y2)
+    return rect(), rect()
+
+
+class TestMovingRectMeet:
+    def test_already_intersecting_contains_zero(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        lo, hi = _moving_rect_meet(a, b, 1.0, 0.0)
+        assert lo <= 0.0 <= hi
+
+    def test_approaching(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 0, 4, 1)
+        lo, hi = _moving_rect_meet(a, b, 1.0, 0.0)
+        assert math.isclose(lo, 2.0)   # right edge 1 reaches left edge 3
+        assert math.isclose(hi, 4.0)   # left edge 0 leaves right edge 4
+
+    def test_receding_interval_in_past(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 0, 4, 1)
+        lo, hi = _moving_rect_meet(a, b, -1.0, 0.0)
+        assert hi < 0.0 or lo > hi  # never meets in the future
+
+    def test_parallel_never_meets(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 3, 4, 4)
+        lo, hi = _moving_rect_meet(a, b, 1.0, 0.0)  # slides past below
+        assert lo > hi  # empty interval
+
+    def test_zero_velocity_static_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        lo, hi = _moving_rect_meet(a, b, 0.0, 0.0)
+        assert lo == -INFINITY and hi == INFINITY
+
+    def test_zero_velocity_static_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 3, 4, 4)
+        lo, hi = _moving_rect_meet(a, b, 0.0, 0.0)
+        assert lo > hi
+
+    @given(rect_pair(), vel, vel, st.floats(min_value=0, max_value=20))
+    @settings(deadline=None, max_examples=60)
+    def test_interval_matches_simulation(self, rects, vx, vy, t):
+        """At any sampled time, interval membership == actual overlap."""
+        a, b = rects
+        lo, hi = _moving_rect_meet(a, b, vx, vy)
+        moved = Rect(a.xmin + vx * t, a.ymin + vy * t,
+                     a.xmax + vx * t, a.ymax + vy * t)
+        actually = moved.intersects(b)
+        predicted = lo <= t <= hi
+        # Skip knife-edge cases where t sits on the interval boundary.
+        if min(abs(t - lo), abs(t - hi)) > 1e-9:
+            assert actually == predicted
+
+
+class TestBoundAdmissibility:
+    """The MBR bound used by TPkNN must never exceed the exact influence
+    time of any point in the box — otherwise best-first search could
+    return a wrong (non-first) event."""
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(deadline=None, max_examples=40)
+    def test_search_equals_exhaustive_scan(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(3, 60)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        # Tiny node capacity: many nodes, so bound pruning is exercised.
+        tree = bulk_load_str(points, capacity=4)
+        q = (rnd.random(), rnd.random())
+        ang = rnd.random() * 2 * math.pi
+        v = (math.cos(ang), math.sin(ang))
+        k = rnd.randint(1, min(4, n - 1))
+        result = [x.entry for x in nearest_neighbors(tree, q, k=k)]
+        event = tp_knn(tree, q, v, result)
+
+        # Exhaustive: evaluate every point's influence time directly.
+        best = INFINITY
+        for e in tree.points():
+            if e.oid in {r.oid for r in result}:
+                continue
+            pd = (e.x - q[0]) ** 2 + (e.y - q[1]) ** 2
+            vp = v[0] * e.x + v[1] * e.y
+            for o in result:
+                od = (o.x - q[0]) ** 2 + (o.y - q[1]) ** 2
+                vo = v[0] * o.x + v[1] * o.y
+                den = 2 * (vp - vo)
+                if den > 0:
+                    best = min(best, max(0.0, (pd - od) / den))
+        if best is INFINITY:
+            assert not event.found
+        else:
+            assert math.isclose(event.time, best, abs_tol=1e-9)

@@ -1,0 +1,62 @@
+"""Tests for window-query wrappers."""
+
+import random
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.queries import window_query
+from repro.queries.window import annulus_query, window_count
+from tests.conftest import brute_window
+
+
+class TestWindowQuery:
+    def test_matches_brute_force(self, small_tree, uniform_1k, rng):
+        for _ in range(20):
+            x1, x2 = sorted((rng.random(), rng.random()))
+            y1, y2 = sorted((rng.random(), rng.random()))
+            rect = Rect(x1, y1, x2, y2)
+            got = sorted(e.oid for e in window_query(small_tree, rect))
+            assert got == brute_window(uniform_1k, rect)
+
+    def test_count(self, small_tree, uniform_1k):
+        rect = Rect(0.2, 0.2, 0.8, 0.8)
+        assert window_count(small_tree, rect) == len(
+            brute_window(uniform_1k, rect))
+
+    def test_empty_window(self, small_tree):
+        # A degenerate window at a location with no exact point.
+        assert window_query(small_tree, Rect(2, 2, 3, 3)) == []
+
+    def test_point_window_hits_exact_point(self, small_tree, uniform_1k):
+        x, y = uniform_1k[7]
+        rect = Rect(x, y, x, y)
+        assert 7 in {e.oid for e in window_query(small_tree, rect)}
+
+
+class TestAnnulusQuery:
+    def test_excludes_inner(self, small_tree, uniform_1k):
+        outer = Rect(0.2, 0.2, 0.8, 0.8)
+        inner = Rect(0.4, 0.4, 0.6, 0.6)
+        got = {e.oid for e in annulus_query(small_tree, outer, inner)}
+        want = {i for i in brute_window(uniform_1k, outer)} - {
+            i for i in brute_window(uniform_1k, inner)}
+        assert got == want
+
+    def test_boundary_points_belong_to_inner(self):
+        # A point exactly on the inner boundary is part of the window
+        # result, so the annulus must not return it.
+        tree = bulk_load_str([(0.4, 0.5), (0.3, 0.5)], capacity=4)
+        got = annulus_query(tree, Rect(0.2, 0.2, 0.8, 0.8),
+                            Rect(0.4, 0.4, 0.6, 0.6))
+        assert [e.oid for e in got] == [1]
+
+    def test_single_traversal_cost(self, small_tree):
+        """The annulus costs exactly one window query over the outer rect."""
+        outer = Rect(0.2, 0.2, 0.8, 0.8)
+        inner = Rect(0.4, 0.4, 0.6, 0.6)
+        small_tree.disk.reset_stats()
+        window_query(small_tree, outer)
+        cost_outer = small_tree.disk.stats.total_node_accesses
+        small_tree.disk.reset_stats()
+        annulus_query(small_tree, outer, inner)
+        assert small_tree.disk.stats.total_node_accesses == cost_outer

@@ -1,0 +1,89 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import LRUBufferPool
+
+
+class TestLRUBufferPool:
+    def test_zero_capacity_always_faults(self):
+        pool = LRUBufferPool(0)
+        assert pool.access(1) and pool.access(1) and pool.access(1)
+        assert pool.misses == 3 and pool.hits == 0
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(-1)
+
+    def test_hit_after_load(self):
+        pool = LRUBufferPool(2)
+        assert pool.access(1) is True   # cold miss
+        assert pool.access(1) is False  # hit
+
+    def test_eviction_order_is_lru(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)      # 1 becomes most recent
+        pool.access(3)      # evicts 2
+        assert pool.access(2) is True
+        assert pool.access(1) is True  # 1 was evicted by reloading 2
+
+    def test_capacity_respected(self):
+        pool = LRUBufferPool(3)
+        for i in range(10):
+            pool.access(i)
+        assert len(pool) == 3
+
+    def test_invalidate(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.invalidate(1)
+        assert pool.access(1) is True
+
+    def test_invalidate_absent_is_noop(self):
+        LRUBufferPool(2).invalidate(42)  # must not raise
+
+    def test_clear_keeps_counters(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(1)
+        pool.clear()
+        assert pool.hits == 1 and pool.misses == 1
+        assert pool.access(1) is True
+
+    def test_hit_ratio(self):
+        pool = LRUBufferPool(4)
+        pool.access(1)
+        pool.access(1)
+        pool.access(1)
+        pool.access(2)
+        assert pool.hit_ratio == 0.5
+
+    def test_hit_ratio_empty(self):
+        assert LRUBufferPool(2).hit_ratio == 0.0
+
+    def test_single_page_buffer(self):
+        pool = LRUBufferPool(1)
+        assert pool.access(1) is True
+        assert pool.access(1) is False
+        assert pool.access(2) is True
+        assert pool.access(1) is True
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.integers(min_value=0, max_value=15), max_size=200))
+    @settings(deadline=None)
+    def test_matches_reference_lru(self, capacity, accesses):
+        """Model-based check against an explicit list implementation."""
+        pool = LRUBufferPool(capacity)
+        model = []
+        for page in accesses:
+            expected_fault = page not in model
+            assert pool.access(page) is expected_fault
+            if page in model:
+                model.remove(page)
+            model.append(page)
+            if len(model) > capacity:
+                model.pop(0)
+        assert len(pool) == len(model)

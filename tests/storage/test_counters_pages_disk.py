@@ -1,0 +1,153 @@
+"""Tests for access counters, the page store, and the disk simulator."""
+
+import pytest
+
+from repro.storage import AccessStats, DiskSimulator, PageStore
+
+
+class TestAccessStats:
+    def test_record_access_only(self):
+        s = AccessStats()
+        s.record("nn", fault=False)
+        assert s.total_node_accesses == 1 and s.total_page_faults == 0
+
+    def test_record_fault(self):
+        s = AccessStats()
+        s.record("nn", fault=True)
+        assert s.total_page_faults == 1
+
+    def test_phases_separated(self):
+        s = AccessStats()
+        s.record("nn", True)
+        s.record("tpnn", False)
+        s.record("tpnn", True)
+        assert s.node_accesses_by_phase() == {"nn": 1, "tpnn": 2}
+        assert s.page_faults_by_phase() == {"nn": 1, "tpnn": 1}
+
+    def test_reset(self):
+        s = AccessStats()
+        s.record("x", True)
+        s.reset()
+        assert s.total_node_accesses == 0 and s.total_page_faults == 0
+
+    def test_merge(self):
+        a, b = AccessStats(), AccessStats()
+        a.record("x", True)
+        b.record("x", False)
+        b.record("y", True)
+        a.merge(b)
+        assert a.node_accesses_by_phase() == {"x": 2, "y": 1}
+        assert a.total_page_faults == 2
+
+
+class TestPageStore:
+    def test_allocate_unique(self):
+        store = PageStore()
+        ids = {store.allocate() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_num_pages(self):
+        store = PageStore()
+        a = store.allocate()
+        store.allocate()
+        assert store.num_pages == 2
+        store.free(a)
+        assert store.num_pages == 1
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            PageStore().free(7)
+
+    def test_double_free_raises(self):
+        store = PageStore()
+        a = store.allocate()
+        store.free(a)
+        with pytest.raises(KeyError):
+            store.free(a)
+
+    def test_ids_not_recycled(self):
+        store = PageStore()
+        a = store.allocate()
+        store.free(a)
+        assert store.allocate() != a
+
+    def test_is_live(self):
+        store = PageStore()
+        a = store.allocate()
+        assert store.is_live(a)
+        store.free(a)
+        assert not store.is_live(a)
+
+
+class TestDiskSimulator:
+    def test_unbuffered_every_access_faults(self):
+        disk = DiskSimulator()
+        disk.read(1)
+        disk.read(1)
+        assert disk.stats.total_page_faults == 2
+
+    def test_buffered_second_access_hits(self):
+        disk = DiskSimulator(buffer_pages=4)
+        disk.read(1)
+        disk.read(1)
+        assert disk.stats.total_node_accesses == 2
+        assert disk.stats.total_page_faults == 1
+
+    def test_phase_attribution(self):
+        disk = DiskSimulator()
+        with disk.phase("result"):
+            disk.read(1)
+        with disk.phase("influence"):
+            disk.read(2)
+            disk.read(3)
+        assert disk.stats.node_accesses_by_phase() == {
+            "result": 1, "influence": 2}
+
+    def test_phase_nesting_restores(self):
+        disk = DiskSimulator()
+        with disk.phase("outer"):
+            with disk.phase("inner"):
+                disk.read(1)
+            disk.read(2)
+        disk.read(3)
+        assert disk.stats.node_accesses_by_phase() == {
+            "inner": 1, "outer": 1, "default": 1}
+
+    def test_phase_restored_on_exception(self):
+        disk = DiskSimulator()
+        with pytest.raises(RuntimeError):
+            with disk.phase("boom"):
+                raise RuntimeError
+        disk.read(1)
+        assert disk.stats.node_accesses_by_phase() == {"default": 1}
+
+    def test_set_buffer_resizes(self):
+        disk = DiskSimulator()
+        disk.set_buffer(2)
+        disk.read(1)
+        disk.read(1)
+        assert disk.stats.total_page_faults == 1
+        disk.set_buffer(0)
+        disk.read(1)
+        assert disk.stats.total_page_faults == 2
+
+    def test_reset_stats_keeps_buffer_warm(self):
+        disk = DiskSimulator(buffer_pages=2)
+        disk.read(1)
+        disk.reset_stats()
+        disk.read(1)
+        assert disk.stats.total_page_faults == 0
+
+    def test_cold_restart_empties_buffer(self):
+        disk = DiskSimulator(buffer_pages=2)
+        disk.read(1)
+        disk.cold_restart()
+        disk.read(1)
+        assert disk.stats.total_page_faults == 1
+
+    def test_invalidate(self):
+        disk = DiskSimulator(buffer_pages=2)
+        disk.read(1)
+        disk.invalidate(1)
+        disk.read(1)
+        assert disk.stats.total_page_faults == 2

@@ -1,0 +1,122 @@
+"""Tests for R*-tree serialization."""
+
+import random
+import struct
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import RStarTree, bulk_load_str
+from repro.storage import DiskSimulator
+from repro.storage.serialize import load_tree, page_size_for, save_tree
+
+
+@pytest.fixture()
+def tree_and_points(rng):
+    points = [(rng.random(), rng.random()) for _ in range(700)]
+    return bulk_load_str(points, capacity=12), points
+
+
+class TestRoundTrip:
+    def test_queries_identical(self, tree_and_points, tmp_path, rng):
+        tree, points = tree_and_points
+        path = str(tmp_path / "tree.rt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.check_invariants()
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        for _ in range(20):
+            x1, x2 = sorted((rng.random(), rng.random()))
+            y1, y2 = sorted((rng.random(), rng.random()))
+            rect = Rect(x1, y1, x2, y2)
+            assert (sorted(e.oid for e in loaded.window(rect))
+                    == sorted(e.oid for e in tree.window(rect)))
+
+    def test_loaded_tree_is_mutable(self, tree_and_points, tmp_path):
+        tree, points = tree_and_points
+        path = str(tmp_path / "tree.rt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.insert(9999, 0.123, 0.456)
+        assert loaded.delete(9999, 0.123, 0.456)
+        loaded.check_invariants()
+
+    def test_empty_tree(self, tmp_path):
+        tree = RStarTree(capacity=8)
+        path = str(tmp_path / "empty.rt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert len(loaded) == 0
+        assert loaded.window(Rect(0, 0, 1, 1)) == []
+
+    def test_single_point(self, tmp_path):
+        tree = RStarTree(capacity=8)
+        tree.insert(42, 0.5, 0.25)
+        path = str(tmp_path / "one.rt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        [entry] = list(loaded.points())
+        assert (entry.oid, entry.x, entry.y) == (42, 0.5, 0.25)
+
+    def test_insertion_built_tree(self, tmp_path, rng):
+        tree = RStarTree(capacity=6)
+        for i in range(400):
+            tree.insert(i, rng.random(), rng.random())
+        path = str(tmp_path / "ins.rt")
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.check_invariants()
+        assert sorted(e.oid for e in loaded.points()) == list(range(400))
+
+    def test_disk_accounting_attached(self, tree_and_points, tmp_path):
+        tree, _ = tree_and_points
+        path = str(tmp_path / "tree.rt")
+        save_tree(tree, path)
+        disk = DiskSimulator()
+        loaded = load_tree(path, disk=disk)
+        loaded.window(Rect(0.2, 0.2, 0.4, 0.4))
+        assert disk.stats.total_node_accesses > 0
+
+    def test_reported_size_matches_file(self, tree_and_points, tmp_path):
+        import os
+        tree, _ = tree_and_points
+        path = str(tmp_path / "tree.rt")
+        written = save_tree(tree, path)
+        assert os.path.getsize(path) == written
+
+
+class TestFormat:
+    def test_page_size_is_512_multiple(self):
+        for capacity in (4, 16, 113, 204, 1000):
+            ps = page_size_for(capacity)
+            assert ps % 512 == 0
+            assert ps >= capacity * 36
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.rt")
+        with open(path, "wb") as fh:
+            fh.write(b"NOPE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="not a serialized"):
+            load_tree(path)
+
+    def test_truncated_file_rejected(self, tree_and_points, tmp_path):
+        tree, _ = tree_and_points
+        path = str(tmp_path / "trunc.rt")
+        save_tree(tree, path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_tree(path)
+
+    def test_bad_version_rejected(self, tree_and_points, tmp_path):
+        tree, _ = tree_and_points
+        path = str(tmp_path / "ver.rt")
+        save_tree(tree, path)
+        with open(path, "r+b") as fh:
+            fh.seek(4)
+            fh.write(struct.pack("<H", 99))
+        with pytest.raises(ValueError, match="version"):
+            load_tree(path)

@@ -1,0 +1,41 @@
+"""Property-based round-trip tests for tree serialization."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.index import RStarTree, bulk_load_str
+from repro.storage.serialize import load_tree, save_tree
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=4, max_value=32),
+       st.booleans())
+@settings(deadline=None, max_examples=25)
+def test_round_trip_random_trees(tmp_path_factory, seed, capacity, use_bulk):
+    rnd = random.Random(seed)
+    n = rnd.randint(0, 250)
+    points = [(rnd.uniform(-5, 5), rnd.uniform(-5, 5)) for _ in range(n)]
+    if use_bulk:
+        tree = bulk_load_str(points, capacity=capacity)
+    else:
+        tree = RStarTree(capacity=capacity)
+        for i, p in enumerate(points):
+            tree.insert(i, p[0], p[1])
+    path = str(tmp_path_factory.mktemp("ser") / "t.rt")
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    loaded.check_invariants()
+    assert len(loaded) == len(tree)
+    assert loaded.capacity == tree.capacity
+    # Exact same stored points.
+    assert (sorted((e.oid, e.x, e.y) for e in loaded.points())
+            == sorted((e.oid, e.x, e.y) for e in tree.points()))
+    # And the same answers.
+    for _ in range(5):
+        x1, x2 = sorted((rnd.uniform(-5, 5), rnd.uniform(-5, 5)))
+        y1, y2 = sorted((rnd.uniform(-5, 5), rnd.uniform(-5, 5)))
+        rect = Rect(x1, y1, x2, y2)
+        assert (sorted(e.oid for e in loaded.window(rect))
+                == sorted(e.oid for e in tree.window(rect)))

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import uniform_points
+
+
+@pytest.fixture()
+def points_file(tmp_path):
+    path = tmp_path / "pts.npy"
+    np.save(path, uniform_points(500, seed=4))
+    return str(path)
+
+
+@pytest.fixture()
+def tree_file(tmp_path, points_file):
+    path = tmp_path / "tree.rt"
+    assert main(["build", "--points", points_file, "--out", str(path),
+                 "--capacity", "8"]) == 0
+    return str(path)
+
+
+class TestDataset:
+    @pytest.mark.parametrize("kind", ["uniform", "gr", "na"])
+    def test_generates_npy(self, tmp_path, kind, capsys):
+        out = tmp_path / f"{kind}.npy"
+        assert main(["dataset", "--kind", kind, "--n", "300",
+                     "--out", str(out)]) == 0
+        pts = np.load(out)
+        assert pts.shape == (300, 2)
+        assert "300 points" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_reports_stats(self, tmp_path, points_file, capsys):
+        out = tmp_path / "t.rt"
+        assert main(["build", "--points", points_file,
+                     "--out", str(out), "--capacity", "8"]) == 0
+        text = capsys.readouterr().out
+        assert "500 points" in text
+        assert out.exists()
+
+
+class TestQuery:
+    def test_knn(self, tree_file, capsys):
+        assert main(["query", "--tree", tree_file, "knn",
+                     "0.5", "0.5", "-k", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len([l for l in lines if not l.startswith("#")]) == 2
+        assert any("validity region" in l for l in lines)
+
+    def test_window(self, tree_file, capsys):
+        assert main(["query", "--tree", tree_file, "window",
+                     "0.5", "0.5", "0.2", "0.2"]) == 0
+        assert "validity rect" in capsys.readouterr().out
+
+    def test_range(self, tree_file, capsys):
+        assert main(["query", "--tree", tree_file, "range",
+                     "0.5", "0.5", "0.1"]) == 0
+        assert "validity disk" in capsys.readouterr().out
+
+
+class TestSimulateAndDemo:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--n", "2000", "--steps", "30",
+                     "--speed", "0.002"]) == 0
+        text = capsys.readouterr().out
+        assert "validity-region" in text and "naive" in text
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "position updates" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,155 @@
+"""Robustness tests: degenerate datasets through every algorithm.
+
+Real deployments see duplicate coordinates (several POIs in one mall),
+collinear points (highways), and co-circular grids.  Every major code
+path must stay correct — not merely avoid crashing — on these inputs.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Rect, distance_sq
+from repro.index import bulk_load_str, RStarTree
+from repro.core import (
+    compute_nn_validity,
+    compute_range_validity,
+    compute_window_validity,
+)
+from repro.queries import nearest_neighbors, tp_knn, tp_window
+from tests.conftest import brute_knn_set, brute_window
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+DEGENERATE_DATASETS = {
+    "duplicates": [(0.5, 0.5)] * 10 + [(0.2, 0.2), (0.8, 0.8)],
+    "collinear_x": [(i / 20.0, 0.5) for i in range(1, 20)],
+    "collinear_diag": [(i / 20.0, i / 20.0) for i in range(1, 20)],
+    "grid": [(x / 6.0, y / 6.0) for x in range(1, 6) for y in range(1, 6)],
+    "two_points": [(0.3, 0.3), (0.7, 0.7)],
+    "single_point": [(0.5, 0.5)],
+    "tight_cluster": [(0.5 + i * 1e-9, 0.5 - i * 1e-9) for i in range(10)],
+}
+
+
+@pytest.fixture(params=sorted(DEGENERATE_DATASETS))
+def dataset(request):
+    return DEGENERATE_DATASETS[request.param]
+
+
+@pytest.fixture()
+def tree(dataset):
+    return bulk_load_str(dataset, capacity=4)
+
+
+class TestIndexOnDegenerateData:
+    def test_build_and_invariants(self, tree):
+        tree.check_invariants()
+
+    def test_insertion_built_variant(self, dataset):
+        t = RStarTree(capacity=4)
+        for i, p in enumerate(dataset):
+            t.insert(i, p[0], p[1])
+        t.check_invariants()
+        assert len(t) == len(dataset)
+
+    def test_window_queries(self, tree, dataset, rng):
+        for _ in range(10):
+            x1, x2 = sorted((rng.random(), rng.random()))
+            y1, y2 = sorted((rng.random(), rng.random()))
+            rect = Rect(x1, y1, x2, y2)
+            assert (sorted(e.oid for e in tree.window(rect))
+                    == brute_window(dataset, rect))
+
+
+class TestQueriesOnDegenerateData:
+    def test_knn(self, tree, dataset, rng):
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            k = rng.randint(1, len(dataset))
+            got = nearest_neighbors(tree, q, k=k)
+            want = sorted(math.dist(p, q) for p in dataset)[:k]
+            assert [round(n.dist, 10) for n in got] == [
+                round(d, 10) for d in want]
+
+    def test_tp_knn_never_wrong(self, tree, dataset, rng):
+        for _ in range(10):
+            q = (rng.random(), rng.random())
+            ang = rng.random() * 2 * math.pi
+            v = (math.cos(ang), math.sin(ang))
+            result = [n.entry for n in nearest_neighbors(tree, q, k=1)]
+            event = tp_knn(tree, q, v, result)
+            if event.found:
+                assert event.time >= 0.0
+
+    def test_tp_window(self, tree, rng):
+        event = tp_window(tree, Rect(0.4, 0.4, 0.6, 0.6), (1.0, 0.3))
+        assert event.time >= 0.0 or event.time == math.inf
+
+
+class TestValidityOnDegenerateData:
+    def test_nn_validity_region_sound(self, tree, dataset, rng):
+        """On any dataset, points strictly inside the computed region
+        must have the same kNN set (soundness never degrades, even when
+        ties make the region conservative)."""
+        for _ in range(6):
+            q = (rng.random(), rng.random())
+            k = rng.randint(1, min(3, len(dataset)))
+            res = compute_nn_validity(tree, q, k=k, universe=UNIT)
+            base_dists = sorted(
+                round(math.dist((e.x, e.y), q), 12) for e in res.neighbors)
+            assert len(res.neighbors) == k
+            checked = 0
+            attempts = 0
+            while checked < 5 and attempts < 200:
+                attempts += 1
+                p = (rng.random(), rng.random())
+                if not res.region.contains(p, eps=-1e-9):
+                    continue
+                checked += 1
+                got = brute_knn_set(dataset, p, k)
+                res_ids = {e.oid for e in res.neighbors}
+                if got != res_ids:
+                    # Ties: distances must then be exactly equal.
+                    got_d = sorted(round(math.dist(dataset[i], p), 12)
+                                   for i in got)
+                    want_d = sorted(round(math.dist((e.x, e.y), p), 12)
+                                    for e in res.neighbors)
+                    assert got_d == want_d
+
+    def test_window_validity_sound(self, tree, dataset, rng):
+        for _ in range(6):
+            f = (rng.random(), rng.random())
+            res = compute_window_validity(tree, f, 0.21, 0.17, universe=UNIT)
+            base = set(brute_window(dataset, res.window))
+            assert {e.oid for e in res.result} == base
+            cr = res.conservative_region
+            for _ in range(6):
+                g = (rng.uniform(cr.xmin, cr.xmax),
+                     rng.uniform(cr.ymin, cr.ymax))
+                assert set(brute_window(
+                    dataset, Rect.around(g, 0.21, 0.17))) == base
+
+    def test_range_validity_sound(self, tree, dataset, rng):
+        for _ in range(6):
+            f = (rng.random(), rng.random())
+            res = compute_range_validity(tree, f, 0.2)
+            rho = res.validity_radius
+            if not math.isfinite(rho) or rho <= 0:
+                continue
+            base = {e.oid for e in res.result}
+            for _ in range(6):
+                ang = rng.random() * 2 * math.pi
+                d = rng.random() * rho * 0.999
+                g = (f[0] + d * math.cos(ang), f[1] + d * math.sin(ang))
+                got = {i for i, p in enumerate(dataset)
+                       if math.dist(p, g) <= 0.2}
+                assert got == base
+
+    def test_query_exactly_on_duplicate_stack(self):
+        tree = bulk_load_str(DEGENERATE_DATASETS["duplicates"], capacity=4)
+        res = compute_nn_validity(tree, (0.5, 0.5), k=3, universe=UNIT)
+        # All three neighbours are the coincident points at (0.5, 0.5).
+        assert all((e.x, e.y) == (0.5, 0.5) for e in res.neighbors)

@@ -1,0 +1,176 @@
+"""Cross-module integration tests.
+
+These exercise full pipelines — dataset generation, bulk loading,
+query processing, validity computation, client protocol — and verify
+global consistency properties that no single module test covers.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    LocationServer,
+    MobileClient,
+    Rect,
+    bulk_load_str,
+    compute_nn_validity,
+    compute_window_validity,
+    nearest_neighbors,
+    uniform_points,
+)
+from repro.baselines import order_k_voronoi_cell
+from repro.core import compute_range_validity
+from repro.datasets.synthetic import gaussian_clusters
+from repro.index.metrics import average_occupancy, tree_level_stats
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestValidityRegionsTileThePlane:
+    """Validity regions of all queries with the same result partition
+    correctly: two queries whose regions overlap (in the interior) must
+    have the same result."""
+
+    def test_nn_regions_consistent_across_queries(self):
+        pts = uniform_points(400, seed=21)
+        tree = bulk_load_str(pts, capacity=8)
+        rnd = random.Random(3)
+        computed = []
+        for _ in range(25):
+            q = (rnd.random(), rnd.random())
+            res = compute_nn_validity(tree, q, k=2, universe=UNIT)
+            computed.append(res)
+        for a in computed:
+            for b in computed:
+                ca = a.region.centroid()
+                if b.region.contains(ca, eps=-1e-9):
+                    assert ({e.oid for e in a.neighbors}
+                            == {e.oid for e in b.neighbors})
+
+    def test_order_k_cell_area_sums(self):
+        """Average validity-region area times the number of order-k cells
+        approximates the universe area."""
+        pts = uniform_points(800, seed=22)
+        tree = bulk_load_str(pts, capacity=8)
+        rnd = random.Random(5)
+        areas = []
+        for _ in range(60):
+            q = (rnd.random(), rnd.random())
+            res = compute_nn_validity(tree, q, k=1, universe=UNIT)
+            areas.append(res.region.area())
+        # Size-biased mean cell area is within a small factor of A/N.
+        mean = sum(areas) / len(areas)
+        assert 0.5 / 800 < mean < 4.0 / 800
+
+
+class TestAllQueryTypesAgree:
+    """A window inscribed in a range, inscribed in the kNN distance,
+    must produce nested results."""
+
+    def test_nesting(self):
+        pts = gaussian_clusters(1500, 5, spread=0.1, seed=9)
+        tree = bulk_load_str(pts, capacity=16)
+        rnd = random.Random(11)
+        for _ in range(15):
+            f = (rnd.uniform(0.2, 0.8), rnd.uniform(0.2, 0.8))
+            r = 0.1
+            range_res = {e.oid for e in
+                         compute_range_validity(tree, f, r).result}
+            # The inscribed window (side r*sqrt(2)) result is a subset.
+            side = r * math.sqrt(2)
+            window_res = {e.oid for e in compute_window_validity(
+                tree, f, side, side, universe=UNIT).result}
+            assert window_res <= range_res
+            # Every kNN result within distance r is in the range result.
+            knn = nearest_neighbors(tree, f, k=5)
+            for neighbor in knn:
+                if neighbor.dist <= r:
+                    assert neighbor.entry.oid in range_res
+
+
+class TestDynamicDatasets:
+    """Validity machinery stays correct while the tree mutates."""
+
+    def test_validity_after_insert_delete(self):
+        rnd = random.Random(31)
+        pts = [(rnd.random(), rnd.random()) for _ in range(300)]
+        tree = bulk_load_str(pts, capacity=8)
+        live = {i: p for i, p in enumerate(pts)}
+        next_id = len(pts)
+        for step in range(30):
+            # Mutate.
+            if rnd.random() < 0.5 and live:
+                oid = rnd.choice(list(live))
+                x, y = live.pop(oid)
+                assert tree.delete(oid, x, y)
+            else:
+                p = (rnd.random(), rnd.random())
+                tree.insert(next_id, p[0], p[1])
+                live[next_id] = p
+                next_id += 1
+            # Query and verify against the live set.
+            q = (rnd.random(), rnd.random())
+            res = compute_nn_validity(tree, q, k=1, universe=UNIT)
+            points = list(live.values())
+            ids = list(live.keys())
+            cell = order_k_voronoi_cell(
+                [live[res.neighbors[0].oid]],
+                [p for i, p in live.items() if i != res.neighbors[0].oid],
+                UNIT, eps=1e-12)
+            assert math.isclose(res.region.area(), cell.area(),
+                                rel_tol=1e-6, abs_tol=1e-12)
+
+
+class TestServerSideCostSanity:
+    def test_tree_structure_matches_paper_setup(self):
+        pts = uniform_points(100_000, seed=23)
+        tree = bulk_load_str(pts)  # default 4KB/20B geometry
+        assert tree.capacity == 204
+        assert tree.height == 3  # 100k points, fanout ~142
+        occ = average_occupancy(tree)
+        assert 0.6 < occ <= 0.75  # STR fill 0.7
+        levels = tree_level_stats(tree)
+        assert levels[0].num_nodes > 500  # leaves
+
+    def test_phase_totals_add_up(self):
+        pts = uniform_points(5_000, seed=24)
+        tree = bulk_load_str(pts, capacity=32)
+        tree.disk.reset_stats()
+        compute_nn_validity(tree, (0.5, 0.5), k=1, universe=UNIT)
+        compute_window_validity(tree, (0.5, 0.5), 0.05, 0.05, universe=UNIT)
+        stats = tree.disk.stats
+        assert stats.total_node_accesses == sum(
+            stats.node_accesses_by_phase().values())
+        assert set(stats.node_accesses_by_phase()) == {
+            "nn", "tpnn", "result", "influence"}
+
+
+class TestEndToEndProtocolCorrectness:
+    def test_long_session_mixed_queries(self):
+        pts = uniform_points(3_000, seed=25)
+        server = LocationServer.from_points(pts, universe=UNIT,
+                                            buffer_fraction=0.1)
+        client = MobileClient(server, incremental=True)
+        rnd = random.Random(77)
+        pos = [0.5, 0.5]
+        points = [tuple(p) for p in pts]
+        for _ in range(120):
+            pos[0] = min(max(pos[0] + rnd.uniform(-0.01, 0.01), 0), 1)
+            pos[1] = min(max(pos[1] + rnd.uniform(-0.01, 0.01), 0), 1)
+            p = tuple(pos)
+            knn = client.knn(p, k=3)
+            want = sorted(range(len(points)),
+                          key=lambda i: math.dist(points[i], p))[:3]
+            assert {e.oid for e in knn} == set(want)
+            win = client.window(p, 0.08, 0.08)
+            rect = Rect.around(p, 0.08, 0.08)
+            assert ({e.oid for e in win}
+                    == {i for i, pt in enumerate(points)
+                        if rect.contains_point(pt)})
+            rng_res = client.range(p, 0.06)
+            assert ({e.oid for e in rng_res}
+                    == {i for i, pt in enumerate(points)
+                        if math.dist(pt, p) <= 0.06})
+        assert client.stats.cache_answers > 0

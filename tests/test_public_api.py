@@ -1,0 +1,31 @@
+"""Smoke tests for the top-level public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_module_docstring_example():
+    server = repro.LocationServer.from_points(
+        repro.uniform_points(2_000, seed=1))
+    client = repro.MobileClient(server)
+    nearest = client.knn((0.5, 0.5), k=1)
+    assert nearest == client.knn((0.5 + 1e-9, 0.5 + 1e-9), k=1)
+    assert client.stats.cache_answers == 1
+
+
+def test_end_to_end_window():
+    server = repro.LocationServer.from_points(
+        repro.uniform_points(2_000, seed=2))
+    client = repro.MobileClient(server)
+    result = client.window((0.5, 0.5), 0.1, 0.1)
+    again = client.window((0.5 + 1e-9, 0.5), 0.1, 0.1)
+    assert [e.oid for e in result] == [e.oid for e in again]
+    assert client.stats.server_queries == 1

@@ -1,0 +1,102 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import ConvexPolygon, Rect
+from repro.index import bulk_load_str
+from repro.core import compute_nn_validity, compute_window_validity
+from repro.datasets import uniform_points
+from repro.viz import SvgCanvas, render_nn_validity, render_window_validity
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestSvgCanvas:
+    def test_empty_canvas_is_valid_xml(self):
+        root = parse(SvgCanvas(UNIT).to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_degenerate_universe_raises(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(Rect(0, 0, 0, 1))
+
+    def test_points_rendered(self):
+        canvas = SvgCanvas(UNIT)
+        canvas.add_points([(0.1, 0.1), (0.9, 0.9)])
+        root = parse(canvas.to_svg())
+        assert len(root.findall(f"{SVG_NS}circle")) == 2
+
+    def test_y_axis_points_up(self):
+        canvas = SvgCanvas(UNIT, width_px=100, margin_px=0)
+        canvas.add_points([(0.0, 0.0), (0.0, 1.0)])
+        root = parse(canvas.to_svg())
+        low, high = root.findall(f"{SVG_NS}circle")
+        assert float(low.get("cy")) > float(high.get("cy"))
+
+    def test_rect_and_polygon_and_disk(self):
+        canvas = SvgCanvas(UNIT)
+        canvas.add_rect(Rect(0.1, 0.1, 0.4, 0.3))
+        canvas.add_polygon(ConvexPolygon([(0.5, 0.5), (0.7, 0.5),
+                                          (0.6, 0.8)]))
+        canvas.add_disk((0.5, 0.5), 0.2)
+        root = parse(canvas.to_svg())
+        assert root.findall(f"{SVG_NS}rect")  # background + shape
+        assert len(root.findall(f"{SVG_NS}polygon")) == 1
+
+    def test_empty_polygon_skipped(self):
+        canvas = SvgCanvas(UNIT)
+        canvas.add_polygon(ConvexPolygon.empty())
+        root = parse(canvas.to_svg())
+        assert not root.findall(f"{SVG_NS}polygon")
+
+    def test_title_escaped(self):
+        canvas = SvgCanvas(UNIT)
+        canvas.add_title("a < b & c")
+        assert "a &lt; b &amp; c" in canvas.to_svg()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(UNIT)
+        canvas.add_marker((0.5, 0.5), label="q")
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        parse(path.read_text())
+
+    def test_non_unit_universe_mapping(self):
+        big = Rect(0.0, 0.0, 800_000.0, 800_000.0)
+        canvas = SvgCanvas(big, width_px=200, margin_px=0)
+        canvas.add_points([(400_000.0, 400_000.0)])
+        root = parse(canvas.to_svg())
+        c = root.find(f"{SVG_NS}circle")
+        assert float(c.get("cx")) == pytest.approx(100.0)
+        assert float(c.get("cy")) == pytest.approx(100.0)
+
+
+class TestHighLevelRenderers:
+    @pytest.fixture(scope="class")
+    def tree_points(self):
+        pts = uniform_points(500, seed=8)
+        return bulk_load_str(pts, capacity=16), pts
+
+    def test_render_nn_validity(self, tree_points, tmp_path):
+        tree, pts = tree_points
+        res = compute_nn_validity(tree, (0.5, 0.5), k=2, universe=UNIT)
+        canvas = render_nn_validity(res, UNIT, points=pts)
+        root = parse(canvas.to_svg())
+        assert root.findall(f"{SVG_NS}polygon")  # the validity region
+        assert len(root.findall(f"{SVG_NS}circle")) >= len(pts)
+
+    def test_render_window_validity(self, tree_points):
+        tree, pts = tree_points
+        res = compute_window_validity(tree, (0.5, 0.5), 0.15, 0.1,
+                                      universe=UNIT)
+        canvas = render_window_validity(res, UNIT, points=pts)
+        root = parse(canvas.to_svg())
+        # Background + window + inner + conservative rects at least.
+        assert len(root.findall(f"{SVG_NS}rect")) >= 4
