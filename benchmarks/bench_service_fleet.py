@@ -1,0 +1,48 @@
+"""Concurrent-fleet benchmark: the instrumented query service under load.
+
+Not a figure of the paper — this exercises the ROADMAP direction
+(serving many mobile clients at once): a ThreadPoolExecutor-driven
+fleet of simulated clients issues per-tick batches of position updates
+through :class:`repro.service.service.QueryService`, and the run ends
+with the service's ``stats_snapshot()``: per-query-type latency
+histograms (p50/p95/p99), bytes on the wire, the client cache-hit
+ratio, and phase-attributed node accesses.
+"""
+
+from common import CONFIG, SCALE, dump_snapshot, fleet_run, print_table, \
+    run_once, uniform_tree
+
+NUM_CLIENTS = 16 if SCALE == "smoke" else 64
+TICKS = 25 if SCALE == "smoke" else 200
+WORKERS = 8
+
+
+def run_fleet():
+    tree = uniform_tree(CONFIG.uniform_cardinalities[0])
+    report = fleet_run(tree, num_clients=NUM_CLIENTS, ticks=TICKS,
+                       max_workers=WORKERS, seed=7, incremental_share=0.25)
+    hists = report.snapshot["metrics"]["histograms"]
+    rows = []
+    for kind, count in sorted(report.mix.items()):
+        h = hists[f"service.latency_ms.{kind}"]
+        rows.append((kind, count, h["count"], h["p50"], h["p95"], h["p99"]))
+    print_table(
+        f"Service fleet: {NUM_CLIENTS} clients x {TICKS} ticks, "
+        f"{WORKERS} threads",
+        ["kind", "clients", "queries", "p50_ms", "p95_ms", "p99_ms"], rows)
+    dump_snapshot(report.snapshot["service"], "service summary")
+    return report
+
+
+def test_service_fleet(benchmark):
+    report = run_once(benchmark, run_fleet)
+    stats = report.stats
+    assert stats.position_updates == NUM_CLIENTS * TICKS
+    # Every update was either answered from a validity region or by the
+    # server — the protocol invariant the paper's motivation rests on.
+    assert stats.cache_answers + stats.server_queries == stats.position_updates
+    assert report.snapshot["service"]["bytes_on_wire"] > 0
+
+
+if __name__ == "__main__":
+    run_fleet()

@@ -13,6 +13,7 @@ benches reuse them.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import sys
@@ -197,3 +198,35 @@ def run_once(benchmark, fn: Callable[[], object]):
     if benchmark is None:
         return fn()
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# instrumented service runs
+# ----------------------------------------------------------------------
+def fleet_run(tree, num_clients: int = 16, ticks: int = 25,
+              max_workers: int = 8, seed: int = 0,
+              incremental_share: float = 0.0):
+    """Drive a simulated client fleet over ``tree`` through the
+    instrumented :class:`~repro.service.service.QueryService`.
+
+    Returns the :class:`~repro.service.fleet.FleetReport`; its
+    ``snapshot`` field is the JSON-serializable stats the benches dump
+    with :func:`dump_snapshot`.
+    """
+    from repro.core import LocationServer
+    from repro.service import ClientFleet, FleetConfig, QueryService
+
+    service = QueryService(LocationServer(tree))
+    fleet = ClientFleet(service, FleetConfig(
+        num_clients=num_clients, seed=seed,
+        incremental_share=incremental_share))
+    return fleet.run(ticks, max_workers=max_workers)
+
+
+def dump_snapshot(snapshot, title: str = "service snapshot") -> None:
+    """Print a service stats snapshot as JSON (the machine-readable
+    companion of :func:`print_table`)."""
+    print()
+    print(f"=== {title} (REPRO_SCALE={SCALE}) ===")
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    sys.stdout.flush()

@@ -21,8 +21,12 @@ from repro.geometry import ConvexPolygon, HalfPlane, Point, Rect, RectilinearReg
 from repro.index import RStarTree, bulk_load_str
 from repro.queries import nearest_neighbors, tp_knn, tp_nn, tp_window, window_query
 from repro.core import (
+    KNNRequest,
     LocationServer,
     MobileClient,
+    QueryResponse,
+    RangeRequest,
+    WindowRequest,
     compute_nn_validity,
     compute_range_validity,
     compute_window_validity,
@@ -43,6 +47,12 @@ from repro.mobility import (
     simulate_knn_protocols,
     simulate_window_protocols,
 )
+from repro.service import (
+    ClientFleet,
+    FleetConfig,
+    MetricsRegistry,
+    QueryService,
+)
 
 __version__ = "1.0.0"
 
@@ -61,6 +71,10 @@ __all__ = [
     "tp_window",
     "LocationServer",
     "MobileClient",
+    "KNNRequest",
+    "WindowRequest",
+    "RangeRequest",
+    "QueryResponse",
     "compute_nn_validity",
     "compute_window_validity",
     "compute_range_validity",
@@ -74,5 +88,9 @@ __all__ = [
     "random_walk",
     "simulate_knn_protocols",
     "simulate_window_protocols",
+    "QueryService",
+    "MetricsRegistry",
+    "ClientFleet",
+    "FleetConfig",
     "__version__",
 ]

@@ -6,12 +6,15 @@ Commands
 ``build``     bulk-load an R*-tree from a ``.npy`` file and save it
 ``query``     run knn / window / range queries against a saved tree
 ``simulate``  compare the client protocols over a random-waypoint trace
+``service``   drive a simulated client fleet through the instrumented
+              query service and dump its stats snapshot as JSON
 ``demo``      a self-contained end-to-end demonstration
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -26,6 +29,7 @@ from repro.datasets import (
 from repro.geometry import Rect
 from repro.index import bulk_load_str
 from repro.mobility import random_waypoint, simulate_knn_protocols
+from repro.service import ClientFleet, FleetConfig, QueryService
 from repro.storage.serialize import load_tree, save_tree
 
 
@@ -73,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("-k", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
 
+    p_svc = sub.add_parser(
+        "service",
+        help="run a simulated client fleet through the query service")
+    p_svc.add_argument("--n", type=int, default=20_000,
+                       help="dataset cardinality")
+    p_svc.add_argument("--clients", type=int, default=16)
+    p_svc.add_argument("--ticks", type=int, default=30)
+    p_svc.add_argument("--threads", type=int, default=8)
+    p_svc.add_argument("--seed", type=int, default=0)
+    p_svc.add_argument("--speed", type=float, default=0.01)
+    p_svc.add_argument("-k", type=int, default=3)
+    p_svc.add_argument("--incremental-share", type=float, default=0.0,
+                       help="fraction of clients using the delta protocol")
+    p_svc.add_argument("--buffer-fraction", type=float, default=0.1,
+                       help="LRU buffer size as a fraction of tree pages")
+    p_svc.add_argument("--json", action="store_true",
+                       help="dump the full stats snapshot as JSON")
+    p_svc.add_argument("--out", default=None,
+                       help="write the snapshot JSON to a file")
+
     sub.add_parser("demo", help="self-contained demonstration")
     return parser
 
@@ -84,6 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": _cmd_build,
         "query": _cmd_query,
         "simulate": _cmd_simulate,
+        "service": _cmd_service,
         "demo": _cmd_demo,
     }[args.command]
     return handler(args)
@@ -144,6 +169,41 @@ def _cmd_simulate(args) -> int:
           f"{'saving':>8} {'bytes':>10}")
     for report in simulate_knn_protocols(tree, trajectory, k=args.k):
         print(report.row())
+    return 0
+
+
+def _cmd_service(args) -> int:
+    server = LocationServer.from_points(
+        uniform_points(args.n, seed=args.seed),
+        buffer_fraction=args.buffer_fraction)
+    service = QueryService(server)
+    fleet = ClientFleet(service, FleetConfig(
+        num_clients=args.clients,
+        k=args.k,
+        speed=args.speed,
+        incremental_share=args.incremental_share,
+        seed=args.seed,
+    ))
+    report = fleet.run(args.ticks, max_workers=args.threads)
+    stats = report.stats
+    print(f"{report.num_clients} clients x {report.ticks} ticks "
+          f"({args.threads} threads): {stats.server_queries} server queries, "
+          f"{stats.cache_answers} cache answers "
+          f"({report.cache_hit_ratio:.0%} saved), "
+          f"{stats.bytes_received} bytes on the wire")
+    hists = report.snapshot["metrics"]["histograms"]
+    for kind in sorted(report.mix):
+        h = hists.get(f"service.latency_ms.{kind}")
+        if h:
+            print(f"  {kind:<7} p50 {h['p50']:.2f} ms   "
+                  f"p95 {h['p95']:.2f} ms   p99 {h['p99']:.2f} ms   "
+                  f"({h['count']} queries)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.snapshot, fh, indent=2, sort_keys=True)
+        print(f"wrote snapshot to {args.out}")
+    elif args.json:
+        print(json.dumps(report.snapshot, indent=2, sort_keys=True))
     return 0
 
 

@@ -15,6 +15,13 @@ it remains inside the region.
   client/server protocol the paper's introduction motivates.
 """
 
+from repro.core.api import (
+    KNNRequest,
+    QueryRequest,
+    QueryResponse,
+    RangeRequest,
+    WindowRequest,
+)
 from repro.core.validity import NNValidityRegion, WindowValidityRegion
 from repro.core.nn_validity import (
     NNValidityResult,
@@ -35,9 +42,14 @@ from repro.core.server import (
     RangeResponse,
     WindowResponse,
 )
-from repro.core.client import MobileClient, ClientStats
+from repro.core.client import CacheEntry, MobileClient, ClientStats
 
 __all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "KNNRequest",
+    "WindowRequest",
+    "RangeRequest",
     "NNValidityRegion",
     "WindowValidityRegion",
     "NNValidityResult",
@@ -56,4 +68,5 @@ __all__ = [
     "DeltaResponse",
     "MobileClient",
     "ClientStats",
+    "CacheEntry",
 ]

@@ -1,0 +1,145 @@
+"""The unified request/response surface of the location server.
+
+Historically each query type had its own response class with its own
+field names (``neighbors`` vs ``result``) and the server exposed one
+method per query type.  This module defines the generic surface that
+every caller — the mobile client, the query service, the CLI, the
+benchmark harness — can program against:
+
+* typed request dataclasses (:class:`KNNRequest`, :class:`WindowRequest`,
+  :class:`RangeRequest`), each carrying everything the server needs to
+  answer it, including the cached result ids that turn a re-query into
+  an incremental (delta) request;
+* the :class:`QueryResponse` protocol — ``.result``, ``.region``,
+  ``.detail`` and ``.transfer_bytes()`` — implemented by all concrete
+  response classes, so generic code never needs to know which query
+  type produced a response;
+* :meth:`repro.core.server.LocationServer.answer`, the single entry
+  point dispatching any request to the right processing path.
+
+The per-type server methods (``knn_query`` etc.) remain available for
+callers that prefer them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    ClassVar,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+__all__ = [
+    "QueryRequest",
+    "KNNRequest",
+    "WindowRequest",
+    "RangeRequest",
+    "QueryResponse",
+]
+
+
+@runtime_checkable
+class QueryResponse(Protocol):
+    """What every server response exposes, regardless of query type.
+
+    ``result`` is the list of :class:`~repro.index.entry.LeafEntry`
+    objects answering the query; ``region`` is the validity region the
+    client caches (it always has ``contains(location)`` and
+    ``transfer_bytes()``); ``detail`` is the full per-type computation
+    record (influence sets, exact regions, probe counts).
+    """
+
+    @property
+    def result(self) -> List:
+        """The query result entries."""
+
+    @property
+    def region(self):
+        """The shipped validity region (has ``contains`` / ``transfer_bytes``)."""
+
+    @property
+    def detail(self):
+        """The per-type server-side computation record."""
+
+    def transfer_bytes(self) -> int:
+        """Modelled network payload of this response."""
+
+
+def _freeze_ids(ids) -> Optional[Tuple[int, ...]]:
+    if ids is None:
+        return None
+    return tuple(int(i) for i in ids)
+
+
+@dataclass(frozen=True)
+class KNNRequest:
+    """A location-based kNN query: the ``k`` nearest objects to ``location``."""
+
+    kind: ClassVar[str] = "knn"
+
+    location: Tuple[float, float]
+    k: int = 1
+    #: Vertex-selection policy for the influence-set retrieval
+    #: (see :data:`repro.core.nn_validity.VERTEX_POLICIES`).
+    vertex_policy: str = "fifo"
+    #: Result ids of the caller's cached response.  When set, the server
+    #: answers incrementally (§7): only additions/removals are shipped.
+    previous_ids: Optional[Tuple[int, ...]] = None
+    #: Caller-chosen correlation id, echoed through traces and logs.
+    trace_id: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "previous_ids",
+                           _freeze_ids(self.previous_ids))
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    def as_delta(self, previous_ids) -> "KNNRequest":
+        """This request as an incremental re-query versus ``previous_ids``."""
+        return replace(self, previous_ids=_freeze_ids(previous_ids))
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """A location-based window query centred on ``focus``."""
+
+    kind: ClassVar[str] = "window"
+
+    focus: Tuple[float, float]
+    width: float
+    height: float
+    previous_ids: Optional[Tuple[int, ...]] = None
+    trace_id: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "previous_ids",
+                           _freeze_ids(self.previous_ids))
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("window extents must be positive")
+
+    def as_delta(self, previous_ids) -> "WindowRequest":
+        """This request as an incremental re-query versus ``previous_ids``."""
+        return replace(self, previous_ids=_freeze_ids(previous_ids))
+
+
+@dataclass(frozen=True)
+class RangeRequest:
+    """A location-based circular range query around ``location``."""
+
+    kind: ClassVar[str] = "range"
+
+    location: Tuple[float, float]
+    radius: float
+    trace_id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+
+QueryRequest = Union[KNNRequest, WindowRequest, RangeRequest]

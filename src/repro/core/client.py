@@ -12,22 +12,22 @@ With ``incremental=True`` the client uses the delta protocol of the
 paper's Section 7 on re-queries: the server ships only the objects
 added and the ids removed relative to the cached result, which the
 client applies locally — same answers, fewer bytes.
+
+All three query types go through the typed request objects of
+:mod:`repro.core.api` and one generic cache — a :class:`CacheEntry` per
+query kind — so the per-type methods only differ in how they build the
+request and post-process the entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.geometry import distance_sq
 from repro.index.entry import LeafEntry
-from repro.core.server import (
-    DeltaResponse,
-    KNNResponse,
-    LocationServer,
-    RangeResponse,
-    WindowResponse,
-)
+from repro.core.api import KNNRequest, QueryResponse, RangeRequest, WindowRequest
+from repro.core.server import DeltaResponse, LocationServer
 
 
 @dataclass
@@ -46,24 +46,54 @@ class ClientStats:
             return 0.0
         return self.cache_answers / self.position_updates
 
+    #: Alias under the service-layer name.
+    cache_hit_ratio = query_saving
+
+
+@dataclass
+class CacheEntry:
+    """One cached server response, shared by all three query types.
+
+    ``key`` is the query-parameter tuple the response answers (``(k,)``
+    for kNN, ``(width, height)`` for window, ``(radius,)`` for range);
+    ``entries`` is the client's working copy of the result set — under
+    the delta protocol it is patched in place of a full re-transfer;
+    ``epoch`` is the server epoch the validity region was computed
+    under, so a dataset update invalidates the entry.
+    """
+
+    key: Tuple
+    response: QueryResponse
+    entries: List[LeafEntry]
+    epoch: int
+    trace_id: Optional[str] = None
+
+    def answers(self, key: Tuple, location) -> bool:
+        """Can this entry answer a query with ``key`` at ``location``?"""
+        return self.key == key and self.response.region.contains(location)
+
 
 class MobileClient:
-    """A location-aware client talking to a :class:`LocationServer`."""
+    """A location-aware client talking to a :class:`LocationServer`.
 
-    def __init__(self, server: LocationServer, incremental: bool = False):
+    ``metrics`` optionally names a metrics registry (duck-typed; see
+    :class:`repro.service.metrics.MetricsRegistry`) into which the
+    client reports ``client.*`` counters alongside its local
+    :class:`ClientStats`.
+    """
+
+    def __init__(self, server: LocationServer, incremental: bool = False,
+                 metrics=None):
         self.server = server
         self.incremental = incremental
         self.stats = ClientStats()
-        # Caches carry the server epoch they were computed under; a
-        # bumped epoch (dataset update) invalidates them.
-        self._knn_cache: Optional[Tuple[int, KNNResponse, List[LeafEntry],
-                                        int]] = None
-        self._window_cache: Optional[
-            Tuple[float, float, WindowResponse, List[LeafEntry], int]] = None
-        self._range_cache: Optional[Tuple[float, RangeResponse, int]] = None
+        self.metrics = metrics
+        self._caches: Dict[str, Optional[CacheEntry]] = {
+            "knn": None, "window": None, "range": None,
+        }
 
     # ------------------------------------------------------------------
-    # kNN
+    # the per-type entry points
     # ------------------------------------------------------------------
     def knn(self, location, k: int = 1) -> List[LeafEntry]:
         """The k nearest neighbours at ``location``, nearest first.
@@ -71,83 +101,78 @@ class MobileClient:
         Served locally whenever the cached validity region still covers
         the location (and the cached ``k`` matches).
         """
-        self.stats.position_updates += 1
-        cached = self._knn_cache
-        if cached is not None and cached[3] != self.server.epoch:
-            cached = self._knn_cache = None
-        if cached is not None:
-            cached_k, response, entries, _ = cached
-            if cached_k == k and response.region.contains(location):
-                self.stats.cache_answers += 1
-                return _sorted_by_distance(entries, location)
-        if self.incremental and cached is not None and cached[0] == k:
-            delta = self.server.knn_query_delta(
-                location, k, (e.oid for e in cached[2]))
-            entries = _apply_delta(cached[2], delta)
-            response = delta.full
-            self.stats.bytes_received += delta.transfer_bytes()
-        else:
-            response = self.server.knn_query(location, k=k)
-            entries = list(response.neighbors)
-            self.stats.bytes_received += response.transfer_bytes()
-        self.stats.server_queries += 1
-        self._knn_cache = (k, response, entries, self.server.epoch)
+        entries = self._answer("knn", (k,), location,
+                               KNNRequest(_point(location), k=k))
         return _sorted_by_distance(entries, location)
 
-    # ------------------------------------------------------------------
-    # window
-    # ------------------------------------------------------------------
     def window(self, focus, width: float, height: float) -> List[LeafEntry]:
         """The window result for a window of fixed extents at ``focus``."""
-        self.stats.position_updates += 1
-        cached = self._window_cache
-        if cached is not None and cached[4] != self.server.epoch:
-            cached = self._window_cache = None
-        if cached is not None:
-            cw, ch, response, entries, _ = cached
-            if (cw, ch) == (width, height) and response.region.contains(focus):
-                self.stats.cache_answers += 1
-                return list(entries)
-        if (self.incremental and cached is not None
-                and (cached[0], cached[1]) == (width, height)):
-            delta = self.server.window_query_delta(
-                focus, width, height, (e.oid for e in cached[3]))
-            entries = _apply_delta(cached[3], delta)
-            response = delta.full
-            self.stats.bytes_received += delta.transfer_bytes()
-        else:
-            response = self.server.window_query(focus, width, height)
-            entries = list(response.result)
-            self.stats.bytes_received += response.transfer_bytes()
-        self.stats.server_queries += 1
-        self._window_cache = (width, height, response, entries,
-                              self.server.epoch)
+        entries = self._answer("window", (width, height), focus,
+                               WindowRequest(_point(focus), width, height))
         return list(entries)
 
-    # ------------------------------------------------------------------
-    # circular range (§7 extension)
-    # ------------------------------------------------------------------
     def range(self, location, radius: float) -> List[LeafEntry]:
-        """All objects within ``radius`` of ``location``."""
-        self.stats.position_updates += 1
-        cached = self._range_cache
-        if cached is not None and cached[2] != self.server.epoch:
-            cached = self._range_cache = None
-        if cached is not None:
-            cr, response, _ = cached
-            if cr == radius and response.region.contains(location):
-                self.stats.cache_answers += 1
-                return list(response.result)
-        response = self.server.range_query(location, radius)
-        self.stats.server_queries += 1
-        self.stats.bytes_received += response.transfer_bytes()
-        self._range_cache = (radius, response, self.server.epoch)
-        return list(response.result)
+        """All objects within ``radius`` of ``location`` (§7 extension)."""
+        entries = self._answer("range", (radius,), location,
+                               RangeRequest(_point(location), radius))
+        return list(entries)
 
     def invalidate_cache(self) -> None:
-        self._knn_cache = None
-        self._window_cache = None
-        self._range_cache = None
+        for kind in self._caches:
+            self._caches[kind] = None
+
+    def cache_entry(self, kind: str) -> Optional[CacheEntry]:
+        """The live cache entry for ``kind`` (``knn``/``window``/``range``)."""
+        return self._caches[kind]
+
+    # ------------------------------------------------------------------
+    # the generic protocol
+    # ------------------------------------------------------------------
+    def _answer(self, kind: str, key: Tuple, location,
+                request) -> List[LeafEntry]:
+        """Cache check → (delta or full) server query → cache refresh.
+
+        Returns the client's entry list for the query; callers must copy
+        before handing it out (it is the cached working set).
+        """
+        self.stats.position_updates += 1
+        self._count("client.position_updates")
+        cached = self._caches[kind]
+        if cached is not None and cached.epoch != self.server.epoch:
+            # Dataset changed under us: the region (and the delta base)
+            # are both unusable.
+            cached = self._caches[kind] = None
+        if cached is not None and cached.answers(key, location):
+            self.stats.cache_answers += 1
+            self._count("client.cache_answers")
+            return cached.entries
+        if (self.incremental and cached is not None and cached.key == key
+                and hasattr(request, "as_delta")):
+            delta: DeltaResponse = self.server.answer(
+                request.as_delta(e.oid for e in cached.entries))
+            entries = _apply_delta(cached.entries, delta)
+            response = delta.full
+            received = delta.transfer_bytes()
+        else:
+            response = self.server.answer(request)
+            entries = list(response.result)
+            received = response.transfer_bytes()
+        self.stats.server_queries += 1
+        self.stats.bytes_received += received
+        self._count("client.server_queries")
+        self._count("client.bytes_received", received)
+        self._caches[kind] = CacheEntry(
+            key=key, response=response, entries=entries,
+            epoch=self.server.epoch, trace_id=request.trace_id)
+        return entries
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+
+def _point(location) -> Tuple[float, float]:
+    return (float(location[0]), float(location[1]))
 
 
 def _sorted_by_distance(entries: List[LeafEntry], location) -> List[LeafEntry]:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry import ConvexPolygon, Point, Rect, bisector_halfplane
@@ -48,6 +49,9 @@ class NNValidityResult:
     region: ConvexPolygon
     num_tp_queries: int = 0
     num_confirmations: int = 0
+    #: Wall-clock seconds spent clipping the region by bisector
+    #: half-planes (the trace span the service layer reports).
+    clip_seconds: float = 0.0
 
     @property
     def influence_set(self) -> List[LeafEntry]:
@@ -148,6 +152,7 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
     known_influence_oids: Set[int] = set()
     num_tp = 0
     num_confirm = 0
+    clip_seconds = 0.0
     # Safety valve: the algorithm provably terminates (each TP query
     # either confirms a vertex or shrinks the region), but degenerate
     # float behaviour should fail loudly rather than spin.
@@ -179,9 +184,11 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
         pair_oids.add(pair_key)
         known_influence_oids.add(event.influence.oid)
         pairs.append((event.paired_with, event.influence))
+        clip_start = perf_counter()
         halfplane = bisector_halfplane(event.paired_with.point,
                                        event.influence.point)
         region = region.clip(halfplane, eps=eps)
+        clip_seconds += perf_counter() - clip_start
         if region.is_empty:
             # Numerically degenerate (q on a cell boundary): report the
             # empty region; the client will simply re-query immediately.
@@ -198,6 +205,7 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
         region=region,
         num_tp_queries=num_tp,
         num_confirmations=num_confirm,
+        clip_seconds=clip_seconds,
     )
 
 

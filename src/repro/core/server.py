@@ -3,6 +3,11 @@
 Wraps an R*-tree and answers location-based queries with (result,
 validity region, influence set) triples, tracking the server-side I/O
 statistics that Section 6 reports.
+
+Every response class implements the :class:`repro.core.api.QueryResponse`
+protocol (``.result``, ``.region``, ``.detail``, ``.transfer_bytes()``),
+and :meth:`LocationServer.answer` accepts any typed request from
+:mod:`repro.core.api`; the per-type methods are kept for back-compat.
 """
 
 from __future__ import annotations
@@ -15,6 +20,12 @@ from repro.geometry import Rect
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.index.bulk import bulk_load_str
+from repro.core.api import (
+    KNNRequest,
+    QueryRequest,
+    RangeRequest,
+    WindowRequest,
+)
 from repro.core.nn_validity import NNValidityResult, compute_nn_validity
 from repro.core.range_validity import (
     RangeValidityRegion,
@@ -38,6 +49,11 @@ class KNNResponse:
     neighbors: List[LeafEntry]
     region: NNValidityRegion
     detail: NNValidityResult
+
+    @property
+    def result(self) -> List[LeafEntry]:
+        """The result entries (:class:`~repro.core.api.QueryResponse`)."""
+        return self.neighbors
 
     def transfer_bytes(self) -> int:
         """Result points + influence payload (paper's network-cost model)."""
@@ -82,6 +98,19 @@ class DeltaResponse:
     #: The fresh full response (regions, details); its result list is
     #: what the client reconstructs from its cache plus the delta.
     full: object
+
+    @property
+    def result(self) -> List[LeafEntry]:
+        """The full fresh result (what the client state converges to)."""
+        return self.full.result
+
+    @property
+    def region(self):
+        return self.full.region
+
+    @property
+    def detail(self):
+        return self.full.detail
 
     def transfer_bytes(self) -> int:
         region_bytes = self.full.region.transfer_bytes()
@@ -132,6 +161,33 @@ class LocationServer:
         if buffer_fraction > 0.0:
             tree.attach_lru_buffer(buffer_fraction)
         return cls(tree, universe)
+
+    # ------------------------------------------------------------------
+    # the unified entry point
+    # ------------------------------------------------------------------
+    def answer(self, request: QueryRequest):
+        """Answer any typed query request (see :mod:`repro.core.api`).
+
+        Requests carrying ``previous_ids`` are answered incrementally
+        (a :class:`DeltaResponse`); all responses satisfy the
+        :class:`~repro.core.api.QueryResponse` protocol.
+        """
+        if isinstance(request, KNNRequest):
+            if request.previous_ids is not None:
+                return self.knn_query_delta(request.location, request.k,
+                                            request.previous_ids)
+            return self.knn_query(request.location, k=request.k,
+                                  vertex_policy=request.vertex_policy)
+        if isinstance(request, WindowRequest):
+            if request.previous_ids is not None:
+                return self.window_query_delta(
+                    request.focus, request.width, request.height,
+                    request.previous_ids)
+            return self.window_query(request.focus, request.width,
+                                     request.height)
+        if isinstance(request, RangeRequest):
+            return self.range_query(request.location, request.radius)
+        raise TypeError(f"not a query request: {request!r}")
 
     # ------------------------------------------------------------------
     # queries

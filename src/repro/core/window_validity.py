@@ -205,11 +205,24 @@ def _conservative_cut(focus: Point, inner_region: Rect,
     processed largest-overlap-first so dominating obstacles are handled
     before slivers they may already cover.  Returns the final rectangle
     and the applied cuts (entry, side, new coordinate).
+
+    Both the processing order and the per-hole cut choice are decided on
+    *normalized, quantized* areas with deterministic tie-breaks (object
+    id, fixed side priority).  Raw float areas would leave ties — e.g.
+    several Minkowski rectangles fully inside the inner region all
+    overlap by exactly the window area — to be broken by tree-traversal
+    order, which is not invariant under translating/scaling the
+    instance.
     """
     region = inner_region
     cuts: List[Tuple[LeafEntry, str, float]] = []
-    ordered = sorted(holes, key=lambda h: -h[1].overlap_area(inner_region))
-    for entry, mink in ordered:
+    norm = inner_region.area() or 1.0
+
+    def _hole_key(hole: Tuple[LeafEntry, Rect]) -> Tuple[float, int]:
+        entry, mink = hole
+        return (-round(mink.overlap_area(inner_region) / norm, 9), entry.oid)
+
+    for entry, mink in sorted(holes, key=_hole_key):
         overlap = mink.intersection(region)
         if overlap is None or overlap.area() <= 0.0:
             continue  # an earlier cut already removed this hole
@@ -228,7 +241,10 @@ def _conservative_cut(focus: Point, inner_region: Rect,
                                             region.xmax, region.ymax)))
         # The focus is never inside an outer Minkowski rectangle, so at
         # least one cut direction is always available.
-        side, region = max(candidates, key=lambda c: c[1].area())
+        side, region = max(
+            candidates,
+            key=lambda c: (round(c[1].area() / norm, 9),
+                           -_SIDES.index(c[0])))
         cuts.append((entry, side, getattr(region, side)))
     return region, cuts
 

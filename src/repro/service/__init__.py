@@ -1,0 +1,30 @@
+"""The service layer: instrumentation and concurrency over the server.
+
+* :mod:`repro.service.metrics` — counters, gauges and latency
+  histograms in one thread-safe registry every layer reports into.
+* :mod:`repro.service.tracing` — structured per-query traces with
+  timed spans and phase-attributed node accesses.
+* :mod:`repro.service.service` — :class:`QueryService`, the
+  instrumented, thread-safe front-end a deployment runs.
+* :mod:`repro.service.fleet` — a ThreadPoolExecutor-driven fleet of
+  simulated mobile clients with per-tick batched dispatch.
+"""
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.tracing import QueryTrace, Span, TraceBuffer
+from repro.service.service import QueryService
+from repro.service.fleet import ClientFleet, FleetConfig, FleetReport
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "TraceBuffer",
+    "QueryService",
+    "ClientFleet",
+    "FleetConfig",
+    "FleetReport",
+]

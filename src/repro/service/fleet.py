@@ -1,0 +1,173 @@
+"""A simulated fleet of mobile clients driving the query service.
+
+The benchmark harness needs concurrent load, not one client in a loop:
+millions of subscribers means many position updates arriving in the
+same instant.  :class:`ClientFleet` models that with one
+:class:`~repro.core.client.MobileClient` per simulated user, each
+following its own random-waypoint trajectory, all pointed at one
+:class:`~repro.service.service.QueryService`.
+
+Dispatch is **batched per tick**: at every tick the fleet collects one
+position update from every client and submits the whole batch to a
+``ThreadPoolExecutor``; the next tick starts only when the batch has
+drained — the synchronous position-report round a real ingest tier
+would run.  Client-side cache checks run concurrently in the pool;
+queries that miss go through the service (and are traced/metered
+there).
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.client import ClientStats, MobileClient
+from repro.mobility import random_waypoint
+from repro.service.service import QueryService
+
+__all__ = ["FleetConfig", "FleetReport", "ClientFleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the simulated workload."""
+
+    num_clients: int = 8
+    #: Query mix: fraction of clients per query type.  Remaining
+    #: clients (after knn and window shares) issue range queries.
+    knn_share: float = 0.5
+    window_share: float = 0.3
+    k: int = 3
+    window_width: float = 0.1
+    window_height: float = 0.1
+    range_radius: float = 0.05
+    speed: float = 0.01
+    #: Fraction of clients using the §7 incremental (delta) protocol.
+    incremental_share: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.knn_share + self.window_share <= 1.0:
+            raise ValueError("query-mix shares must sum to <= 1")
+        if not 0.0 <= self.incremental_share <= 1.0:
+            raise ValueError("incremental_share must be in [0, 1]")
+
+
+@dataclass
+class FleetReport:
+    """What one fleet run produced."""
+
+    ticks: int
+    num_clients: int
+    #: Aggregate of every client's protocol accounting.
+    stats: ClientStats
+    #: ``service.stats_snapshot()`` taken at the end of the run.
+    snapshot: Dict[str, object]
+    #: Per-kind client counts actually simulated.
+    mix: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.stats.query_saving
+
+
+class _SimulatedClient:
+    """One user: a mobile client plus the trajectory it follows."""
+
+    def __init__(self, client: MobileClient, kind: str, positions, cfg):
+        self.client = client
+        self.kind = kind
+        self._positions = positions
+        self._cfg = cfg
+
+    def step(self, tick: int) -> None:
+        pos = self._positions[tick]
+        if self.kind == "knn":
+            self.client.knn(pos, k=self._cfg.k)
+        elif self.kind == "window":
+            self.client.window(pos, self._cfg.window_width,
+                               self._cfg.window_height)
+        else:
+            self.client.range(pos, self._cfg.range_radius)
+
+
+class ClientFleet:
+    """Drives a fleet of simulated clients against a query service."""
+
+    def __init__(self, service: QueryService,
+                 config: Optional[FleetConfig] = None):
+        self.service = service
+        self.config = config if config is not None else FleetConfig()
+        self._clients: List[_SimulatedClient] = []
+
+    def _build(self, ticks: int) -> None:
+        cfg = self.config
+        universe = self.service.universe
+        rng = random.Random(cfg.seed)
+        n_knn = round(cfg.num_clients * cfg.knn_share)
+        n_window = round(cfg.num_clients * cfg.window_share)
+        self._clients = []
+        for i in range(cfg.num_clients):
+            kind = ("knn" if i < n_knn
+                    else "window" if i < n_knn + n_window
+                    else "range")
+            incremental = (rng.random() < cfg.incremental_share
+                           and kind != "range")
+            trajectory = random_waypoint(universe, ticks, speed=cfg.speed,
+                                         seed=cfg.seed * 100003 + i)
+            positions = [step.position for step in trajectory]
+            client = MobileClient(self.service, incremental=incremental,
+                                  metrics=self.service.metrics)
+            self._clients.append(_SimulatedClient(client, kind, positions,
+                                                  cfg))
+
+    def run(self, ticks: int, max_workers: int = 8) -> FleetReport:
+        """Simulate ``ticks`` rounds of batched position updates.
+
+        Every tick submits one update per client to a pool of
+        ``max_workers`` threads and waits for the batch to drain.
+        """
+        if ticks < 1:
+            raise ValueError("need at least one tick")
+        self._build(ticks)
+        metrics = self.service.metrics
+        metrics.gauge("fleet.clients").set(len(self._clients))
+        metrics.gauge("fleet.workers").set(max_workers)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            for tick in range(ticks):
+                futures = [pool.submit(sim.step, tick)
+                           for sim in self._clients]
+                for future in futures:
+                    future.result()  # propagate the first failure
+                metrics.counter("fleet.ticks").inc()
+        return FleetReport(
+            ticks=ticks,
+            num_clients=len(self._clients),
+            stats=self.aggregate_stats(),
+            snapshot=self.service.stats_snapshot(),
+            mix=self._mix(),
+        )
+
+    def aggregate_stats(self) -> ClientStats:
+        total = ClientStats()
+        for sim in self._clients:
+            stats = sim.client.stats
+            total.position_updates += stats.position_updates
+            total.server_queries += stats.server_queries
+            total.cache_answers += stats.cache_answers
+            total.bytes_received += stats.bytes_received
+        return total
+
+    def _mix(self) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for sim in self._clients:
+            mix[sim.kind] = mix.get(sim.kind, 0) + 1
+        return mix
+
+    @property
+    def clients(self) -> Sequence[_SimulatedClient]:
+        return tuple(self._clients)

@@ -1,0 +1,231 @@
+"""Thread-safe metrics primitives for the query service.
+
+One :class:`MetricsRegistry` is shared by every layer of a running
+service: the server reports per-query latencies and bytes on the wire,
+clients report cache hits and misses, and the disk/buffer layers are
+folded in when a snapshot is taken.  Everything a snapshot returns is
+plain JSON-serializable data, so benchmark harnesses and the CLI can
+dump it directly.
+
+The primitives are deliberately small:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Gauge` — a last-write-wins float;
+* :class:`Histogram` — a bounded sample reservoir with exact
+  count/sum/min/max and approximate percentiles (p50/p95/p99).
+
+The histogram keeps at most ``max_samples`` raw observations; once
+full, new observations overwrite pseudo-randomly chosen slots (a
+deterministic multiplicative hash of the observation count), which
+keeps memory bounded under sustained load while remaining reproducible
+run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Knuth's multiplicative hash constant, used to pick reservoir slots.
+_HASH = 2654435761
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (buffer occupancy, fleet size…)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """A sample distribution with exact moments and quantile estimates."""
+
+    __slots__ = ("name", "_samples", "_lock", "_max_samples",
+                 "count", "total", "min", "max")
+
+    def __init__(self, name: str, max_samples: int = 65536):
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                self._samples[(self.count * _HASH) % self._max_samples] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 <= p <= 100) of the retained samples.
+
+        Nearest-rank on the sorted reservoir; 0.0 when nothing was
+        recorded yet.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+
+        def q(p: float) -> float:
+            if not ordered:
+                return 0.0
+            rank = min(len(ordered) - 1,
+                       int(round(p / 100.0 * (len(ordered) - 1))))
+            return ordered[rank]
+
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": q(50.0),
+            "p95": q(95.0),
+            "p99": q(99.0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and histograms.
+
+    Names are free-form dotted strings (``query.latency_ms.knn``); the
+    registry imposes no schema, but a name registered as one kind cannot
+    be re-registered as another.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            self._check_kind(name, self._counters)
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._check_kind(name, self._gauges)
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str, max_samples: int = 65536) -> Histogram:
+        with self._lock:
+            self._check_kind(name, self._histograms)
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, max_samples)
+            return self._histograms[name]
+
+    def _check_kind(self, name: str, expected_home: Dict) -> None:
+        for home in (self._counters, self._gauges, self._histograms):
+            if home is not expected_home and name in home:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Everything, as plain JSON-serializable data."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every registered metric (a fresh session)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,263 @@
+"""The instrumented query service: a concurrent front-end to the server.
+
+:class:`QueryService` is what a deployment puts between its fleet of
+mobile clients and a :class:`~repro.core.server.LocationServer`.  Per
+query it produces a structured :class:`~repro.service.tracing.QueryTrace`
+— wall-clock spans for index descent, TPNN vertex probing, bisector
+clipping and serialization, with the phase-attributed node accesses the
+simulated disk charged to the query folded into the matching span — and
+it reports counters and latency/bytes histograms into one
+:class:`~repro.service.metrics.MetricsRegistry` shared by every layer.
+
+Concurrency model: the service accepts requests from any number of
+threads; the index/disk portion of each query runs under the service
+lock (the paper's server owns a single simulated disk, whose phase
+attribution and buffer state are inherently serial), while cache
+checks, serialization accounting, metrics and tracing happen outside
+it.  :meth:`dispatch_batch` answers a whole batch through an executor —
+the per-tick dispatch unit the simulated fleet uses.
+
+The service quacks like a :class:`LocationServer` where it matters
+(``answer``, ``epoch``, updates), so a
+:class:`~repro.core.client.MobileClient` can be pointed straight at it
+and every query it issues is traced and metered.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Executor
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.api import (
+    KNNRequest,
+    QueryRequest,
+    QueryResponse,
+    RangeRequest,
+    WindowRequest,
+)
+from repro.core.server import DeltaResponse, LocationServer
+from repro.service.metrics import MetricsRegistry
+from repro.service.tracing import (
+    SPAN_NAMES,
+    QueryTrace,
+    Span,
+    TraceBuffer,
+    now,
+)
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """An instrumented, thread-safe facade over a :class:`LocationServer`."""
+
+    def __init__(self, server: LocationServer,
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_capacity: int = 256):
+        self.server = server
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.traces = TraceBuffer(trace_capacity)
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._started_at = now()
+
+    # ------------------------------------------------------------------
+    # the LocationServer surface clients rely on
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self.server.epoch
+
+    @property
+    def universe(self):
+        return self.server.universe
+
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        with self._lock:
+            self.server.insert_object(oid, x, y)
+        self.metrics.counter("service.updates.insert").inc()
+
+    def delete_object(self, oid: int, x: float, y: float) -> bool:
+        with self._lock:
+            removed = self.server.delete_object(oid, x, y)
+        self.metrics.counter("service.updates.delete").inc()
+        return removed
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def answer(self, request: QueryRequest) -> QueryResponse:
+        """Answer one typed request, tracing and metering it."""
+        kind = getattr(request, "kind", type(request).__name__)
+        trace = QueryTrace(
+            trace_id=getattr(request, "trace_id", None) or f"q-{next(self._ids)}",
+            kind=kind,
+            started_at=now(),
+        )
+        phase_events: List[tuple] = []
+        t0 = perf_counter()
+
+        def on_phase(name: str, elapsed: float) -> None:
+            phase_events.append((name, perf_counter() - t0 - elapsed, elapsed))
+
+        try:
+            with self._lock:
+                before = self.server.io_stats.node_accesses_by_phase()
+                before_pf = self.server.io_stats.page_faults_by_phase()
+                previous_listener = self.server.tree.disk.set_phase_listener(
+                    on_phase)
+                try:
+                    response = self.server.answer(request)
+                finally:
+                    self.server.tree.disk.set_phase_listener(previous_listener)
+                after = self.server.io_stats.node_accesses_by_phase()
+                after_pf = self.server.io_stats.page_faults_by_phase()
+        except Exception as exc:
+            trace.duration_ms = (perf_counter() - t0) * 1e3
+            trace.error = f"{type(exc).__name__}: {exc}"
+            self.traces.append(trace)
+            self.metrics.counter("service.errors").inc()
+            self.metrics.counter(f"service.errors.{kind}").inc()
+            raise
+
+        trace.node_accesses = _delta(before, after)
+        trace.page_faults = _delta(before_pf, after_pf)
+        for phase, offset, elapsed in phase_events:
+            trace.spans.append(Span(
+                name=SPAN_NAMES.get(phase, phase),
+                offset_ms=offset * 1e3,
+                duration_ms=elapsed * 1e3,
+                meta={
+                    "phase": phase,
+                    "node_accesses": trace.node_accesses.get(phase, 0),
+                    "page_faults": trace.page_faults.get(phase, 0),
+                },
+            ))
+        clip_seconds = getattr(response.detail, "clip_seconds", 0.0)
+        if clip_seconds:
+            trace.spans.append(Span(
+                name="bisector_clipping",
+                offset_ms=0.0,  # interleaved with tpnn_probing
+                duration_ms=clip_seconds * 1e3,
+            ))
+
+        # Serialization: size the payload that would go on the wire.
+        ser_start = perf_counter()
+        transfer = response.transfer_bytes()
+        result_size = len(response.result)
+        if isinstance(response, DeltaResponse):
+            result_size = len(response.added) + len(response.removed_ids)
+        trace.spans.append(Span(
+            name="serialization",
+            offset_ms=(ser_start - t0) * 1e3,
+            duration_ms=(perf_counter() - ser_start) * 1e3,
+            meta={"transfer_bytes": transfer},
+        ))
+        trace.transfer_bytes = transfer
+        trace.result_size = result_size
+        trace.duration_ms = (perf_counter() - t0) * 1e3
+        self.traces.append(trace)
+        self._record(kind, trace,
+                     delta=getattr(request, "previous_ids", None) is not None)
+        return response
+
+    def dispatch_batch(self, requests: Sequence[QueryRequest],
+                       executor: Optional[Executor] = None
+                       ) -> List[QueryResponse]:
+        """Answer a batch of requests, preserving order.
+
+        With an ``executor`` the batch fans out across its workers (the
+        per-tick dispatch of a simulated client fleet); without one it
+        runs inline.  Either way every query is individually traced.
+        """
+        self.metrics.counter("service.batches").inc()
+        self.metrics.histogram("service.batch_size").record(len(requests))
+        if executor is None:
+            return [self.answer(r) for r in requests]
+        return list(executor.map(self.answer, requests))
+
+    # ------------------------------------------------------------------
+    # convenience per-type methods (same names as the server)
+    # ------------------------------------------------------------------
+    def knn_query(self, location, k: int = 1):
+        return self.answer(KNNRequest(tuple(location), k=k))
+
+    def window_query(self, focus, width: float, height: float):
+        return self.answer(WindowRequest(tuple(focus), width, height))
+
+    def range_query(self, location, radius: float):
+        return self.answer(RangeRequest(tuple(location), radius))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, trace: QueryTrace, delta: bool) -> None:
+        m = self.metrics
+        m.counter(f"service.queries.{kind}").inc()
+        m.counter("service.queries").inc()
+        if delta:
+            m.counter(f"service.queries.{kind}.delta").inc()
+        m.counter("service.bytes_on_wire").inc(trace.transfer_bytes)
+        m.histogram(f"service.latency_ms.{kind}").record(trace.duration_ms)
+        m.histogram(f"service.transfer_bytes.{kind}").record(
+            trace.transfer_bytes)
+        m.histogram(f"service.result_size.{kind}").record(trace.result_size)
+        for phase, count in trace.node_accesses.items():
+            m.counter(f"service.node_accesses.{phase}").inc(count)
+        for phase, count in trace.page_faults.items():
+            m.counter(f"service.page_faults.{phase}").inc(count)
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Everything observable about the running service, as JSON data.
+
+        Includes the metrics registry (counters / gauges / histograms),
+        the disk layer's phase-attributed access statistics, the buffer
+        pool state, the server's epoch and query count, and the derived
+        client cache-hit ratio when clients report into the registry.
+        """
+        disk = self.server.tree.disk
+        buffer = disk.buffer
+        snap = self.metrics.snapshot()
+        counters = snap["counters"]
+        updates = counters.get("client.position_updates", 0)
+        hits = counters.get("client.cache_answers", 0)
+        return {
+            "service": {
+                "started_at": self._started_at,
+                "uptime_seconds": now() - self._started_at,
+                "queries": counters.get("service.queries", 0),
+                "bytes_on_wire": counters.get("service.bytes_on_wire", 0),
+                "cache_hit_ratio": hits / updates if updates else 0.0,
+                "traces_retained": len(self.traces),
+                "traces_dropped": self.traces.dropped,
+            },
+            "metrics": snap,
+            "disk": disk.stats.as_dict(),
+            "buffer": buffer.snapshot() if buffer is not None else None,
+            "server": {
+                "epoch": self.server.epoch,
+                "queries_processed": self.server.queries_processed,
+                "num_points": len(self.server.tree),
+                "num_pages": self.server.tree.num_pages,
+            },
+        }
+
+    def recent_traces(self, n: Optional[int] = None) -> List[QueryTrace]:
+        return self.traces.recent(n)
+
+    def reset_stats(self) -> None:
+        """Zero the registry and the disk counters (buffer stays warm)."""
+        self.metrics.reset()
+        self.server.reset_io_stats()
+
+
+def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    out = {}
+    for phase, count in after.items():
+        diff = count - before.get(phase, 0)
+        if diff:
+            out[phase] = diff
+    return out

@@ -1,0 +1,144 @@
+"""Structured per-query tracing.
+
+A :class:`QueryTrace` records everything one query did inside the
+service: the wall-clock spans of each processing stage (index descent,
+TPNN vertex probing, bisector clipping, serialization…), the
+phase-attributed node accesses and page faults the simulated disk
+charged to it, the payload it shipped, and the result size.  Traces are
+plain data — :meth:`QueryTrace.as_dict` is JSON-serializable — and the
+service retains the most recent ones in a bounded ring buffer.
+
+Span names are normalized through :data:`SPAN_NAMES` so the disk-level
+phase vocabulary ("nn", "tpnn", "result", "influence") surfaces under
+the stage names the paper's processing pipeline uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "QueryTrace", "SPAN_NAMES", "TraceBuffer"]
+
+#: Disk phase name → trace span name.
+SPAN_NAMES = {
+    "nn": "index_descent",
+    "result": "index_descent",
+    "tpnn": "tpnn_probing",
+    "influence": "influence_probing",
+}
+
+
+@dataclass
+class Span:
+    """One timed stage of a query's server-side processing."""
+
+    name: str
+    #: Seconds after the trace started that this span began.
+    offset_ms: float
+    duration_ms: float
+    #: Free-form annotations (node accesses in the span's phase, …).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "name": self.name,
+            "offset_ms": self.offset_ms,
+            "duration_ms": self.duration_ms,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+@dataclass
+class QueryTrace:
+    """The full record of one query through the service."""
+
+    trace_id: str
+    kind: str
+    #: Unix timestamp the query arrived.
+    started_at: float
+    duration_ms: float = 0.0
+    spans: List[Span] = field(default_factory=list)
+    #: Node accesses this query caused, by disk phase.
+    node_accesses: Dict[str, int] = field(default_factory=dict)
+    #: Page faults this query caused, by disk phase.
+    page_faults: Dict[str, int] = field(default_factory=dict)
+    transfer_bytes: int = 0
+    result_size: int = 0
+    #: Set when the request failed; the exception text.
+    error: Optional[str] = None
+
+    @property
+    def total_node_accesses(self) -> int:
+        return sum(self.node_accesses.values())
+
+    def span(self, name: str) -> Optional[Span]:
+        """The first span called ``name``, if any."""
+        for s in self.spans:
+            if s.name == name:
+                return s
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "started_at": self.started_at,
+            "duration_ms": self.duration_ms,
+            "spans": [s.as_dict() for s in self.spans],
+            "node_accesses": dict(self.node_accesses),
+            "page_faults": dict(self.page_faults),
+            "transfer_bytes": self.transfer_bytes,
+            "result_size": self.result_size,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class TraceBuffer:
+    """A thread-safe ring buffer of the most recent query traces."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("trace capacity must be non-negative")
+        self._capacity = capacity
+        self._traces: List[QueryTrace] = []
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Traces discarded because the buffer was full."""
+        return self._dropped
+
+    def append(self, trace: QueryTrace) -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._traces.append(trace)
+            if len(self._traces) > self._capacity:
+                del self._traces[:len(self._traces) - self._capacity]
+                self._dropped += 1
+
+    def recent(self, n: Optional[int] = None) -> List[QueryTrace]:
+        """The most recent ``n`` traces (all retained ones by default)."""
+        with self._lock:
+            traces = list(self._traces)
+        return traces if n is None else traces[-n:]
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+def now() -> float:
+    """Unix time — a hook point so tests can avoid real clocks."""
+    return time.time()

@@ -58,3 +58,13 @@ class LRUBufferPool:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable snapshot (the service-layer report format)."""
+        return {
+            "capacity": self._capacity,
+            "resident": len(self._pages),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+        }

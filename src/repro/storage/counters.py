@@ -42,6 +42,15 @@ class AccessStats:
     def page_faults_by_phase(self) -> Dict[str, int]:
         return dict(self.page_faults)
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot (the service-layer report format)."""
+        return {
+            "node_accesses": dict(self.node_accesses),
+            "page_faults": dict(self.page_faults),
+            "total_node_accesses": self.total_node_accesses,
+            "total_page_faults": self.total_page_faults,
+        }
+
     def reset(self) -> None:
         self.node_accesses.clear()
         self.page_faults.clear()

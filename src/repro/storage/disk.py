@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from time import perf_counter
+from typing import Callable, Iterator, Optional
 
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.counters import AccessStats
 
 DEFAULT_PHASE = "default"
+
+#: Signature of a phase listener: ``(phase_name, elapsed_seconds)``,
+#: called once per completed :meth:`DiskSimulator.phase` block.
+PhaseListener = Callable[[str, float], None]
 
 
 class DiskSimulator:
@@ -17,10 +22,12 @@ class DiskSimulator:
     The index calls :meth:`read` for every node it touches.  Experiments
     wrap query executions in :meth:`phase` blocks so costs can be
     attributed ("nn" vs "tpnn", "result" vs "influence"), and size the
-    buffer with :meth:`set_buffer`.
+    buffer with :meth:`set_buffer`.  The service layer installs a
+    :data:`PhaseListener` to turn those same blocks into wall-clock
+    trace spans.
     """
 
-    __slots__ = ("stats", "_buffer", "_phase")
+    __slots__ = ("stats", "_buffer", "_phase", "_listener")
 
     def __init__(self, buffer_pages: int = 0):
         self.stats = AccessStats()
@@ -28,6 +35,7 @@ class DiskSimulator:
             LRUBufferPool(buffer_pages) if buffer_pages > 0 else None
         )
         self._phase = DEFAULT_PHASE
+        self._listener: Optional[PhaseListener] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -56,15 +64,25 @@ class DiskSimulator:
     # ------------------------------------------------------------------
     # phases and lifecycle
     # ------------------------------------------------------------------
+    def set_phase_listener(self, listener: Optional[PhaseListener]
+                           ) -> Optional[PhaseListener]:
+        """Install (or clear) the phase listener; returns the previous one."""
+        previous = self._listener
+        self._listener = listener
+        return previous
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute enclosed accesses to phase ``name`` (re-entrant)."""
         previous = self._phase
         self._phase = name
+        start = perf_counter() if self._listener is not None else 0.0
         try:
             yield
         finally:
             self._phase = previous
+            if self._listener is not None:
+                self._listener(name, perf_counter() - start)
 
     def reset_stats(self) -> None:
         """Zero the counters; the buffer contents stay warm."""

@@ -1,0 +1,142 @@
+"""Delta-protocol and epoch-invalidation paths of the mobile client.
+
+The incremental client keeps a delta base (its cached entry list) that
+must be abandoned — not patched — whenever the dataset changes under
+it, and an incremental re-query must leave the client with exactly the
+state a from-scratch client would hold.  These tests pin those paths
+down, including the interleavings of updates and re-queries.
+"""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.core import LocationServer, MobileClient
+from tests.conftest import brute_knn_set, brute_window
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture()
+def points(rng):
+    return [(rng.random(), rng.random()) for _ in range(300)]
+
+
+@pytest.fixture()
+def server(points):
+    return LocationServer(bulk_load_str(points, capacity=8), UNIT)
+
+
+class TestIncrementalEpochInvalidation:
+    def test_insert_drops_delta_base_knn(self, server, points):
+        client = MobileClient(server, incremental=True)
+        client.knn((0.5, 0.5), k=5)
+        bytes_before = client.stats.bytes_received
+        server.insert_object(len(points), 0.5001, 0.5001)
+        pts = points + [(0.5001, 0.5001)]
+        got = {e.oid for e in client.knn((0.5, 0.5), k=5)}
+        assert got == brute_knn_set(pts, (0.5, 0.5), 5)
+        # The re-query was answered with a *full* response (the delta
+        # base died with the epoch), so it cost full-response bytes.
+        full_cost = client.stats.bytes_received - bytes_before
+        assert full_cost == server.knn_query((0.5, 0.5),
+                                             k=5).transfer_bytes()
+        assert client.stats.cache_answers == 0
+
+    def test_delete_drops_delta_base_window(self, server, points):
+        client = MobileClient(server, incremental=True)
+        first = client.window((0.5, 0.5), 0.2, 0.2)
+        victim = first[0]
+        assert server.delete_object(victim.oid, victim.x, victim.y)
+        pts = {i: p for i, p in enumerate(points) if i != victim.oid}
+        got = sorted(e.oid for e in client.window((0.5, 0.5), 0.2, 0.2))
+        expected = sorted(
+            i for i, p in pts.items()
+            if Rect.around((0.5, 0.5), 0.2, 0.2).contains_point(p))
+        assert got == expected
+        assert victim.oid not in got
+
+    def test_cache_entry_epoch_recorded(self, server):
+        client = MobileClient(server, incremental=True)
+        client.knn((0.5, 0.5), k=3)
+        assert client.cache_entry("knn").epoch == server.epoch
+        server.insert_object(9999, 0.9, 0.9)
+        client.knn((0.5, 0.5), k=3)
+        assert client.cache_entry("knn").epoch == server.epoch
+
+    def test_range_cache_dropped_on_update(self, server, points):
+        client = MobileClient(server)
+        client.range((0.5, 0.5), 0.1)
+        server.insert_object(len(points), 0.5, 0.5)
+        got = {e.oid for e in client.range((0.5, 0.5), 0.1)}
+        assert len(points) in got  # the fresh point is seen
+        assert client.stats.server_queries == 2
+
+
+class TestIncrementalReQuery:
+    def test_knn_delta_state_equals_fresh_client(self, server):
+        inc = MobileClient(server, incremental=True)
+        inc.knn((0.30, 0.30), k=6)
+        inc.knn((0.60, 0.55), k=6)  # far: large delta
+        fresh = MobileClient(server)
+        expected = fresh.knn((0.60, 0.55), k=6)
+        assert (sorted(e.oid for e in inc.cache_entry("knn").entries)
+                == sorted(e.oid for e in expected))
+        assert ({e.oid for e in inc.knn((0.60, 0.55), k=6)}
+                == {e.oid for e in expected})
+
+    def test_window_delta_requires_matching_extents(self, server):
+        inc = MobileClient(server, incremental=True)
+        inc.window((0.5, 0.5), 0.1, 0.1)
+        before = inc.stats.bytes_received
+        # Different extents: the cached base is for another query shape,
+        # so this must be a full response, not a delta.
+        resp_cost = server.window_query((0.5, 0.5), 0.3, 0.3)
+        inc.window((0.5, 0.5), 0.3, 0.3)
+        assert (inc.stats.bytes_received - before
+                == resp_cost.transfer_bytes())
+
+    def test_incremental_matches_brute_force_under_updates(self, server,
+                                                           points, rng):
+        client = MobileClient(server, incremental=True)
+        live = dict(enumerate(points))
+        next_oid = len(points)
+        pos = [0.5, 0.5]
+        for step in range(30):
+            pos[0] = min(max(pos[0] + rng.uniform(-0.03, 0.03), 0.0), 1.0)
+            pos[1] = min(max(pos[1] + rng.uniform(-0.03, 0.03), 0.0), 1.0)
+            if step % 7 == 3:
+                p = (rng.random(), rng.random())
+                server.insert_object(next_oid, *p)
+                live[next_oid] = p
+                next_oid += 1
+            if step % 11 == 5 and live:
+                oid = rng.choice(sorted(live))
+                server.delete_object(oid, *live[oid])
+                del live[oid]
+            got = sorted(e.oid for e in client.window(tuple(pos), 0.15, 0.15))
+            window = Rect.around(tuple(pos), 0.15, 0.15)
+            expected = sorted(i for i, p in live.items()
+                              if window.contains_point(p))
+            assert got == expected
+
+
+class TestStatsAccounting:
+    def test_counts_split_between_cache_and_server(self, server):
+        client = MobileClient(server)
+        client.knn((0.5, 0.5), k=1)
+        client.knn((0.5 + 1e-9, 0.5), k=1)
+        client.knn((0.5, 0.5 - 1e-9), k=1)
+        stats = client.stats
+        assert stats.position_updates == 3
+        assert stats.server_queries == 1
+        assert stats.cache_answers == 2
+        assert stats.query_saving == pytest.approx(2 / 3)
+
+    def test_invalidate_cache_forces_requery(self, server):
+        client = MobileClient(server)
+        client.window((0.5, 0.5), 0.1, 0.1)
+        client.invalidate_cache()
+        assert client.cache_entry("window") is None
+        client.window((0.5, 0.5), 0.1, 0.1)
+        assert client.stats.server_queries == 2

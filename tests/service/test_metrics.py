@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter("x")
+
+        def hammer():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram("lat").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+
+    def test_moments_are_exact(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles_on_known_distribution(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.record(float(v))
+        assert h.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert h.percentile(95) == pytest.approx(95.0, abs=1.0)
+        assert h.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+    def test_reservoir_stays_bounded_but_moments_exact(self):
+        h = Histogram("lat", max_samples=64)
+        for v in range(1000):
+            h.record(float(v))
+        assert h.count == 1000
+        assert h.total == sum(range(1000))
+        assert h.max == 999.0
+        assert len(h._samples) == 64
+
+    def test_snapshot_has_all_quantile_keys(self):
+        h = Histogram("lat")
+        h.record(7.0)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "min", "max",
+                             "p50", "p95", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(3)
+        reg.gauge("fleet").set(8)
+        reg.histogram("latency").record(1.25)
+        text = reg.to_json()
+        parsed = json.loads(text)
+        assert parsed["counters"]["queries"] == 3
+        assert parsed["gauges"]["fleet"] == 8.0
+        assert parsed["histograms"]["latency"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def worker():
+            for i in range(200):
+                c = reg.counter(f"c{i % 10}")
+                c.inc()
+            seen.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(v for v in reg.snapshot()["counters"].values())
+        assert total == 8 * 200
