@@ -92,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of clients using the delta protocol")
     p_svc.add_argument("--buffer-fraction", type=float, default=0.1,
                        help="LRU buffer size as a fraction of tree pages")
+    p_svc.add_argument("--fault-rate", type=float, default=0.0,
+                       help="inject seeded page-read failures at this rate")
+    p_svc.add_argument("--fault-latency-ms", type=float, default=0.0,
+                       help="mean injected latency per faulty read (ms)")
+    p_svc.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query deadline budget (degraded regions "
+                            "when exhausted)")
+    p_svc.add_argument("--max-node-accesses", type=int, default=None,
+                       help="per-query node-access budget")
+    p_svc.add_argument("--retries", type=int, default=3,
+                       help="max attempts per query (1 disables retrying)")
+    p_svc.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures that trip the breaker "
+                            "(0 disables it)")
+    p_svc.add_argument("--max-stale", type=int, default=None,
+                       help="client staleness bound for cache fallback "
+                            "on server failure")
     p_svc.add_argument("--json", action="store_true",
                        help="dump the full stats snapshot as JSON")
     p_svc.add_argument("--out", default=None,
@@ -173,16 +190,41 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_service(args) -> int:
+    from repro.core.api import QueryBudget
+    from repro.service import BreakerConfig, ResilienceConfig, RetryPolicy
+    from repro.storage import FaultPlan, inject_faults
+
     server = LocationServer.from_points(
         uniform_points(args.n, seed=args.seed),
         buffer_fraction=args.buffer_fraction)
-    service = QueryService(server)
+    budget = None
+    if args.deadline_ms is not None or args.max_node_accesses is not None:
+        budget = QueryBudget(deadline_ms=args.deadline_ms,
+                             max_node_accesses=args.max_node_accesses)
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+        breaker=(BreakerConfig(failure_threshold=args.breaker_threshold)
+                 if args.breaker_threshold > 0 else None),
+        default_budget=budget,
+        seed=args.seed,
+    )
+    service = QueryService(server, resilience=resilience)
+    faulty = args.fault_rate > 0.0 or args.fault_latency_ms > 0.0
+    if faulty:
+        inject_faults(server.tree, FaultPlan(
+            seed=args.seed,
+            read_failure_rate=args.fault_rate,
+            latency_mean_s=args.fault_latency_ms / 1e3,
+            latency_rate=1.0 if args.fault_latency_ms > 0.0 else 0.0,
+        ))
     fleet = ClientFleet(service, FleetConfig(
         num_clients=args.clients,
         k=args.k,
         speed=args.speed,
         incremental_share=args.incremental_share,
         seed=args.seed,
+        max_stale=args.max_stale,
+        continue_on_error=faulty,
     ))
     report = fleet.run(args.ticks, max_workers=args.threads)
     stats = report.stats
@@ -191,6 +233,17 @@ def _cmd_service(args) -> int:
           f"{stats.cache_answers} cache answers "
           f"({report.cache_hit_ratio:.0%} saved), "
           f"{stats.bytes_received} bytes on the wire")
+    res = report.snapshot["resilience"]
+    if faulty or res["retries"] or res["degraded"] or stats.stale_answers:
+        breaker = res["breaker"] or {}
+        print(f"  resilience: {res['retries']} retries, "
+              f"{res['errors']} errors, {res['degraded']} degraded "
+              f"({res['degraded_ratio']:.1%}), "
+              f"{stats.stale_answers} stale cache answers, "
+              f"{report.errors} client errors, "
+              f"breaker {breaker.get('state', 'off')} "
+              f"({breaker.get('trips', 0)} trips, "
+              f"{breaker.get('recoveries', 0)} recoveries)")
     hists = report.snapshot["metrics"]["histograms"]
     for kind in sorted(report.mix):
         h = hists.get(f"service.latency_ms.{kind}")

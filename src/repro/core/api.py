@@ -24,6 +24,7 @@ callers that prefer them.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import (
     ClassVar,
     List,
@@ -40,7 +41,96 @@ __all__ = [
     "WindowRequest",
     "RangeRequest",
     "QueryResponse",
+    "QueryBudget",
+    "BudgetClock",
+    "DetailMapping",
 ]
+
+
+class DetailMapping:
+    """Dict-style read access over a detail record's attributes.
+
+    Response ``detail`` objects are dataclasses, but the degraded-mode
+    contract is documented as ``detail["degraded"]`` so generic callers
+    (benchmark harnesses, JSON dumpers) need no per-type knowledge.
+    Mixing this in gives every detail record both spellings.
+    """
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default=None):
+        return getattr(self, key, default)
+
+    def __contains__(self, key) -> bool:
+        return isinstance(key, str) and hasattr(self, key)
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """A per-query processing allowance.
+
+    ``deadline_ms`` bounds server-side wall-clock time; ``max_node_accesses``
+    bounds simulated I/O.  When either is exhausted mid-computation the
+    server stops refining the validity region and ships a **degraded
+    response**: the (still exact) query result with a conservatively
+    shrunk region and ``detail["degraded"] = True`` — clients stay
+    correct, they just re-query sooner.
+    """
+
+    deadline_ms: Optional[float] = None
+    max_node_accesses: Optional[int] = None
+
+    def __post_init__(self):
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        if self.max_node_accesses is not None and self.max_node_accesses < 0:
+            raise ValueError("max_node_accesses must be non-negative")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.deadline_ms is None and self.max_node_accesses is None
+
+    def start(self, io_stats=None) -> "BudgetClock":
+        """Begin metering against this budget (``io_stats`` is the
+        disk's :class:`~repro.storage.counters.AccessStats`)."""
+        return BudgetClock(self, io_stats)
+
+
+class BudgetClock:
+    """The running state of one query's :class:`QueryBudget`."""
+
+    __slots__ = ("budget", "_t0", "_io", "_na0")
+
+    def __init__(self, budget: QueryBudget, io_stats=None):
+        self.budget = budget
+        self._t0 = perf_counter()
+        self._io = io_stats if budget.max_node_accesses is not None else None
+        self._na0 = (io_stats.total_node_accesses
+                     if self._io is not None else 0)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (perf_counter() - self._t0) * 1e3
+
+    @property
+    def node_accesses(self) -> int:
+        if self._io is None:
+            return 0
+        return self._io.total_node_accesses - self._na0
+
+    def exhausted(self) -> bool:
+        """Has either dimension of the budget run out?"""
+        b = self.budget
+        if b.deadline_ms is not None and self.elapsed_ms >= b.deadline_ms:
+            return True
+        if (b.max_node_accesses is not None
+                and self.node_accesses >= b.max_node_accesses):
+            return True
+        return False
 
 
 @runtime_checkable
@@ -92,6 +182,9 @@ class KNNRequest:
     previous_ids: Optional[Tuple[int, ...]] = None
     #: Caller-chosen correlation id, echoed through traces and logs.
     trace_id: Optional[str] = None
+    #: Per-query processing allowance; exhausting it yields a degraded
+    #: (conservatively shrunk-region) response instead of an error.
+    budget: Optional[QueryBudget] = None
 
     def __post_init__(self):
         object.__setattr__(self, "previous_ids",
@@ -115,6 +208,7 @@ class WindowRequest:
     height: float
     previous_ids: Optional[Tuple[int, ...]] = None
     trace_id: Optional[str] = None
+    budget: Optional[QueryBudget] = None
 
     def __post_init__(self):
         object.__setattr__(self, "previous_ids",
@@ -136,6 +230,7 @@ class RangeRequest:
     location: Tuple[float, float]
     radius: float
     trace_id: Optional[str] = None
+    budget: Optional[QueryBudget] = None
 
     def __post_init__(self):
         if self.radius <= 0:

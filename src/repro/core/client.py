@@ -13,6 +13,16 @@ paper's Section 7 on re-queries: the server ships only the objects
 added and the ids removed relative to the cached result, which the
 client applies locally — same answers, fewer bytes.
 
+With ``max_stale`` set, the client degrades gracefully when the server
+fails transiently (simulated page-read errors, an open circuit
+breaker): instead of raising, it serves the last cached result for the
+same query, provided its server epoch lags the current one by at most
+``max_stale`` updates.  Stale answers are flagged — counted in
+:attr:`ClientStats.stale_answers` and visible via
+:attr:`MobileClient.last_served` / :attr:`MobileClient.last_staleness`
+— so callers can always distinguish a fresh answer from a best-effort
+one.
+
 All three query types go through the typed request objects of
 :mod:`repro.core.api` and one generic cache — a :class:`CacheEntry` per
 query kind — so the per-type methods only differ in how they build the
@@ -38,6 +48,8 @@ class ClientStats:
     server_queries: int = 0
     cache_answers: int = 0
     bytes_received: int = 0
+    #: Updates answered from a stale cache because the server failed.
+    stale_answers: int = 0
 
     @property
     def query_saving(self) -> float:
@@ -83,11 +95,20 @@ class MobileClient:
     """
 
     def __init__(self, server: LocationServer, incremental: bool = False,
-                 metrics=None):
+                 metrics=None, max_stale: Optional[int] = None):
+        if max_stale is not None and max_stale < 0:
+            raise ValueError("max_stale must be None or >= 0")
         self.server = server
         self.incremental = incremental
         self.stats = ClientStats()
         self.metrics = metrics
+        #: Maximum server-epoch lag a fallback answer may have; ``None``
+        #: disables graceful degradation (server errors propagate).
+        self.max_stale = max_stale
+        #: How the last update was answered: "cache", "server" or "stale".
+        self.last_served: Optional[str] = None
+        #: Epoch lag of the last stale answer (0 for fresh answers).
+        self.last_staleness: int = 0
         self._caches: Dict[str, Optional[CacheEntry]] = {
             "knn": None, "window": None, "range": None,
         }
@@ -138,6 +159,9 @@ class MobileClient:
         self.stats.position_updates += 1
         self._count("client.position_updates")
         cached = self._caches[kind]
+        # Keep a reference to an epoch-stale entry: it cannot answer
+        # normally, but it is the fallback if the server fails.
+        fallback = cached
         if cached is not None and cached.epoch != self.server.epoch:
             # Dataset changed under us: the region (and the delta base)
             # are both unusable.
@@ -145,18 +169,23 @@ class MobileClient:
         if cached is not None and cached.answers(key, location):
             self.stats.cache_answers += 1
             self._count("client.cache_answers")
+            self.last_served = "cache"
+            self.last_staleness = 0
             return cached.entries
-        if (self.incremental and cached is not None and cached.key == key
-                and hasattr(request, "as_delta")):
-            delta: DeltaResponse = self.server.answer(
-                request.as_delta(e.oid for e in cached.entries))
-            entries = _apply_delta(cached.entries, delta)
-            response = delta.full
-            received = delta.transfer_bytes()
-        else:
-            response = self.server.answer(request)
-            entries = list(response.result)
-            received = response.transfer_bytes()
+        try:
+            if (self.incremental and cached is not None
+                    and cached.key == key and hasattr(request, "as_delta")):
+                delta: DeltaResponse = self.server.answer(
+                    request.as_delta(e.oid for e in cached.entries))
+                entries = _apply_delta(cached.entries, delta)
+                response = delta.full
+                received = delta.transfer_bytes()
+            else:
+                response = self.server.answer(request)
+                entries = list(response.result)
+                received = response.transfer_bytes()
+        except Exception as exc:
+            return self._stale_fallback(key, fallback, exc)
         self.stats.server_queries += 1
         self.stats.bytes_received += received
         self._count("client.server_queries")
@@ -164,7 +193,32 @@ class MobileClient:
         self._caches[kind] = CacheEntry(
             key=key, response=response, entries=entries,
             epoch=self.server.epoch, trace_id=request.trace_id)
+        self.last_served = "server"
+        self.last_staleness = 0
         return entries
+
+    def _stale_fallback(self, key: Tuple, cached: Optional[CacheEntry],
+                        exc: Exception) -> List[LeafEntry]:
+        """Serve the stale cache for a failed server call, or re-raise.
+
+        Only *transient* failures (duck-typed ``transient`` attribute —
+        page-read errors, an open breaker) are eligible, and only when a
+        cached answer for the same query parameters exists whose epoch
+        lag is within :attr:`max_stale`.  The cache is left as-is: the
+        next successful query refreshes it.
+        """
+        if (self.max_stale is None
+                or not getattr(exc, "transient", False)
+                or cached is None or cached.key != key):
+            raise exc
+        lag = self.server.epoch - cached.epoch
+        if lag > self.max_stale:
+            raise exc
+        self.stats.stale_answers += 1
+        self._count("client.stale_answers")
+        self.last_served = "stale"
+        self.last_staleness = lag
+        return cached.entries
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:

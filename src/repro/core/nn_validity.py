@@ -31,7 +31,8 @@ from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.nn import nearest_neighbors
 from repro.queries.tp import tp_knn
-from repro.core.validity import NNValidityRegion
+from repro.core.api import BudgetClock, DetailMapping
+from repro.core.validity import NNValidityRegion, ValidityDisk
 
 #: Vertex selection policies for step 2.  The paper picks an arbitrary
 #: vertex; the ablation bench compares these orders.
@@ -39,7 +40,7 @@ VERTEX_POLICIES = ("fifo", "lifo", "random", "nearest", "farthest")
 
 
 @dataclass
-class NNValidityResult:
+class NNValidityResult(DetailMapping):
     """Everything the server computes for one location-based kNN query."""
 
     query: Point
@@ -52,6 +53,15 @@ class NNValidityResult:
     #: Wall-clock seconds spent clipping the region by bisector
     #: half-planes (the trace span the service layer reports).
     clip_seconds: float = 0.0
+    #: True when the query budget ran out before every vertex was
+    #: confirmed: the kNN result is still exact, but the shipped region
+    #: is the conservative safe disk below instead of the Voronoi cell.
+    degraded: bool = False
+    #: Radius of the degraded safe disk around the query (set iff
+    #: ``degraded``): half the margin between the nearest unverified
+    #: candidate and the farthest result neighbour, within which no
+    #: bisector can be crossed.
+    safe_radius: Optional[float] = None
 
     @property
     def influence_set(self) -> List[LeafEntry]:
@@ -73,8 +83,15 @@ class NNValidityResult:
         """Edge count of the validity region (client check cost proxy)."""
         return self.region.num_edges
 
-    def validity_region(self, universe: Rect) -> NNValidityRegion:
-        """The compact client-side representation."""
+    def validity_region(self, universe: Rect):
+        """The compact client-side representation.
+
+        Degraded responses ship the safe disk (constant payload) instead
+        of the influence-pair half-plane region.
+        """
+        if self.degraded:
+            return ValidityDisk((self.query.x, self.query.y),
+                                self.safe_radius or 0.0)
         return NNValidityRegion(self.influence_pairs, universe)
 
 
@@ -84,7 +101,9 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
                         vertex_policy: str = "fifo",
                         rng: Optional[random.Random] = None,
                         nn_phase: str = "nn",
-                        tp_phase: str = "tpnn") -> NNValidityResult:
+                        tp_phase: str = "tpnn",
+                        clock: Optional[BudgetClock] = None
+                        ) -> NNValidityResult:
     """Process a location-based kNN query end to end (Section 3.2).
 
     Step (i) runs an ordinary kNN query (charged to phase ``nn_phase``),
@@ -93,6 +112,11 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
 
     ``universe`` defaults to the MBR of the dataset; the validity
     region is always clipped to it.
+
+    ``clock`` is a running :class:`~repro.core.api.BudgetClock`; when it
+    is exhausted mid-probing, step (ii) stops early and the result is
+    **degraded**: still the exact kNN set, but with the conservative
+    safe disk of :func:`degraded_safe_radius` as its validity region.
     """
     if universe is None:
         universe = tree.root.mbr
@@ -105,7 +129,8 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
                                 ConvexPolygon.from_rect(universe))
     with tree.disk.phase(tp_phase):
         return retrieve_influence_set_knn(tree, q, neighbors, universe,
-                                          vertex_policy=vertex_policy, rng=rng)
+                                          vertex_policy=vertex_policy,
+                                          rng=rng, clock=clock)
 
 
 def retrieve_influence_set_1nn(tree: RStarTree, q, nearest: LeafEntry,
@@ -125,7 +150,8 @@ def retrieve_influence_set_1nn(tree: RStarTree, q, nearest: LeafEntry,
 def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry],
                                universe: Rect,
                                vertex_policy: str = "fifo",
-                               rng: Optional[random.Random] = None
+                               rng: Optional[random.Random] = None,
+                               clock: Optional[BudgetClock] = None
                                ) -> NNValidityResult:
     """Algorithm ``Retrieve_Influence_Set_kNN`` (Figure 12).
 
@@ -133,6 +159,9 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
     influence object may contribute several edges, one per result
     object it forms a crossed bisector with, so vertex confirmation
     keys on pairs rather than objects.
+
+    With a ``clock``, each probe iteration first checks the budget;
+    on exhaustion the loop stops and a degraded result is returned.
     """
     if vertex_policy not in VERTEX_POLICIES:
         raise ValueError(f"unknown vertex policy {vertex_policy!r}")
@@ -158,9 +187,13 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
     # float behaviour should fail loudly rather than spin.
     max_queries = 64 + 16 * (len(neighbors) + len(tree.root.entries) + 64)
 
+    degraded = False
     while True:
         vertex = _pick_vertex(region, confirmed, q, vertex_policy, rng)
         if vertex is None:
+            break
+        if clock is not None and clock.exhausted():
+            degraded = True
             break
         if num_tp > max_queries:
             raise RuntimeError("influence-set retrieval failed to converge")
@@ -198,6 +231,9 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
             for v in region.vertices
         }
 
+    safe_radius = None
+    if degraded:
+        safe_radius = degraded_safe_radius(tree, q, neighbors)
     return NNValidityResult(
         query=q,
         neighbors=list(neighbors),
@@ -206,7 +242,40 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
         num_tp_queries=num_tp,
         num_confirmations=num_confirm,
         clip_seconds=clip_seconds,
+        degraded=degraded,
+        safe_radius=safe_radius,
     )
+
+
+def degraded_safe_radius(tree: RStarTree, q: Point,
+                         neighbors: Sequence[LeafEntry],
+                         phase: str = "degraded") -> float:
+    """Radius of the conservative safe disk of a degraded kNN response.
+
+    Let ``d_k`` be the distance from ``q`` to its farthest result
+    neighbour and ``d_next`` the distance to the nearest *unverified*
+    candidate (the (k+1)-th NN).  Moving the client by ``delta`` changes
+    any point distance by at most ``delta``, so while
+
+        delta <= (d_next - d_k) / 2
+
+    every result object remains at least as close as every non-result
+    object and the kNN set cannot change.  One (k+1)-NN probe (charged
+    to ``phase``) prices the bound; when fewer than k+1 objects exist
+    the result can never change and the radius is infinite — callers
+    clip to the universe via the region's ``contains`` conjunction.
+    """
+    k = len(neighbors)
+    d_k = max(q.distance_to((e.x, e.y)) for e in neighbors)
+    with tree.disk.phase(phase):
+        ranked = nearest_neighbors(tree, q, k + 1)
+    if len(ranked) <= k:
+        # The whole dataset is in the result: valid everywhere.  A disk
+        # spanning the universe diagonal is an equivalent, finite stand-in.
+        mbr = tree.root.mbr
+        return ((mbr.width ** 2 + mbr.height ** 2) ** 0.5)
+    d_next = ranked[-1].dist
+    return max(0.0, (d_next - d_k) / 2.0)
 
 
 def _pick_vertex(region: ConvexPolygon, confirmed: Dict[Tuple[float, float], bool],

@@ -32,6 +32,7 @@ from repro.geometry import Point
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.range import nearest_outside, range_query
+from repro.core.api import BudgetClock, DetailMapping
 
 #: Payload of a validity disk: centre (2 x 8 bytes) + radius (8 bytes).
 DISK_BYTES = 24
@@ -61,7 +62,7 @@ class RangeValidityRegion:
 
 
 @dataclass
-class RangeValidityResult:
+class RangeValidityResult(DetailMapping):
     """Everything the server computes for one location-based range query."""
 
     focus: Point
@@ -72,6 +73,10 @@ class RangeValidityResult:
     #: The outer object whose entry bounds the disk (None if none exists).
     outer_influence: Optional[LeafEntry]
     validity_radius: float
+    #: True when the query budget ran out before the nearest-outside
+    #: probe: the result is exact, but with the bounding outer object
+    #: unknown the validity disk collapses to radius zero.
+    degraded: bool = False
 
     @property
     def influence_set(self) -> List[LeafEntry]:
@@ -84,15 +89,34 @@ class RangeValidityResult:
 
 def compute_range_validity(tree: RStarTree, focus, radius: float,
                            result_phase: str = "result",
-                           influence_phase: str = "influence"
+                           influence_phase: str = "influence",
+                           clock: Optional[BudgetClock] = None
                            ) -> RangeValidityResult:
-    """Process a location-based range query end to end."""
+    """Process a location-based range query end to end.
+
+    When ``clock`` (a query-budget clock) is exhausted after the result
+    retrieval, the nearest-outside probe is skipped and the response
+    degrades to a zero-radius validity disk (exact result, immediate
+    client re-query on movement).
+    """
     if radius <= 0:
         raise ValueError("radius must be positive")
     focus = Point(float(focus[0]), float(focus[1]))
 
     with tree.disk.phase(result_phase):
         result = range_query(tree, focus, radius)
+
+    if clock is not None and clock.exhausted():
+        return RangeValidityResult(
+            focus=focus,
+            radius=radius,
+            result=result,
+            inner_influence=None,
+            outer_influence=None,
+            validity_radius=0.0,
+            degraded=True,
+        )
+
     with tree.disk.phase(influence_phase):
         outside = nearest_outside(tree, focus, radius)
 

@@ -21,7 +21,9 @@ from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.index.bulk import bulk_load_str
 from repro.core.api import (
+    BudgetClock,
     KNNRequest,
+    QueryBudget,
     QueryRequest,
     RangeRequest,
     WindowRequest,
@@ -172,33 +174,50 @@ class LocationServer:
         (a :class:`DeltaResponse`); all responses satisfy the
         :class:`~repro.core.api.QueryResponse` protocol.
         """
+        budget = getattr(request, "budget", None)
         if isinstance(request, KNNRequest):
             if request.previous_ids is not None:
                 return self.knn_query_delta(request.location, request.k,
-                                            request.previous_ids)
+                                            request.previous_ids,
+                                            budget=budget)
             return self.knn_query(request.location, k=request.k,
-                                  vertex_policy=request.vertex_policy)
+                                  vertex_policy=request.vertex_policy,
+                                  budget=budget)
         if isinstance(request, WindowRequest):
             if request.previous_ids is not None:
                 return self.window_query_delta(
                     request.focus, request.width, request.height,
-                    request.previous_ids)
+                    request.previous_ids, budget=budget)
             return self.window_query(request.focus, request.width,
-                                     request.height)
+                                     request.height, budget=budget)
         if isinstance(request, RangeRequest):
-            return self.range_query(request.location, request.radius)
+            return self.range_query(request.location, request.radius,
+                                    budget=budget)
         raise TypeError(f"not a query request: {request!r}")
+
+    def _start_clock(self, budget: Optional[QueryBudget]
+                     ) -> Optional[BudgetClock]:
+        if budget is None or budget.unlimited:
+            return None
+        return budget.start(self.io_stats)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def knn_query(self, location, k: int = 1,
                   vertex_policy: str = "fifo",
-                  rng: Optional[random.Random] = None) -> KNNResponse:
-        """Location-based kNN: result + validity region + influence set."""
+                  rng: Optional[random.Random] = None,
+                  budget: Optional[QueryBudget] = None) -> KNNResponse:
+        """Location-based kNN: result + validity region + influence set.
+
+        ``budget`` bounds server-side work; when it is exhausted during
+        TPNN probing the response degrades to an exact result with a
+        conservative safe-disk region and ``detail["degraded"]`` set.
+        """
         detail = compute_nn_validity(self.tree, location, k=k,
                                      universe=self.universe,
-                                     vertex_policy=vertex_policy, rng=rng)
+                                     vertex_policy=vertex_policy, rng=rng,
+                                     clock=self._start_clock(budget))
         self.queries_processed += 1
         return KNNResponse(
             neighbors=detail.neighbors,
@@ -206,10 +225,12 @@ class LocationServer:
             detail=detail,
         )
 
-    def window_query(self, focus, width: float, height: float) -> WindowResponse:
+    def window_query(self, focus, width: float, height: float,
+                     budget: Optional[QueryBudget] = None) -> WindowResponse:
         """Location-based window query around a focus point."""
         detail = compute_window_validity(self.tree, focus, width, height,
-                                         universe=self.universe)
+                                         universe=self.universe,
+                                         clock=self._start_clock(budget))
         self.queries_processed += 1
         return WindowResponse(
             result=detail.result,
@@ -217,9 +238,11 @@ class LocationServer:
             detail=detail,
         )
 
-    def range_query(self, location, radius: float) -> RangeResponse:
+    def range_query(self, location, radius: float,
+                    budget: Optional[QueryBudget] = None) -> RangeResponse:
         """Location-based circular range query (§7 extension)."""
-        detail = compute_range_validity(self.tree, location, radius)
+        detail = compute_range_validity(self.tree, location, radius,
+                                        clock=self._start_clock(budget))
         self.queries_processed += 1
         return RangeResponse(
             result=detail.result,
@@ -230,16 +253,19 @@ class LocationServer:
     # ------------------------------------------------------------------
     # incremental (delta) re-queries — the §7 extension
     # ------------------------------------------------------------------
-    def knn_query_delta(self, location, k: int,
-                        previous_ids) -> DeltaResponse:
+    def knn_query_delta(self, location, k: int, previous_ids,
+                        budget: Optional[QueryBudget] = None
+                        ) -> DeltaResponse:
         """kNN re-query shipping only the change versus ``previous_ids``."""
-        full = self.knn_query(location, k=k)
+        full = self.knn_query(location, k=k, budget=budget)
         return _delta(full, full.neighbors, previous_ids)
 
     def window_query_delta(self, focus, width: float, height: float,
-                           previous_ids) -> DeltaResponse:
+                           previous_ids,
+                           budget: Optional[QueryBudget] = None
+                           ) -> DeltaResponse:
         """Window re-query shipping only the change versus ``previous_ids``."""
-        full = self.window_query(focus, width, height)
+        full = self.window_query(focus, width, height, budget=budget)
         return _delta(full, full.result, previous_ids)
 
     # ------------------------------------------------------------------

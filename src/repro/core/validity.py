@@ -14,6 +14,7 @@ Sizes are modelled with the paper's storage constants: a data point is
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 from repro.geometry import ConvexPolygon, HalfPlane, Rect, bisector_halfplane
@@ -21,6 +22,46 @@ from repro.index.entry import LeafEntry
 
 POINT_BYTES = 20
 RECT_BYTES = 32
+#: Payload of a validity disk: centre (2 x 8 bytes) + radius (8 bytes).
+VALIDITY_DISK_BYTES = 24
+
+
+class ValidityDisk:
+    """A conservative, disk-shaped validity region.
+
+    Shipped when the server cannot afford the exact region — the
+    degraded-mode response of a deadline-bounded kNN query.  The disk is
+    centred on the query and guaranteed to lie inside the true validity
+    region, so the client stays correct; it is merely smaller, making
+    the client re-query sooner.  Constant payload, constant-time check.
+    """
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: Tuple[float, float], radius: float):
+        if radius < 0.0:
+            raise ValueError("validity disk radius must be non-negative")
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = float(radius)
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        dx = float(location[0]) - self.center[0]
+        dy = float(location[1]) - self.center[1]
+        return math.hypot(dx, dy) <= self.radius + eps
+
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def polygon(self, segments: int = 64) -> ConvexPolygon:
+        """An *inscribed* polygon (a sound under-approximation)."""
+        cx, cy = self.center
+        pts = [(cx + self.radius * math.cos(2 * math.pi * i / segments),
+                cy + self.radius * math.sin(2 * math.pi * i / segments))
+               for i in range(segments)]
+        return ConvexPolygon(pts)
+
+    def transfer_bytes(self) -> int:
+        return VALIDITY_DISK_BYTES
 
 
 class NNValidityRegion:

@@ -37,13 +37,14 @@ from repro.geometry import Point, Rect, RectilinearRegion
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.window import annulus_query
+from repro.core.api import BudgetClock, DetailMapping
 from repro.core.validity import WindowValidityRegion
 
 _SIDES = ("xmin", "ymin", "xmax", "ymax")
 
 
 @dataclass
-class WindowValidityResult:
+class WindowValidityResult(DetailMapping):
     """Everything the server computes for one location-based window query."""
 
     focus: Point
@@ -62,6 +63,10 @@ class WindowValidityResult:
     #: sound under-approximation).  Happens only for degenerate queries —
     #: e.g. an empty window whose inner region is the whole universe.
     exact_region_is_lower_bound: bool = False
+    #: True when the query budget ran out before the influence query:
+    #: the window result is exact, but the shipped region collapsed to
+    #: the focus point (the client re-queries on any movement).
+    degraded: bool = False
 
     @property
     def influence_set(self) -> List[LeafEntry]:
@@ -80,7 +85,8 @@ def compute_window_validity(tree: RStarTree, focus, width: float, height: float,
                             result_phase: str = "result",
                             influence_phase: str = "influence",
                             exact_region_hole_cap: int = 1024,
-                            empty_window_region_factor: float = 3.0
+                            empty_window_region_factor: float = 3.0,
+                            clock: Optional[BudgetClock] = None
                             ) -> WindowValidityResult:
     """Process a location-based window query end to end.
 
@@ -95,6 +101,12 @@ def compute_window_validity(tree: RStarTree, focus, width: float, height: float,
     capped to ``factor x`` the window extents around the focus — a
     smaller validity region is always sound, and the influence query
     stays local.  Pass ``math.inf`` to disable the cap.
+
+    ``clock``: a running query-budget clock.  When it is exhausted after
+    the result retrieval, the influence query is skipped and the
+    response **degrades**: the result is still exact, but — with the
+    outer Minkowski holes unknown — the only sound validity region is
+    the focus point itself, so the shipped rectangle collapses to it.
     """
     if width <= 0 or height <= 0:
         raise ValueError("window extents must be positive")
@@ -105,6 +117,21 @@ def compute_window_validity(tree: RStarTree, focus, width: float, height: float,
 
     with tree.disk.phase(result_phase):
         inner = tree.window(window)
+
+    if clock is not None and clock.exhausted():
+        point_rect = Rect(focus.x, focus.y, focus.x, focus.y)
+        return WindowValidityResult(
+            focus=focus,
+            window=window,
+            result=inner,
+            inner_influence=[],
+            outer_influence=[],
+            inner_region=point_rect,
+            conservative_region=point_rect,
+            exact_region=RectilinearRegion(point_rect),
+            exact_region_is_lower_bound=True,
+            degraded=True,
+        )
 
     inner_region, side_blockers = _inner_validity(
         focus, window, inner, universe, empty_window_region_factor)

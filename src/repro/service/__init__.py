@@ -1,18 +1,29 @@
-"""The service layer: instrumentation and concurrency over the server.
+"""The service layer: instrumentation, resilience and concurrency.
 
 * :mod:`repro.service.metrics` — counters, gauges and latency
   histograms in one thread-safe registry every layer reports into.
 * :mod:`repro.service.tracing` — structured per-query traces with
   timed spans and phase-attributed node accesses.
+* :mod:`repro.service.retry` — capped exponential backoff with full
+  jitter for transient failures.
+* :mod:`repro.service.faults` — the closed/open/half-open circuit
+  breaker that isolates a failing disk.
 * :mod:`repro.service.service` — :class:`QueryService`, the
-  instrumented, thread-safe front-end a deployment runs.
+  instrumented, thread-safe, fault-tolerant front-end a deployment
+  runs (see :class:`ResilienceConfig`).
 * :mod:`repro.service.fleet` — a ThreadPoolExecutor-driven fleet of
   simulated mobile clients with per-tick batched dispatch.
 """
 
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.tracing import QueryTrace, Span, TraceBuffer
-from repro.service.service import QueryService
+from repro.service.retry import RetryPolicy, call_with_retry, is_transient
+from repro.service.faults import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.service.service import QueryService, ResilienceConfig
 from repro.service.fleet import ClientFleet, FleetConfig, FleetReport
 
 __all__ = [
@@ -23,7 +34,14 @@ __all__ = [
     "QueryTrace",
     "Span",
     "TraceBuffer",
+    "RetryPolicy",
+    "call_with_retry",
+    "is_transient",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "QueryService",
+    "ResilienceConfig",
     "ClientFleet",
     "FleetConfig",
     "FleetReport",

@@ -47,6 +47,13 @@ class FleetConfig:
     #: Fraction of clients using the §7 incremental (delta) protocol.
     incremental_share: float = 0.0
     seed: int = 0
+    #: Per-client staleness bound for graceful degradation
+    #: (:class:`~repro.core.client.MobileClient` ``max_stale``); ``None``
+    #: keeps the fail-fast behaviour.
+    max_stale: Optional[int] = None
+    #: Count client failures and keep the run going instead of
+    #: propagating the first exception (chaos runs want the tally).
+    continue_on_error: bool = False
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -55,6 +62,8 @@ class FleetConfig:
             raise ValueError("query-mix shares must sum to <= 1")
         if not 0.0 <= self.incremental_share <= 1.0:
             raise ValueError("incremental_share must be in [0, 1]")
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be None or >= 0")
 
 
 @dataclass
@@ -69,6 +78,8 @@ class FleetReport:
     snapshot: Dict[str, object]
     #: Per-kind client counts actually simulated.
     mix: Dict[str, int] = field(default_factory=dict)
+    #: Client-visible failures swallowed under ``continue_on_error``.
+    errors: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -121,7 +132,8 @@ class ClientFleet:
                                          seed=cfg.seed * 100003 + i)
             positions = [step.position for step in trajectory]
             client = MobileClient(self.service, incremental=incremental,
-                                  metrics=self.service.metrics)
+                                  metrics=self.service.metrics,
+                                  max_stale=cfg.max_stale)
             self._clients.append(_SimulatedClient(client, kind, positions,
                                                   cfg))
 
@@ -134,15 +146,22 @@ class ClientFleet:
         if ticks < 1:
             raise ValueError("need at least one tick")
         self._build(ticks)
+        cfg = self.config
         metrics = self.service.metrics
         metrics.gauge("fleet.clients").set(len(self._clients))
         metrics.gauge("fleet.workers").set(max_workers)
+        errors = 0
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             for tick in range(ticks):
                 futures = [pool.submit(sim.step, tick)
                            for sim in self._clients]
                 for future in futures:
-                    future.result()  # propagate the first failure
+                    if cfg.continue_on_error:
+                        if future.exception() is not None:
+                            errors += 1
+                            metrics.counter("fleet.errors").inc()
+                    else:
+                        future.result()  # propagate the first failure
                 metrics.counter("fleet.ticks").inc()
         return FleetReport(
             ticks=ticks,
@@ -150,6 +169,7 @@ class ClientFleet:
             stats=self.aggregate_stats(),
             snapshot=self.service.stats_snapshot(),
             mix=self._mix(),
+            errors=errors,
         )
 
     def aggregate_stats(self) -> ClientStats:
@@ -160,6 +180,7 @@ class ClientFleet:
             total.server_queries += stats.server_queries
             total.cache_answers += stats.cache_answers
             total.bytes_received += stats.bytes_received
+            total.stale_answers += stats.stale_answers
         return total
 
     def _mix(self) -> Dict[str, int]:

@@ -1,0 +1,88 @@
+"""Retry with capped exponential backoff and full jitter.
+
+The service retries *transient* failures — simulated page-read errors,
+injected timeouts — with the AWS-style "full jitter" schedule: attempt
+``i`` sleeps ``uniform(0, min(max_delay, base * 2**i))``.  Full jitter
+decorrelates a thundering herd of clients retrying the same stressed
+disk, which matters once millions of subscribers share one server.
+
+An exception opts into retrying by carrying a truthy ``transient``
+attribute (see :class:`repro.storage.faulty.PageReadError`); everything
+else propagates immediately.  :class:`repro.service.faults.CircuitOpenError`
+is deliberately *not* retried by the service even though it is marked
+transient for clients: retrying against an open breaker would defeat
+its purpose.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["RetryPolicy", "call_with_retry", "is_transient"]
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Does ``exc`` opt into retrying (duck-typed ``transient`` flag)?"""
+    return bool(getattr(exc, "transient", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of the retry schedule.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retrying.  ``jitter="full"`` draws uniformly in ``[0, cap]``;
+    ``jitter="none"`` sleeps the cap itself (deterministic, for tests).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.25
+    jitter: str = "full"
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.jitter not in ("full", "none"):
+            raise ValueError("jitter must be 'full' or 'none'")
+
+    def backoff_s(self, attempt: int,
+                  rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        if self.jitter == "none":
+            return cap
+        return (rng or random).uniform(0.0, cap)
+
+
+def call_with_retry(fn: Callable[[], object], policy: RetryPolicy,
+                    rng: Optional[random.Random] = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    retryable: Callable[[BaseException], bool] = is_transient,
+                    on_retry: Optional[Callable[[int, float, BaseException],
+                                                None]] = None):
+    """Call ``fn`` under ``policy``; return its result.
+
+    ``on_retry(attempt, delay_s, exc)`` is invoked before each backoff
+    sleep (metrics/tracing hook).  The last failure propagates
+    unchanged once attempts are exhausted or the error is not
+    retryable.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except BaseException as exc:
+            if not retryable(exc) or attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.backoff_s(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if delay > 0.0:
+                sleep(delay)
+            attempt += 1

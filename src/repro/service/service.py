@@ -26,20 +26,26 @@ and every query it issues is traced and metered.
 from __future__ import annotations
 
 import itertools
+import random
 import threading
+import time
 from concurrent.futures import Executor
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.api import (
     KNNRequest,
+    QueryBudget,
     QueryRequest,
     QueryResponse,
     RangeRequest,
     WindowRequest,
 )
 from repro.core.server import DeltaResponse, LocationServer
+from repro.service.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
 from repro.service.metrics import MetricsRegistry
+from repro.service.retry import RetryPolicy, is_transient
 from repro.service.tracing import (
     SPAN_NAMES,
     QueryTrace,
@@ -48,7 +54,24 @@ from repro.service.tracing import (
     now,
 )
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How a :class:`QueryService` behaves when the disk misbehaves.
+
+    ``retry`` governs transparent retries of transient failures;
+    ``breaker`` (None disables it) isolates the server once failures
+    persist; ``default_budget`` is applied to every request that does
+    not carry its own, turning overload into degraded responses rather
+    than latency pileups.  ``seed`` makes the retry jitter reproducible.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    breaker: Optional[BreakerConfig] = BreakerConfig()
+    default_budget: Optional[QueryBudget] = None
+    seed: int = 0
 
 
 class QueryService:
@@ -56,10 +79,20 @@ class QueryService:
 
     def __init__(self, server: LocationServer,
                  metrics: Optional[MetricsRegistry] = None,
-                 trace_capacity: int = 256):
+                 trace_capacity: int = 256,
+                 resilience: Optional[ResilienceConfig] = None,
+                 sleep=time.sleep):
         self.server = server
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceBuffer(trace_capacity)
+        self.resilience = resilience
+        self.breaker: Optional[CircuitBreaker] = None
+        if resilience is not None and resilience.breaker is not None:
+            self.breaker = CircuitBreaker(resilience.breaker)
+        self._retry_rng = random.Random(
+            resilience.seed if resilience is not None else 0)
+        self._rng_lock = threading.Lock()
+        self._sleep = sleep
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self._started_at = now()
@@ -90,7 +123,17 @@ class QueryService:
     # query execution
     # ------------------------------------------------------------------
     def answer(self, request: QueryRequest) -> QueryResponse:
-        """Answer one typed request, tracing and metering it."""
+        """Answer one typed request, tracing and metering it.
+
+        With a :class:`ResilienceConfig`, transient failures (simulated
+        page-read errors) are retried with capped exponential backoff
+        and full jitter outside the service lock; persistent failure
+        streaks trip the circuit breaker, which then rejects requests
+        with :class:`~repro.service.faults.CircuitOpenError` until its
+        reset timeout allows a probe.  Budget-exhausted (degraded)
+        responses are successes: correct results, shrunk regions.
+        """
+        request = self._with_default_budget(request)
         kind = getattr(request, "kind", type(request).__name__)
         trace = QueryTrace(
             trace_id=getattr(request, "trace_id", None) or f"q-{next(self._ids)}",
@@ -99,32 +142,52 @@ class QueryService:
         )
         phase_events: List[tuple] = []
         t0 = perf_counter()
+        retry = self.resilience.retry if self.resilience is not None else None
+        attempt = 0
 
-        def on_phase(name: str, elapsed: float) -> None:
-            phase_events.append((name, perf_counter() - t0 - elapsed, elapsed))
-
-        try:
-            with self._lock:
-                before = self.server.io_stats.node_accesses_by_phase()
-                before_pf = self.server.io_stats.page_faults_by_phase()
-                previous_listener = self.server.tree.disk.set_phase_listener(
-                    on_phase)
+        while True:
+            if self.breaker is not None:
                 try:
-                    response = self.server.answer(request)
-                finally:
-                    self.server.tree.disk.set_phase_listener(previous_listener)
-                after = self.server.io_stats.node_accesses_by_phase()
-                after_pf = self.server.io_stats.page_faults_by_phase()
-        except Exception as exc:
-            trace.duration_ms = (perf_counter() - t0) * 1e3
-            trace.error = f"{type(exc).__name__}: {exc}"
-            self.traces.append(trace)
-            self.metrics.counter("service.errors").inc()
-            self.metrics.counter(f"service.errors.{kind}").inc()
-            raise
+                    self.breaker.before_call()
+                except CircuitOpenError as exc:
+                    self.metrics.counter("service.breaker.rejections").inc()
+                    self._fail(trace, t0, kind, exc)
+            try:
+                response, node_accesses, page_faults = self._execute_once(
+                    request, phase_events, t0)
+            except Exception as exc:
+                transient = is_transient(exc)
+                if self.breaker is not None and transient:
+                    self.breaker.record_failure()
+                    if self.breaker.trips:
+                        self.metrics.gauge("service.breaker.trips").set(
+                            self.breaker.trips)
+                if (transient and retry is not None
+                        and attempt + 1 < retry.max_attempts):
+                    with self._rng_lock:
+                        delay = retry.backoff_s(attempt, self._retry_rng)
+                    self.metrics.counter("service.retries").inc()
+                    self.metrics.counter(f"service.retries.{kind}").inc()
+                    trace.retries += 1
+                    trace.spans.append(Span(
+                        name="retry_backoff",
+                        offset_ms=(perf_counter() - t0) * 1e3,
+                        duration_ms=delay * 1e3,
+                        meta={"attempt": attempt + 1,
+                              "error": f"{type(exc).__name__}: {exc}"},
+                    ))
+                    if delay > 0.0:
+                        self._sleep(delay)
+                    attempt += 1
+                    continue
+                self._fail(trace, t0, kind, exc)
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                break
 
-        trace.node_accesses = _delta(before, after)
-        trace.page_faults = _delta(before_pf, after_pf)
+        trace.node_accesses = node_accesses
+        trace.page_faults = page_faults
         for phase, offset, elapsed in phase_events:
             trace.spans.append(Span(
                 name=SPAN_NAMES.get(phase, phase),
@@ -158,11 +221,54 @@ class QueryService:
         ))
         trace.transfer_bytes = transfer
         trace.result_size = result_size
+        trace.degraded = bool(getattr(response.detail, "degraded", False))
         trace.duration_ms = (perf_counter() - t0) * 1e3
         self.traces.append(trace)
         self._record(kind, trace,
                      delta=getattr(request, "previous_ids", None) is not None)
         return response
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def _with_default_budget(self, request: QueryRequest) -> QueryRequest:
+        """Apply the configured default budget to budget-less requests."""
+        if (self.resilience is None
+                or self.resilience.default_budget is None
+                or getattr(request, "budget", None) is not None):
+            return request
+        return replace(request, budget=self.resilience.default_budget)
+
+    def _execute_once(self, request: QueryRequest, phase_events: List[tuple],
+                      t0: float):
+        """One locked pass through the server; returns the response and
+        this attempt's phase-attributed access deltas."""
+
+        def on_phase(name: str, elapsed: float) -> None:
+            phase_events.append((name, perf_counter() - t0 - elapsed, elapsed))
+
+        with self._lock:
+            before = self.server.io_stats.node_accesses_by_phase()
+            before_pf = self.server.io_stats.page_faults_by_phase()
+            previous_listener = self.server.tree.disk.set_phase_listener(
+                on_phase)
+            try:
+                response = self.server.answer(request)
+            finally:
+                self.server.tree.disk.set_phase_listener(previous_listener)
+            after = self.server.io_stats.node_accesses_by_phase()
+            after_pf = self.server.io_stats.page_faults_by_phase()
+        return response, _delta(before, after), _delta(before_pf, after_pf)
+
+    def _fail(self, trace: QueryTrace, t0: float, kind: str,
+              exc: Exception) -> None:
+        """Record a failed query and re-raise its error."""
+        trace.duration_ms = (perf_counter() - t0) * 1e3
+        trace.error = f"{type(exc).__name__}: {exc}"
+        self.traces.append(trace)
+        self.metrics.counter("service.errors").inc()
+        self.metrics.counter(f"service.errors.{kind}").inc()
+        raise exc
 
     def dispatch_batch(self, requests: Sequence[QueryRequest],
                        executor: Optional[Executor] = None
@@ -200,6 +306,9 @@ class QueryService:
         m.counter("service.queries").inc()
         if delta:
             m.counter(f"service.queries.{kind}.delta").inc()
+        if trace.degraded:
+            m.counter("service.degraded").inc()
+            m.counter(f"service.degraded.{kind}").inc()
         m.counter("service.bytes_on_wire").inc(trace.transfer_bytes)
         m.histogram(f"service.latency_ms.{kind}").record(trace.duration_ms)
         m.histogram(f"service.transfer_bytes.{kind}").record(
@@ -224,15 +333,25 @@ class QueryService:
         counters = snap["counters"]
         updates = counters.get("client.position_updates", 0)
         hits = counters.get("client.cache_answers", 0)
-        return {
+        queries = counters.get("service.queries", 0)
+        degraded = counters.get("service.degraded", 0)
+        out = {
             "service": {
                 "started_at": self._started_at,
                 "uptime_seconds": now() - self._started_at,
-                "queries": counters.get("service.queries", 0),
+                "queries": queries,
                 "bytes_on_wire": counters.get("service.bytes_on_wire", 0),
                 "cache_hit_ratio": hits / updates if updates else 0.0,
                 "traces_retained": len(self.traces),
                 "traces_dropped": self.traces.dropped,
+            },
+            "resilience": {
+                "retries": counters.get("service.retries", 0),
+                "errors": counters.get("service.errors", 0),
+                "degraded": degraded,
+                "degraded_ratio": degraded / queries if queries else 0.0,
+                "breaker": (self.breaker.snapshot()
+                            if self.breaker is not None else None),
             },
             "metrics": snap,
             "disk": disk.stats.as_dict(),
@@ -244,6 +363,10 @@ class QueryService:
                 "num_pages": self.server.tree.num_pages,
             },
         }
+        injected = getattr(disk, "snapshot", None)
+        if callable(injected) and hasattr(disk, "plan"):
+            out["faults_injected"] = disk.snapshot()
+        return out
 
     def recent_traces(self, n: Optional[int] = None) -> List[QueryTrace]:
         return self.traces.recent(n)

@@ -71,6 +71,11 @@ class QueryTrace:
     result_size: int = 0
     #: Set when the request failed; the exception text.
     error: Optional[str] = None
+    #: Transparent retries the service performed for this query.
+    retries: int = 0
+    #: True when the response shipped a degraded (shrunk) validity
+    #: region because the query budget ran out.
+    degraded: bool = False
 
     @property
     def total_node_accesses(self) -> int:
@@ -97,6 +102,10 @@ class QueryTrace:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.retries:
+            out["retries"] = self.retries
+        if self.degraded:
+            out["degraded"] = True
         return out
 
 

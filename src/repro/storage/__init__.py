@@ -16,6 +16,21 @@ the subsequent TPNN queries of Figure 27).
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.counters import AccessStats
 from repro.storage.disk import DiskSimulator
+from repro.storage.faulty import (
+    FaultPlan,
+    FaultyDiskSimulator,
+    PageReadError,
+    inject_faults,
+)
 from repro.storage.pages import PageStore
 
-__all__ = ["LRUBufferPool", "AccessStats", "DiskSimulator", "PageStore"]
+__all__ = [
+    "LRUBufferPool",
+    "AccessStats",
+    "DiskSimulator",
+    "PageStore",
+    "FaultPlan",
+    "FaultyDiskSimulator",
+    "PageReadError",
+    "inject_faults",
+]

@@ -69,6 +69,31 @@ class TestMovingRectMeet:
         lo, hi = _moving_rect_meet(a, b, 0.0, 0.0)
         assert lo > hi
 
+    def test_denormal_velocity_regression_pinned(self):
+        """Pinned example of the Hypothesis failure that motivated the
+        ``vel`` strategy bounds above: with a denormal velocity the
+        float position update underflows (``a.xmin + vx*t == a.xmin``),
+        so a just-touching receding pair *simulates* as touching forever
+        while the analytic interval correctly ends the contact at t=0.
+        The disagreement is inherent to float simulation, not a bug in
+        the meet computation — hence the strategy keeps ``|v| >= 1e-6``
+        (or exactly zero)."""
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 2.0, 1.0)     # touching at x = 1
+        vx, t = -1e-300, 10.0
+        assert vx != 0.0
+        # The underflow: against an O(1) coordinate the update is lost.
+        assert a.xmax + vx * t == a.xmax
+        lo, hi = _moving_rect_meet(a, b, vx, 0.0)
+        assert hi <= 0.0 < t             # analytic: contact is over by t
+        moved = Rect(a.xmin + vx * t, a.ymin, a.xmax + vx * t, a.ymax)
+        assert moved.intersects(b)       # simulated: never moved at all
+        # With a representable velocity the two views agree again.
+        vx = -1e-6
+        lo, hi = _moving_rect_meet(a, b, vx, 0.0)
+        moved = Rect(a.xmin + vx * t, a.ymin, a.xmax + vx * t, a.ymax)
+        assert moved.intersects(b) == (lo <= t <= hi)
+
     @given(rect_pair(), vel, vel, st.floats(min_value=0, max_value=20))
     @settings(deadline=None, max_examples=60)
     def test_interval_matches_simulation(self, rects, vx, vy, t):

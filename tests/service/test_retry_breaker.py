@@ -1,0 +1,213 @@
+"""Unit tests for the retry policy and the circuit breaker (fake clocks)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+)
+from repro.service.faults import CLOSED, HALF_OPEN, OPEN
+from repro.storage import PageReadError
+
+
+class _Transient(Exception):
+    transient = True
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+# transient taxonomy
+# ----------------------------------------------------------------------
+def test_is_transient_duck_typing():
+    assert is_transient(_Transient())
+    assert is_transient(PageReadError(1, "nn", 1))
+    assert is_transient(CircuitOpenError(0.5))
+    assert not is_transient(ValueError("boom"))
+    assert not is_transient(KeyboardInterrupt())
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter="bogus")
+
+
+def test_backoff_caps_and_doubles_without_jitter():
+    policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.05, jitter="none")
+    assert [policy.backoff_s(i) for i in range(5)] == pytest.approx(
+        [0.01, 0.02, 0.04, 0.05, 0.05])
+
+
+def test_full_jitter_is_uniform_below_cap():
+    policy = RetryPolicy(base_delay_s=0.01, max_delay_s=1.0, jitter="full")
+    rng = random.Random(0)
+    draws = [policy.backoff_s(3, rng) for _ in range(200)]
+    cap = 0.08
+    assert all(0.0 <= d <= cap for d in draws)
+    assert len(set(draws)) > 100  # actually jittered, not constant
+
+
+def test_call_with_retry_succeeds_after_transient_failures():
+    calls = []
+    sleeps = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise _Transient("not yet")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter="none")
+    assert call_with_retry(flaky, policy, sleep=sleeps.append) == "ok"
+    assert len(calls) == 3
+    assert sleeps == pytest.approx([0.01, 0.02])
+
+
+def test_call_with_retry_exhausts_attempts():
+    def always_fails():
+        raise _Transient("still down")
+
+    policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+    with pytest.raises(_Transient):
+        call_with_retry(always_fails, policy, sleep=lambda _: None)
+
+
+def test_call_with_retry_propagates_non_transient_immediately():
+    calls = []
+
+    def fatal():
+        calls.append(1)
+        raise ValueError("bug, not weather")
+
+    with pytest.raises(ValueError):
+        call_with_retry(fatal, RetryPolicy(max_attempts=5, base_delay_s=0.0))
+    assert len(calls) == 1
+
+
+def test_on_retry_hook_sees_each_attempt():
+    seen = []
+
+    def flaky():
+        if len(seen) < 2:
+            raise _Transient()
+        return 1
+
+    call_with_retry(
+        flaky, RetryPolicy(max_attempts=3, base_delay_s=0.0),
+        sleep=lambda _: None,
+        on_retry=lambda attempt, delay, exc: seen.append((attempt, delay)))
+    assert [a for a, _ in seen] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(reset_timeout_s=-1.0)
+
+
+def test_breaker_trips_after_consecutive_failures():
+    clock = FakeClock()
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=3), clock=clock)
+    assert breaker.state == CLOSED
+    for _ in range(2):
+        breaker.before_call()
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.before_call()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    with pytest.raises(CircuitOpenError) as exc_info:
+        breaker.before_call()
+    assert exc_info.value.retry_after_s == pytest.approx(1.0)
+    assert breaker.rejections == 1
+
+
+def test_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=2),
+                             clock=FakeClock())
+    for _ in range(5):
+        breaker.record_failure()
+        breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.trips == 0
+
+
+def test_half_open_probe_recovers():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout_s=0.5), clock=clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(0.6)
+    assert breaker.state == HALF_OPEN
+    breaker.before_call()  # the probe is admitted
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.recoveries == 1
+
+
+def test_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout_s=0.5), clock=clock)
+    breaker.record_failure()
+    clock.advance(0.6)
+    breaker.before_call()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    # The reopen restarts the timeout from the probe failure.
+    clock.advance(0.4)
+    with pytest.raises(CircuitOpenError):
+        breaker.before_call()
+
+
+def test_half_open_limits_concurrent_probes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout_s=0.1,
+                      half_open_max_probes=1), clock=clock)
+    breaker.record_failure()
+    clock.advance(0.2)
+    breaker.before_call()  # probe #1 admitted, still in flight
+    with pytest.raises(CircuitOpenError):
+        breaker.before_call()  # probe #2 rejected
+
+
+def test_snapshot_is_json_shaped():
+    breaker = CircuitBreaker(clock=FakeClock())
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": CLOSED, "trips": 0, "recoveries": 0, "rejections": 0,
+        "consecutive_failures": 1,
+    }

@@ -1,0 +1,144 @@
+"""The faulty disk: deterministic fault plans over the simulated disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import bulk_load_str
+from repro.storage import (
+    FaultPlan,
+    FaultyDiskSimulator,
+    PageReadError,
+    inject_faults,
+)
+
+
+def _drive(disk, n=200, phase=None):
+    """Attempt ``n`` reads; return the global read indices that failed."""
+    failed = []
+    for i in range(n):
+        try:
+            if phase is None:
+                disk.read(i % 7)
+            else:
+                with disk.phase(phase):
+                    disk.read(i % 7)
+        except PageReadError as exc:
+            assert exc.read_index == disk.reads_attempted
+            failed.append(exc.read_index)
+    return failed
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(read_failure_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(phase_failure_rates={"nn": -0.1})
+    with pytest.raises(ValueError):
+        FaultPlan(latency_mean_s=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(latency_rate=2.0)
+
+
+def test_clean_plan_behaves_like_plain_disk():
+    disk = FaultyDiskSimulator(FaultPlan())
+    assert _drive(disk) == []
+    assert disk.stats.total_node_accesses == 200
+    assert disk.snapshot()["read_failures"] == 0
+
+
+def test_same_seed_same_failures():
+    plan = FaultPlan(seed=42, read_failure_rate=0.2)
+    first = _drive(FaultyDiskSimulator(plan))
+    second = _drive(FaultyDiskSimulator(plan))
+    assert first == second
+    assert first  # 200 reads at 20%: failures certainly occurred
+    other = _drive(FaultyDiskSimulator(FaultPlan(seed=43,
+                                                 read_failure_rate=0.2)))
+    assert first != other
+
+
+def test_pinned_reads_always_fail():
+    disk = FaultyDiskSimulator(FaultPlan(fail_reads=(3, 7, 8)))
+    assert _drive(disk, n=20) == [3, 7, 8]
+    assert disk.injected["read_failures"] == 3
+
+
+def test_per_phase_rates_override_global():
+    plan = FaultPlan(seed=1, read_failure_rate=0.0,
+                     phase_failure_rates={"tpnn": 1.0})
+    disk = FaultyDiskSimulator(plan)
+    assert _drive(disk, n=50, phase="nn") == []
+    assert _drive(disk, n=10, phase="tpnn") == list(range(51, 61))
+    assert plan.failure_rate("tpnn") == 1.0
+    assert plan.failure_rate("result") == 0.0
+
+
+def test_failed_read_is_charged_as_fault():
+    disk = FaultyDiskSimulator(FaultPlan(fail_reads=(1,)))
+    with pytest.raises(PageReadError):
+        with disk.phase("nn"):
+            disk.read(0)
+    assert disk.stats.node_accesses["nn"] == 1
+    assert disk.stats.page_faults["nn"] == 1
+
+
+def test_latency_injection_uses_injected_sleep():
+    slept = []
+    disk = FaultyDiskSimulator(
+        FaultPlan(seed=5, latency_mean_s=0.01, latency_rate=1.0),
+        sleep=slept.append)
+    _drive(disk, n=30)
+    assert len(slept) == 30
+    assert all(s >= 0.0 for s in slept)
+    assert disk.injected["latency_events"] == 30
+    assert disk.injected["latency_seconds"] == pytest.approx(sum(slept))
+    # Seeded: a second disk injects the identical delays.
+    slept2 = []
+    disk2 = FaultyDiskSimulator(
+        FaultPlan(seed=5, latency_mean_s=0.01, latency_rate=1.0),
+        sleep=slept2.append)
+    _drive(disk2, n=30)
+    assert slept2 == slept
+
+
+def test_stuck_buffer_window_bypasses_pool():
+    plan = FaultPlan(stuck_buffer_at=11, stuck_buffer_reads=5)
+    disk = FaultyDiskSimulator(plan, buffer_pages=4)
+    for i in range(20):
+        disk.read(0)  # same page: buffered after the first read
+    # Reads 2..10 and 16..20 hit the pool; 1 cold-misses; 11..15 are
+    # stuck (charged as faults, pool untouched).
+    assert disk.injected["stuck_reads"] == 5
+    assert disk.stats.page_faults["default"] == 1 + 5
+    assert disk.stats.node_accesses["default"] == 20
+
+
+def test_inject_faults_swaps_and_preserves_state(uniform_1k):
+    tree = bulk_load_str(uniform_1k, capacity=16)
+    tree.attach_lru_buffer(0.5)
+    with tree.disk.phase("nn"):
+        tree.disk.read(1)
+    before = tree.disk.stats.total_node_accesses
+    old_disk = tree.disk
+    old_buffer = tree.disk.buffer
+    faulty = inject_faults(tree, FaultPlan(seed=0))
+    assert tree.disk is faulty
+    assert isinstance(faulty, FaultyDiskSimulator)
+    assert faulty.replaced is old_disk
+    # Stats and buffer pool continue across the swap.
+    assert faulty.stats is old_disk.stats
+    assert faulty.buffer is old_buffer
+    assert faulty.stats.total_node_accesses == before
+    tree.disk.read(1)
+    assert faulty.stats.total_node_accesses == before + 1
+
+
+def test_injected_tree_still_answers_queries(uniform_1k):
+    from repro.queries import nearest_neighbors
+
+    tree = bulk_load_str(uniform_1k, capacity=16)
+    expected = [e.entry.oid for e in nearest_neighbors(tree, (0.5, 0.5), 5)]
+    inject_faults(tree, FaultPlan(seed=9))  # no failures configured
+    got = [e.entry.oid for e in nearest_neighbors(tree, (0.5, 0.5), 5)]
+    assert got == expected
