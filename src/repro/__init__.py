@@ -24,6 +24,7 @@ from repro.core import (
     KNNRequest,
     LocationServer,
     MobileClient,
+    QueryBudget,
     QueryResponse,
     RangeRequest,
     WindowRequest,
@@ -48,14 +49,21 @@ from repro.mobility import (
     simulate_window_protocols,
 )
 from repro.service import (
+    CacheConfig,
     ClientFleet,
     FleetConfig,
     MetricsRegistry,
     QueryService,
+    ResilienceConfig,
+    ShardedServer,
+    ValidityCache,
+    build_service,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The canonical public surface (docs/API.md documents every name;
+#: ``python -m repro.service.checkapi`` fails CI when the two drift).
 __all__ = [
     "Point",
     "Rect",
@@ -74,6 +82,7 @@ __all__ = [
     "KNNRequest",
     "WindowRequest",
     "RangeRequest",
+    "QueryBudget",
     "QueryResponse",
     "compute_nn_validity",
     "compute_window_validity",
@@ -89,8 +98,13 @@ __all__ = [
     "simulate_knn_protocols",
     "simulate_window_protocols",
     "QueryService",
+    "ResilienceConfig",
     "MetricsRegistry",
     "ClientFleet",
     "FleetConfig",
+    "build_service",
+    "ShardedServer",
+    "ValidityCache",
+    "CacheConfig",
     "__version__",
 ]

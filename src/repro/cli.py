@@ -20,7 +20,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core import LocationServer, MobileClient
+from repro.core import (
+    KNNRequest,
+    LocationServer,
+    MobileClient,
+    RangeRequest,
+    WindowRequest,
+)
 from repro.datasets import (
     make_greece_like,
     make_north_america_like,
@@ -92,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of clients using the delta protocol")
     p_svc.add_argument("--buffer-fraction", type=float, default=0.1,
                        help="LRU buffer size as a fraction of tree pages")
+    p_svc.add_argument("--shards", type=int, default=1,
+                       help="K builds a KxK scatter-gather shard grid "
+                            "(1 = the paper's single R*-tree)")
+    p_svc.add_argument("--cache-capacity", type=int, default=0,
+                       help="server-side validity-region cache size "
+                            "(0 disables it)")
+    p_svc.add_argument("--cache-grid", type=int, default=16,
+                       help="resolution of the cache's region-MBR grid")
     p_svc.add_argument("--fault-rate", type=float, default=0.0,
                        help="inject seeded page-read failures at this rate")
     p_svc.add_argument("--fault-latency-ms", type=float, default=0.0,
@@ -156,7 +170,7 @@ def _cmd_query(args) -> int:
     tree = load_tree(args.tree)
     server = LocationServer(tree)
     if args.query_kind == "knn":
-        resp = server.knn_query((args.x, args.y), k=args.k)
+        resp = server.answer(KNNRequest((args.x, args.y), k=args.k))
         for e in resp.neighbors:
             print(f"{e.oid}\t{e.x:.6g}\t{e.y:.6g}")
         poly = resp.region.polygon()
@@ -164,14 +178,15 @@ def _cmd_query(args) -> int:
               f"area {poly.area():.6g}, "
               f"payload {resp.transfer_bytes()} bytes")
     elif args.query_kind == "window":
-        resp = server.window_query((args.x, args.y), args.width, args.height)
+        resp = server.answer(WindowRequest((args.x, args.y),
+                                           args.width, args.height))
         for e in resp.result:
             print(f"{e.oid}\t{e.x:.6g}\t{e.y:.6g}")
         r = resp.detail.conservative_region
         print(f"# validity rect: [{r.xmin:.6g}, {r.ymin:.6g}, "
               f"{r.xmax:.6g}, {r.ymax:.6g}]")
     else:
-        resp = server.range_query((args.x, args.y), args.radius)
+        resp = server.answer(RangeRequest((args.x, args.y), args.radius))
         for e in resp.result:
             print(f"{e.oid}\t{e.x:.6g}\t{e.y:.6g}")
         print(f"# validity disk radius: {resp.detail.validity_radius:.6g}")
@@ -191,12 +206,14 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_service(args) -> int:
     from repro.core.api import QueryBudget
-    from repro.service import BreakerConfig, ResilienceConfig, RetryPolicy
+    from repro.service import (
+        BreakerConfig,
+        ResilienceConfig,
+        RetryPolicy,
+        build_service,
+    )
     from repro.storage import FaultPlan, inject_faults
 
-    server = LocationServer.from_points(
-        uniform_points(args.n, seed=args.seed),
-        buffer_fraction=args.buffer_fraction)
     budget = None
     if args.deadline_ms is not None or args.max_node_accesses is not None:
         budget = QueryBudget(deadline_ms=args.deadline_ms,
@@ -208,15 +225,27 @@ def _cmd_service(args) -> int:
         default_budget=budget,
         seed=args.seed,
     )
-    service = QueryService(server, resilience=resilience)
+    service = build_service(
+        uniform_points(args.n, seed=args.seed),
+        shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        cache_grid=args.cache_grid,
+        buffer_fraction=args.buffer_fraction,
+        resilience=resilience,
+    )
+    server = service.server
     faulty = args.fault_rate > 0.0 or args.fault_latency_ms > 0.0
     if faulty:
-        inject_faults(server.tree, FaultPlan(
+        plan = FaultPlan(
             seed=args.seed,
             read_failure_rate=args.fault_rate,
             latency_mean_s=args.fault_latency_ms / 1e3,
             latency_rate=1.0 if args.fault_latency_ms > 0.0 else 0.0,
-        ))
+        )
+        trees = ([shard.server.tree for shard in server.shards]
+                 if args.shards > 1 else [server.tree])
+        for tree in trees:
+            inject_faults(tree, plan)
     fleet = ClientFleet(service, FleetConfig(
         num_clients=args.clients,
         k=args.k,
@@ -233,6 +262,19 @@ def _cmd_service(args) -> int:
           f"{stats.cache_answers} cache answers "
           f"({report.cache_hit_ratio:.0%} saved), "
           f"{stats.bytes_received} bytes on the wire")
+    cache = report.snapshot.get("cache")
+    if cache:
+        print(f"  server cache: {cache['hits']} hits / "
+              f"{cache['hits'] + cache['misses']} probes "
+              f"({cache['hit_ratio']:.0%} hit ratio), "
+              f"{cache['size']}/{cache['capacity']} entries, "
+              f"{cache['evictions']} evictions")
+    shards = report.snapshot.get("shards")
+    if shards:
+        accesses = [s["node_accesses"] for s in shards]
+        print(f"  shards: {len(shards)} live, "
+              f"node accesses min {min(accesses)} / "
+              f"max {max(accesses)} / total {sum(accesses)}")
     res = report.snapshot["resilience"]
     if faulty or res["retries"] or res["degraded"] or stats.stale_answers:
         breaker = res["breaker"] or {}

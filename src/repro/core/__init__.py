@@ -17,12 +17,19 @@ it remains inside the region.
 
 from repro.core.api import (
     KNNRequest,
+    QueryBudget,
+    QueryDetail,
     QueryRequest,
     QueryResponse,
     RangeRequest,
     WindowRequest,
 )
-from repro.core.validity import NNValidityRegion, WindowValidityRegion
+from repro.core.validity import (
+    CompositeValidityRegion,
+    NNValidityRegion,
+    ValidityDisk,
+    WindowValidityRegion,
+)
 from repro.core.nn_validity import (
     NNValidityResult,
     compute_nn_validity,
@@ -44,14 +51,26 @@ from repro.core.server import (
 )
 from repro.core.client import CacheEntry, MobileClient, ClientStats
 
+#: Canonical names of the typed detail hierarchy (see docs/API.md).
+KNNDetail = NNValidityResult
+WindowDetail = WindowValidityResult
+RangeDetail = RangeValidityResult
+
 __all__ = [
     "QueryRequest",
     "QueryResponse",
+    "QueryBudget",
+    "QueryDetail",
+    "KNNDetail",
+    "WindowDetail",
+    "RangeDetail",
     "KNNRequest",
     "WindowRequest",
     "RangeRequest",
     "NNValidityRegion",
     "WindowValidityRegion",
+    "ValidityDisk",
+    "CompositeValidityRegion",
     "NNValidityResult",
     "compute_nn_validity",
     "retrieve_influence_set_1nn",

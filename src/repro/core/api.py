@@ -44,6 +44,7 @@ __all__ = [
     "QueryBudget",
     "BudgetClock",
     "DetailMapping",
+    "QueryDetail",
 ]
 
 
@@ -51,9 +52,16 @@ class DetailMapping:
     """Dict-style read access over a detail record's attributes.
 
     Response ``detail`` objects are dataclasses, but the degraded-mode
-    contract is documented as ``detail["degraded"]`` so generic callers
-    (benchmark harnesses, JSON dumpers) need no per-type knowledge.
-    Mixing this in gives every detail record both spellings.
+    contract was historically documented as ``detail["degraded"]`` so
+    generic callers (benchmark harnesses, JSON dumpers) needed no
+    per-type knowledge.  Mixing this in gives every detail record both
+    spellings.
+
+    .. deprecated::
+        Mapping-style access (``detail["degraded"]``, ``detail.get``)
+        is a back-compat shim kept for one deprecation window (see
+        docs/API.md); new code should use the typed attributes of the
+        :class:`QueryDetail` hierarchy directly.
     """
 
     def __getitem__(self, key: str):
@@ -67,6 +75,37 @@ class DetailMapping:
 
     def __contains__(self, key) -> bool:
         return isinstance(key, str) and hasattr(self, key)
+
+
+class QueryDetail(DetailMapping):
+    """Base of the typed per-query-type detail hierarchy.
+
+    Every response's ``detail`` is a dataclass deriving from this base:
+    ``KNNDetail`` (:class:`~repro.core.nn_validity.NNValidityResult`),
+    ``WindowDetail`` (:class:`~repro.core.window_validity.WindowValidityResult`),
+    ``RangeDetail`` (:class:`~repro.core.range_validity.RangeValidityResult`)
+    — plus the sharded merge records of :mod:`repro.service.shard`.
+    The base guarantees the two fields generic code relies on:
+
+    * ``kind`` — the query type the detail describes;
+    * ``degraded`` — whether the budget ran out and the shipped region
+      is a conservative under-approximation (the result stays exact).
+
+    Mapping-style access is inherited from :class:`DetailMapping` as a
+    deprecated back-compat shim.
+    """
+
+    #: The query type this detail record describes.
+    kind: ClassVar[str] = ""
+
+    # Subclasses are dataclasses that define ``degraded`` as a field;
+    # the class attribute makes the flag total across the hierarchy.
+    degraded: bool = False
+
+    @property
+    def influence_set(self) -> List:
+        """Distinct influence objects (empty when not applicable)."""
+        return []
 
 
 @dataclass(frozen=True)

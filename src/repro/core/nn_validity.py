@@ -31,7 +31,7 @@ from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.nn import nearest_neighbors
 from repro.queries.tp import tp_knn
-from repro.core.api import BudgetClock, DetailMapping
+from repro.core.api import BudgetClock, QueryDetail
 from repro.core.validity import NNValidityRegion, ValidityDisk
 
 #: Vertex selection policies for step 2.  The paper picks an arbitrary
@@ -40,8 +40,14 @@ VERTEX_POLICIES = ("fifo", "lifo", "random", "nearest", "farthest")
 
 
 @dataclass
-class NNValidityResult(DetailMapping):
-    """Everything the server computes for one location-based kNN query."""
+class NNValidityResult(QueryDetail):
+    """Everything the server computes for one location-based kNN query.
+
+    The canonical :class:`~repro.core.api.QueryDetail` for ``kind ==
+    "knn"`` (exported as ``KNNDetail``).
+    """
+
+    kind = "knn"
 
     query: Point
     neighbors: List[LeafEntry]

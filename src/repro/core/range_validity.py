@@ -32,7 +32,7 @@ from repro.geometry import Point
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.range import nearest_outside, range_query
-from repro.core.api import BudgetClock, DetailMapping
+from repro.core.api import BudgetClock, QueryDetail
 
 #: Payload of a validity disk: centre (2 x 8 bytes) + radius (8 bytes).
 DISK_BYTES = 24
@@ -57,13 +57,27 @@ class RangeValidityRegion:
             return math.inf
         return math.pi * self.radius * self.radius
 
+    def mbr(self) -> Optional["object"]:
+        """Bounding rectangle, or ``None`` for an unbounded disk."""
+        if math.isinf(self.radius):
+            return None
+        from repro.geometry import Rect
+        return Rect(self.center.x - self.radius, self.center.y - self.radius,
+                    self.center.x + self.radius, self.center.y + self.radius)
+
     def transfer_bytes(self) -> int:
         return DISK_BYTES
 
 
 @dataclass
-class RangeValidityResult(DetailMapping):
-    """Everything the server computes for one location-based range query."""
+class RangeValidityResult(QueryDetail):
+    """Everything the server computes for one location-based range query.
+
+    The canonical :class:`~repro.core.api.QueryDetail` for ``kind ==
+    "range"`` (exported as ``RangeDetail``).
+    """
+
+    kind = "range"
 
     focus: Point
     radius: float

@@ -13,8 +13,9 @@ and :meth:`LocationServer.answer` accepts any typed request from
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.geometry import Rect
 from repro.index.entry import LeafEntry
@@ -177,22 +178,21 @@ class LocationServer:
         budget = getattr(request, "budget", None)
         if isinstance(request, KNNRequest):
             if request.previous_ids is not None:
-                return self.knn_query_delta(request.location, request.k,
-                                            request.previous_ids,
-                                            budget=budget)
-            return self.knn_query(request.location, k=request.k,
-                                  vertex_policy=request.vertex_policy,
-                                  budget=budget)
+                return self._knn_delta(request.location, request.k,
+                                       request.previous_ids, budget=budget)
+            return self._knn(request.location, k=request.k,
+                             vertex_policy=request.vertex_policy,
+                             budget=budget)
         if isinstance(request, WindowRequest):
             if request.previous_ids is not None:
-                return self.window_query_delta(
+                return self._window_delta(
                     request.focus, request.width, request.height,
                     request.previous_ids, budget=budget)
-            return self.window_query(request.focus, request.width,
-                                     request.height, budget=budget)
+            return self._window(request.focus, request.width,
+                                request.height, budget=budget)
         if isinstance(request, RangeRequest):
-            return self.range_query(request.location, request.radius,
-                                    budget=budget)
+            return self._range(request.location, request.radius,
+                               budget=budget)
         raise TypeError(f"not a query request: {request!r}")
 
     def _start_clock(self, budget: Optional[QueryBudget]
@@ -202,18 +202,11 @@ class LocationServer:
         return budget.start(self.io_stats)
 
     # ------------------------------------------------------------------
-    # queries
+    # query implementations
     # ------------------------------------------------------------------
-    def knn_query(self, location, k: int = 1,
-                  vertex_policy: str = "fifo",
-                  rng: Optional[random.Random] = None,
-                  budget: Optional[QueryBudget] = None) -> KNNResponse:
-        """Location-based kNN: result + validity region + influence set.
-
-        ``budget`` bounds server-side work; when it is exhausted during
-        TPNN probing the response degrades to an exact result with a
-        conservative safe-disk region and ``detail["degraded"]`` set.
-        """
+    def _knn(self, location, k: int = 1, vertex_policy: str = "fifo",
+             rng: Optional[random.Random] = None,
+             budget: Optional[QueryBudget] = None) -> KNNResponse:
         detail = compute_nn_validity(self.tree, location, k=k,
                                      universe=self.universe,
                                      vertex_policy=vertex_policy, rng=rng,
@@ -225,9 +218,8 @@ class LocationServer:
             detail=detail,
         )
 
-    def window_query(self, focus, width: float, height: float,
-                     budget: Optional[QueryBudget] = None) -> WindowResponse:
-        """Location-based window query around a focus point."""
+    def _window(self, focus, width: float, height: float,
+                budget: Optional[QueryBudget] = None) -> WindowResponse:
         detail = compute_window_validity(self.tree, focus, width, height,
                                          universe=self.universe,
                                          clock=self._start_clock(budget))
@@ -238,9 +230,8 @@ class LocationServer:
             detail=detail,
         )
 
-    def range_query(self, location, radius: float,
-                    budget: Optional[QueryBudget] = None) -> RangeResponse:
-        """Location-based circular range query (§7 extension)."""
+    def _range(self, location, radius: float,
+               budget: Optional[QueryBudget] = None) -> RangeResponse:
         detail = compute_range_validity(self.tree, location, radius,
                                         clock=self._start_clock(budget))
         self.queries_processed += 1
@@ -250,26 +241,81 @@ class LocationServer:
             detail=detail,
         )
 
+    def _knn_delta(self, location, k: int, previous_ids,
+                   budget: Optional[QueryBudget] = None) -> DeltaResponse:
+        full = self._knn(location, k=k, budget=budget)
+        return _delta(full, full.neighbors, previous_ids)
+
+    def _window_delta(self, focus, width: float, height: float, previous_ids,
+                      budget: Optional[QueryBudget] = None) -> DeltaResponse:
+        full = self._window(focus, width, height, budget=budget)
+        return _delta(full, full.result, previous_ids)
+
     # ------------------------------------------------------------------
-    # incremental (delta) re-queries — the §7 extension
+    # deprecated per-type call styles (use ``answer(request)``)
     # ------------------------------------------------------------------
+    def knn_query(self, location, k: int = 1,
+                  vertex_policy: str = "fifo",
+                  rng: Optional[random.Random] = None,
+                  budget: Optional[QueryBudget] = None) -> KNNResponse:
+        """Location-based kNN: result + validity region + influence set.
+
+        ``budget`` bounds server-side work; when it is exhausted during
+        TPNN probing the response degrades to an exact result with a
+        conservative safe-disk region and ``detail.degraded`` set.
+
+        .. deprecated::
+            Use ``answer(KNNRequest(location, k=k, ...))`` — the typed
+            path all service-layer features (cache, shards, tracing)
+            hang off.  See the deprecation window in docs/API.md.
+        """
+        _warn_per_type("knn_query", "KNNRequest")
+        return self._knn(location, k=k, vertex_policy=vertex_policy,
+                         rng=rng, budget=budget)
+
+    def window_query(self, focus, width: float, height: float,
+                     budget: Optional[QueryBudget] = None) -> WindowResponse:
+        """Location-based window query around a focus point.
+
+        .. deprecated:: Use ``answer(WindowRequest(...))``.
+        """
+        _warn_per_type("window_query", "WindowRequest")
+        return self._window(focus, width, height, budget=budget)
+
+    def range_query(self, location, radius: float,
+                    budget: Optional[QueryBudget] = None) -> RangeResponse:
+        """Location-based circular range query (§7 extension).
+
+        .. deprecated:: Use ``answer(RangeRequest(...))``.
+        """
+        _warn_per_type("range_query", "RangeRequest")
+        return self._range(location, radius, budget=budget)
+
     def knn_query_delta(self, location, k: int, previous_ids,
                         budget: Optional[QueryBudget] = None
                         ) -> DeltaResponse:
-        """kNN re-query shipping only the change versus ``previous_ids``."""
-        full = self.knn_query(location, k=k, budget=budget)
-        return _delta(full, full.neighbors, previous_ids)
+        """kNN re-query shipping only the change versus ``previous_ids``.
+
+        .. deprecated:: Use ``answer(KNNRequest(..., previous_ids=ids))``.
+        """
+        _warn_per_type("knn_query_delta", "KNNRequest")
+        return self._knn_delta(location, k, previous_ids, budget=budget)
 
     def window_query_delta(self, focus, width: float, height: float,
                            previous_ids,
                            budget: Optional[QueryBudget] = None
                            ) -> DeltaResponse:
-        """Window re-query shipping only the change versus ``previous_ids``."""
-        full = self.window_query(focus, width, height, budget=budget)
-        return _delta(full, full.result, previous_ids)
+        """Window re-query shipping only the change versus ``previous_ids``.
+
+        .. deprecated:: Use ``answer(WindowRequest(..., previous_ids=ids))``.
+        """
+        _warn_per_type("window_query_delta", "WindowRequest")
+        return self._window_delta(focus, width, height, previous_ids,
+                                  budget=budget)
 
     # ------------------------------------------------------------------
-    # instrumentation
+    # instrumentation — the narrow interface the service layer uses.
+    # Any server implementation (this one, ShardedServer) provides it.
     # ------------------------------------------------------------------
     @property
     def io_stats(self):
@@ -278,8 +324,49 @@ class LocationServer:
     def reset_io_stats(self) -> None:
         self.tree.disk.reset_stats()
 
+    @property
+    def num_points(self) -> int:
+        return len(self.tree)
 
-def _delta(full, result: List[LeafEntry], previous_ids) -> DeltaResponse:
+    @property
+    def num_pages(self) -> int:
+        return self.tree.num_pages
+
+    def node_accesses_by_phase(self) -> Dict[str, int]:
+        return self.io_stats.node_accesses_by_phase()
+
+    def page_faults_by_phase(self) -> Dict[str, int]:
+        return self.io_stats.page_faults_by_phase()
+
+    def set_phase_listener(self, listener):
+        """Install (or clear) the disk phase listener; returns the old one."""
+        return self.tree.disk.set_phase_listener(listener)
+
+    def disk_snapshot(self) -> Dict[str, object]:
+        """JSON-serializable disk + buffer state (the snapshot format)."""
+        disk = self.tree.disk
+        out: Dict[str, object] = {
+            "stats": disk.stats.as_dict(),
+            "buffer": (disk.buffer.snapshot()
+                       if disk.buffer is not None else None),
+        }
+        injected = getattr(disk, "snapshot", None)
+        if callable(injected) and hasattr(disk, "plan"):
+            out["faults_injected"] = disk.snapshot()
+        return out
+
+
+def _warn_per_type(method: str, request_type: str) -> None:
+    warnings.warn(
+        f"LocationServer.{method}() is deprecated; use "
+        f"answer({request_type}(...)) — see docs/API.md for the "
+        f"deprecation window",
+        DeprecationWarning, stacklevel=3)
+
+
+def delta_response(full, result: List[LeafEntry], previous_ids
+                   ) -> DeltaResponse:
+    """Diff a full response against a client's cached result ids."""
     previous = set(previous_ids)
     current = {e.oid for e in result}
     return DeltaResponse(
@@ -287,3 +374,6 @@ def _delta(full, result: List[LeafEntry], previous_ids) -> DeltaResponse:
         removed_ids=sorted(previous - current),
         full=full,
     )
+
+
+_delta = delta_response

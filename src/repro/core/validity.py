@@ -60,6 +60,12 @@ class ValidityDisk:
                for i in range(segments)]
         return ConvexPolygon(pts)
 
+    def mbr(self) -> Rect:
+        """Bounding rectangle (the server-cache index key)."""
+        cx, cy = self.center
+        return Rect(cx - self.radius, cy - self.radius,
+                    cx + self.radius, cy + self.radius)
+
     def transfer_bytes(self) -> int:
         return VALIDITY_DISK_BYTES
 
@@ -107,6 +113,19 @@ class NNValidityRegion:
         """Materialize the region as a polygon (plotting / area)."""
         return ConvexPolygon.from_halfplanes(self._halfplanes, self._universe)
 
+    def mbr(self) -> Rect:
+        """Bounding rectangle (the server-cache index key).
+
+        Degenerate regions (an empty clip) bound to a zero-area
+        rectangle at the universe origin, which no probe point strictly
+        inside a cell ever matches via :meth:`contains` anyway.
+        """
+        verts = self.polygon().vertices
+        if not verts:
+            return Rect(self._universe.xmin, self._universe.ymin,
+                        self._universe.xmin, self._universe.ymin)
+        return Rect.from_points(verts)
+
     def transfer_bytes(self) -> int:
         """Network payload: the influence objects (one point each).
 
@@ -131,5 +150,58 @@ class WindowValidityRegion:
     def area(self) -> float:
         return self.rect.area()
 
+    def mbr(self) -> Rect:
+        """Bounding rectangle (the region itself)."""
+        return self.rect
+
     def transfer_bytes(self) -> int:
         return RECT_BYTES
+
+
+class CompositeValidityRegion:
+    """The intersection of several validity regions.
+
+    This is how a sharded kNN answer represents its guarantee: the
+    merged result is provably unchanged wherever *every* per-shard
+    region still holds **and** the candidate-reordering safety disk
+    around the query is not left.  Membership is the conjunction of the
+    component checks; the payload is the sum of the component payloads
+    (each shard ships its own influence pairs).
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Sequence):
+        if not components:
+            raise ValueError("an intersection needs at least one region")
+        self.components = tuple(components)
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        return all(c.contains(location, eps) for c in self.components)
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle: intersection of the component MBRs.
+
+        Components without an ``mbr`` (open half-plane style regions)
+        are skipped — the result stays a sound over-approximation.
+        """
+        out = None
+        for c in self.components:
+            get = getattr(c, "mbr", None)
+            box = get() if get is not None else None
+            if box is None:  # unbounded component: no constraint
+                continue
+            if out is None:
+                out = box
+                continue
+            box = out.intersection(box)
+            if box is None:
+                # Numerically disjoint bounds: collapse to a point.
+                return Rect(out.xmin, out.ymin, out.xmin, out.ymin)
+            out = box
+        if out is None:
+            raise ValueError("no component exposes an MBR")
+        return out
+
+    def transfer_bytes(self) -> int:
+        return sum(c.transfer_bytes() for c in self.components)

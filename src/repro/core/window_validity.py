@@ -37,15 +37,21 @@ from repro.geometry import Point, Rect, RectilinearRegion
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.queries.window import annulus_query
-from repro.core.api import BudgetClock, DetailMapping
+from repro.core.api import BudgetClock, QueryDetail
 from repro.core.validity import WindowValidityRegion
 
 _SIDES = ("xmin", "ymin", "xmax", "ymax")
 
 
 @dataclass
-class WindowValidityResult(DetailMapping):
-    """Everything the server computes for one location-based window query."""
+class WindowValidityResult(QueryDetail):
+    """Everything the server computes for one location-based window query.
+
+    The canonical :class:`~repro.core.api.QueryDetail` for ``kind ==
+    "window"`` (exported as ``WindowDetail``).
+    """
+
+    kind = "window"
 
     focus: Point
     window: Rect

@@ -155,6 +155,41 @@ class Rect(NamedTuple):
         return Rect(self.xmin - dx, self.ymin - dy, self.xmax + dx, self.ymax + dy)
 
     # ------------------------------------------------------------------
+    # uniform grids
+    # ------------------------------------------------------------------
+    def grid_index(self, p, nx: int, ny: int) -> "tuple[int, int]":
+        """The ``(ix, iy)`` cell of an ``nx x ny`` uniform grid over this
+        rectangle that contains ``p``.
+
+        Points outside the rectangle are clamped to the border cells, so
+        every point maps to a valid cell — what both the validity-region
+        cache and the shard router need for out-of-universe queries.
+        """
+        if nx < 1 or ny < 1:
+            raise ValueError("grid extents must be positive")
+        fx = (p[0] - self.xmin) / self.width if self.width > 0 else 0.0
+        fy = (p[1] - self.ymin) / self.height if self.height > 0 else 0.0
+        ix = min(nx - 1, max(0, int(fx * nx)))
+        iy = min(ny - 1, max(0, int(fy * ny)))
+        return ix, iy
+
+    def grid_cell(self, ix: int, iy: int, nx: int, ny: int) -> "Rect":
+        """The bounds of cell ``(ix, iy)`` of an ``nx x ny`` grid."""
+        if not (0 <= ix < nx and 0 <= iy < ny):
+            raise ValueError(f"cell ({ix}, {iy}) outside a {nx}x{ny} grid")
+        w, h = self.width / nx, self.height / ny
+        return Rect(self.xmin + ix * w, self.ymin + iy * h,
+                    self.xmin + (ix + 1) * w, self.ymin + (iy + 1) * h)
+
+    def grid_range(self, other: "Rect", nx: int, ny: int
+                   ) -> "tuple[int, int, int, int]":
+        """Inclusive cell-index range ``(ix0, iy0, ix1, iy1)`` of the
+        grid cells this rectangle's grid assigns to ``other``."""
+        ix0, iy0 = self.grid_index((other.xmin, other.ymin), nx, ny)
+        ix1, iy1 = self.grid_index((other.xmax, other.ymax), nx, ny)
+        return ix0, iy0, ix1, iy1
+
+    # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
     def mindist(self, p) -> float:

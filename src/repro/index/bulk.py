@@ -23,22 +23,29 @@ from repro.storage import DiskSimulator
 def bulk_load_str(points: Sequence, capacity: Optional[int] = None,
                   fill: float = 0.7,
                   disk: Optional[DiskSimulator] = None,
+                  oids: Optional[Sequence[int]] = None,
                   **tree_kwargs) -> RStarTree:
     """Build an :class:`RStarTree` over ``points`` with STR packing.
 
     Parameters
     ----------
     points:
-        ``(x, y)`` pairs; object ids are the sequence positions.
+        ``(x, y)`` pairs; object ids are the sequence positions unless
+        ``oids`` supplies them explicitly (a sharded server loads each
+        shard with its points' *global* ids).
     fill:
         Target node occupancy (0 < fill <= 1).  0.7 approximates the
         average occupancy of an insertion-built R*-tree.
     """
     if not 0.0 < fill <= 1.0:
         raise ValueError("fill must be in (0, 1]")
+    if oids is not None and len(oids) != len(points):
+        raise ValueError("oids must match points one-to-one")
     tree = RStarTree(capacity=capacity, disk=disk, **tree_kwargs)
     entries: List[LeafEntry] = [
-        LeafEntry(i, float(p[0]), float(p[1])) for i, p in enumerate(points)
+        LeafEntry(i if oids is None else int(oids[i]),
+                  float(p[0]), float(p[1]))
+        for i, p in enumerate(points)
     ]
     if not entries:
         return tree

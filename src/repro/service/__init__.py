@@ -8,11 +8,20 @@
   jitter for transient failures.
 * :mod:`repro.service.faults` — the closed/open/half-open circuit
   breaker that isolates a failing disk.
+* :mod:`repro.service.cache` — :class:`ValidityCache`, the server-side
+  validity-region cache: any query whose point falls inside a cached
+  region is answered with zero node accesses.
+* :mod:`repro.service.shard` — :class:`ShardedServer`, a K×K grid of
+  independent R*-trees answering queries by scatter-gather with sound
+  merged validity regions.
 * :mod:`repro.service.service` — :class:`QueryService`, the
   instrumented, thread-safe, fault-tolerant front-end a deployment
-  runs (see :class:`ResilienceConfig`).
+  runs (see :class:`ResilienceConfig`), and :func:`build_service`, the
+  one-stop factory assembling server + shards + cache.
 * :mod:`repro.service.fleet` — a ThreadPoolExecutor-driven fleet of
   simulated mobile clients with per-tick batched dispatch.
+* :mod:`repro.service.checkapi` — the API-drift check CI runs
+  (``python -m repro.service.checkapi``).
 """
 
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -23,7 +32,15 @@ from repro.service.faults import (
     CircuitBreaker,
     CircuitOpenError,
 )
-from repro.service.service import QueryService, ResilienceConfig
+from repro.service.cache import CacheConfig, ValidityCache
+from repro.service.shard import (
+    Shard,
+    ShardedKNNDetail,
+    ShardedRangeDetail,
+    ShardedServer,
+    ShardedWindowDetail,
+)
+from repro.service.service import QueryService, ResilienceConfig, build_service
 from repro.service.fleet import ClientFleet, FleetConfig, FleetReport
 
 __all__ = [
@@ -40,8 +57,16 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CacheConfig",
+    "ValidityCache",
+    "Shard",
+    "ShardedServer",
+    "ShardedKNNDetail",
+    "ShardedWindowDetail",
+    "ShardedRangeDetail",
     "QueryService",
     "ResilienceConfig",
+    "build_service",
     "ClientFleet",
     "FleetConfig",
     "FleetReport",

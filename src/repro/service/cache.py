@@ -1,0 +1,261 @@
+"""The server-side validity-region cache.
+
+The paper puts the validity region to work on the *client*: each mobile
+user caches one response and re-answers its own position updates for as
+long as it stays inside the region.  The same contract is just as
+exploitable on the *server*: a response whose validity region covers a
+**different** user's query point answers that query too — by
+definition, the result is provably identical anywhere inside the
+region.  :class:`ValidityCache` is that idea as an in-memory spatial
+structure (the INSQ-style influence-set cache, arXiv:1602.00363):
+
+* every admitted response is indexed by the **MBR of its validity
+  region** in a uniform grid over the universe, so a probe inspects
+  only the entries whose region can possibly cover the query point;
+* a probe is a hit when the query *shape* matches (same ``k``, same
+  window extents, same range radius) and the query point passes the
+  exact ``region.contains`` test of the geometry layer — never the MBR
+  alone, so hits inherit the paper's correctness guarantee unchanged;
+* entries are evicted LRU once ``capacity`` is exceeded, and the whole
+  cache is dropped by the dataset-mutation invalidation hook (every
+  region is computed against one dataset epoch).
+
+A cache hit costs zero node accesses: the request never reaches the
+index, which is what turns a stream of moving-client queries into
+mostly O(1) lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.api import (
+    KNNRequest,
+    QueryRequest,
+    QueryResponse,
+    RangeRequest,
+    WindowRequest,
+)
+from repro.geometry import Rect
+
+__all__ = ["CacheConfig", "ValidityCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shape of a :class:`ValidityCache`.
+
+    ``capacity`` bounds the number of retained responses (LRU beyond
+    it); ``grid`` is the resolution of the uniform cell grid the region
+    MBRs are indexed in; ``admit_degraded`` controls whether
+    budget-degraded responses (tiny conservative regions) are worth
+    caching at all.
+    """
+
+    capacity: int = 1024
+    grid: int = 16
+    admit_degraded: bool = False
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if self.grid < 1:
+            raise ValueError("grid must be positive")
+
+
+class _Entry:
+    """One cached response and where its region MBR is registered."""
+
+    __slots__ = ("uid", "key", "response", "epoch", "cells")
+
+    def __init__(self, uid: int, key: Tuple, response: QueryResponse,
+                 epoch: int, cells: Tuple[Tuple[int, int], ...]):
+        self.uid = uid
+        self.key = key
+        self.response = response
+        self.epoch = epoch
+        self.cells = cells
+
+
+def request_key(request: QueryRequest) -> Optional[Tuple]:
+    """The cache key of a request, or ``None`` when it is uncacheable.
+
+    Incremental (delta) requests bypass the cache: their response is
+    relative to the caller's ``previous_ids``, so it is not reusable
+    verbatim.  The budget is deliberately *not* part of the key — a
+    cached full-region response satisfies any budget, since serving it
+    costs no work at all.
+    """
+    if isinstance(request, KNNRequest):
+        if request.previous_ids is not None:
+            return None
+        return ("knn", request.k)
+    if isinstance(request, WindowRequest):
+        if request.previous_ids is not None:
+            return None
+        return ("window", request.width, request.height)
+    if isinstance(request, RangeRequest):
+        return ("range", request.radius)
+    return None
+
+
+def request_location(request: QueryRequest) -> Tuple[float, float]:
+    """The query point of any typed request."""
+    return getattr(request, "location", None) or request.focus
+
+
+class ValidityCache:
+    """A thread-safe spatial cache of responses keyed by validity region."""
+
+    def __init__(self, universe: Rect,
+                 config: Optional[CacheConfig] = None):
+        self.universe = universe
+        self.config = config if config is not None else CacheConfig()
+        self._lock = threading.Lock()
+        self._uids = 0
+        #: LRU order: oldest first.
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._grid: Dict[Tuple[int, int], Dict[int, _Entry]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+    def probe(self, request: QueryRequest, epoch: int
+              ) -> Optional[QueryResponse]:
+        """The cached response answering ``request``, if any.
+
+        A hit requires an entry with the same query shape, computed
+        under the current dataset ``epoch``, whose validity region
+        contains the request's query point.  Epoch-stale entries found
+        along the way are dropped lazily.
+        """
+        key = request_key(request)
+        if key is None or self.config.capacity == 0:
+            return None
+        location = request_location(request)
+        cell = self.universe.grid_index(location, self.config.grid,
+                                        self.config.grid)
+        with self._lock:
+            bucket = self._grid.get(cell)
+            if bucket:
+                stale = []
+                hit: Optional[_Entry] = None
+                # Newest entries first: fresher regions, hotter answers.
+                for entry in reversed(bucket.values()):
+                    if entry.epoch != epoch:
+                        stale.append(entry)
+                        continue
+                    if (entry.key == key
+                            and entry.response.region.contains(location)):
+                        hit = entry
+                        break
+                for entry in stale:
+                    self._remove(entry)
+                if hit is not None:
+                    self._entries.move_to_end(hit.uid)
+                    self.hits += 1
+                    return hit.response
+            self.misses += 1
+            return None
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def admit(self, request: QueryRequest, response: QueryResponse,
+              epoch: int) -> bool:
+        """Index ``response`` under its validity region's MBR.
+
+        Returns False (and caches nothing) for uncacheable requests,
+        regions that expose no finite MBR, and — unless configured
+        otherwise — degraded responses, whose conservative regions are
+        too small to be worth a slot.
+        """
+        key = request_key(request)
+        if key is None or self.config.capacity == 0:
+            return False
+        if (not self.config.admit_degraded
+                and bool(getattr(response.detail, "degraded", False))):
+            return False
+        mbr_of = getattr(response.region, "mbr", None)
+        mbr = mbr_of() if mbr_of is not None else None
+        if mbr is None:  # unbounded region: clamp to the universe
+            mbr = self.universe
+        n = self.config.grid
+        ix0, iy0, ix1, iy1 = self.universe.grid_range(mbr, n, n)
+        cells = tuple((ix, iy)
+                      for ix in range(ix0, ix1 + 1)
+                      for iy in range(iy0, iy1 + 1))
+        with self._lock:
+            self._uids += 1
+            entry = _Entry(self._uids, key, response, epoch, cells)
+            self._entries[entry.uid] = entry
+            for cell in cells:
+                self._grid.setdefault(cell, {})[entry.uid] = entry
+            self.insertions += 1
+            while len(self._entries) > self.config.capacity:
+                _, oldest = self._entries.popitem(last=False)
+                self._unlink(oldest)
+                self.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_all(self) -> int:
+        """Drop everything (the dataset-mutation hook); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._grid.clear()
+            if dropped:
+                self.invalidations += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _remove(self, entry: _Entry) -> None:
+        if self._entries.pop(entry.uid, None) is not None:
+            self._unlink(entry)
+
+    def _unlink(self, entry: _Entry) -> None:
+        for cell in entry.cells:
+            bucket = self._grid.get(cell)
+            if bucket is not None:
+                bucket.pop(entry.uid, None)
+                if not bucket:
+                    del self._grid[cell]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable cache state and accounting."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.config.capacity,
+                "grid": self.config.grid,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": self.hit_ratio,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,93 @@
+"""The public-API drift check: ``python -m repro.service.checkapi``.
+
+The canonical public surface is ``repro.__all__``; docs/API.md is its
+contract with users.  CI runs this module so the two cannot drift
+apart silently: it fails when
+
+* a name in ``repro.__all__`` does not actually resolve on the package
+  (a stale or misspelled export),
+* a name in ``repro.__all__`` is not documented in docs/API.md (added
+  an export without documenting it), or
+* docs/API.md declares a name in its "Public surface" section that the
+  package no longer exports (removed/renamed an export without
+  updating the docs).
+
+docs/API.md declares the surface with single-backtick code spans
+(`` `build_service` ``); only the section between the markers
+``<!-- api:begin -->`` and ``<!-- api:end -->`` is parsed, so prose
+elsewhere in the document can mention internals freely.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+import repro
+
+#: Markers bounding the machine-checked section of docs/API.md.
+BEGIN = "<!-- api:begin -->"
+END = "<!-- api:end -->"
+
+_CODE_SPAN = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def documented_names(api_md: str) -> Set[str]:
+    """Names declared inside the marked section of docs/API.md."""
+    try:
+        start = api_md.index(BEGIN) + len(BEGIN)
+        stop = api_md.index(END, start)
+    except ValueError:
+        raise SystemExit(
+            f"docs/API.md is missing the {BEGIN} / {END} markers that "
+            "delimit the canonical public surface")
+    return set(_CODE_SPAN.findall(api_md[start:stop]))
+
+
+def check(api_md_path: Optional[Path] = None) -> List[str]:
+    """Every drift problem found (empty means the API is in sync)."""
+    if api_md_path is None:
+        api_md_path = (Path(repro.__file__).resolve()
+                       .parent.parent.parent / "docs" / "API.md")
+    problems: List[str] = []
+    exported = [n for n in repro.__all__ if n != "__version__"]
+    for name in exported:
+        if not hasattr(repro, name):
+            problems.append(
+                f"repro.__all__ lists {name!r} but repro has no such "
+                "attribute")
+    if not api_md_path.is_file():
+        problems.append(f"docs/API.md not found at {api_md_path}")
+        return problems
+    declared = documented_names(api_md_path.read_text())
+    for name in exported:
+        if name not in declared:
+            problems.append(
+                f"{name!r} is exported by repro.__all__ but not "
+                "documented in docs/API.md — document it between the "
+                "api:begin/api:end markers")
+    for name in sorted(declared):
+        if name not in exported:
+            problems.append(
+                f"{name!r} is documented in docs/API.md but not "
+                "exported by repro.__all__ — remove it from the docs "
+                "or restore the export")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("public API drift detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"public API in sync: {len(repro.__all__) - 1} exported names "
+          "documented in docs/API.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

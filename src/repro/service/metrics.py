@@ -34,14 +34,19 @@ _HASH = 2654435761
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
+
+    ``lock`` lets a registry share one data lock across all its
+    metrics, which is what makes a registry snapshot a consistent
+    point-in-time read; standalone counters default to a private lock.
+    """
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
         self.name = name
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -62,10 +67,10 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -89,13 +94,14 @@ class Histogram:
     __slots__ = ("name", "_samples", "_lock", "_max_samples",
                  "count", "total", "min", "max")
 
-    def __init__(self, name: str, max_samples: int = 65536):
+    def __init__(self, name: str, max_samples: int = 65536,
+                 lock: Optional[threading.Lock] = None):
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self.name = name
         self._samples: List[float] = []
         self._max_samples = max_samples
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
@@ -134,9 +140,13 @@ class Histogram:
 
     def snapshot(self) -> Dict[str, float]:
         with self._lock:
-            ordered = sorted(self._samples)
-            count, total = self.count, self.total
-            lo, hi = self.min, self.max
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, float]:
+        """Snapshot body; the caller must hold this histogram's lock."""
+        ordered = sorted(self._samples)
+        count, total = self.count, self.total
+        lo, hi = self.min, self.max
 
         def q(p: float) -> float:
             if not ordered:
@@ -166,10 +176,19 @@ class MetricsRegistry:
     Names are free-form dotted strings (``query.latency_ms.knn``); the
     registry imposes no schema, but a name registered as one kind cannot
     be re-registered as another.
+
+    Every metric the registry creates shares one **data lock**, so
+    :meth:`snapshot` is a single consistent point-in-time read: no
+    update can land between reading one metric and the next, and
+    derived cross-metric values (hit ratios, per-kind breakdowns) are
+    computed over numbers that were all true at the same instant.
     """
 
     def __init__(self):
+        #: Guards the name→metric dicts (registration structure).
         self._lock = threading.Lock()
+        #: Guards every registered metric's data (shared by them all).
+        self._data_lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -181,21 +200,22 @@ class MetricsRegistry:
         with self._lock:
             self._check_kind(name, self._counters)
             if name not in self._counters:
-                self._counters[name] = Counter(name)
+                self._counters[name] = Counter(name, lock=self._data_lock)
             return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
         with self._lock:
             self._check_kind(name, self._gauges)
             if name not in self._gauges:
-                self._gauges[name] = Gauge(name)
+                self._gauges[name] = Gauge(name, lock=self._data_lock)
             return self._gauges[name]
 
     def histogram(self, name: str, max_samples: int = 65536) -> Histogram:
         with self._lock:
             self._check_kind(name, self._histograms)
             if name not in self._histograms:
-                self._histograms[name] = Histogram(name, max_samples)
+                self._histograms[name] = Histogram(name, max_samples,
+                                                   lock=self._data_lock)
             return self._histograms[name]
 
     def _check_kind(self, name: str, expected_home: Dict) -> None:
@@ -208,17 +228,25 @@ class MetricsRegistry:
     # reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
-        """Everything, as plain JSON-serializable data."""
+        """Everything, as one consistent JSON-serializable snapshot.
+
+        All values are read under the shared data lock in a single
+        critical section, so the returned numbers are mutually
+        consistent (e.g. a hits counter never outruns its probes
+        counter within one snapshot).
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "gauges": {n: g.value for n, g in sorted(gauges.items())},
-            "histograms": {n: h.snapshot()
-                           for n, h in sorted(histograms.items())},
-        }
+        with self._data_lock:
+            return {
+                "counters": {n: c._value
+                             for n, c in sorted(counters.items())},
+                "gauges": {n: g._value for n, g in sorted(gauges.items())},
+                "histograms": {n: h._snapshot_locked()
+                               for n, h in sorted(histograms.items())},
+            }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

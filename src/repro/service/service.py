@@ -12,20 +12,37 @@ it reports counters and latency/bytes histograms into one
 Concurrency model: the service accepts requests from any number of
 threads; the index/disk portion of each query runs under the service
 lock (the paper's server owns a single simulated disk, whose phase
-attribution and buffer state are inherently serial), while cache
-checks, serialization accounting, metrics and tracing happen outside
-it.  :meth:`dispatch_batch` answers a whole batch through an executor —
-the per-tick dispatch unit the simulated fleet uses.
+attribution and buffer state are inherently serial — a
+:class:`~repro.service.shard.ShardedServer` parallelizes *inside* that
+critical section across its per-shard disks), while cache checks,
+serialization accounting, metrics and tracing happen outside it.
+:meth:`answer_many` answers a whole batch through an executor — the
+per-tick dispatch unit the simulated fleet uses.
+
+With a :class:`~repro.service.cache.ValidityCache` attached, every
+cacheable request is first probed against the cached validity regions
+(the ``cache_probe`` span): a hit is served with **zero node
+accesses** — it never reaches the server, the breaker, or the retry
+loop, which also means a warm cache keeps absorbing traffic while the
+disk is tripped open.  Misses execute normally and the response is
+admitted under the region it carries.
 
 The service quacks like a :class:`LocationServer` where it matters
 (``answer``, ``epoch``, updates), so a
 :class:`~repro.core.client.MobileClient` can be pointed straight at it
-and every query it issues is traced and metered.
+and every query it issues is traced and metered.  It talks to the
+server only through the narrow instrumentation interface
+(``answer`` / ``io_stats`` / ``set_phase_listener`` / ``disk_snapshot``
+/ ``num_points``), so any server implementing it — the single-tree
+:class:`LocationServer` or the sharded scatter-gather fleet — slots in
+unchanged; :func:`build_service` assembles the whole stack from raw
+points.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import random
 import threading
 import time
@@ -42,10 +59,13 @@ from repro.core.api import (
     RangeRequest,
     WindowRequest,
 )
-from repro.core.server import DeltaResponse, LocationServer
+from repro.core.server import DeltaResponse, KNNResponse, LocationServer
+from repro.geometry import Rect
+from repro.service.cache import CacheConfig, ValidityCache
 from repro.service.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
 from repro.service.metrics import MetricsRegistry
 from repro.service.retry import RetryPolicy, is_transient
+from repro.service.shard import ShardedServer
 from repro.service.tracing import (
     SPAN_NAMES,
     QueryTrace,
@@ -54,7 +74,7 @@ from repro.service.tracing import (
     now,
 )
 
-__all__ = ["QueryService", "ResilienceConfig"]
+__all__ = ["QueryService", "ResilienceConfig", "build_service"]
 
 
 @dataclass(frozen=True)
@@ -81,8 +101,10 @@ class QueryService:
                  metrics: Optional[MetricsRegistry] = None,
                  trace_capacity: int = 256,
                  resilience: Optional[ResilienceConfig] = None,
+                 cache: Optional[ValidityCache] = None,
                  sleep=time.sleep):
         self.server = server
+        self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceBuffer(trace_capacity)
         self.resilience = resilience
@@ -111,11 +133,15 @@ class QueryService:
     def insert_object(self, oid: int, x: float, y: float) -> None:
         with self._lock:
             self.server.insert_object(oid, x, y)
+        if self.cache is not None:  # every cached region is now stale
+            self.cache.invalidate_all()
         self.metrics.counter("service.updates.insert").inc()
 
     def delete_object(self, oid: int, x: float, y: float) -> bool:
         with self._lock:
             removed = self.server.delete_object(oid, x, y)
+        if removed and self.cache is not None:
+            self.cache.invalidate_all()
         self.metrics.counter("service.updates.delete").inc()
         return removed
 
@@ -142,49 +168,93 @@ class QueryService:
         )
         phase_events: List[tuple] = []
         t0 = perf_counter()
-        retry = self.resilience.retry if self.resilience is not None else None
-        attempt = 0
 
-        while True:
-            if self.breaker is not None:
-                try:
-                    self.breaker.before_call()
-                except CircuitOpenError as exc:
-                    self.metrics.counter("service.breaker.rejections").inc()
-                    self._fail(trace, t0, kind, exc)
-            try:
-                response, node_accesses, page_faults = self._execute_once(
-                    request, phase_events, t0)
-            except Exception as exc:
-                transient = is_transient(exc)
-                if self.breaker is not None and transient:
-                    self.breaker.record_failure()
-                    if self.breaker.trips:
-                        self.metrics.gauge("service.breaker.trips").set(
-                            self.breaker.trips)
-                if (transient and retry is not None
-                        and attempt + 1 < retry.max_attempts):
-                    with self._rng_lock:
-                        delay = retry.backoff_s(attempt, self._retry_rng)
-                    self.metrics.counter("service.retries").inc()
-                    self.metrics.counter(f"service.retries.{kind}").inc()
-                    trace.retries += 1
-                    trace.spans.append(Span(
-                        name="retry_backoff",
-                        offset_ms=(perf_counter() - t0) * 1e3,
-                        duration_ms=delay * 1e3,
-                        meta={"attempt": attempt + 1,
-                              "error": f"{type(exc).__name__}: {exc}"},
-                    ))
-                    if delay > 0.0:
-                        self._sleep(delay)
-                    attempt += 1
-                    continue
-                self._fail(trace, t0, kind, exc)
+        # The cache front door: a hit never touches the server, the
+        # breaker, or the retry loop — zero node accesses, by contract.
+        cached: Optional[QueryResponse] = None
+        if self.cache is not None:
+            probe_start = perf_counter()
+            cached = self.cache.probe(request, self.server.epoch)
+            trace.spans.append(Span(
+                name="cache_probe",
+                offset_ms=(probe_start - t0) * 1e3,
+                duration_ms=(perf_counter() - probe_start) * 1e3,
+                meta={"hit": cached is not None},
+            ))
+            if cached is not None:
+                self.metrics.counter("service.cache.hits").inc()
+                self.metrics.counter(f"service.cache.hits.{kind}").inc()
             else:
+                self.metrics.counter("service.cache.misses").inc()
+
+        if cached is not None:
+            response = self._serve_cached(request, cached)
+            node_accesses: Dict[str, int] = {}
+            page_faults: Dict[str, int] = {}
+        else:
+            retry = (self.resilience.retry
+                     if self.resilience is not None else None)
+            attempt = 0
+            while True:
                 if self.breaker is not None:
-                    self.breaker.record_success()
-                break
+                    try:
+                        self.breaker.before_call()
+                    except CircuitOpenError as exc:
+                        self.metrics.counter(
+                            "service.breaker.rejections").inc()
+                        self._fail(trace, t0, kind, exc)
+                try:
+                    (response, node_accesses, page_faults,
+                     epoch, exec_span) = self._execute_once(
+                        request, phase_events, t0)
+                except Exception as exc:
+                    transient = is_transient(exc)
+                    if self.breaker is not None and transient:
+                        self.breaker.record_failure()
+                        if self.breaker.trips:
+                            self.metrics.gauge("service.breaker.trips").set(
+                                self.breaker.trips)
+                    if (transient and retry is not None
+                            and attempt + 1 < retry.max_attempts):
+                        with self._rng_lock:
+                            delay = retry.backoff_s(attempt, self._retry_rng)
+                        self.metrics.counter("service.retries").inc()
+                        self.metrics.counter(f"service.retries.{kind}").inc()
+                        trace.retries += 1
+                        trace.spans.append(Span(
+                            name="retry_backoff",
+                            offset_ms=(perf_counter() - t0) * 1e3,
+                            duration_ms=delay * 1e3,
+                            meta={"attempt": attempt + 1,
+                                  "error": f"{type(exc).__name__}: {exc}"},
+                        ))
+                        if delay > 0.0:
+                            self._sleep(delay)
+                        attempt += 1
+                        continue
+                    self._fail(trace, t0, kind, exc)
+                else:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    break
+            if self.cache is not None:
+                self.cache.admit(request, response, epoch)
+            fanout = getattr(response.detail, "per_shard_node_accesses",
+                             None)
+            if fanout is not None:
+                trace.spans.append(Span(
+                    name="shard_fanout",
+                    offset_ms=exec_span[0] * 1e3,
+                    duration_ms=exec_span[1] * 1e3,
+                    meta={
+                        "shards_queried": len(fanout),
+                        "shards_pruned": getattr(
+                            response.detail, "shards_pruned", 0),
+                        "node_accesses": sum(fanout.values()),
+                    },
+                ))
+        if self.cache is not None:
+            self.metrics.gauge("service.cache.size").set(len(self.cache))
 
         trace.node_accesses = node_accesses
         trace.page_faults = page_faults
@@ -225,8 +295,28 @@ class QueryService:
         trace.duration_ms = (perf_counter() - t0) * 1e3
         self.traces.append(trace)
         self._record(kind, trace,
-                     delta=getattr(request, "previous_ids", None) is not None)
+                     delta=getattr(request, "previous_ids", None) is not None,
+                     detail=response.detail)
         return response
+
+    def _serve_cached(self, request: QueryRequest,
+                      cached: QueryResponse) -> QueryResponse:
+        """Adapt a cached response to the probing request.
+
+        The validity-region contract guarantees the result *set* is
+        identical anywhere inside the region; only the distance order
+        of kNN neighbours can differ at the new query point, so that is
+        re-ranked (a k·log k in-memory step — still zero node accesses).
+        """
+        if isinstance(cached, KNNResponse) and isinstance(request,
+                                                          KNNRequest):
+            qx, qy = request.location
+            ranked = sorted(
+                cached.neighbors,
+                key=lambda e: (math.hypot(e.x - qx, e.y - qy), e.oid))
+            if ranked != cached.neighbors:
+                return replace(cached, neighbors=ranked)
+        return cached
 
     # ------------------------------------------------------------------
     # resilience plumbing
@@ -241,24 +331,31 @@ class QueryService:
 
     def _execute_once(self, request: QueryRequest, phase_events: List[tuple],
                       t0: float):
-        """One locked pass through the server; returns the response and
-        this attempt's phase-attributed access deltas."""
+        """One locked pass through the server; returns the response,
+        this attempt's phase-attributed access deltas, the dataset
+        epoch it ran under, and its (offset, duration) seconds within
+        the trace."""
 
         def on_phase(name: str, elapsed: float) -> None:
+            # list.append is atomic, so this is safe from the pool
+            # threads a sharded server fans out on.
             phase_events.append((name, perf_counter() - t0 - elapsed, elapsed))
 
         with self._lock:
-            before = self.server.io_stats.node_accesses_by_phase()
-            before_pf = self.server.io_stats.page_faults_by_phase()
-            previous_listener = self.server.tree.disk.set_phase_listener(
-                on_phase)
+            epoch = self.server.epoch
+            before = self.server.node_accesses_by_phase()
+            before_pf = self.server.page_faults_by_phase()
+            previous_listener = self.server.set_phase_listener(on_phase)
+            exec_start = perf_counter()
             try:
                 response = self.server.answer(request)
             finally:
-                self.server.tree.disk.set_phase_listener(previous_listener)
-            after = self.server.io_stats.node_accesses_by_phase()
-            after_pf = self.server.io_stats.page_faults_by_phase()
-        return response, _delta(before, after), _delta(before_pf, after_pf)
+                exec_end = perf_counter()
+                self.server.set_phase_listener(previous_listener)
+            after = self.server.node_accesses_by_phase()
+            after_pf = self.server.page_faults_by_phase()
+        return (response, _delta(before, after), _delta(before_pf, after_pf),
+                epoch, (exec_start - t0, exec_end - exec_start))
 
     def _fail(self, trace: QueryTrace, t0: float, kind: str,
               exc: Exception) -> None:
@@ -270,9 +367,9 @@ class QueryService:
         self.metrics.counter(f"service.errors.{kind}").inc()
         raise exc
 
-    def dispatch_batch(self, requests: Sequence[QueryRequest],
-                       executor: Optional[Executor] = None
-                       ) -> List[QueryResponse]:
+    def answer_many(self, requests: Sequence[QueryRequest],
+                    executor: Optional[Executor] = None
+                    ) -> List[QueryResponse]:
         """Answer a batch of requests, preserving order.
 
         With an ``executor`` the batch fans out across its workers (the
@@ -284,6 +381,9 @@ class QueryService:
         if executor is None:
             return [self.answer(r) for r in requests]
         return list(executor.map(self.answer, requests))
+
+    #: Back-compat alias; ``answer_many`` is the canonical name.
+    dispatch_batch = answer_many
 
     # ------------------------------------------------------------------
     # convenience per-type methods (same names as the server)
@@ -300,7 +400,8 @@ class QueryService:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def _record(self, kind: str, trace: QueryTrace, delta: bool) -> None:
+    def _record(self, kind: str, trace: QueryTrace, delta: bool,
+                detail=None) -> None:
         m = self.metrics
         m.counter(f"service.queries.{kind}").inc()
         m.counter("service.queries").inc()
@@ -318,17 +419,28 @@ class QueryService:
             m.counter(f"service.node_accesses.{phase}").inc(count)
         for phase, count in trace.page_faults.items():
             m.counter(f"service.page_faults.{phase}").inc(count)
+        fanout = getattr(detail, "per_shard_node_accesses", None)
+        if fanout is not None:
+            m.counter("service.shard.fanouts").inc()
+            m.histogram("service.shard.fanout_width").record(len(fanout))
+            for sid, count in fanout.items():
+                m.counter(f"service.shard.{sid}.queries").inc()
+                if count:
+                    m.counter(f"service.shard.{sid}.node_accesses").inc(
+                        count)
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Everything observable about the running service, as JSON data.
 
-        Includes the metrics registry (counters / gauges / histograms),
-        the disk layer's phase-attributed access statistics, the buffer
-        pool state, the server's epoch and query count, and the derived
-        client cache-hit ratio when clients report into the registry.
+        Includes the metrics registry (counters / gauges / histograms —
+        read as one consistent point-in-time snapshot under a single
+        registry lock), the disk layer's phase-attributed access
+        statistics, the buffer pool state, the server-side validity
+        cache, the per-shard breakdown when the server is sharded, the
+        server's epoch and query count, and the derived client
+        cache-hit ratio when clients report into the registry.
         """
-        disk = self.server.tree.disk
-        buffer = disk.buffer
+        disk_info = self.server.disk_snapshot()
         snap = self.metrics.snapshot()
         counters = snap["counters"]
         updates = counters.get("client.position_updates", 0)
@@ -354,18 +466,21 @@ class QueryService:
                             if self.breaker is not None else None),
             },
             "metrics": snap,
-            "disk": disk.stats.as_dict(),
-            "buffer": buffer.snapshot() if buffer is not None else None,
+            "disk": disk_info["stats"],
+            "buffer": disk_info.get("buffer"),
+            "cache": (self.cache.snapshot()
+                      if self.cache is not None else None),
             "server": {
                 "epoch": self.server.epoch,
                 "queries_processed": self.server.queries_processed,
-                "num_points": len(self.server.tree),
-                "num_pages": self.server.tree.num_pages,
+                "num_points": self.server.num_points,
+                "num_pages": self.server.num_pages,
             },
         }
-        injected = getattr(disk, "snapshot", None)
-        if callable(injected) and hasattr(disk, "plan"):
-            out["faults_injected"] = disk.snapshot()
+        if "shards" in disk_info:
+            out["shards"] = disk_info["shards"]
+        if "faults_injected" in disk_info:
+            out["faults_injected"] = disk_info["faults_injected"]
         return out
 
     def recent_traces(self, n: Optional[int] = None) -> List[QueryTrace]:
@@ -384,3 +499,53 @@ def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
         if diff:
             out[phase] = diff
     return out
+
+
+def build_service(points: Sequence, *,
+                  shards: int = 1,
+                  cache_capacity: int = 0,
+                  cache_grid: int = 16,
+                  universe: Optional[Rect] = None,
+                  capacity: Optional[int] = None,
+                  fill: float = 0.7,
+                  buffer_fraction: float = 0.0,
+                  metrics: Optional[MetricsRegistry] = None,
+                  trace_capacity: int = 256,
+                  resilience: Optional[ResilienceConfig] = None,
+                  max_workers: Optional[int] = None) -> QueryService:
+    """Assemble the full serving stack over raw ``(x, y)`` data.
+
+    The one-stop entry point of the public API (see docs/API.md):
+
+    * ``shards=1`` builds the paper's single R*-tree
+      :class:`LocationServer`; ``shards=K`` (K > 1) builds a K×K
+      :class:`~repro.service.shard.ShardedServer` scatter-gather fleet.
+    * ``cache_capacity=0`` disables the server-side
+      :class:`~repro.service.cache.ValidityCache`; a positive value
+      bounds the number of cached responses, indexed on a
+      ``cache_grid``² uniform grid.
+
+    Everything else is threaded through unchanged (index node
+    ``capacity`` and ``fill``, LRU ``buffer_fraction`` per disk,
+    ``resilience`` policy, metrics registry, trace-ring size).
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    if cache_capacity < 0:
+        raise ValueError("cache_capacity must be non-negative")
+    if shards == 1:
+        server = LocationServer.from_points(
+            points, universe=universe, capacity=capacity, fill=fill,
+            buffer_fraction=buffer_fraction)
+    else:
+        server = ShardedServer.from_points(
+            points, grid=shards, universe=universe, capacity=capacity,
+            fill=fill, buffer_fraction=buffer_fraction,
+            max_workers=max_workers)
+    cache = None
+    if cache_capacity > 0:
+        cache = ValidityCache(server.universe, CacheConfig(
+            capacity=cache_capacity, grid=cache_grid))
+    return QueryService(server, metrics=metrics,
+                        trace_capacity=trace_capacity,
+                        resilience=resilience, cache=cache)

@@ -1,0 +1,668 @@
+"""The sharded server: scatter-gather over a grid of R*-trees.
+
+One R*-tree over the whole dataset serializes every query on one
+simulated disk.  :class:`ShardedServer` partitions the universe into a
+K×K grid and builds an **independent** :class:`LocationServer` (own
+tree, own disk, own buffer) per non-empty cell, so a query fans out
+over a worker pool and only touches the shards that can contribute.
+
+The interesting part is keeping the paper's validity-region contract
+across the merge.  Per query type:
+
+* **kNN** — shards are ranked by MINDIST of the query to their data
+  MBRs; the nearest shard runs first and its k-th neighbour distance
+  prunes every shard whose MINDIST exceeds it (such a shard cannot
+  contribute a neighbour).  The survivors are queried through the pool
+  and merged to the global top-k.  The merged validity region is the
+  **intersection** of the per-shard regions — inside it every shard's
+  local top-k set is frozen, so the candidate union is frozen — further
+  clipped by a safety disk of radius ``min((c_{k+1} - c_k)/2, min over
+  pruned shards of (MINDIST - d_k)/2)`` where ``c_i`` are the sorted
+  candidate distances: moving by δ changes any point-to-query distance
+  by at most δ, so inside the disk neither a reorder across the k-th
+  candidate boundary nor an entry from a pruned shard is possible.
+* **window** — a shard can affect the result at the focus iff the focus
+  lies in its data MBR inflated by the half-extents (the Minkowski
+  hull of its points' window rectangles).  Exactly those shards are
+  queried and their conservative rectangles intersected; every
+  *non-contributing* shard whose inflated MBR still intersects that
+  rectangle is excluded by an axis **cut** that separates the focus
+  from the inflated MBR — zero node accesses for shards the window
+  cannot reach.
+* **range** — shards with ``MINDIST <= radius`` are queried; the merged
+  validity disk radius is the minimum of the per-shard radii and, for
+  every pruned shard, its slack ``MINDIST - radius``.
+
+Degraded-mode budgets are split across shards: a request's
+``max_node_accesses`` is divided evenly over the shards being queried
+(each shard meters its own disk), and any shard exhausting its slice
+degrades the merged response exactly like the single-tree server
+would — the merged region simply intersects that shard's conservative
+safe disk.
+
+The class implements the same narrow instrumentation interface as
+:class:`LocationServer` (``answer``, ``io_stats``, ``num_points``,
+``set_phase_listener``, ``disk_snapshot``, …), so the service layer —
+cache, tracing, metrics, resilience — composes with it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import (
+    KNNRequest,
+    QueryBudget,
+    QueryDetail,
+    QueryRequest,
+    RangeRequest,
+    WindowRequest,
+)
+from repro.core.range_validity import RangeValidityRegion
+from repro.core.server import (
+    KNNResponse,
+    LocationServer,
+    RangeResponse,
+    WindowResponse,
+    delta_response,
+)
+from repro.core.validity import (
+    CompositeValidityRegion,
+    ValidityDisk,
+    WindowValidityRegion,
+)
+from repro.geometry import Point, Rect
+from repro.index.bulk import bulk_load_str
+from repro.index.entry import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.storage.counters import AccessStats
+
+__all__ = [
+    "ShardedServer",
+    "Shard",
+    "ShardedKNNDetail",
+    "ShardedWindowDetail",
+    "ShardedRangeDetail",
+]
+
+
+@dataclass
+class Shard:
+    """One grid cell's independent location server."""
+
+    sid: int
+    cell: Tuple[int, int]
+    bounds: Rect
+    server: LocationServer
+
+    @property
+    def data_mbr(self) -> Rect:
+        """MBR of the shard's actual points (tighter than ``bounds``)."""
+        return self.server.tree.root.mbr
+
+    @property
+    def num_points(self) -> int:
+        return self.server.num_points
+
+
+# ----------------------------------------------------------------------
+# merged detail records (the sharded arm of the QueryDetail hierarchy)
+# ----------------------------------------------------------------------
+def _merged_influence(shard_details) -> List[LeafEntry]:
+    out: List[LeafEntry] = []
+    seen = set()
+    for _sid, detail in shard_details:
+        for entry in getattr(detail, "influence_set", []) or []:
+            if entry.oid not in seen:
+                seen.add(entry.oid)
+                out.append(entry)
+    return out
+
+
+@dataclass
+class ShardedKNNDetail(QueryDetail):
+    """How a scatter-gathered kNN answer came together."""
+
+    kind = "knn"
+
+    query: Tuple[float, float]
+    k: int
+    neighbors: List[LeafEntry]
+    #: Radius of the cross-shard safety disk clipped into the merged
+    #: region (``None`` when no clipping was needed).
+    safety_radius: Optional[float]
+    shards_total: int
+    shards_queried: int
+    shards_pruned: int
+    #: Node accesses each queried shard charged to this query.
+    per_shard_node_accesses: Dict[int, int]
+    #: ``(shard id, that shard's own detail)``, MINDIST order.
+    shard_details: List[Tuple[int, QueryDetail]] = field(default_factory=list)
+    num_tp_queries: int = 0
+    degraded: bool = False
+
+    @property
+    def influence_set(self) -> List[LeafEntry]:
+        return _merged_influence(self.shard_details)
+
+
+@dataclass
+class ShardedWindowDetail(QueryDetail):
+    """How a scatter-gathered window answer came together."""
+
+    kind = "window"
+
+    focus: Tuple[float, float]
+    window: Rect
+    result: List[LeafEntry]
+    #: The merged validity rectangle (same contract as the single-tree
+    #: :class:`~repro.core.window_validity.WindowValidityResult`).
+    conservative_region: Rect
+    shards_total: int
+    shards_queried: int
+    shards_pruned: int
+    #: Shards excluded by an axis cut instead of a query.
+    shards_cut: int
+    per_shard_node_accesses: Dict[int, int]
+    shard_details: List[Tuple[int, QueryDetail]] = field(default_factory=list)
+    degraded: bool = False
+
+    @property
+    def influence_set(self) -> List[LeafEntry]:
+        return _merged_influence(self.shard_details)
+
+
+@dataclass
+class ShardedRangeDetail(QueryDetail):
+    """How a scatter-gathered range answer came together."""
+
+    kind = "range"
+
+    focus: Tuple[float, float]
+    radius: float
+    result: List[LeafEntry]
+    #: The merged validity disk radius (may be ``math.inf``).
+    validity_radius: float
+    shards_total: int
+    shards_queried: int
+    shards_pruned: int
+    per_shard_node_accesses: Dict[int, int]
+    shard_details: List[Tuple[int, QueryDetail]] = field(default_factory=list)
+    degraded: bool = False
+
+    @property
+    def influence_set(self) -> List[LeafEntry]:
+        return _merged_influence(self.shard_details)
+
+
+def _cut_away(rect: Rect, box: Rect, p) -> Rect:
+    """The largest sub-rectangle of ``rect`` containing ``p`` but not
+    overlapping ``box``'s span on one axis.
+
+    ``p`` must lie outside ``box``, so at least one axis side separates
+    them; the cut keeping the most area wins.
+    """
+    candidates = []
+    if p[0] < box.xmin:
+        candidates.append(Rect(rect.xmin, rect.ymin,
+                               min(rect.xmax, box.xmin), rect.ymax))
+    if p[0] > box.xmax:
+        candidates.append(Rect(max(rect.xmin, box.xmax), rect.ymin,
+                               rect.xmax, rect.ymax))
+    if p[1] < box.ymin:
+        candidates.append(Rect(rect.xmin, rect.ymin,
+                               rect.xmax, min(rect.ymax, box.ymin)))
+    if p[1] > box.ymax:
+        candidates.append(Rect(rect.xmin, max(rect.ymin, box.ymax),
+                               rect.xmax, rect.ymax))
+    if not candidates:
+        return rect
+    return max(candidates, key=Rect.area)
+
+
+class ShardedServer:
+    """A grid of independent location servers answering as one.
+
+    Drop-in for :class:`LocationServer` wherever the narrow server
+    interface is used (the service layer, the benchmarks): same
+    ``answer(request)`` entry point, same response classes, same
+    validity-region guarantee on every merged response.
+    """
+
+    def __init__(self, shards: Sequence[Shard], universe: Rect,
+                 grid: int, capacity: Optional[int] = None,
+                 max_workers: Optional[int] = None):
+        self.universe = universe
+        self.grid = grid
+        self._capacity = capacity
+        self._by_cell: Dict[Tuple[int, int], Shard] = {
+            s.cell: s for s in shards
+        }
+        self.queries_processed = 0
+        self.epoch = 0
+        if max_workers is None:
+            max_workers = min(max(len(self._by_cell), 1),
+                              os.cpu_count() or 4)
+        self._max_workers = max(1, int(max_workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Sequence, grid: int = 4,
+                    universe: Optional[Rect] = None,
+                    capacity: Optional[int] = None, fill: float = 0.7,
+                    buffer_fraction: float = 0.0,
+                    max_workers: Optional[int] = None) -> "ShardedServer":
+        """Partition ``(x, y)`` data into a ``grid``×``grid`` fleet.
+
+        Object ids are the sequence positions (matching
+        :meth:`LocationServer.from_points`), preserved globally across
+        shards.
+        """
+        if grid < 1:
+            raise ValueError("grid must be positive")
+        pts = [(float(p[0]), float(p[1])) for p in points]
+        if not pts:
+            raise ValueError("cannot shard an empty dataset")
+        if universe is None:
+            universe = Rect.from_points(pts)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for oid, p in enumerate(pts):
+            buckets.setdefault(universe.grid_index(p, grid, grid),
+                               []).append(oid)
+        shards: List[Shard] = []
+        for sid, cell in enumerate(sorted(buckets)):
+            oids = buckets[cell]
+            tree = bulk_load_str([pts[i] for i in oids], capacity=capacity,
+                                 fill=fill, oids=oids)
+            if buffer_fraction > 0.0:
+                tree.attach_lru_buffer(buffer_fraction)
+            shards.append(Shard(
+                sid=sid,
+                cell=cell,
+                bounds=universe.grid_cell(cell[0], cell[1], grid, grid),
+                server=LocationServer(tree, universe),
+            ))
+        return cls(shards, universe, grid, capacity=capacity,
+                   max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> List[Shard]:
+        return sorted(self._by_cell.values(), key=lambda s: s.sid)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._by_cell)
+
+    def _live(self) -> List[Shard]:
+        return [s for s in self.shards if s.num_points > 0]
+
+    def close(self) -> None:
+        """Shut down the scatter-gather worker pool."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # ------------------------------------------------------------------
+    # updates (bump the epoch: outstanding validity regions die)
+    # ------------------------------------------------------------------
+    def insert_object(self, oid: int, x: float, y: float) -> None:
+        """Add a data point, creating its grid cell's shard on demand."""
+        cell = self.universe.grid_index((x, y), self.grid, self.grid)
+        shard = self._by_cell.get(cell)
+        if shard is None:
+            tree = RStarTree(capacity=self._capacity)
+            sid = 1 + max((s.sid for s in self._by_cell.values()),
+                          default=-1)
+            shard = Shard(
+                sid=sid,
+                cell=cell,
+                bounds=self.universe.grid_cell(cell[0], cell[1],
+                                               self.grid, self.grid),
+                server=LocationServer(tree, self.universe),
+            )
+            self._by_cell[cell] = shard
+        shard.server.insert_object(oid, x, y)
+        self.epoch += 1
+
+    def delete_object(self, oid: int, x: float, y: float) -> bool:
+        """Remove a data point from its cell's shard."""
+        cell = self.universe.grid_index((x, y), self.grid, self.grid)
+        shard = self._by_cell.get(cell)
+        if shard is None:
+            return False
+        removed = shard.server.delete_object(oid, x, y)
+        if removed:
+            self.epoch += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # the unified entry point (mirrors LocationServer.answer)
+    # ------------------------------------------------------------------
+    def answer(self, request: QueryRequest):
+        """Answer any typed query request by scatter-gather."""
+        budget = getattr(request, "budget", None)
+        if isinstance(request, KNNRequest):
+            full = self._knn(request.location, k=request.k,
+                             vertex_policy=request.vertex_policy,
+                             budget=budget)
+            if request.previous_ids is not None:
+                return delta_response(full, full.neighbors,
+                                      request.previous_ids)
+            return full
+        if isinstance(request, WindowRequest):
+            full = self._window(request.focus, request.width,
+                                request.height, budget=budget)
+            if request.previous_ids is not None:
+                return delta_response(full, full.result,
+                                      request.previous_ids)
+            return full
+        if isinstance(request, RangeRequest):
+            return self._range(request.location, request.radius,
+                               budget=budget)
+        raise TypeError(f"not a query request: {request!r}")
+
+    # ------------------------------------------------------------------
+    # scatter-gather plumbing
+    # ------------------------------------------------------------------
+    def _run(self, jobs):
+        """Run thunks on the worker pool (inline when it cannot help)."""
+        if self._max_workers <= 1 or len(jobs) <= 1:
+            return [job() for job in jobs]
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-shard")
+            pool = self._pool
+        return [f.result() for f in [pool.submit(job) for job in jobs]]
+
+    @staticmethod
+    def _metered(shard: Shard, fn):
+        """Run ``fn`` and report the node accesses it cost the shard."""
+        before = shard.server.io_stats.total_node_accesses
+        response = fn()
+        after = shard.server.io_stats.total_node_accesses
+        return shard, response, after - before
+
+    @staticmethod
+    def _split_budget(budget: Optional[QueryBudget],
+                      ways: int) -> Optional[QueryBudget]:
+        if budget is None or ways <= 1:
+            return budget
+        if budget.max_node_accesses is None:
+            return budget
+        return QueryBudget(
+            deadline_ms=budget.deadline_ms,
+            max_node_accesses=max(1, budget.max_node_accesses // ways),
+        )
+
+    # ------------------------------------------------------------------
+    # kNN
+    # ------------------------------------------------------------------
+    def _knn(self, location, k: int = 1, vertex_policy: str = "fifo",
+             budget: Optional[QueryBudget] = None) -> KNNResponse:
+        loc = (float(location[0]), float(location[1]))
+        live = self._live()
+        if not live:
+            raise ValueError("kNN query over an empty sharded dataset")
+        order = sorted(live, key=lambda s: s.data_mbr.mindist(loc))
+
+        # The nearest shard runs inline: its k-th distance is the
+        # pruning bound for everyone else.
+        first = order[0]
+        sub_budget = self._split_budget(budget, len(order))
+        first_k = min(k, first.num_points)
+        queried = [self._metered(
+            first, lambda: first.server._knn(
+                loc, k=first_k, vertex_policy=vertex_policy,
+                budget=sub_budget))]
+        if first_k == k and len(queried[0][1].neighbors) >= k:
+            last = queried[0][1].neighbors[-1]
+            d_bound = math.hypot(last.x - loc[0], last.y - loc[1])
+        else:
+            d_bound = math.inf
+
+        survivors = [s for s in order[1:]
+                     if s.data_mbr.mindist(loc) <= d_bound]
+        pruned = [s for s in order[1:]
+                  if s.data_mbr.mindist(loc) > d_bound]
+        queried.extend(self._run([
+            (lambda s=s: self._metered(
+                s, lambda: s.server._knn(
+                    loc, k=min(k, s.num_points),
+                    vertex_policy=vertex_policy, budget=sub_budget)))
+            for s in survivors
+        ]))
+
+        # Gather: global top-k of the candidate union.
+        candidates = sorted(
+            (math.hypot(e.x - loc[0], e.y - loc[1]), e.oid, e)
+            for _s, resp, _na in queried for e in resp.neighbors)
+        top = candidates[:k]
+        neighbors = [e for _d, _oid, e in top]
+
+        # The safety disk: freeze the cross-shard candidate ordering and
+        # keep every pruned shard out of reach.
+        rho: Optional[float] = None
+        if len(candidates) > k:
+            rho = (candidates[k][0] - candidates[k - 1][0]) / 2.0
+        if pruned:
+            d_k = top[-1][0]
+            slack = min((s.data_mbr.mindist(loc) - d_k) / 2.0
+                        for s in pruned)
+            rho = slack if rho is None else min(rho, slack)
+
+        components = [resp.region for _s, resp, _na in queried]
+        if rho is not None:
+            components.append(ValidityDisk(loc, max(rho, 0.0)))
+        region = (components[0] if len(components) == 1
+                  else CompositeValidityRegion(components))
+
+        shard_details = [(s.sid, resp.detail) for s, resp, _na in queried]
+        detail = ShardedKNNDetail(
+            query=loc,
+            k=k,
+            neighbors=neighbors,
+            safety_radius=None if rho is None else max(rho, 0.0),
+            shards_total=len(live),
+            shards_queried=len(queried),
+            shards_pruned=len(pruned),
+            per_shard_node_accesses={s.sid: na for s, _r, na in queried},
+            shard_details=shard_details,
+            num_tp_queries=sum(
+                getattr(d, "num_tp_queries", 0) for _sid, d in shard_details),
+            degraded=any(
+                getattr(d, "degraded", False) for _sid, d in shard_details),
+        )
+        self.queries_processed += 1
+        return KNNResponse(neighbors=neighbors, region=region, detail=detail)
+
+    # ------------------------------------------------------------------
+    # window
+    # ------------------------------------------------------------------
+    def _window(self, focus, width: float, height: float,
+                budget: Optional[QueryBudget] = None) -> WindowResponse:
+        f = (float(focus[0]), float(focus[1]))
+        hw, hh = width / 2.0, height / 2.0
+        live = self._live()
+        # A shard can contribute iff the focus lies in the Minkowski
+        # hull of its points' window rectangles.
+        contributing = [s for s in live
+                        if s.data_mbr.inflated(hw, hh).contains_point(f)]
+        others = [s for s in live if not
+                  s.data_mbr.inflated(hw, hh).contains_point(f)]
+
+        sub_budget = self._split_budget(budget, len(contributing))
+        queried = self._run([
+            (lambda s=s: self._metered(
+                s, lambda: s.server._window(f, width, height,
+                                            budget=sub_budget)))
+            for s in contributing
+        ])
+
+        rect = self.universe
+        for _s, resp, _na in queried:
+            overlap = rect.intersection(resp.region.rect)
+            if overlap is None:  # numerically disjoint: collapse to f
+                overlap = Rect(f[0], f[1], f[0], f[1])
+            rect = overlap
+
+        # Exclude every unqueried shard the rectangle could still reach.
+        cuts = 0
+        for s in others:
+            hull = s.data_mbr.inflated(hw, hh)
+            if hull.intersects(rect):
+                rect = _cut_away(rect, hull, f)
+                cuts += 1
+
+        result = sorted((e for _s, resp, _na in queried
+                         for e in resp.result), key=lambda e: e.oid)
+        shard_details = [(s.sid, resp.detail) for s, resp, _na in queried]
+        detail = ShardedWindowDetail(
+            focus=f,
+            window=Rect(f[0] - hw, f[1] - hh, f[0] + hw, f[1] + hh),
+            result=result,
+            conservative_region=rect,
+            shards_total=len(live),
+            shards_queried=len(queried),
+            shards_pruned=len(others),
+            shards_cut=cuts,
+            per_shard_node_accesses={s.sid: na for s, _r, na in queried},
+            shard_details=shard_details,
+            degraded=any(
+                getattr(d, "degraded", False) for _sid, d in shard_details),
+        )
+        self.queries_processed += 1
+        return WindowResponse(result=result,
+                              region=WindowValidityRegion(rect),
+                              detail=detail)
+
+    # ------------------------------------------------------------------
+    # range
+    # ------------------------------------------------------------------
+    def _range(self, location, radius: float,
+               budget: Optional[QueryBudget] = None) -> RangeResponse:
+        loc = (float(location[0]), float(location[1]))
+        live = self._live()
+        reachable = [s for s in live
+                     if s.data_mbr.mindist(loc) <= radius]
+        pruned = [s for s in live if s.data_mbr.mindist(loc) > radius]
+
+        sub_budget = self._split_budget(budget, len(reachable))
+        queried = self._run([
+            (lambda s=s: self._metered(
+                s, lambda: s.server._range(loc, radius, budget=sub_budget)))
+            for s in reachable
+        ])
+
+        validity_radius = math.inf
+        for _s, resp, _na in queried:
+            validity_radius = min(validity_radius,
+                                  resp.detail.validity_radius)
+        for s in pruned:
+            validity_radius = min(validity_radius,
+                                  s.data_mbr.mindist(loc) - radius)
+        validity_radius = max(validity_radius, 0.0)
+
+        result = sorted((e for _s, resp, _na in queried
+                         for e in resp.result), key=lambda e: e.oid)
+        shard_details = [(s.sid, resp.detail) for s, resp, _na in queried]
+        detail = ShardedRangeDetail(
+            focus=loc,
+            radius=radius,
+            result=result,
+            validity_radius=validity_radius,
+            shards_total=len(live),
+            shards_queried=len(queried),
+            shards_pruned=len(pruned),
+            per_shard_node_accesses={s.sid: na for s, _r, na in queried},
+            shard_details=shard_details,
+            degraded=any(
+                getattr(d, "degraded", False) for _sid, d in shard_details),
+        )
+        self.queries_processed += 1
+        return RangeResponse(
+            result=result,
+            region=RangeValidityRegion(Point(loc[0], loc[1]),
+                                       validity_radius),
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # instrumentation — the same narrow interface as LocationServer
+    # ------------------------------------------------------------------
+    @property
+    def io_stats(self) -> AccessStats:
+        """A merged *snapshot* of every shard's counters (fresh object)."""
+        merged = AccessStats()
+        for s in self.shards:
+            merged.merge(s.server.io_stats)
+        return merged
+
+    def reset_io_stats(self) -> None:
+        for s in self.shards:
+            s.server.reset_io_stats()
+
+    @property
+    def num_points(self) -> int:
+        return sum(s.num_points for s in self.shards)
+
+    @property
+    def num_pages(self) -> int:
+        return sum(s.server.num_pages for s in self.shards)
+
+    def node_accesses_by_phase(self) -> Dict[str, int]:
+        return self.io_stats.node_accesses_by_phase()
+
+    def page_faults_by_phase(self) -> Dict[str, int]:
+        return self.io_stats.page_faults_by_phase()
+
+    def set_phase_listener(self, listener):
+        """Install (or clear) the listener on every shard's disk.
+
+        Shard queries run on pool threads, so a listener observing a
+        sharded server must be thread-safe.  Returns the listener it
+        replaced on the first shard (they are installed uniformly).
+        """
+        previous = None
+        for i, s in enumerate(self.shards):
+            old = s.server.set_phase_listener(listener)
+            if i == 0:
+                previous = old
+        return previous
+
+    def disk_snapshot(self) -> Dict[str, object]:
+        """Aggregated disk state plus the per-shard breakdown."""
+        return {
+            "stats": self.io_stats.as_dict(),
+            "buffer": None,
+            "shards": self.shard_snapshot(),
+        }
+
+    def shard_snapshot(self) -> List[Dict[str, object]]:
+        """JSON-serializable per-shard topology and I/O accounting."""
+        out = []
+        for s in self.shards:
+            out.append({
+                "sid": s.sid,
+                "cell": list(s.cell),
+                "num_points": s.num_points,
+                "num_pages": s.server.num_pages,
+                "queries_processed": s.server.queries_processed,
+                "node_accesses": s.server.io_stats.total_node_accesses,
+                "page_faults": s.server.io_stats.total_page_faults,
+            })
+        return out

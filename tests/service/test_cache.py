@@ -1,0 +1,208 @@
+"""The server-side validity cache: correctness oracle and bookkeeping.
+
+The cache's contract is the paper's contract, applied across clients: a
+cache-served response must equal the brute-force answer *at the probe
+point* (not at the original query point).  The Hypothesis properties
+drive random probes through a cached service and check exactly that,
+reusing the tie-aware oracles of tests/core/test_validity_oracle.py.
+The unit tests pin the mechanics: LRU eviction, mutation invalidation,
+epoch staleness, and what is never admitted.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import KNNRequest, RangeRequest, WindowRequest, build_service
+from repro.core.server import LocationServer
+from repro.geometry import Rect
+from repro.index import bulk_load_str
+from repro.service import CacheConfig, ValidityCache
+
+from tests.conftest import UNIT, brute_window
+from tests.core.test_validity_oracle import EPS, _knn_set_unchanged
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ks = st.integers(min_value=1, max_value=5)
+
+
+def _instance(seed: int, n: int = 150):
+    rnd = random.Random(seed)
+    points = [(rnd.random(), rnd.random()) for _ in range(n)]
+    query = (0.2 + 0.6 * rnd.random(), 0.2 + 0.6 * rnd.random())
+    return points, query, rnd
+
+
+def _probes_near(query, rnd, num=20, sigma=0.02):
+    for _ in range(num):
+        yield (min(1.0, max(0.0, query[0] + rnd.gauss(0.0, sigma))),
+               min(1.0, max(0.0, query[1] + rnd.gauss(0.0, sigma))))
+
+
+class TestCacheOracle:
+    @given(seeds, ks)
+    @settings(deadline=None, max_examples=20)
+    def test_cache_served_knn_equals_brute_force_at_probe(self, seed, k):
+        points, query, rnd = _instance(seed)
+        service = build_service(points, cache_capacity=64)
+        service.answer(KNNRequest(query, k=k))
+        hits = 0
+        for probe in _probes_near(query, rnd):
+            before = service.cache.hits
+            response = service.answer(KNNRequest(probe, k=k))
+            if service.cache.hits == before:
+                continue  # miss: answered by the index, not under test
+            hits += 1
+            served = {e.oid for e in response.neighbors}
+            assert _knn_set_unchanged(points, probe, served), (
+                f"cache served a wrong kNN set at {probe} (seed={seed}, "
+                f"k={k})")
+            # Hit responses are re-ranked by distance at the probe point.
+            dists = [math.dist(points[e.oid], probe)
+                     for e in response.neighbors]
+            assert dists == sorted(dists)
+        assert service.cache.hits == hits
+
+    @given(seeds,
+           st.floats(min_value=0.05, max_value=0.3),
+           st.floats(min_value=0.05, max_value=0.3))
+    @settings(deadline=None, max_examples=20)
+    def test_cache_served_window_equals_brute_force_at_probe(
+            self, seed, w, h):
+        points, focus, rnd = _instance(seed)
+        service = build_service(points, cache_capacity=64)
+        service.answer(WindowRequest(focus, w, h))
+        for probe in _probes_near(focus, rnd):
+            before = service.cache.hits
+            response = service.answer(WindowRequest(probe, w, h))
+            if service.cache.hits == before:
+                continue
+            moved = Rect(probe[0] - w / 2.0, probe[1] - h / 2.0,
+                         probe[0] + w / 2.0, probe[1] + h / 2.0)
+            assert sorted(e.oid for e in response.result) == \
+                brute_window(points, moved), (
+                    f"cache served a wrong window result at {probe} "
+                    f"(seed={seed}, w={w}, h={h})")
+
+    @given(seeds, st.floats(min_value=0.05, max_value=0.25))
+    @settings(deadline=None, max_examples=20)
+    def test_cache_served_range_equals_brute_force_at_probe(
+            self, seed, radius):
+        points, focus, rnd = _instance(seed)
+        service = build_service(points, cache_capacity=64)
+        service.answer(RangeRequest(focus, radius))
+        for probe in _probes_near(focus, rnd, sigma=0.01):
+            before = service.cache.hits
+            response = service.answer(RangeRequest(probe, radius))
+            if service.cache.hits == before:
+                continue
+            served = sorted(e.oid for e in response.result)
+            inside = sorted(
+                i for i, p in enumerate(points)
+                if math.dist(p, probe) <= radius - EPS)
+            on_rim = {i for i, p in enumerate(points)
+                      if abs(math.dist(p, probe) - radius) <= EPS}
+            assert set(inside) - set(served) <= on_rim
+            assert set(served) - set(inside) <= on_rim
+
+    @given(seeds, ks)
+    @settings(deadline=None, max_examples=15)
+    def test_hit_costs_zero_node_accesses(self, seed, k):
+        points, query, _ = _instance(seed)
+        service = build_service(points, cache_capacity=64)
+        service.answer(KNNRequest(query, k=k))
+        before = service.server.io_stats.total_node_accesses
+        response = service.answer(KNNRequest(query, k=k))
+        assert service.cache.hits == 1
+        assert service.server.io_stats.total_node_accesses == before
+        assert {e.oid for e in response.neighbors}
+
+
+class TestCacheMechanics:
+    def _server(self, n=200, seed=9):
+        rnd = random.Random(seed)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        tree = bulk_load_str(points, capacity=8)
+        return points, LocationServer(tree, universe=UNIT)
+
+    def test_lru_eviction_order(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=2))
+        q = (0.5, 0.5)
+        requests = [KNNRequest(q, k=k) for k in (1, 2, 3)]
+        for request in requests:
+            cache.admit(request, server.answer(request), server.epoch)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.probe(requests[0], server.epoch) is None  # evicted
+        assert cache.probe(requests[2], server.epoch) is not None
+
+    def test_probe_refreshes_lru_position(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=2))
+        q = (0.5, 0.5)
+        requests = [KNNRequest(q, k=k) for k in (1, 2, 3)]
+        for request in requests[:2]:
+            cache.admit(request, server.answer(request), server.epoch)
+        assert cache.probe(requests[0], server.epoch) is not None  # touch
+        cache.admit(requests[2], server.answer(requests[2]), server.epoch)
+        # k=2 was least recently used, so it (not the touched k=1) went.
+        assert cache.probe(requests[0], server.epoch) is not None
+        assert cache.probe(requests[1], server.epoch) is None
+
+    def test_mutation_invalidates_through_the_service(self):
+        points, _, _ = _instance(3)
+        service = build_service(points, cache_capacity=64)
+        request = KNNRequest((0.5, 0.5), k=2)
+        service.answer(request)
+        assert len(service.cache) == 1
+        service.insert_object(len(points), 0.5001, 0.5001)
+        assert len(service.cache) == 0
+        assert service.cache.invalidations == 1
+        response = service.answer(request)  # recomputed, not stale
+        assert len(points) in {e.oid for e in response.neighbors}
+
+    def test_stale_epoch_entries_dropped_lazily(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        request = KNNRequest((0.5, 0.5), k=1)
+        cache.admit(request, server.answer(request), epoch=0)
+        assert cache.probe(request, epoch=1) is None
+        assert len(cache) == 0  # dropped on sight, not just skipped
+
+    def test_delta_and_degraded_are_not_admitted(self):
+        from repro.core.api import QueryBudget
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        delta = KNNRequest((0.5, 0.5), k=2, previous_ids=frozenset({1}))
+        assert not cache.admit(delta, server.answer(delta), server.epoch)
+        full = KNNRequest((0.5, 0.5), k=2)
+        starved = server.answer(
+            KNNRequest((0.5, 0.5), k=2,
+                       budget=QueryBudget(max_node_accesses=1)))
+        assert starved.detail["degraded"]
+        assert not cache.admit(full, starved, server.epoch)
+        assert len(cache) == 0
+
+    def test_capacity_zero_disables_the_cache(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=0))
+        request = KNNRequest((0.5, 0.5), k=1)
+        assert not cache.admit(request, server.answer(request), server.epoch)
+        assert cache.probe(request, server.epoch) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_snapshot_is_json_serializable_and_consistent(self):
+        import json
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=4))
+        request = KNNRequest((0.5, 0.5), k=1)
+        cache.admit(request, server.answer(request), server.epoch)
+        cache.probe(request, server.epoch)
+        snap = json.loads(json.dumps(cache.snapshot()))
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["hit_ratio"] == 1.0

@@ -1,0 +1,256 @@
+"""Sharded scatter-gather: result equivalence and merged-region soundness.
+
+A :class:`ShardedServer` must be observationally equivalent to one
+:class:`LocationServer` over the same points — same result sets — and
+its *merged* validity regions must honour the paper's contract: the
+region it ships is conservative, so the brute-force answer is unchanged
+at any probe inside it.  The latter is the part sharding can silently
+break (a pruned shard's nearest point creeping below the k-th distance,
+a window validity rectangle leaking into an unqueried shard), so the
+probes here are the real test.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import KNNRequest, RangeRequest, WindowRequest
+from repro.core.api import QueryBudget
+from repro.core.server import LocationServer
+from repro.geometry import Rect
+from repro.service.shard import (
+    ShardedKNNDetail,
+    ShardedRangeDetail,
+    ShardedServer,
+    ShardedWindowDetail,
+)
+
+from tests.conftest import UNIT, brute_window
+from tests.core.test_validity_oracle import EPS, _knn_set_unchanged
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ks = st.integers(min_value=1, max_value=6)
+grids = st.integers(min_value=2, max_value=4)
+
+
+def _instance(seed: int, n: int = 160):
+    rnd = random.Random(seed)
+    points = [(rnd.random(), rnd.random()) for _ in range(n)]
+    query = (rnd.random(), rnd.random())
+    return points, query, rnd
+
+
+def _pair(points, grid):
+    return (LocationServer.from_points(points, universe=UNIT),
+            ShardedServer.from_points(points, grid=grid, universe=UNIT,
+                                      max_workers=1))
+
+
+class TestEquivalence:
+    @given(seeds, ks, grids)
+    @settings(deadline=None, max_examples=25)
+    def test_knn_matches_single_tree(self, seed, k, grid):
+        points, query, _ = _instance(seed)
+        single, sharded = _pair(points, grid)
+        merged = sharded.answer(KNNRequest(query, k=k))
+        assert len(merged.neighbors) == k
+        # Tie-aware: any correct kNN set is acceptable.
+        assert _knn_set_unchanged(points, query,
+                                  {e.oid for e in merged.neighbors})
+        dists = [math.dist(points[e.oid], query) for e in merged.neighbors]
+        assert dists == sorted(dists)
+        reference = single.answer(KNNRequest(query, k=k))
+        assert math.isclose(
+            dists[-1], math.dist(points[reference.neighbors[-1].oid], query),
+            abs_tol=EPS)
+
+    @given(seeds, grids,
+           st.floats(min_value=0.05, max_value=0.4),
+           st.floats(min_value=0.05, max_value=0.4))
+    @settings(deadline=None, max_examples=25)
+    def test_window_matches_brute_force(self, seed, grid, w, h):
+        points, focus, _ = _instance(seed)
+        _, sharded = _pair(points, grid)
+        response = sharded.answer(WindowRequest(focus, w, h))
+        window = Rect(focus[0] - w / 2.0, focus[1] - h / 2.0,
+                      focus[0] + w / 2.0, focus[1] + h / 2.0)
+        assert sorted(e.oid for e in response.result) == \
+            brute_window(points, window)
+
+    @given(seeds, grids, st.floats(min_value=0.02, max_value=0.3))
+    @settings(deadline=None, max_examples=25)
+    def test_range_matches_brute_force(self, seed, grid, radius):
+        points, focus, _ = _instance(seed)
+        _, sharded = _pair(points, grid)
+        response = sharded.answer(RangeRequest(focus, radius))
+        served = {e.oid for e in response.result}
+        on_rim = {i for i, p in enumerate(points)
+                  if abs(math.dist(p, focus) - radius) <= EPS}
+        inside = {i for i, p in enumerate(points)
+                  if math.dist(p, focus) <= radius - EPS}
+        assert inside - served <= on_rim
+        assert served - inside <= on_rim
+
+
+class TestMergedRegionSoundness:
+    @given(seeds, ks, grids)
+    @settings(deadline=None, max_examples=20)
+    def test_knn_region_probes(self, seed, k, grid):
+        points, query, rnd = _instance(seed)
+        _, sharded = _pair(points, grid)
+        response = sharded.answer(KNNRequest(query, k=k))
+        region = response.region
+        assert region.contains(query, eps=EPS)
+        served = {e.oid for e in response.neighbors}
+        mbr = region.mbr() or UNIT
+        for _ in range(30):
+            probe = (rnd.uniform(mbr.xmin, mbr.xmax),
+                     rnd.uniform(mbr.ymin, mbr.ymax))
+            if not region.contains(probe, eps=-EPS):
+                continue
+            assert _knn_set_unchanged(points, probe, served), (
+                f"kNN set changed inside the merged region at {probe} "
+                f"(seed={seed}, k={k}, grid={grid})")
+
+    @given(seeds, grids,
+           st.floats(min_value=0.05, max_value=0.35),
+           st.floats(min_value=0.05, max_value=0.35))
+    @settings(deadline=None, max_examples=20)
+    def test_window_region_probes(self, seed, grid, w, h):
+        points, focus, rnd = _instance(seed)
+        _, sharded = _pair(points, grid)
+        response = sharded.answer(WindowRequest(focus, w, h))
+        rect = response.detail["conservative_region"]
+        cached = sorted(e.oid for e in response.result)
+        assert rect.contains_point(focus)
+        for _ in range(20):
+            probe = (rnd.uniform(rect.xmin, rect.xmax),
+                     rnd.uniform(rect.ymin, rect.ymax))
+            if (min(probe[0] - rect.xmin, rect.xmax - probe[0]) < EPS
+                    or min(probe[1] - rect.ymin, rect.ymax - probe[1]) < EPS):
+                continue
+            moved = Rect(probe[0] - w / 2.0, probe[1] - h / 2.0,
+                         probe[0] + w / 2.0, probe[1] + h / 2.0)
+            assert brute_window(points, moved) == cached, (
+                f"window result changed inside the merged rect at {probe} "
+                f"(seed={seed}, grid={grid})")
+
+    @given(seeds, grids, st.floats(min_value=0.02, max_value=0.25))
+    @settings(deadline=None, max_examples=20)
+    def test_range_validity_disk_probes(self, seed, grid, radius):
+        points, focus, rnd = _instance(seed)
+        _, sharded = _pair(points, grid)
+        response = sharded.answer(RangeRequest(focus, radius))
+        cached = sorted(e.oid for e in response.result)
+        rho = response.detail["validity_radius"]
+        assert rho >= 0.0
+        for _ in range(20):
+            angle = rnd.uniform(0.0, 2.0 * math.pi)
+            r = rho * math.sqrt(rnd.random()) * 0.99
+            probe = (focus[0] + r * math.cos(angle),
+                     focus[1] + r * math.sin(angle))
+            inside = sorted(i for i, p in enumerate(points)
+                            if math.dist(p, probe) <= radius - EPS)
+            on_rim = {i for i, p in enumerate(points)
+                      if abs(math.dist(p, probe) - radius) <= EPS}
+            assert set(inside) - set(cached) <= on_rim, (
+                f"range result changed inside the validity disk at {probe} "
+                f"(seed={seed}, grid={grid})")
+
+
+class TestScatterGatherMechanics:
+    def _sharded(self, seed=7, n=300, grid=3):
+        points, query, rnd = _instance(seed, n=n)
+        return points, query, rnd, ShardedServer.from_points(
+            points, grid=grid, universe=UNIT, max_workers=1)
+
+    def test_knn_accounting_and_pruning(self):
+        points, query, _, sharded = self._sharded()
+        detail = sharded.answer(KNNRequest(query, k=3)).detail
+        assert isinstance(detail, ShardedKNNDetail)
+        assert detail["shards_total"] == len(sharded.shards)
+        assert (detail["shards_queried"] + detail["shards_pruned"]
+                == detail["shards_total"])
+        assert detail["shards_queried"] >= 1
+        assert set(detail["per_shard_node_accesses"]) <= {
+            s.sid for s in sharded.shards}
+
+    def test_small_window_prunes_far_shards(self):
+        points, _, _, sharded = self._sharded(n=400, grid=3)
+        detail = sharded.answer(
+            WindowRequest((0.1, 0.1), 0.05, 0.05)).detail
+        assert detail["shards_queried"] < detail["shards_total"]
+        assert (detail["shards_queried"] + detail["shards_pruned"]
+                == detail["shards_total"])
+
+    def test_knn_delta_against_full(self):
+        points, query, _, sharded = self._sharded()
+        full = sharded.answer(KNNRequest(query, k=4))
+        ids = frozenset(e.oid for e in full.neighbors)
+        stale = frozenset(list(ids)[:2] + [9999])
+        delta = sharded.answer(
+            KNNRequest(query, k=4, previous_ids=stale))
+        assert frozenset(e.oid for e in delta.full.neighbors) == ids
+        assert set(delta.removed_ids) == {9999}
+        assert {e.oid for e in delta.added} == ids - stale
+
+    def test_budget_degrades_but_stays_exact(self):
+        points, query, _, sharded = self._sharded()
+        response = sharded.answer(
+            KNNRequest(query, k=2,
+                       budget=QueryBudget(max_node_accesses=2)))
+        assert response.detail["degraded"]
+        assert _knn_set_unchanged(points, query,
+                                  {e.oid for e in response.neighbors})
+
+    def test_insert_creates_shard_and_is_queryable(self):
+        points, _, _, sharded = self._sharded(n=20, grid=4)
+        before = len(sharded.shards)
+        epoch = sharded.epoch
+        oid = 777
+        sharded.insert_object(oid, 0.015, 0.015)
+        assert sharded.epoch == epoch + 1
+        assert sharded.num_points == len(points) + 1
+        assert len(sharded.shards) >= before
+        nearest = sharded.answer(KNNRequest((0.01, 0.01), k=1))
+        assert nearest.neighbors[0].oid == oid
+        assert sharded.delete_object(oid, 0.015, 0.015)
+        assert sharded.num_points == len(points)
+
+    def test_global_universe_shared_by_all_shards(self):
+        _, _, _, sharded = self._sharded()
+        assert all(s.server.universe == UNIT for s in sharded.shards)
+
+    def test_typed_details_expose_mapping_view(self):
+        points, query, _, sharded = self._sharded()
+        knn = sharded.answer(KNNRequest(query, k=2)).detail
+        window = sharded.answer(WindowRequest(query, 0.2, 0.2)).detail
+        rng = sharded.answer(RangeRequest(query, 0.1)).detail
+        assert isinstance(knn, ShardedKNNDetail)
+        assert isinstance(window, ShardedWindowDetail)
+        assert isinstance(rng, ShardedRangeDetail)
+        for detail in (knn, window, rng):
+            assert detail["shards_total"] == len(sharded.shards)
+            assert "per_shard_node_accesses" in detail
+            assert detail.get("no_such_key") is None
+
+    def test_parallel_pool_matches_inline_execution(self):
+        points, query, _, _ = self._sharded()
+        inline = ShardedServer.from_points(points, grid=3, universe=UNIT,
+                                           max_workers=1)
+        pooled = ShardedServer.from_points(points, grid=3, universe=UNIT,
+                                           max_workers=4)
+        try:
+            for k in (1, 3, 5):
+                a = inline.answer(KNNRequest(query, k=k))
+                b = pooled.answer(KNNRequest(query, k=k))
+                assert [e.oid for e in a.neighbors] == \
+                    [e.oid for e in b.neighbors]
+            wa = inline.answer(WindowRequest(query, 0.3, 0.3))
+            wb = pooled.answer(WindowRequest(query, 0.3, 0.3))
+            assert [e.oid for e in wa.result] == [e.oid for e in wb.result]
+        finally:
+            pooled.close()

@@ -1,15 +1,67 @@
 """Smoke tests for the top-level public API."""
 
+import warnings
+
+import pytest
+
 import repro
+from repro.service import checkapi
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_all_exports_resolve():
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+def test_api_docs_in_sync():
+    """The CI drift check: repro.__all__ matches docs/API.md."""
+    assert checkapi.check() == []
+
+
+def test_checkapi_detects_drift(tmp_path):
+    doc = tmp_path / "API.md"
+    doc.write_text(
+        f"{checkapi.BEGIN}\n"
+        + "\n".join(f"`{n}`" for n in repro.__all__ if n != "__version__")
+        + "\n`not_actually_exported`\n"
+        + checkapi.END)
+    problems = checkapi.check(doc)
+    assert any("not_actually_exported" in p for p in problems)
+    doc.write_text(f"{checkapi.BEGIN}\n`build_service`\n{checkapi.END}")
+    assert any("LocationServer" in p for p in checkapi.check(doc))
+
+
+def test_checkapi_requires_markers(tmp_path):
+    doc = tmp_path / "API.md"
+    doc.write_text("no markers here")
+    with pytest.raises(SystemExit):
+        checkapi.check(doc)
+
+
+def test_build_service_front_door():
+    service = repro.build_service(
+        repro.uniform_points(500, seed=3), shards=2, cache_capacity=16)
+    response = service.answer(repro.KNNRequest((0.5, 0.5), k=2))
+    assert len(response.neighbors) == 2
+    again = service.answer(repro.KNNRequest((0.5, 0.5), k=2))
+    assert {e.oid for e in again.neighbors} == {
+        e.oid for e in response.neighbors}
+    assert service.cache.hits == 1
+
+
+def test_per_type_query_methods_are_deprecated():
+    server = repro.LocationServer.from_points(
+        repro.uniform_points(300, seed=4))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with pytest.raises(DeprecationWarning):
+            server.knn_query((0.5, 0.5), k=1)
+    response = server.answer(repro.KNNRequest((0.5, 0.5), k=1))
+    assert len(response.neighbors) == 1
 
 
 def test_module_docstring_example():
