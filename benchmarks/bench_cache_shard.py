@@ -26,7 +26,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Tuple
 
-from common import CONFIG, SCALE, print_table, run_once, uniform_dataset
+from common import CONFIG, SCALE, print_table, run_once, uniform_dataset, \
+    write_bench_record
 
 from repro import KNNRequest, build_service
 from repro.datasets.synthetic import UNIT_UNIVERSE
@@ -111,6 +112,16 @@ def run_cache_shard() -> Dict[Tuple[int, int], Dict[str, float]]:
          "node accesses"],
         rows,
     )
+    metrics = {}
+    for (shards, capacity), r in results.items():
+        prefix = f"s{shards}c{capacity}"
+        metrics[f"{prefix}.throughput_qps"] = r["throughput_qps"]
+        metrics[f"{prefix}.node_accesses"] = r["node_accesses"]
+        metrics[f"{prefix}.hit_ratio"] = r["hit_ratio"]
+    metrics["speedup"] = (results[(SHARD_GRID, CACHE_CAPACITY)]
+                          ["throughput_qps"] / baseline)
+    write_bench_record("cache_shard", metrics, context={
+        "clients": NUM_CLIENTS, "ticks": TICKS, "n": NUM_POINTS, "k": K})
     return results
 
 

@@ -9,8 +9,10 @@ histograms (p50/p95/p99), bytes on the wire, the client cache-hit
 ratio, and phase-attributed node accesses.
 """
 
+from time import perf_counter
+
 from common import CONFIG, SCALE, dump_snapshot, fleet_run, print_table, \
-    run_once, uniform_tree
+    run_once, uniform_tree, write_bench_record
 
 NUM_CLIENTS = 16 if SCALE == "smoke" else 64
 TICKS = 25 if SCALE == "smoke" else 200
@@ -19,18 +21,33 @@ WORKERS = 8
 
 def run_fleet():
     tree = uniform_tree(CONFIG.uniform_cardinalities[0])
+    start = perf_counter()
     report = fleet_run(tree, num_clients=NUM_CLIENTS, ticks=TICKS,
                        max_workers=WORKERS, seed=7, incremental_share=0.25)
+    elapsed = perf_counter() - start
     hists = report.snapshot["metrics"]["histograms"]
     rows = []
+    metrics = {}
     for kind, count in sorted(report.mix.items()):
         h = hists[f"service.latency_ms.{kind}"]
         rows.append((kind, count, h["count"], h["p50"], h["p95"], h["p99"]))
+        for q in ("p50", "p95", "p99"):
+            metrics[f"{kind}.{q}_ms"] = h[q]
     print_table(
         f"Service fleet: {NUM_CLIENTS} clients x {TICKS} ticks, "
         f"{WORKERS} threads",
         ["kind", "clients", "queries", "p50_ms", "p95_ms", "p99_ms"], rows)
     dump_snapshot(report.snapshot["service"], "service summary")
+    queries = report.snapshot["service"]["queries"]
+    metrics.update({
+        "queries": queries,
+        "elapsed_s": elapsed,
+        "throughput_qps": queries / elapsed if elapsed else 0.0,
+        "node_accesses": report.snapshot["disk"]["total_node_accesses"],
+        "cache_hit_ratio": report.cache_hit_ratio,
+    })
+    write_bench_record("service_fleet", metrics, context={
+        "clients": NUM_CLIENTS, "ticks": TICKS, "workers": WORKERS})
     return report
 
 

@@ -230,3 +230,60 @@ def dump_snapshot(snapshot, title: str = "service snapshot") -> None:
     print(f"=== {title} (REPRO_SCALE={SCALE}) ===")
     print(json.dumps(snapshot, indent=2, sort_keys=True))
     sys.stdout.flush()
+
+
+# ----------------------------------------------------------------------
+# the benchmark regression trail (see benchmarks/compare.py)
+# ----------------------------------------------------------------------
+#: Record-file schema version; bump on incompatible shape changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Runs retained per record file (oldest evicted first).
+BENCH_HISTORY = 20
+
+
+def bench_record_path(name: str) -> str:
+    """Where ``write_bench_record(name, ...)`` persists its runs.
+
+    ``REPRO_BENCH_DIR`` overrides the directory (default: the current
+    working directory, which is where CI collects ``BENCH_obs_*.json``
+    artifacts from).
+    """
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    return os.path.join(out_dir, f"BENCH_obs_{name}.json")
+
+
+def write_bench_record(name: str, metrics, context=None) -> str:
+    """Append one run's flat numeric ``metrics`` to the bench record.
+
+    The record file (``BENCH_obs_<name>.json``) keeps a bounded run
+    history under a schema version; ``benchmarks/compare.py`` diffs the
+    last two runs and fails on large regressions.  Returns the path
+    written.
+    """
+    import time
+
+    path = bench_record_path(name)
+    record = {"schema": BENCH_SCHEMA, "name": name, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if (existing.get("schema") == BENCH_SCHEMA
+                    and existing.get("name") == name):
+                record = existing
+        except (OSError, ValueError):
+            pass  # corrupt or foreign file: start a fresh history
+    run = {
+        "recorded_at": time.time(),
+        "scale": SCALE,
+        "metrics": {k: float(v) for k, v in dict(metrics).items()},
+    }
+    if context:
+        run["context"] = dict(context)
+    record["runs"] = (record["runs"] + [run])[-BENCH_HISTORY:]
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench record: appended run #{len(record['runs'])} to {path}")
+    return path

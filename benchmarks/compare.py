@@ -1,0 +1,148 @@
+"""Diff the last two runs of a bench record and fail on regressions.
+
+The regression trail: benches append flat numeric metrics to
+schema-versioned ``BENCH_obs_<name>.json`` files (see
+``common.write_bench_record``); this tool compares each record's most
+recent run against the one before it and exits non-zero when a guarded
+metric regressed by more than the threshold (default 25%).
+
+Guarded metrics — where a *worse* value fails the check:
+
+* latency quantiles (``*p50_ms``, ``*p95_ms``, ``*p99_ms``) and
+  elapsed times (``*elapsed_s``): higher is worse;
+* node accesses (``*node_accesses*``): higher is worse;
+* throughput (``*throughput*``, ``*qps*``) and hit ratios
+  (``*hit_ratio*``): **lower** is worse.
+
+Unguarded metrics (counts like ``queries``) are reported but never
+fail the check.
+
+Usage::
+
+    python benchmarks/compare.py [RECORD.json ...] [--threshold 0.25]
+
+With no file arguments, every ``BENCH_obs_*.json`` in the bench
+directory (``REPRO_BENCH_DIR``, default the current directory) is
+checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
+2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA = "repro-bench/1"
+
+#: (name-substring, higher_is_better) — first match wins.
+_DIRECTIONS: List[Tuple[str, bool]] = [
+    ("throughput", True),
+    ("qps", True),
+    ("hit_ratio", True),
+    ("p50_ms", False),
+    ("p95_ms", False),
+    ("p99_ms", False),
+    ("latency", False),
+    ("elapsed_s", False),
+    ("node_accesses", False),
+]
+
+
+def direction(metric: str) -> Optional[bool]:
+    """True = higher is better, False = lower is better, None = unguarded."""
+    for needle, higher in _DIRECTIONS:
+        if needle in metric:
+            return higher
+    return None
+
+
+def compare_runs(before: Dict[str, float], after: Dict[str, float],
+                 threshold: float) -> List[Tuple[str, float, float, float]]:
+    """Regressions between two metric dicts.
+
+    Returns ``(metric, before, after, relative_change)`` rows where the
+    guarded metric moved in its bad direction by more than ``threshold``
+    (relative to the earlier value).
+    """
+    regressions = []
+    for metric in sorted(set(before) & set(after)):
+        higher_better = direction(metric)
+        if higher_better is None:
+            continue
+        old, new = before[metric], after[metric]
+        if old <= 0:
+            continue  # no meaningful baseline
+        change = (new - old) / old
+        bad = -change if higher_better else change
+        if bad > threshold:
+            regressions.append((metric, old, new, change))
+    return regressions
+
+
+def check_record(path: str, threshold: float) -> Tuple[int, List[str]]:
+    """(exit_code, report_lines) for one record file."""
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return 2, [f"{path}: unreadable ({exc})"]
+    if record.get("schema") != SCHEMA:
+        return 2, [f"{path}: unknown schema {record.get('schema')!r} "
+                   f"(expected {SCHEMA!r})"]
+    runs = record.get("runs", [])
+    if len(runs) < 2:
+        return 0, [f"{path}: {len(runs)} run(s) recorded — nothing to "
+                   "compare yet"]
+    before, after = runs[-2]["metrics"], runs[-1]["metrics"]
+    regressions = compare_runs(before, after, threshold)
+    lines = [f"{path}: comparing run #{len(runs) - 1} -> #{len(runs)} "
+             f"(threshold {threshold:.0%})"]
+    for metric in sorted(set(before) & set(after)):
+        old, new = before[metric], after[metric]
+        change = (new - old) / old if old else float("inf")
+        guarded = direction(metric)
+        tag = ("  " if guarded is None
+               else "~ " if all(metric != r[0] for r in regressions)
+               else "! ")
+        lines.append(f"  {tag}{metric}: {old:g} -> {new:g} ({change:+.1%})")
+    if regressions:
+        lines.append(f"  REGRESSED: " + ", ".join(
+            f"{m} {c:+.1%}" for m, _o, _n, c in regressions))
+        return 1, lines
+    lines.append("  ok: no guarded metric regressed")
+    return 0, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare the last two runs of BENCH_obs_*.json records")
+    parser.add_argument("records", nargs="*",
+                        help="record files (default: BENCH_obs_*.json in "
+                             "$REPRO_BENCH_DIR or .)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated relative regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    records = args.records
+    if not records:
+        bench_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+        records = sorted(glob.glob(os.path.join(bench_dir,
+                                                "BENCH_obs_*.json")))
+        if not records:
+            print(f"no BENCH_obs_*.json records under {bench_dir!r}; "
+                  "run a bench first")
+            return 0
+    worst = 0
+    for path in records:
+        code, lines = check_record(path, args.threshold)
+        print("\n".join(lines))
+        worst = max(worst, code)
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,18 @@ from repro.mobility import (
     simulate_knn_protocols,
     simulate_window_protocols,
 )
+from repro.obs import (
+    EventLog,
+    ObservabilityServer,
+    TraceContext,
+    chrome_trace,
+    current_trace,
+    new_trace_id,
+    prometheus_text,
+    span_tree,
+    start_trace,
+    write_chrome_trace,
+)
 from repro.service import (
     CacheConfig,
     ClientFleet,
@@ -60,7 +72,7 @@ from repro.service import (
     build_service,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -106,5 +118,15 @@ __all__ = [
     "ShardedServer",
     "ValidityCache",
     "CacheConfig",
+    "TraceContext",
+    "start_trace",
+    "current_trace",
+    "new_trace_id",
+    "EventLog",
+    "ObservabilityServer",
+    "prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_tree",
     "__version__",
 ]

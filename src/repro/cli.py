@@ -8,6 +8,10 @@ Commands
 ``simulate``  compare the client protocols over a random-waypoint trace
 ``service``   drive a simulated client fleet through the instrumented
               query service and dump its stats snapshot as JSON
+              (``--metrics-port`` serves /metrics, /traces, /events live)
+``obs``       talk to a running service's observability endpoint:
+              scrape metrics, tail the event log, dump a span tree or a
+              Perfetto-loadable Chrome trace
 ``demo``      a self-contained end-to-end demonstration
 """
 
@@ -127,6 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the full stats snapshot as JSON")
     p_svc.add_argument("--out", default=None,
                        help="write the snapshot JSON to a file")
+    p_svc.add_argument("--metrics-port", type=int, default=None,
+                       help="serve /metrics, /traces and /events on this "
+                            "port while the fleet runs (0 = ephemeral)")
+    p_svc.add_argument("--serve-seconds", type=float, default=0.0,
+                       help="keep the observability endpoint up this long "
+                            "after the run (with --metrics-port)")
+    p_svc.add_argument("--event-sample", action="append", default=[],
+                       metavar="CATEGORY=N",
+                       help="keep 1-in-N events of CATEGORY (repeatable), "
+                            "e.g. --event-sample query=10")
+    p_svc.add_argument("--event-capacity", type=int, default=4096,
+                       help="event-log ring size (0 = no-op sink)")
+    p_svc.add_argument("--trace-out", default=None,
+                       help="write the slowest retained trace as Chrome "
+                            "trace_event JSON (Perfetto-loadable)")
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect a running service's observability endpoint")
+    p_obs.add_argument("--url", default="http://127.0.0.1:9464",
+                       help="base URL of the observability endpoint")
+    what = p_obs.add_subparsers(dest="obs_what", required=True)
+    what.add_parser("metrics", help="scrape the Prometheus exposition")
+    what.add_parser("snapshot", help="fetch the full stats snapshot")
+    p_tail = what.add_parser("tail", help="tail the structured event log")
+    p_tail.add_argument("-n", type=int, default=50)
+    p_tail.add_argument("--category", default=None)
+    p_tail.add_argument("--trace-id", default=None)
+    p_trace = what.add_parser("trace", help="dump one trace's span tree")
+    p_trace.add_argument("trace_id")
+    p_trace.add_argument("--chrome", action="store_true",
+                         help="emit Chrome trace_event JSON instead")
+    p_trace.add_argument("--out", default=None,
+                         help="write to a file instead of stdout")
 
     sub.add_parser("demo", help="self-contained demonstration")
     return parser
@@ -140,6 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "simulate": _cmd_simulate,
         "service": _cmd_service,
+        "obs": _cmd_obs,
         "demo": _cmd_demo,
     }[args.command]
     return handler(args)
@@ -205,7 +243,10 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_service(args) -> int:
+    import time as _time
+
     from repro.core.api import QueryBudget
+    from repro.obs import EventLog, ObservabilityServer, write_chrome_trace
     from repro.service import (
         BreakerConfig,
         ResilienceConfig,
@@ -213,6 +254,15 @@ def _cmd_service(args) -> int:
         build_service,
     )
     from repro.storage import FaultPlan, inject_faults
+
+    sample = {}
+    for spec in args.event_sample:
+        category, _, n = spec.partition("=")
+        if not n.isdigit() or int(n) < 1:
+            print(f"bad --event-sample {spec!r} (want CATEGORY=N)",
+                  file=sys.stderr)
+            return 2
+        sample[category] = int(n)
 
     budget = None
     if args.deadline_ms is not None or args.max_node_accesses is not None:
@@ -232,8 +282,14 @@ def _cmd_service(args) -> int:
         cache_grid=args.cache_grid,
         buffer_fraction=args.buffer_fraction,
         resilience=resilience,
+        events=EventLog(capacity=args.event_capacity, sample=sample),
     )
     server = service.server
+    obs = None
+    if args.metrics_port is not None:
+        obs = ObservabilityServer(service, port=args.metrics_port).start()
+        print(f"observability endpoint: {obs.url} "
+              f"(/metrics, /traces, /events, /snapshot)")
     faulty = args.fault_rate > 0.0 or args.fault_latency_ms > 0.0
     if faulty:
         plan = FaultPlan(
@@ -293,12 +349,74 @@ def _cmd_service(args) -> int:
             print(f"  {kind:<7} p50 {h['p50']:.2f} ms   "
                   f"p95 {h['p95']:.2f} ms   p99 {h['p99']:.2f} ms   "
                   f"({h['count']} queries)")
+    ev = service.events.stats()
+    if ev["emitted"]:
+        per_cat = ", ".join(f"{c}={n}"
+                            for c, n in sorted(ev["emitted"].items()))
+        print(f"  events: {sum(ev['emitted'].values())} emitted "
+              f"({per_cat}), {ev['retained']} retained")
+    if args.trace_out:
+        traces = service.recent_traces()
+        if traces:
+            slowest = max(traces, key=lambda t: t.duration_ms)
+            write_chrome_trace(slowest, args.trace_out)
+            print(f"wrote Chrome trace of {slowest.trace_id} "
+                  f"({slowest.kind}, {slowest.duration_ms:.2f} ms) to "
+                  f"{args.trace_out}")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report.snapshot, fh, indent=2, sort_keys=True)
         print(f"wrote snapshot to {args.out}")
     elif args.json:
         print(json.dumps(report.snapshot, indent=2, sort_keys=True))
+    if obs is not None:
+        if args.serve_seconds > 0:
+            print(f"serving for {args.serve_seconds:g}s "
+                  "(Ctrl-C to stop early) ...")
+            try:
+                _time.sleep(args.serve_seconds)
+            except KeyboardInterrupt:
+                pass
+        obs.stop()
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from urllib.error import URLError
+    from urllib.parse import quote, urlencode
+    from urllib.request import urlopen
+
+    def fetch(path: str, params: Optional[dict] = None) -> str:
+        url = args.url.rstrip("/") + path
+        if params:
+            url += "?" + urlencode(
+                {k: v for k, v in params.items() if v is not None})
+        try:
+            with urlopen(url, timeout=10.0) as resp:
+                return resp.read().decode("utf-8")
+        except URLError as exc:
+            print(f"cannot reach {url}: {exc}", file=sys.stderr)
+            raise SystemExit(1)
+
+    if args.obs_what == "metrics":
+        sys.stdout.write(fetch("/metrics"))
+    elif args.obs_what == "snapshot":
+        sys.stdout.write(fetch("/snapshot"))
+    elif args.obs_what == "tail":
+        sys.stdout.write(fetch("/events", {
+            "n": args.n, "category": args.category,
+            "trace_id": args.trace_id}))
+    else:  # trace
+        path = f"/traces/{quote(args.trace_id)}"
+        if args.chrome:
+            path += "/chrome"
+        body = fetch(path)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(body)
+            print(f"wrote {path} to {args.out}")
+        else:
+            sys.stdout.write(body)
     return 0
 
 

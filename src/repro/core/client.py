@@ -31,13 +31,14 @@ request and post-process the entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.geometry import distance_sq
 from repro.index.entry import LeafEntry
 from repro.core.api import KNNRequest, QueryResponse, RangeRequest, WindowRequest
 from repro.core.server import DeltaResponse, LocationServer
+from repro.obs.context import new_trace_id
 
 
 @dataclass
@@ -158,6 +159,10 @@ class MobileClient:
         """
         self.stats.position_updates += 1
         self._count("client.position_updates")
+        # The client is the edge of the pipeline: it mints the trace id
+        # the service and every layer below will correlate under.
+        if request.trace_id is None:
+            request = replace(request, trace_id=new_trace_id())
         cached = self._caches[kind]
         # Keep a reference to an epoch-stale entry: it cannot answer
         # normally, but it is the fallback if the server fails.
@@ -169,6 +174,8 @@ class MobileClient:
         if cached is not None and cached.answers(key, location):
             self.stats.cache_answers += 1
             self._count("client.cache_answers")
+            self._event("client.cache_answer", kind=kind,
+                        trace_id=cached.trace_id)
             self.last_served = "cache"
             self.last_staleness = 0
             return cached.entries
@@ -216,6 +223,8 @@ class MobileClient:
             raise exc
         self.stats.stale_answers += 1
         self._count("client.stale_answers")
+        self._event("client.stale_answer", trace_id=cached.trace_id,
+                    staleness=lag, error=f"{type(exc).__name__}: {exc}")
         self.last_served = "stale"
         self.last_staleness = lag
         return cached.entries
@@ -223,6 +232,17 @@ class MobileClient:
     def _count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc(amount)
+
+    def _event(self, event: str, trace_id: Optional[str] = None,
+               **fields) -> None:
+        """Report into the server's event log when it keeps one.
+
+        Duck-typed like ``metrics``: a bare :class:`LocationServer` has
+        no ``events`` attribute and the client stays silent.
+        """
+        events = getattr(self.server, "events", None)
+        if events is not None:
+            events.emit("client", event=event, trace_id=trace_id, **fields)
 
 
 def _point(location) -> Tuple[float, float]:

@@ -1,0 +1,65 @@
+"""repro.obs — the end-to-end telemetry pipeline.
+
+One query, one trace: a :class:`TraceContext` carrying a ``trace_id``
+and the current span flows — via :mod:`contextvars`, with explicit
+handoff across thread pools — from the mobile client through the query
+service, the validity cache, the sharded scatter-gather workers, the
+location server, the R*-tree descent and down to the simulated disk's
+phase blocks.  Every layer hangs child spans and structured events off
+whatever context is active, so a completed query's trace is a real
+parent/child span **tree** (per-shard children, disk-level leaves)
+instead of a flat list of service-side timings.
+
+The pieces:
+
+* :mod:`repro.obs.context` — :class:`TraceContext`, ``start_trace`` /
+  ``span`` / ``attach`` / ``current_trace``: propagation itself.
+* :mod:`repro.obs.events` — :class:`EventLog`, a bounded, thread-safe,
+  per-category-sampled structured event sink (JSONL).
+* :mod:`repro.obs.exporters` — Prometheus text exposition for a
+  :class:`~repro.service.metrics.MetricsRegistry`, the Chrome
+  ``trace_event`` (Perfetto-loadable) exporter, and ``span_tree``.
+* :mod:`repro.obs.http` — :class:`ObservabilityServer`, a stdlib
+  ``http.server`` endpoint serving ``/metrics``, ``/traces/<id>``,
+  ``/events`` and friends for a running
+  :class:`~repro.service.service.QueryService`.
+
+See docs/OBSERVABILITY.md for the trace-context model, the event
+schema, and how to open an exported trace in Perfetto.
+"""
+
+from repro.obs.context import (
+    Span,
+    TraceContext,
+    attach,
+    current_trace,
+    emit_event,
+    new_trace_id,
+    span,
+    start_trace,
+)
+from repro.obs.events import EventLog
+from repro.obs.exporters import (
+    chrome_trace,
+    prometheus_text,
+    span_tree,
+    write_chrome_trace,
+)
+from repro.obs.http import ObservabilityServer
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "attach",
+    "current_trace",
+    "emit_event",
+    "new_trace_id",
+    "span",
+    "start_trace",
+    "EventLog",
+    "chrome_trace",
+    "prometheus_text",
+    "span_tree",
+    "write_chrome_trace",
+    "ObservabilityServer",
+]

@@ -1,0 +1,260 @@
+"""Trace-context propagation: one trace id from client to disk.
+
+A :class:`TraceContext` names the trace (``trace_id``) and the span
+under which new work should hang (``span_id``); the active context
+lives in a :mod:`contextvars` variable, so any layer — the validity
+cache, a shard worker, the simulated disk — can open a child span or
+emit a correlated event without the caller threading anything through
+its signature.
+
+Thread pools do not inherit context automatically; the scatter-gather
+path captures the active context with :func:`current_trace` before
+submitting and re-activates it in each worker with :func:`attach` — the
+explicit handoff that keeps per-shard spans parented under the query's
+fan-out span.
+
+Timestamps: every span records a **monotonic** offset/duration
+(``perf_counter`` relative to the trace's origin) while the trace keeps
+one wall-clock epoch, so exporters can reconstruct absolute times
+without ever mixing the two clocks.
+
+This module is dependency-free (stdlib only) on purpose: the storage
+layer imports it, and it must never import the storage layer back.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter, time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "PHASE_SPAN_NAMES",
+    "current_trace",
+    "start_trace",
+    "span",
+    "attach",
+    "emit_event",
+    "new_trace_id",
+]
+
+#: Disk phase name → trace span name (the stage vocabulary the paper's
+#: processing pipeline uses; unknown phases surface under their own name).
+PHASE_SPAN_NAMES = {
+    "nn": "index_descent",
+    "result": "index_descent",
+    "tpnn": "tpnn_probing",
+    "influence": "influence_probing",
+}
+
+
+@dataclass
+class Span:
+    """One timed stage of a query's processing.
+
+    ``span_id``/``parent_id`` place the span in its trace's tree;
+    spans with ``parent_id is None`` are children of the trace root.
+    """
+
+    name: str
+    #: Milliseconds after the trace's monotonic origin this span began.
+    offset_ms: float
+    duration_ms: float
+    #: Free-form annotations (node accesses in the span's phase, …).
+    meta: Dict[str, object] = field(default_factory=dict)
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "name": self.name,
+            "offset_ms": self.offset_ms,
+            "duration_ms": self.duration_ms,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+class _TraceState:
+    """The shared, thread-safe record of one in-flight trace."""
+
+    __slots__ = ("trace_id", "started_at", "origin", "events",
+                 "_lock", "_spans", "_next_id")
+
+    def __init__(self, trace_id: str, events=None):
+        self.trace_id = trace_id
+        #: Wall-clock epoch the trace started (for absolute timestamps).
+        self.started_at = time()
+        #: Monotonic origin every span offset is measured against.
+        self.origin = perf_counter()
+        #: Duck-typed event sink (see :class:`repro.obs.events.EventLog`).
+        self.events = events
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_id = 0
+
+    def next_span_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"s{self._next_id}"
+
+    def add(self, span_: Span) -> None:
+        with self._lock:
+            self._spans.append(span_)
+
+    def spans(self) -> List[Span]:
+        """The spans recorded so far, in chronological (start) order."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: s.offset_ms)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The active trace and the span new child work hangs under."""
+
+    trace_id: str
+    #: The current span (parent of children opened under this context);
+    #: ``None`` at the trace root.
+    span_id: Optional[str]
+    _state: _TraceState
+
+    @property
+    def started_at(self) -> float:
+        """Wall-clock epoch of the trace start."""
+        return self._state.started_at
+
+    @property
+    def origin(self) -> float:
+        """``perf_counter()`` value at the trace start."""
+        return self._state.origin
+
+    @property
+    def events(self):
+        return self._state.events
+
+    def elapsed_ms(self) -> float:
+        return (perf_counter() - self._state.origin) * 1e3
+
+    def spans(self) -> List[Span]:
+        """All spans recorded on this trace so far (start order)."""
+        return self._state.spans()
+
+    def add_span(self, name: str, offset_ms: float, duration_ms: float,
+                 meta: Optional[Dict[str, object]] = None,
+                 parent_id: Optional[str] = None) -> Span:
+        """Record a pre-measured span (for after-the-fact accounting)."""
+        span_ = Span(name=name, offset_ms=offset_ms,
+                     duration_ms=duration_ms,
+                     meta=dict(meta) if meta else {},
+                     span_id=self._state.next_span_id(),
+                     parent_id=(parent_id if parent_id is not None
+                                else self.span_id))
+        self._state.add(span_)
+        return span_
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_obs_trace", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The active trace context of this thread/task, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def start_trace(trace_id: Optional[str] = None,
+                events=None) -> Iterator[TraceContext]:
+    """Begin (and activate) a new trace; yields its root context.
+
+    Every span opened — by any layer, on any thread holding the
+    context — lands in the yielded context's span collection.
+    """
+    state = _TraceState(trace_id if trace_id is not None else new_trace_id(),
+                        events=events)
+    ctx = TraceContext(trace_id=state.trace_id, span_id=None, _state=state)
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def span(name: str,
+         meta: Optional[Dict[str, object]] = None) -> Iterator[Optional[Span]]:
+    """Open a child span under the active context (no-op without one).
+
+    Yields the in-flight :class:`Span` so callers can annotate
+    ``span.meta``; offset and duration are filled in on exit.  Yields
+    ``None`` when no trace is active — the zero-overhead fast path.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        yield None
+        return
+    state = ctx._state
+    span_ = Span(name=name, offset_ms=0.0, duration_ms=0.0,
+                 meta=dict(meta) if meta else {},
+                 span_id=state.next_span_id(), parent_id=ctx.span_id)
+    child = TraceContext(trace_id=ctx.trace_id, span_id=span_.span_id,
+                         _state=state)
+    start = perf_counter()
+    token = _CURRENT.set(child)
+    try:
+        yield span_
+    finally:
+        _CURRENT.reset(token)
+        end = perf_counter()
+        span_.offset_ms = (start - state.origin) * 1e3
+        span_.duration_ms = (end - start) * 1e3
+        state.add(span_)
+
+
+@contextmanager
+def attach(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Re-activate a captured context (the pool-thread handoff).
+
+    ``attach(None)`` is a no-op, so call sites can hand off
+    ``current_trace()`` unconditionally.
+    """
+    if ctx is None:
+        yield None
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def emit_event(category: str, **fields) -> None:
+    """Emit a structured event against the active trace's sink.
+
+    A no-op without an active trace or when the trace has no event
+    sink; the event is stamped with the trace and current span ids.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return
+    events = ctx._state.events
+    if events is None:
+        return
+    events.emit(category, trace_id=ctx.trace_id, span_id=ctx.span_id,
+                **fields)

@@ -1,0 +1,254 @@
+"""Exporters: Prometheus text exposition and Chrome trace events.
+
+Two dialects out of one telemetry pipeline:
+
+* :func:`prometheus_text` renders a
+  :class:`~repro.service.metrics.MetricsRegistry` snapshot in the
+  Prometheus text exposition format (version 0.0.4) — counters become
+  ``_total`` series, gauges stay plain, histograms surface as summaries
+  with ``quantile`` labels.  Per-kind / per-shard / per-phase metric
+  name suffixes (``service.latency_ms.knn``,
+  ``service.shard.3.queries``) are folded into **labels**
+  (``{kind="knn"}``, ``{shard="3"}``) so one family aggregates across
+  its dimensions the way PromQL expects.
+
+* :func:`chrome_trace` converts a :class:`~repro.service.tracing.QueryTrace`
+  span tree into the Chrome ``trace_event`` JSON format, loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Span
+  timestamps combine the trace's wall-clock epoch with each span's
+  monotonic offset, so absolute times are correct without ever mixing
+  the two clocks.  Per-shard subtrees get their own track (tid) so the
+  scatter-gather fan-out is visible as actual parallelism.
+
+:func:`span_tree` is the ``/traces/<id>`` JSON shape: the same spans,
+nested parent → children.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["prometheus_text", "chrome_trace", "write_chrome_trace",
+           "span_tree"]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+#: Metric-name suffix patterns folded into labels: (regex, label key).
+#: The family keeps the unmatched prefix (plus a ``.delta`` marker when
+#: present); the captured dimension becomes the label value.
+_KIND = re.compile(
+    r"^(service\.(?:queries|cache\.hits|retries|errors|degraded"
+    r"|latency_ms|transfer_bytes|result_size))"
+    r"\.(knn|window|range)(\.delta)?$")
+_SHARD = re.compile(r"^service\.shard\.(\d+)\.(queries|node_accesses)$")
+_PHASE = re.compile(r"^service\.(node_accesses|page_faults)\.([A-Za-z_]\w*)$")
+
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def _family(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split a dotted metric name into (family, labels)."""
+    m = _KIND.match(name)
+    if m:
+        family = m.group(1) + (".delta" if m.group(3) else "")
+        return family, {"kind": m.group(2)}
+    m = _SHARD.match(name)
+    if m:
+        return f"service.shard.{m.group(2)}", {"shard": m.group(1)}
+    m = _PHASE.match(name)
+    if m:
+        return f"service.{m.group(1)}", {"phase": m.group(2)}
+    return name, {}
+
+
+def _metric_name(family: str, namespace: str) -> str:
+    mangled = re.sub(r"[^a-zA-Z0-9_]", "_", family)
+    return f"{namespace}_{mangled}" if namespace else mangled
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = (str(labels[key]).replace("\\", r"\\")
+                 .replace('"', r'\"').replace("\n", r"\n"))
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _value_str(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(metrics, namespace: str = "repro") -> str:
+    """Render a metrics registry in Prometheus text exposition format.
+
+    ``metrics`` is a :class:`~repro.service.metrics.MetricsRegistry`
+    (or anything with its ``snapshot()`` shape); the whole exposition
+    is produced from **one** consistent snapshot, so cross-metric
+    invariants (hits never ahead of probes) hold inside one scrape.
+    """
+    snap = metrics.snapshot()
+    lines: List[str] = []
+
+    def render(kind_name: str, prom_type: str, values, serializer):
+        # Group dotted names into families so each family gets one
+        # HELP/TYPE header regardless of how many label sets it has.
+        families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+        for name in sorted(values):
+            family, labels = _family(name)
+            families.setdefault(family, []).append((labels, values[name]))
+        for family in sorted(families):
+            metric = _metric_name(family, namespace)
+            if prom_type == "counter":
+                metric += "_total"
+            lines.append(f"# HELP {metric} {family} ({kind_name})")
+            lines.append(f"# TYPE {metric} {prom_type}")
+            for labels, value in families[family]:
+                serializer(metric, labels, value)
+
+    def emit_scalar(metric, labels, value):
+        lines.append(f"{metric}{_label_str(labels)} {_value_str(value)}")
+
+    def emit_summary(metric, labels, hist):
+        for key, quantile in _QUANTILES:
+            q_labels = dict(labels, quantile=quantile)
+            lines.append(f"{metric}{_label_str(q_labels)} "
+                         f"{_value_str(hist[key])}")
+        lines.append(f"{metric}_sum{_label_str(labels)} "
+                     f"{_value_str(hist['sum'])}")
+        lines.append(f"{metric}_count{_label_str(labels)} "
+                     f"{_value_str(hist['count'])}")
+
+    render("counter", "counter", snap.get("counters", {}), emit_scalar)
+    render("gauge", "gauge", snap.get("gauges", {}), emit_scalar)
+    render("histogram", "summary", snap.get("histograms", {}), emit_summary)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# span trees and Chrome trace events
+# ----------------------------------------------------------------------
+def span_tree(trace) -> Dict[str, object]:
+    """A trace's spans nested parent → children (the ``/traces/<id>`` shape).
+
+    Spans without a ``parent_id`` (including legacy flat spans) are
+    children of the trace root.  Children are ordered by start offset.
+    """
+    ordered = sorted(trace.spans, key=lambda s: s.offset_ms)
+    by_id: Dict[str, Dict[str, object]] = {}
+    node_list: List[Tuple[object, Dict[str, object]]] = []
+    for s in ordered:
+        node = s.as_dict()
+        node["children"] = []
+        node_list.append((s, node))
+        if s.span_id is not None:
+            by_id[s.span_id] = node
+    roots: List[Dict[str, object]] = []
+    for s, node in node_list:
+        parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return {
+        "trace_id": trace.trace_id,
+        "kind": trace.kind,
+        "started_at": trace.started_at,
+        "duration_ms": trace.duration_ms,
+        "node_accesses": dict(trace.node_accesses),
+        "spans": roots,
+    }
+
+
+_SHARD_SPAN = re.compile(r"^shard_(\d+)$")
+
+
+def _assign_tracks(spans) -> List[int]:
+    """tid per span (by position): shard subtrees get their own track,
+    everything else renders on tid 1."""
+    by_id = {s.span_id: s for s in spans if s.span_id is not None}
+    cache: Dict[str, int] = {}
+
+    def track(s) -> int:
+        if s.span_id is not None and s.span_id in cache:
+            return cache[s.span_id]
+        m = _SHARD_SPAN.match(s.name)
+        if m:
+            tid = 2 + int(m.group(1))
+        elif s.parent_id is not None and s.parent_id in by_id:
+            tid = track(by_id[s.parent_id])
+        else:
+            tid = 1
+        if s.span_id is not None:
+            cache[s.span_id] = tid
+        return tid
+
+    return [track(s) for s in spans]
+
+
+def chrome_trace(trace) -> Dict[str, object]:
+    """A trace as Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Timestamps are absolute: the trace's wall-clock ``started_at``
+    epoch plus each span's monotonic offset, in microseconds.
+    """
+    base_us = trace.started_at * 1e6
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": f"repro trace {trace.trace_id}"}},
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": "service"}},
+    ]
+    spans = list(trace.spans)
+    tracks = _assign_tracks(spans)
+    named_tracks = {}
+    for s, tid in zip(spans, tracks):
+        m = _SHARD_SPAN.match(s.name)
+        if m and tid not in named_tracks:
+            named_tracks[tid] = f"shard {m.group(1)}"
+    for tid, name in sorted(named_tracks.items()):
+        events.append({"ph": "M", "pid": 1, "tid": tid,
+                       "name": "thread_name", "args": {"name": name}})
+    # The query itself as the top-level slice.
+    events.append({
+        "ph": "X", "pid": 1, "tid": 1,
+        "name": f"{trace.kind} query",
+        "cat": "query",
+        "ts": base_us,
+        "dur": max(trace.duration_ms, 0.0) * 1e3,
+        "args": {"trace_id": trace.trace_id,
+                 "node_accesses": dict(trace.node_accesses),
+                 "result_size": trace.result_size},
+    })
+    for s, tid in zip(spans, tracks):
+        args: Dict[str, object] = {k: v for k, v in s.meta.items()}
+        if s.span_id is not None:
+            args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append({
+            "ph": "X", "pid": 1, "tid": tid,
+            "name": s.name,
+            "cat": "span",
+            "ts": base_us + s.offset_ms * 1e3,
+            "dur": max(s.duration_ms, 0.0) * 1e3,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace, path) -> str:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(trace), fh, indent=2, sort_keys=True)
+    return str(path)

@@ -1,0 +1,166 @@
+"""The observability endpoint: stdlib HTTP for metrics, traces, events.
+
+:class:`ObservabilityServer` wraps one
+:class:`~repro.service.service.QueryService` and serves its telemetry
+over plain ``http.server`` (no dependencies, daemon-threaded, safe to
+run beside a live fleet):
+
+====================  =====================================================
+``GET /metrics``      Prometheus text exposition of the metrics registry
+``GET /traces``       JSON index of retained traces (id, kind, duration)
+``GET /traces/<id>``  the trace's span tree as JSON
+``GET /traces/<id>/chrome``  the trace as Chrome ``trace_event`` JSON
+``GET /events``       the event log tail as JSON Lines
+                      (``?n=100&category=fault&trace_id=...``)
+``GET /snapshot``     the full ``stats_snapshot()`` JSON
+``GET /healthz``      liveness probe
+====================  =====================================================
+
+``port=0`` binds an ephemeral port (tests); :attr:`ObservabilityServer.url`
+is the base URL once :meth:`start`\\ ed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.exporters import chrome_trace, prometheus_text, span_tree
+
+__all__ = ["ObservabilityServer"]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    #: Installed by :class:`ObservabilityServer`.
+    service = None
+
+    # Silence per-request stderr logging.
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def do_GET(self):  # noqa: N802  (http.server's naming)
+        try:
+            self._route()
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # surface handler bugs as 500s
+            self._send(500, f"internal error: {exc}\n")
+
+    def _route(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        if parts == ["healthz"]:
+            self._send(200, "ok\n")
+        elif parts == ["metrics"]:
+            self._send(200, prometheus_text(self.service.metrics),
+                       content_type=PROMETHEUS_CONTENT_TYPE)
+        elif parts == ["snapshot"]:
+            self._send_json(200, self.service.stats_snapshot())
+        elif parts == ["events"]:
+            n = int(query["n"][0]) if "n" in query else None
+            events = self.service.events.tail(
+                n,
+                category=query.get("category", [None])[0],
+                trace_id=query.get("trace_id", [None])[0])
+            body = "".join(json.dumps(e, sort_keys=True) + "\n"
+                           for e in events)
+            self._send(200, body, content_type="application/x-ndjson")
+        elif parts == ["traces"]:
+            index = [{"trace_id": t.trace_id, "kind": t.kind,
+                      "started_at": t.started_at,
+                      "duration_ms": t.duration_ms,
+                      "error": t.error}
+                     for t in self.service.recent_traces()]
+            self._send_json(200, index)
+        elif len(parts) in (2, 3) and parts[0] == "traces":
+            trace = self.service.traces.find(parts[1])
+            if trace is None:
+                self._send_json(404, {"error": f"no trace {parts[1]!r} "
+                                      "in the retention window"})
+            elif len(parts) == 3 and parts[2] == "chrome":
+                self._send_json(200, chrome_trace(trace))
+            elif len(parts) == 2:
+                self._send_json(200, span_tree(trace))
+            else:
+                self._send_json(404, {"error": f"unknown trace view "
+                                      f"{parts[2]!r}"})
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def _send(self, status: int, body: str,
+              content_type: str = "text/plain; charset=utf-8") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, data) -> None:
+        self._send(status, json.dumps(data, indent=2, sort_keys=True) + "\n",
+                   content_type="application/json")
+
+
+class ObservabilityServer:
+    """Serve a query service's telemetry over stdlib HTTP.
+
+    >>> obs = ObservabilityServer(service, port=0)
+    >>> obs.start()
+    >>> obs.url            # e.g. 'http://127.0.0.1:49213'
+    >>> obs.stop()
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 9464):
+        self.service = service
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 → ephemeral after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._httpd is not None:
+            return self
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": self.service})
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-obs-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -22,6 +22,11 @@
   simulated mobile clients with per-tick batched dispatch.
 * :mod:`repro.service.checkapi` — the API-drift check CI runs
   (``python -m repro.service.checkapi``).
+
+The propagation layer itself — trace contexts, the structured
+:class:`~repro.obs.events.EventLog`, the Prometheus / Chrome-trace
+exporters and the HTTP endpoint — lives in :mod:`repro.obs`; the
+service opens a trace per query and every layer below reports into it.
 """
 
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry

@@ -1,12 +1,17 @@
 """The instrumented query service: a concurrent front-end to the server.
 
 :class:`QueryService` is what a deployment puts between its fleet of
-mobile clients and a :class:`~repro.core.server.LocationServer`.  Per
-query it produces a structured :class:`~repro.service.tracing.QueryTrace`
-— wall-clock spans for index descent, TPNN vertex probing, bisector
-clipping and serialization, with the phase-attributed node accesses the
-simulated disk charged to the query folded into the matching span — and
-it reports counters and latency/bytes histograms into one
+mobile clients and a :class:`~repro.core.server.LocationServer`.  Every
+query runs under a propagated trace context
+(:func:`repro.obs.context.start_trace`): the service opens the trace,
+the layers below — cache probe, scatter-gather shard workers, the
+R*-tree's simulated disk — attach their own child spans to it, and the
+finished span *tree* is retained as a structured
+:class:`~repro.service.tracing.QueryTrace`.  Alongside the trace, each
+stage emits structured events into the service's
+:class:`~repro.obs.events.EventLog` (query start/finish, cache
+hit/miss, shard scatter, retries, breaker transitions, disk faults),
+and counters and latency/bytes histograms land in one
 :class:`~repro.service.metrics.MetricsRegistry` shared by every layer.
 
 Concurrency model: the service accepts requests from any number of
@@ -61,18 +66,14 @@ from repro.core.api import (
 )
 from repro.core.server import DeltaResponse, KNNResponse, LocationServer
 from repro.geometry import Rect
+from repro.obs.context import TraceContext, emit_event, start_trace
+from repro.obs.events import EventLog
 from repro.service.cache import CacheConfig, ValidityCache
 from repro.service.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
 from repro.service.metrics import MetricsRegistry
 from repro.service.retry import RetryPolicy, is_transient
 from repro.service.shard import ShardedServer
-from repro.service.tracing import (
-    SPAN_NAMES,
-    QueryTrace,
-    Span,
-    TraceBuffer,
-    now,
-)
+from repro.service.tracing import QueryTrace, TraceBuffer, now
 
 __all__ = ["QueryService", "ResilienceConfig", "build_service"]
 
@@ -102,11 +103,14 @@ class QueryService:
                  trace_capacity: int = 256,
                  resilience: Optional[ResilienceConfig] = None,
                  cache: Optional[ValidityCache] = None,
+                 events: Optional[EventLog] = None,
                  sleep=time.sleep):
         self.server = server
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceBuffer(trace_capacity)
+        #: The structured event log every traced stage reports into.
+        self.events = events if events is not None else EventLog()
         self.resilience = resilience
         self.breaker: Optional[CircuitBreaker] = None
         if resilience is not None and resilience.breaker is not None:
@@ -161,13 +165,28 @@ class QueryService:
         """
         request = self._with_default_budget(request)
         kind = getattr(request, "kind", type(request).__name__)
+        trace_id = (getattr(request, "trace_id", None)
+                    or f"q-{next(self._ids)}")
+        with start_trace(trace_id=trace_id, events=self.events) as ctx:
+            return self._answer_traced(request, kind, ctx)
+
+    def _answer_traced(self, request: QueryRequest, kind: str,
+                       ctx: TraceContext) -> QueryResponse:
+        """The traced body of :meth:`answer` (one active trace context).
+
+        The service records only its own stages (cache probe, retry
+        backoff, serialization) on the context; the layers below attach
+        their own child spans — per-shard fan-out workers, the disk's
+        phase blocks — through the same propagated context.
+        """
         trace = QueryTrace(
-            trace_id=getattr(request, "trace_id", None) or f"q-{next(self._ids)}",
+            trace_id=ctx.trace_id,
             kind=kind,
-            started_at=now(),
+            started_at=ctx.started_at,
+            monotonic_origin=ctx.origin,
         )
-        phase_events: List[tuple] = []
-        t0 = perf_counter()
+        t0 = ctx.origin
+        emit_event("query", event="query.start", kind=kind)
 
         # The cache front door: a hit never touches the server, the
         # breaker, or the retry loop — zero node accesses, by contract.
@@ -175,17 +194,19 @@ class QueryService:
         if self.cache is not None:
             probe_start = perf_counter()
             cached = self.cache.probe(request, self.server.epoch)
-            trace.spans.append(Span(
-                name="cache_probe",
+            ctx.add_span(
+                "cache_probe",
                 offset_ms=(probe_start - t0) * 1e3,
                 duration_ms=(perf_counter() - probe_start) * 1e3,
                 meta={"hit": cached is not None},
-            ))
+            )
             if cached is not None:
                 self.metrics.counter("service.cache.hits").inc()
                 self.metrics.counter(f"service.cache.hits.{kind}").inc()
+                emit_event("cache", event="cache.hit", kind=kind)
             else:
                 self.metrics.counter("service.cache.misses").inc()
+                emit_event("cache", event="cache.miss", kind=kind)
 
         if cached is not None:
             response = self._serve_cached(request, cached)
@@ -202,15 +223,20 @@ class QueryService:
                     except CircuitOpenError as exc:
                         self.metrics.counter(
                             "service.breaker.rejections").inc()
-                        self._fail(trace, t0, kind, exc)
+                        emit_event("breaker", event="breaker.reject",
+                                   kind=kind)
+                        self._fail(trace, ctx, kind, exc)
                 try:
                     (response, node_accesses, page_faults,
-                     epoch, exec_span) = self._execute_once(
-                        request, phase_events, t0)
+                     epoch) = self._execute_once(request)
                 except Exception as exc:
                     transient = is_transient(exc)
                     if self.breaker is not None and transient:
+                        trips_before = self.breaker.trips
                         self.breaker.record_failure()
+                        if self.breaker.trips > trips_before:
+                            emit_event("breaker", event="breaker.trip",
+                                       trips=self.breaker.trips)
                         if self.breaker.trips:
                             self.metrics.gauge("service.breaker.trips").set(
                                 self.breaker.trips)
@@ -221,61 +247,44 @@ class QueryService:
                         self.metrics.counter("service.retries").inc()
                         self.metrics.counter(f"service.retries.{kind}").inc()
                         trace.retries += 1
-                        trace.spans.append(Span(
-                            name="retry_backoff",
+                        ctx.add_span(
+                            "retry_backoff",
                             offset_ms=(perf_counter() - t0) * 1e3,
                             duration_ms=delay * 1e3,
                             meta={"attempt": attempt + 1,
                                   "error": f"{type(exc).__name__}: {exc}"},
-                        ))
+                        )
+                        emit_event("retry", event="query.retry",
+                                   attempt=attempt + 1,
+                                   delay_ms=delay * 1e3,
+                                   error=f"{type(exc).__name__}: {exc}")
                         if delay > 0.0:
                             self._sleep(delay)
                         attempt += 1
                         continue
-                    self._fail(trace, t0, kind, exc)
+                    self._fail(trace, ctx, kind, exc)
                 else:
                     if self.breaker is not None:
+                        recoveries_before = self.breaker.recoveries
                         self.breaker.record_success()
+                        if self.breaker.recoveries > recoveries_before:
+                            emit_event("breaker", event="breaker.recover",
+                                       recoveries=self.breaker.recoveries)
                     break
             if self.cache is not None:
                 self.cache.admit(request, response, epoch)
-            fanout = getattr(response.detail, "per_shard_node_accesses",
-                             None)
-            if fanout is not None:
-                trace.spans.append(Span(
-                    name="shard_fanout",
-                    offset_ms=exec_span[0] * 1e3,
-                    duration_ms=exec_span[1] * 1e3,
-                    meta={
-                        "shards_queried": len(fanout),
-                        "shards_pruned": getattr(
-                            response.detail, "shards_pruned", 0),
-                        "node_accesses": sum(fanout.values()),
-                    },
-                ))
         if self.cache is not None:
             self.metrics.gauge("service.cache.size").set(len(self.cache))
 
         trace.node_accesses = node_accesses
         trace.page_faults = page_faults
-        for phase, offset, elapsed in phase_events:
-            trace.spans.append(Span(
-                name=SPAN_NAMES.get(phase, phase),
-                offset_ms=offset * 1e3,
-                duration_ms=elapsed * 1e3,
-                meta={
-                    "phase": phase,
-                    "node_accesses": trace.node_accesses.get(phase, 0),
-                    "page_faults": trace.page_faults.get(phase, 0),
-                },
-            ))
         clip_seconds = getattr(response.detail, "clip_seconds", 0.0)
         if clip_seconds:
-            trace.spans.append(Span(
-                name="bisector_clipping",
+            ctx.add_span(
+                "bisector_clipping",
                 offset_ms=0.0,  # interleaved with tpnn_probing
                 duration_ms=clip_seconds * 1e3,
-            ))
+            )
 
         # Serialization: size the payload that would go on the wire.
         ser_start = perf_counter()
@@ -283,20 +292,27 @@ class QueryService:
         result_size = len(response.result)
         if isinstance(response, DeltaResponse):
             result_size = len(response.added) + len(response.removed_ids)
-        trace.spans.append(Span(
-            name="serialization",
+        ctx.add_span(
+            "serialization",
             offset_ms=(ser_start - t0) * 1e3,
             duration_ms=(perf_counter() - ser_start) * 1e3,
             meta={"transfer_bytes": transfer},
-        ))
+        )
         trace.transfer_bytes = transfer
         trace.result_size = result_size
         trace.degraded = bool(getattr(response.detail, "degraded", False))
+        if trace.degraded:
+            emit_event("degraded", event="query.degraded", kind=kind)
         trace.duration_ms = (perf_counter() - t0) * 1e3
+        trace.spans = ctx.spans()
         self.traces.append(trace)
         self._record(kind, trace,
                      delta=getattr(request, "previous_ids", None) is not None,
                      detail=response.detail)
+        emit_event("query", event="query.finish", kind=kind,
+                   duration_ms=trace.duration_ms,
+                   node_accesses=trace.total_node_accesses,
+                   result_size=result_size)
         return response
 
     def _serve_cached(self, request: QueryRequest,
@@ -329,42 +345,32 @@ class QueryService:
             return request
         return replace(request, budget=self.resilience.default_budget)
 
-    def _execute_once(self, request: QueryRequest, phase_events: List[tuple],
-                      t0: float):
+    def _execute_once(self, request: QueryRequest):
         """One locked pass through the server; returns the response,
-        this attempt's phase-attributed access deltas, the dataset
-        epoch it ran under, and its (offset, duration) seconds within
-        the trace."""
-
-        def on_phase(name: str, elapsed: float) -> None:
-            # list.append is atomic, so this is safe from the pool
-            # threads a sharded server fans out on.
-            phase_events.append((name, perf_counter() - t0 - elapsed, elapsed))
-
+        this attempt's phase-attributed access deltas, and the dataset
+        epoch it ran under.  The storage layer records disk-level spans
+        itself through the active trace context."""
         with self._lock:
             epoch = self.server.epoch
             before = self.server.node_accesses_by_phase()
             before_pf = self.server.page_faults_by_phase()
-            previous_listener = self.server.set_phase_listener(on_phase)
-            exec_start = perf_counter()
-            try:
-                response = self.server.answer(request)
-            finally:
-                exec_end = perf_counter()
-                self.server.set_phase_listener(previous_listener)
+            response = self.server.answer(request)
             after = self.server.node_accesses_by_phase()
             after_pf = self.server.page_faults_by_phase()
         return (response, _delta(before, after), _delta(before_pf, after_pf),
-                epoch, (exec_start - t0, exec_end - exec_start))
+                epoch)
 
-    def _fail(self, trace: QueryTrace, t0: float, kind: str,
+    def _fail(self, trace: QueryTrace, ctx: TraceContext, kind: str,
               exc: Exception) -> None:
         """Record a failed query and re-raise its error."""
-        trace.duration_ms = (perf_counter() - t0) * 1e3
+        trace.duration_ms = ctx.elapsed_ms()
         trace.error = f"{type(exc).__name__}: {exc}"
+        trace.spans = ctx.spans()
         self.traces.append(trace)
         self.metrics.counter("service.errors").inc()
         self.metrics.counter(f"service.errors.{kind}").inc()
+        emit_event("query", event="query.error", kind=kind,
+                   error=trace.error)
         raise exc
 
     def answer_many(self, requests: Sequence[QueryRequest],
@@ -457,6 +463,7 @@ class QueryService:
                 "traces_retained": len(self.traces),
                 "traces_dropped": self.traces.dropped,
             },
+            "events": self.events.stats(),
             "resilience": {
                 "retries": counters.get("service.retries", 0),
                 "errors": counters.get("service.errors", 0),
@@ -512,6 +519,7 @@ def build_service(points: Sequence, *,
                   metrics: Optional[MetricsRegistry] = None,
                   trace_capacity: int = 256,
                   resilience: Optional[ResilienceConfig] = None,
+                  events: Optional[EventLog] = None,
                   max_workers: Optional[int] = None) -> QueryService:
     """Assemble the full serving stack over raw ``(x, y)`` data.
 
@@ -548,4 +556,4 @@ def build_service(points: Sequence, *,
             capacity=cache_capacity, grid=cache_grid))
     return QueryService(server, metrics=metrics,
                         trace_capacity=trace_capacity,
-                        resilience=resilience, cache=cache)
+                        resilience=resilience, cache=cache, events=events)

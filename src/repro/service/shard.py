@@ -80,6 +80,8 @@ from repro.geometry import Point, Rect
 from repro.index.bulk import bulk_load_str
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
+from repro.obs.context import attach, current_trace, emit_event
+from repro.obs.context import span as obs_span
 from repro.storage.counters import AccessStats
 
 __all__ = [
@@ -352,7 +354,26 @@ class ShardedServer:
     # the unified entry point (mirrors LocationServer.answer)
     # ------------------------------------------------------------------
     def answer(self, request: QueryRequest):
-        """Answer any typed query request by scatter-gather."""
+        """Answer any typed query request by scatter-gather.
+
+        Under an active trace context the whole scatter-gather runs in
+        a ``shard_fanout`` span; each queried shard hangs its own
+        ``shard_<sid>`` child (with the disk-phase spans beneath it),
+        so the fan-out renders as real parallel tracks in exporters.
+        """
+        with obs_span("shard_fanout") as fan:
+            response = self._dispatch(request)
+            if fan is not None:
+                detail = response.detail
+                fan.meta.update({
+                    "shards_queried": getattr(detail, "shards_queried", 0),
+                    "shards_pruned": getattr(detail, "shards_pruned", 0),
+                    "node_accesses": sum(getattr(
+                        detail, "per_shard_node_accesses", {}).values()),
+                })
+            return response
+
+    def _dispatch(self, request: QueryRequest):
         budget = getattr(request, "budget", None)
         if isinstance(request, KNNRequest):
             full = self._knn(request.location, k=request.k,
@@ -378,7 +399,12 @@ class ShardedServer:
     # scatter-gather plumbing
     # ------------------------------------------------------------------
     def _run(self, jobs):
-        """Run thunks on the worker pool (inline when it cannot help)."""
+        """Run thunks on the worker pool (inline when it cannot help).
+
+        Pool threads do not inherit the caller's trace context, so it
+        is captured here and explicitly re-attached inside each worker
+        — per-shard spans stay parented under the query's trace.
+        """
         if self._max_workers <= 1 or len(jobs) <= 1:
             return [job() for job in jobs]
         with self._pool_lock:
@@ -387,14 +413,28 @@ class ShardedServer:
                     max_workers=self._max_workers,
                     thread_name_prefix="repro-shard")
             pool = self._pool
-        return [f.result() for f in [pool.submit(job) for job in jobs]]
+        ctx = current_trace()
+
+        def handoff(job):
+            def run():
+                with attach(ctx):
+                    return job()
+            return run
+
+        return [f.result() for f in [pool.submit(handoff(job))
+                                     for job in jobs]]
 
     @staticmethod
     def _metered(shard: Shard, fn):
-        """Run ``fn`` and report the node accesses it cost the shard."""
-        before = shard.server.io_stats.total_node_accesses
-        response = fn()
-        after = shard.server.io_stats.total_node_accesses
+        """Run ``fn`` under a per-shard child span and report the node
+        accesses it cost the shard."""
+        with obs_span(f"shard_{shard.sid}",
+                      meta={"sid": shard.sid}) as span_:
+            before = shard.server.io_stats.total_node_accesses
+            response = fn()
+            after = shard.server.io_stats.total_node_accesses
+            if span_ is not None:
+                span_.meta["node_accesses"] = after - before
         return shard, response, after - before
 
     @staticmethod
@@ -439,6 +479,9 @@ class ShardedServer:
                      if s.data_mbr.mindist(loc) <= d_bound]
         pruned = [s for s in order[1:]
                   if s.data_mbr.mindist(loc) > d_bound]
+        emit_event("shard", event="shard.scatter", kind="knn",
+                   visited=[first.sid] + [s.sid for s in survivors],
+                   pruned=[s.sid for s in pruned])
         queried.extend(self._run([
             (lambda s=s: self._metered(
                 s, lambda: s.server._knn(
@@ -506,6 +549,9 @@ class ShardedServer:
                   s.data_mbr.inflated(hw, hh).contains_point(f)]
 
         sub_budget = self._split_budget(budget, len(contributing))
+        emit_event("shard", event="shard.scatter", kind="window",
+                   visited=[s.sid for s in contributing],
+                   pruned=[s.sid for s in others])
         queried = self._run([
             (lambda s=s: self._metered(
                 s, lambda: s.server._window(f, width, height,
@@ -562,6 +608,9 @@ class ShardedServer:
         pruned = [s for s in live if s.data_mbr.mindist(loc) > radius]
 
         sub_budget = self._split_budget(budget, len(reachable))
+        emit_event("shard", event="shard.scatter", kind="range",
+                   visited=[s.sid for s in reachable],
+                   pruned=[s.sid for s in pruned])
         queried = self._run([
             (lambda s=s: self._metered(
                 s, lambda: s.server._range(loc, radius, budget=sub_budget)))

@@ -1,16 +1,26 @@
 """Structured per-query tracing.
 
 A :class:`QueryTrace` records everything one query did inside the
-service: the wall-clock spans of each processing stage (index descent,
-TPNN vertex probing, bisector clipping, serialization…), the
-phase-attributed node accesses and page faults the simulated disk
-charged to it, the payload it shipped, and the result size.  Traces are
-plain data — :meth:`QueryTrace.as_dict` is JSON-serializable — and the
-service retains the most recent ones in a bounded ring buffer.
+service: the span **tree** of each processing stage (cache probe,
+per-shard scatter-gather children, index descent, TPNN vertex probing,
+bisector clipping, serialization…), the phase-attributed node accesses
+and page faults the simulated disk charged to it, the payload it
+shipped, and the result size.  Traces are plain data —
+:meth:`QueryTrace.as_dict` is JSON-serializable — and the service
+retains the most recent ones in a bounded ring buffer with id lookup
+(:meth:`TraceBuffer.find`), the store behind the ``/traces/<id>``
+endpoint.
 
-Span names are normalized through :data:`SPAN_NAMES` so the disk-level
-phase vocabulary ("nn", "tpnn", "result", "influence") surfaces under
-the stage names the paper's processing pipeline uses.
+Spans are produced by the :mod:`repro.obs.context` propagation layer
+(the :class:`~repro.obs.context.Span` class is re-exported here for
+back-compat); :data:`SPAN_NAMES` normalizes the disk-level phase
+vocabulary ("nn", "tpnn", "result", "influence") onto the stage names
+the paper's processing pipeline uses.
+
+Clocks: span offsets/durations are **monotonic** (``perf_counter``
+relative to :attr:`QueryTrace.monotonic_origin`) while
+:attr:`QueryTrace.started_at` is a wall-clock epoch; exporters combine
+the two to reconstruct absolute timestamps without mixing clocks.
 """
 
 from __future__ import annotations
@@ -20,37 +30,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.context import PHASE_SPAN_NAMES, Span
+
 __all__ = ["Span", "QueryTrace", "SPAN_NAMES", "TraceBuffer"]
 
-#: Disk phase name → trace span name.
-SPAN_NAMES = {
-    "nn": "index_descent",
-    "result": "index_descent",
-    "tpnn": "tpnn_probing",
-    "influence": "influence_probing",
-}
-
-
-@dataclass
-class Span:
-    """One timed stage of a query's server-side processing."""
-
-    name: str
-    #: Seconds after the trace started that this span began.
-    offset_ms: float
-    duration_ms: float
-    #: Free-form annotations (node accesses in the span's phase, …).
-    meta: Dict[str, object] = field(default_factory=dict)
-
-    def as_dict(self) -> Dict[str, object]:
-        out = {
-            "name": self.name,
-            "offset_ms": self.offset_ms,
-            "duration_ms": self.duration_ms,
-        }
-        if self.meta:
-            out["meta"] = dict(self.meta)
-        return out
+#: Disk phase name → trace span name (shared with :mod:`repro.obs`).
+SPAN_NAMES = PHASE_SPAN_NAMES
 
 
 @dataclass
@@ -59,8 +44,11 @@ class QueryTrace:
 
     trace_id: str
     kind: str
-    #: Unix timestamp the query arrived.
+    #: Unix timestamp the query arrived (wall clock).
     started_at: float
+    #: ``perf_counter()`` value span offsets are measured against; with
+    #: ``started_at`` this yields correct absolute span timestamps.
+    monotonic_origin: float = 0.0
     duration_ms: float = 0.0
     spans: List[Span] = field(default_factory=list)
     #: Node accesses this query caused, by disk phase.
@@ -88,11 +76,25 @@ class QueryTrace:
                 return s
         return None
 
+    def children(self, parent: Optional[Span]) -> List[Span]:
+        """The direct children of ``parent`` (trace-root spans for None)."""
+        parent_id = parent.span_id if parent is not None else None
+        ids = {s.span_id for s in self.spans if s.span_id is not None}
+        out = []
+        for s in self.spans:
+            if parent_id is None:
+                if s.parent_id is None or s.parent_id not in ids:
+                    out.append(s)
+            elif s.parent_id == parent_id:
+                out.append(s)
+        return out
+
     def as_dict(self) -> Dict[str, object]:
         out = {
             "trace_id": self.trace_id,
             "kind": self.kind,
             "started_at": self.started_at,
+            "monotonic_origin": self.monotonic_origin,
             "duration_ms": self.duration_ms,
             "spans": [s.as_dict() for s in self.spans],
             "node_accesses": dict(self.node_accesses),
@@ -110,12 +112,19 @@ class QueryTrace:
 
 
 class TraceBuffer:
-    """A thread-safe ring buffer of the most recent query traces."""
+    """A thread-safe ring buffer of the most recent query traces.
+
+    ``capacity=0`` is a true no-op sink: :meth:`append` returns without
+    taking the lock (or touching anything), so high-QPS fleets can
+    disable trace retention without contention.
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity < 0:
             raise ValueError("trace capacity must be non-negative")
         self._capacity = capacity
+        #: Fast-path flag read without the lock on every append.
+        self._enabled = capacity > 0
         self._traces: List[QueryTrace] = []
         self._lock = threading.Lock()
         self._dropped = 0
@@ -130,13 +139,21 @@ class TraceBuffer:
         return self._dropped
 
     def append(self, trace: QueryTrace) -> None:
-        if self._capacity == 0:
+        if not self._enabled:
             return
         with self._lock:
             self._traces.append(trace)
             if len(self._traces) > self._capacity:
                 del self._traces[:len(self._traces) - self._capacity]
                 self._dropped += 1
+
+    def find(self, trace_id: str) -> Optional[QueryTrace]:
+        """The retained trace with ``trace_id`` (newest wins), or None."""
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
 
     def recent(self, n: Optional[int] = None) -> List[QueryTrace]:
         """The most recent ``n`` traces (all retained ones by default)."""

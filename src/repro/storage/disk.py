@@ -6,6 +6,8 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Callable, Iterator, Optional
 
+from repro.obs.context import PHASE_SPAN_NAMES, current_trace
+from repro.obs.context import span as obs_span
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.counters import AccessStats
 
@@ -73,7 +75,32 @@ class DiskSimulator:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Attribute enclosed accesses to phase ``name`` (re-entrant)."""
+        """Attribute enclosed accesses to phase ``name`` (re-entrant).
+
+        Under an active trace context (:mod:`repro.obs.context`) the
+        block also records a disk-level child span — the leaf of the
+        query's span tree — annotated with the node accesses and page
+        faults the phase charged to this disk.
+        """
+        if current_trace() is not None:
+            with obs_span(PHASE_SPAN_NAMES.get(name, name),
+                          meta={"phase": name}) as span_:
+                na0 = self.stats.node_accesses[name]
+                pf0 = self.stats.page_faults[name]
+                with self._plain_phase(name):
+                    try:
+                        yield
+                    finally:
+                        span_.meta["node_accesses"] = (
+                            self.stats.node_accesses[name] - na0)
+                        span_.meta["page_faults"] = (
+                            self.stats.page_faults[name] - pf0)
+        else:
+            with self._plain_phase(name):
+                yield
+
+    @contextmanager
+    def _plain_phase(self, name: str) -> Iterator[None]:
         previous = self._phase
         self._phase = name
         start = perf_counter() if self._listener is not None else 0.0

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.obs.context import emit_event
 from repro.storage.disk import DiskSimulator
 
 __all__ = ["PageReadError", "FaultPlan", "FaultyDiskSimulator",
@@ -146,12 +147,16 @@ class FaultyDiskSimulator(DiskSimulator):
             # never came back from the buffer) before failing.
             self.stats.record(self._phase, True)
             self.injected["read_failures"] += 1
+            emit_event("fault", event="disk.read_failure", page_id=page_id,
+                       phase=self._phase, read_index=index)
             raise PageReadError(page_id, self._phase, index)
         if self._stuck(index):
             # Stuck pool: bypass the buffer entirely — a guaranteed
             # fault that neither hits nor admits pages.
             self.injected["stuck_reads"] += 1
             self.stats.record(self._phase, True)
+            emit_event("fault", event="disk.stuck_read", page_id=page_id,
+                       phase=self._phase, read_index=index)
             return
         super().read(page_id)
 

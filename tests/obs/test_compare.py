@@ -1,0 +1,120 @@
+"""The benchmark regression trail: record writer and compare tool."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+COMPARE = os.path.join(REPO, "benchmarks", "compare.py")
+
+
+def _load_compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", COMPARE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare = _load_compare()
+
+
+def _record(path, runs_metrics):
+    record = {
+        "schema": "repro-bench/1",
+        "name": "synthetic",
+        "runs": [{"recorded_at": float(i), "scale": "smoke", "metrics": m}
+                 for i, m in enumerate(runs_metrics)],
+    }
+    with open(path, "w") as fh:
+        json.dump(record, fh)
+    return str(path)
+
+
+def test_direction_table():
+    assert compare.direction("knn.p95_ms") is False
+    assert compare.direction("node_accesses") is False
+    assert compare.direction("throughput_qps") is True
+    assert compare.direction("s4c1024.hit_ratio") is True
+    assert compare.direction("queries") is None  # unguarded
+
+
+def test_synthetic_2x_latency_regression_fails(tmp_path):
+    """The acceptance check: doubling a latency quantile exits non-zero."""
+    path = _record(tmp_path / "BENCH_obs_synthetic.json",
+                   [{"knn.p95_ms": 10.0, "throughput_qps": 100.0},
+                    {"knn.p95_ms": 20.0, "throughput_qps": 100.0}])
+    code, lines = compare.check_record(path, threshold=0.25)
+    assert code == 1
+    assert any("REGRESSED" in line and "knn.p95_ms" in line
+               for line in lines)
+    # And through the real CLI entry point.
+    proc = subprocess.run([sys.executable, COMPARE, path],
+                          capture_output=True, text=True)
+    assert proc.returncode == 1
+    assert "knn.p95_ms" in proc.stdout
+
+
+def test_throughput_drop_regresses_lower_is_worse(tmp_path):
+    path = _record(tmp_path / "BENCH_obs_synthetic.json",
+                   [{"throughput_qps": 100.0}, {"throughput_qps": 50.0}])
+    code, _ = compare.check_record(path, threshold=0.25)
+    assert code == 1
+
+
+def test_within_threshold_and_improvements_pass(tmp_path):
+    path = _record(tmp_path / "BENCH_obs_synthetic.json",
+                   [{"knn.p95_ms": 10.0, "throughput_qps": 100.0,
+                     "queries": 400.0},
+                    {"knn.p95_ms": 11.0, "throughput_qps": 220.0,
+                     "queries": 100.0}])  # unguarded metric may swing
+    code, lines = compare.check_record(path, threshold=0.25)
+    assert code == 0
+    assert any("ok" in line for line in lines)
+
+
+def test_single_run_is_nothing_to_compare(tmp_path):
+    path = _record(tmp_path / "BENCH_obs_synthetic.json",
+                   [{"knn.p95_ms": 10.0}])
+    code, lines = compare.check_record(path, threshold=0.25)
+    assert code == 0
+    assert any("nothing to compare" in line for line in lines)
+
+
+def test_bad_input_exits_2(tmp_path):
+    bad_schema = tmp_path / "BENCH_obs_bad.json"
+    bad_schema.write_text('{"schema": "other/9", "runs": []}')
+    assert compare.check_record(str(bad_schema), 0.25)[0] == 2
+    not_json = tmp_path / "BENCH_obs_broken.json"
+    not_json.write_text("{")
+    assert compare.check_record(str(not_json), 0.25)[0] == 2
+
+
+def test_no_records_is_a_clean_noop(tmp_path):
+    env = dict(os.environ, REPRO_BENCH_DIR=str(tmp_path))
+    proc = subprocess.run([sys.executable, COMPARE], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "no BENCH_obs_" in proc.stdout
+
+
+def test_write_bench_record_appends_and_caps(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    monkeypatch.syspath_prepend(os.path.join(REPO, "benchmarks"))
+    import common  # benchmarks/common.py
+    for i in range(common.BENCH_HISTORY + 3):
+        path = common.write_bench_record(
+            "trail", {"p95_ms": 10.0 + i}, context={"i": i})
+    with open(path) as fh:
+        record = json.load(fh)
+    assert record["schema"] == common.BENCH_SCHEMA
+    assert len(record["runs"]) == common.BENCH_HISTORY  # bounded history
+    assert record["runs"][-1]["context"] == {"i": common.BENCH_HISTORY + 2}
+    # The freshly written record diffs cleanly (steady +1ms drift < 25%).
+    assert compare.check_record(path, threshold=0.25)[0] == 0

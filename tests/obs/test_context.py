@@ -1,0 +1,134 @@
+"""Trace-context propagation: activation, nesting, pool handoff."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import (
+    EventLog,
+    attach,
+    current_trace,
+    new_trace_id,
+    span,
+    start_trace,
+)
+from repro.obs.context import emit_event
+
+
+def test_no_trace_is_the_fast_path():
+    """Without an active trace every primitive is a cheap no-op."""
+    assert current_trace() is None
+    with span("index_descent") as s:
+        assert s is None
+    emit_event("query", event="query.start")  # must not raise
+    assert current_trace() is None
+
+
+def test_start_trace_activates_and_resets():
+    assert current_trace() is None
+    with start_trace(trace_id="t-1") as ctx:
+        assert ctx.trace_id == "t-1"
+        assert ctx.span_id is None  # the root
+        assert current_trace() is ctx
+    assert current_trace() is None
+
+
+def test_new_trace_id_shape():
+    tid = new_trace_id()
+    assert len(tid) == 16
+    int(tid, 16)  # hex
+    assert tid != new_trace_id()
+
+
+def test_span_nesting_builds_parent_child_ids():
+    with start_trace() as ctx:
+        with span("outer") as outer:
+            assert outer.span_id == "s1"
+            assert outer.parent_id is None  # child of the trace root
+            with span("inner", meta={"k": 1}) as inner:
+                assert inner.parent_id == outer.span_id
+                # the active context now points at the inner span
+                assert current_trace().span_id == inner.span_id
+        spans = ctx.spans()
+    names = [s.name for s in spans]
+    assert names == ["outer", "inner"]  # chronological by start offset
+    inner_span = next(s for s in spans if s.name == "inner")
+    outer_span = next(s for s in spans if s.name == "outer")
+    assert inner_span.parent_id == outer_span.span_id
+    assert inner_span.meta == {"k": 1}
+    # offsets/durations were filled in on exit, and the inner span is
+    # contained in the outer one.
+    assert outer_span.duration_ms >= inner_span.duration_ms >= 0.0
+    assert inner_span.offset_ms >= outer_span.offset_ms
+
+
+def test_two_clocks_never_mix():
+    """Spans carry monotonic offsets; the trace carries one wall epoch."""
+    before = time.time()
+    with start_trace() as ctx:
+        with span("work"):
+            pass
+        after = time.time()
+        assert before <= ctx.started_at <= after
+        (s,) = ctx.spans()
+        # A monotonic offset is measured from the trace origin, so it is
+        # tiny — nothing like an absolute epoch.
+        assert 0.0 <= s.offset_ms < 60_000.0
+        assert ctx.elapsed_ms() >= s.offset_ms
+
+
+def test_pool_threads_do_not_inherit_context():
+    with start_trace():
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(current_trace).result() is None
+
+
+def test_attach_hands_the_trace_to_a_pool_worker():
+    def worker(ctx):
+        with attach(ctx):
+            assert current_trace() is not None
+            with span("shard_3", meta={"sid": 3}):
+                with span("index_descent"):
+                    pass
+        assert current_trace() is None  # reset on detach
+
+    with start_trace() as ctx:
+        with span("shard_fanout") as fan:
+            captured = current_trace()
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(worker, captured).result()
+        spans = {s.name: s for s in ctx.spans()}
+    # The worker's spans landed in the submitting trace, parented under
+    # the fan-out span that was active at capture time.
+    assert spans["shard_3"].parent_id == fan.span_id
+    assert spans["index_descent"].parent_id == spans["shard_3"].span_id
+
+
+def test_attach_none_is_a_noop():
+    with attach(None) as ctx:
+        assert ctx is None
+        assert current_trace() is None
+
+
+def test_add_span_defaults_parent_to_context_span():
+    with start_trace() as ctx:
+        root_level = ctx.add_span("cache_probe", 0.0, 0.1)
+        assert root_level.parent_id is None
+        with span("shard_fanout") as fan:
+            child = current_trace().add_span("merge", 1.0, 0.2)
+        assert child.parent_id == fan.span_id
+        explicit = ctx.add_span("late", 2.0, 0.1, parent_id=fan.span_id)
+        assert explicit.parent_id == fan.span_id
+
+
+def test_emit_event_correlates_with_active_span():
+    log = EventLog()
+    with start_trace(trace_id="t-ev", events=log):
+        emit_event("query", event="query.start")
+        with span("shard_fanout"):
+            emit_event("shard", event="shard.scatter")
+    root_ev, shard_ev = log.tail()
+    assert root_ev["trace_id"] == shard_ev["trace_id"] == "t-ev"
+    assert "span_id" not in root_ev  # emitted at the trace root
+    assert shard_ev["span_id"] == "s1"

@@ -1,0 +1,93 @@
+"""EventLog: bounded ring, deterministic sampling, accounting."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import EventLog, start_trace
+from repro.obs.context import emit_event
+
+
+def test_bounded_ring_drops_oldest_and_counts():
+    log = EventLog(capacity=4)
+    for i in range(10):
+        log.emit("query", i=i)
+    assert len(log) == 4
+    assert [e["i"] for e in log.tail()] == [6, 7, 8, 9]
+    stats = log.stats()
+    assert stats["retained"] == 4
+    assert stats["emitted"] == {"query": 10}
+    assert stats["dropped"] == 6
+
+
+def test_sampling_keeps_every_nth_deterministically():
+    log = EventLog(sample={"query": 3})
+    kept = [log.emit("query", i=i) for i in range(9)]
+    # keep-1-in-3: the 1st, 4th and 7th emissions are retained.
+    assert kept == [True, False, False] * 3
+    assert [e["i"] for e in log.tail()] == [0, 3, 6]
+    stats = log.stats()
+    assert stats["emitted"] == {"query": 9}
+    assert stats["sampled_out"] == {"query": 6}
+
+
+def test_unmapped_categories_keep_everything():
+    log = EventLog(sample={"query": 100})
+    for _ in range(5):
+        log.emit("fault", event="disk.read_failure")
+    assert len(log.tail(category="fault")) == 5
+
+
+def test_capacity_zero_is_a_counting_noop():
+    log = EventLog(capacity=0)
+    assert log.emit("query") is False
+    assert len(log) == 0
+    assert log.tail() == []
+    stats = log.stats()
+    assert stats["emitted"] == {"query": 1}
+    assert stats["dropped"] == 1
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        EventLog(capacity=-1)
+    with pytest.raises(ValueError):
+        EventLog(sample={"query": 0})
+
+
+def test_tail_filters_and_jsonl_round_trip():
+    log = EventLog()
+    with start_trace(trace_id="t-a", events=log):
+        emit_event("query", event="query.start")
+    with start_trace(trace_id="t-b", events=log):
+        emit_event("query", event="query.start")
+        emit_event("cache", event="cache.miss")
+    assert [e["trace_id"] for e in log.tail(trace_id="t-b")] == ["t-b", "t-b"]
+    assert [e["category"] for e in log.tail(category="cache")] == ["cache"]
+    assert len(log.tail(1)) == 1
+    lines = log.to_jsonl().splitlines()
+    assert len(lines) == 3
+    parsed = [json.loads(line) for line in lines]
+    assert [e["seq"] for e in parsed] == [1, 2, 3]  # stable ordering
+
+
+def test_concurrent_writers_never_lose_accounting():
+    log = EventLog(capacity=64)
+    threads = [
+        threading.Thread(
+            target=lambda: [log.emit("query", n=i) for i in range(100)])
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = log.stats()
+    assert stats["emitted"] == {"query": 800}
+    assert stats["retained"] == 64
+    assert stats["dropped"] == 800 - 64
+    seqs = [e["seq"] for e in log.tail()]
+    assert seqs == sorted(seqs)

@@ -1,0 +1,142 @@
+"""Exporters: Prometheus line format, span trees, Chrome trace JSON."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs import chrome_trace, prometheus_text, span_tree, \
+    write_chrome_trace
+from repro.service import MetricsRegistry, QueryTrace, Span
+
+# One sample line of the text exposition format (version 0.0.4):
+# metric name, optional {labels}, a value.
+_EXPOSITION_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [0-9.eE+-]+$")
+
+
+def _registry() -> MetricsRegistry:
+    m = MetricsRegistry()
+    m.counter("service.queries.knn").inc(3)
+    m.counter("service.queries.window").inc(2)
+    m.counter("service.cache.probes").inc(7)
+    m.counter("service.shard.3.queries").inc(4)
+    m.counter("service.node_accesses.nn").inc(11)
+    m.gauge("service.fleet.clients").set(16)
+    h = m.histogram("service.latency_ms.knn")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.record(v)
+    return m
+
+
+def test_prometheus_golden_lines():
+    text = prometheus_text(_registry())
+    lines = text.splitlines()
+    # Per-kind counters fold the kind suffix into a label on one family.
+    assert "repro_service_queries_total{kind=\"knn\"} 3" in lines
+    assert "repro_service_queries_total{kind=\"window\"} 2" in lines
+    # Shard / phase dimensions likewise.
+    assert "repro_service_shard_queries_total{shard=\"3\"} 4" in lines
+    assert "repro_service_node_accesses_total{phase=\"nn\"} 11" in lines
+    # Unfolded names pass straight through.
+    assert "repro_service_cache_probes_total 7" in lines
+    assert "repro_service_fleet_clients 16.0" in lines
+    # Histograms surface as summaries with quantile labels
+    # (nearest-rank p50 of [1,2,3,4] is 3.0).
+    assert ("repro_service_latency_ms{kind=\"knn\",quantile=\"0.5\"} 3.0"
+            in lines)
+    assert "repro_service_latency_ms_sum{kind=\"knn\"} 10.0" in lines
+    assert "repro_service_latency_ms_count{kind=\"knn\"} 4" in lines
+
+
+def test_prometheus_exposition_parses():
+    """Every line is a comment or a well-formed sample; each family has
+    exactly one TYPE header."""
+    text = prometheus_text(_registry())
+    assert text.endswith("\n")
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, prom_type = line.split(" ")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = prom_type
+        elif not line.startswith("#"):
+            assert _EXPOSITION_LINE.match(line), f"bad sample line: {line!r}"
+            metric = re.split(r"[{ ]", line, maxsplit=1)[0]
+            family = re.sub(r"_(sum|count)$", "", metric)
+            assert metric in types or family in types, (
+                f"sample {metric} has no TYPE header")
+    assert types["repro_service_queries_total"] == "counter"
+    assert types["repro_service_fleet_clients"] == "gauge"
+    assert types["repro_service_latency_ms"] == "summary"
+
+
+def _trace() -> QueryTrace:
+    return QueryTrace(
+        trace_id="t-x", kind="knn", started_at=1_700_000_000.0,
+        monotonic_origin=10.0, duration_ms=5.0,
+        node_accesses={"nn": 7}, result_size=3,
+        spans=[
+            Span("cache_probe", 0.1, 0.2, span_id="s1"),
+            Span("shard_fanout", 0.4, 4.0, span_id="s2"),
+            Span("shard_3", 0.5, 1.5, span_id="s3", parent_id="s2",
+                 meta={"sid": 3}),
+            Span("index_descent", 0.6, 1.0, span_id="s4", parent_id="s3"),
+            Span("serialization", 4.5, 0.3, span_id="s5"),
+        ])
+
+
+def test_span_tree_nests_children():
+    tree = span_tree(_trace())
+    assert tree["trace_id"] == "t-x"
+    roots = [node["name"] for node in tree["spans"]]
+    assert roots == ["cache_probe", "shard_fanout", "serialization"]
+    fanout = tree["spans"][1]
+    assert [c["name"] for c in fanout["children"]] == ["shard_3"]
+    shard = fanout["children"][0]
+    assert [c["name"] for c in shard["children"]] == ["index_descent"]
+
+
+def test_span_tree_handles_legacy_flat_spans():
+    trace = QueryTrace(trace_id="t-flat", kind="window", started_at=0.0,
+                       spans=[Span("index_descent", 0.0, 1.0),
+                              Span("serialization", 1.0, 0.1)])
+    tree = span_tree(trace)
+    assert [node["name"] for node in tree["spans"]] == [
+        "index_descent", "serialization"]
+    assert all(node["children"] == [] for node in tree["spans"])
+
+
+def test_chrome_trace_structure_and_clocks():
+    trace = _trace()
+    doc = chrome_trace(trace)
+    events = doc["traceEvents"]
+    base_us = trace.started_at * 1e6
+    # Metadata names the process and the shard track.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in meta)
+    assert any(e["args"].get("name") == "shard 3" for e in meta)
+    # The query slice and one slice per span, all absolute-time stamped.
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 1 + len(trace.spans)
+    query = next(e for e in slices if e["cat"] == "query")
+    assert query["ts"] == base_us
+    assert query["dur"] == trace.duration_ms * 1e3
+    shard = next(e for e in slices if e["name"] == "shard_3")
+    assert shard["tid"] == 2 + 3  # its own track
+    assert shard["ts"] == base_us + 0.5 * 1e3
+    descent = next(e for e in slices if e["name"] == "index_descent")
+    assert descent["tid"] == shard["tid"]  # children inherit the track
+    probe = next(e for e in slices if e["name"] == "cache_probe")
+    assert probe["tid"] == 1
+    json.dumps(doc)  # serializable as-is
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = write_chrome_trace(_trace(), tmp_path / "trace.json")
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["displayTimeUnit"] == "ms"
+    assert any(e["name"] == "knn query" for e in doc["traceEvents"])

@@ -1,0 +1,98 @@
+"""The observability HTTP endpoint, scraped over a real socket."""
+
+from __future__ import annotations
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import KNNRequest, WindowRequest, build_service
+from repro.obs import ObservabilityServer
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+
+
+def _fetch(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def served():
+    rnd = random.Random(42)
+    points = [(rnd.random(), rnd.random()) for _ in range(600)]
+    service = build_service(points, shards=2, cache_capacity=32)
+    service.answer(KNNRequest((0.5, 0.5), k=3, trace_id="t-http-knn"))
+    service.answer(KNNRequest((0.5, 0.5), k=3))  # server-cache hit
+    service.answer(WindowRequest((0.3, 0.3), width=0.2, height=0.2))
+    with ObservabilityServer(service, port=0) as obs:
+        assert obs.port != 0  # the ephemeral port resolved
+        yield obs.url
+
+
+def test_healthz(served):
+    status, _ctype, body = _fetch(served + "/healthz")
+    assert (status, body) == (200, "ok\n")
+
+
+def test_metrics_is_prometheus_text(served):
+    status, ctype, body = _fetch(served + "/metrics")
+    assert status == 200
+    assert ctype == PROMETHEUS_CONTENT_TYPE
+    assert 'repro_service_queries_total{kind="knn"} 2' in body
+    assert 'repro_service_cache_hits_total{kind="knn"} 1' in body
+    assert 'quantile="0.95"' in body
+
+
+def test_snapshot_is_the_full_stats_json(served):
+    status, ctype, body = _fetch(served + "/snapshot")
+    assert status == 200
+    assert ctype == "application/json"
+    snap = json.loads(body)
+    assert snap["service"]["queries"] == 3
+    assert snap["events"]["emitted"]["query"] >= 3
+
+
+def test_trace_index_and_span_tree(served):
+    _status, _ctype, body = _fetch(served + "/traces")
+    index = json.loads(body)
+    assert {t["trace_id"] for t in index} >= {"t-http-knn"}
+    status, _ctype, body = _fetch(served + "/traces/t-http-knn")
+    assert status == 200
+    tree = json.loads(body)
+    assert tree["kind"] == "knn"
+    roots = {node["name"] for node in tree["spans"]}
+    assert "shard_fanout" in roots
+    fanout = next(n for n in tree["spans"] if n["name"] == "shard_fanout")
+    shard_names = {c["name"] for c in fanout["children"]}
+    assert shard_names and all(n.startswith("shard_") for n in shard_names)
+
+
+def test_trace_chrome_view(served):
+    _status, _ctype, body = _fetch(served + "/traces/t-http-knn/chrome")
+    doc = json.loads(body)
+    assert any(e.get("cat") == "query" for e in doc["traceEvents"])
+
+
+def test_events_ndjson_with_filters(served):
+    status, ctype, body = _fetch(served + "/events?category=query&n=50")
+    assert status == 200
+    assert ctype == "application/x-ndjson"
+    events = [json.loads(line) for line in body.splitlines()]
+    assert events and all(e["category"] == "query" for e in events)
+    _status, _ctype, body = _fetch(
+        served + "/events?trace_id=t-http-knn")
+    assert all(json.loads(line)["trace_id"] == "t-http-knn"
+               for line in body.splitlines())
+
+
+@pytest.mark.parametrize("path", ["/nope", "/traces/absent",
+                                  "/traces/t-http-knn/nope"])
+def test_unknown_paths_are_json_404s(served, path):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _fetch(served + path)
+    assert err.value.code == 404
+    assert "error" in json.loads(err.value.read().decode("utf-8"))

@@ -9,7 +9,7 @@ from repro.service import checkapi
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_all_exports_resolve():
