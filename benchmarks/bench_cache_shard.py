@@ -29,7 +29,7 @@ from typing import Dict, List, Tuple
 from common import CONFIG, SCALE, print_table, run_once, uniform_dataset, \
     write_bench_record
 
-from repro import KNNRequest, build_service
+from repro import CacheConfig, ExecutionConfig, KNNRequest, build_service
 from repro.datasets.synthetic import UNIT_UNIVERSE
 from repro.mobility import random_waypoint
 
@@ -68,8 +68,10 @@ def _drive(shards: int, cache_capacity: int, points,
     service = build_service(
         points,
         shards=shards,
-        cache_capacity=cache_capacity,
-        max_workers=1,  # keep the timing single-threaded and stable
+        cache=(CacheConfig(capacity=cache_capacity)
+               if cache_capacity > 0 else None),
+        # single dispatch thread keeps the timing stable and comparable
+        execution=ExecutionConfig(backend="thread", workers=1),
     )
     start = time.perf_counter()
     queries = 0

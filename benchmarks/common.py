@@ -242,28 +242,31 @@ BENCH_SCHEMA = "repro-bench/1"
 BENCH_HISTORY = 20
 
 
-def bench_record_path(name: str) -> str:
+def bench_record_path(name: str, prefix: str = "obs") -> str:
     """Where ``write_bench_record(name, ...)`` persists its runs.
 
     ``REPRO_BENCH_DIR`` overrides the directory (default: the current
-    working directory, which is where CI collects ``BENCH_obs_*.json``
-    artifacts from).
+    working directory, which is where CI collects ``BENCH_<prefix>_*.json``
+    artifacts from).  ``prefix`` namespaces independent trails: "obs"
+    for the observability benches, "kernel" for the execution-config
+    (kernel x backend) matrix.
     """
     out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
-    return os.path.join(out_dir, f"BENCH_obs_{name}.json")
+    return os.path.join(out_dir, f"BENCH_{prefix}_{name}.json")
 
 
-def write_bench_record(name: str, metrics, context=None) -> str:
+def write_bench_record(name: str, metrics, context=None,
+                       prefix: str = "obs") -> str:
     """Append one run's flat numeric ``metrics`` to the bench record.
 
-    The record file (``BENCH_obs_<name>.json``) keeps a bounded run
-    history under a schema version; ``benchmarks/compare.py`` diffs the
-    last two runs and fails on large regressions.  Returns the path
+    The record file (``BENCH_<prefix>_<name>.json``) keeps a bounded
+    run history under a schema version; ``benchmarks/compare.py`` diffs
+    the last two runs and fails on large regressions.  Returns the path
     written.
     """
     import time
 
-    path = bench_record_path(name)
+    path = bench_record_path(name, prefix=prefix)
     record = {"schema": BENCH_SCHEMA, "name": name, "runs": []}
     if os.path.exists(path):
         try:

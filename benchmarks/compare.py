@@ -1,7 +1,8 @@
 """Diff the last two runs of a bench record and fail on regressions.
 
 The regression trail: benches append flat numeric metrics to
-schema-versioned ``BENCH_obs_<name>.json`` files (see
+schema-versioned ``BENCH_obs_<name>.json`` /
+``BENCH_kernel_<name>.json`` files (see
 ``common.write_bench_record``); this tool compares each record's most
 recent run against the one before it and exits non-zero when a guarded
 metric regressed by more than the threshold (default 25%).
@@ -21,9 +22,9 @@ Usage::
 
     python benchmarks/compare.py [RECORD.json ...] [--threshold 0.25]
 
-With no file arguments, every ``BENCH_obs_*.json`` in the bench
-directory (``REPRO_BENCH_DIR``, default the current directory) is
-checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
+With no file arguments, every ``BENCH_obs_*.json`` and
+``BENCH_kernel_*.json`` in the bench directory (``REPRO_BENCH_DIR``,
+default the current directory) is checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
 2 bad input.
 """
 
@@ -119,10 +120,10 @@ def check_record(path: str, threshold: float) -> Tuple[int, List[str]]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="compare the last two runs of BENCH_obs_*.json records")
+        description="compare the last two runs of BENCH_*.json records")
     parser.add_argument("records", nargs="*",
-                        help="record files (default: BENCH_obs_*.json in "
-                             "$REPRO_BENCH_DIR or .)")
+                        help="record files (default: BENCH_obs_*.json and "
+                             "BENCH_kernel_*.json in $REPRO_BENCH_DIR or .)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated relative regression "
                              "(default 0.25 = 25%%)")
@@ -130,11 +131,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     records = args.records
     if not records:
         bench_dir = os.environ.get("REPRO_BENCH_DIR", ".")
-        records = sorted(glob.glob(os.path.join(bench_dir,
-                                                "BENCH_obs_*.json")))
+        records = sorted(
+            glob.glob(os.path.join(bench_dir, "BENCH_obs_*.json"))
+            + glob.glob(os.path.join(bench_dir, "BENCH_kernel_*.json")))
         if not records:
-            print(f"no BENCH_obs_*.json records under {bench_dir!r}; "
-                  "run a bench first")
+            print(f"no BENCH_obs_*.json or BENCH_kernel_*.json records "
+                  f"under {bench_dir!r}; run a bench first")
             return 0
     worst = 0
     for path in records:

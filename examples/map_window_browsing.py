@@ -9,7 +9,7 @@ set is provably unchanged.
 Run:  python examples/map_window_browsing.py
 """
 
-from repro import LocationServer, MobileClient, Rect
+from repro import LocationServer, MobileClient, Rect, WindowRequest
 from repro.datasets import make_greece_like, GR_UNIVERSE
 from repro.mobility import random_walk
 
@@ -26,7 +26,7 @@ def main():
 
     # Inspect one response, starting on a road (where the data lives).
     center = tuple(pois[1_000])
-    response = server.window_query(center, VIEWPORT_W, VIEWPORT_H)
+    response = server.answer(WindowRequest(center, VIEWPORT_W, VIEWPORT_H))
     detail = response.detail
     print("one viewport refresh:")
     print(f"  points in view    : {len(response.result)}")

@@ -9,7 +9,7 @@ re-querying.
 Run:  python examples/restaurant_finder.py
 """
 
-from repro import LocationServer, MobileClient, Rect
+from repro import KNNRequest, LocationServer, MobileClient, Rect
 from repro.baselines import NaiveClient
 from repro.datasets.synthetic import gaussian_clusters
 from repro.mobility import random_waypoint
@@ -26,7 +26,7 @@ def main():
     naive = NaiveClient(server.tree)
 
     # One response, dissected.
-    response = server.knn_query((5_000.0, 5_000.0), k=3)
+    response = server.answer(KNNRequest((5_000.0, 5_000.0), k=3))
     print("one response from the server:")
     print(f"  3 nearest restaurants : "
           f"{[e.oid for e in response.neighbors]}")

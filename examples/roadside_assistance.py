@@ -13,7 +13,7 @@ entered or left the radius.
 Run:  python examples/roadside_assistance.py
 """
 
-from repro import LocationServer, MobileClient, Rect
+from repro import LocationServer, MobileClient, RangeRequest, Rect
 from repro.datasets.synthetic import gaussian_clusters
 from repro.mobility import random_waypoint
 
@@ -27,7 +27,7 @@ def main():
     server = LocationServer.from_points(trucks, universe=CITY)
 
     # One response, dissected.
-    response = server.range_query((20_000.0, 20_000.0), RADIUS)
+    response = server.answer(RangeRequest((20_000.0, 20_000.0), RADIUS))
     detail = response.detail
     print("one range query:")
     print(f"  trucks within 5 km : {len(response.result)}")

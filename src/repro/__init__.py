@@ -48,6 +48,7 @@ from repro.mobility import (
     simulate_knn_protocols,
     simulate_window_protocols,
 )
+from repro.kernel import ExecutionConfig, available_kernels
 from repro.obs import (
     EventLog,
     ObservabilityServer,
@@ -72,7 +73,7 @@ from repro.service import (
     build_service,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -118,6 +119,8 @@ __all__ = [
     "ShardedServer",
     "ValidityCache",
     "CacheConfig",
+    "ExecutionConfig",
+    "available_kernels",
     "TraceContext",
     "start_trace",
     "current_trace",

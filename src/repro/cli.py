@@ -38,6 +38,7 @@ from repro.datasets import (
 )
 from repro.geometry import Rect
 from repro.index import bulk_load_str
+from repro.kernel import BACKENDS, KERNELS, ExecutionConfig
 from repro.mobility import random_waypoint, simulate_knn_protocols
 from repro.service import ClientFleet, FleetConfig, QueryService
 from repro.storage.serialize import load_tree, save_tree
@@ -110,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables it)")
     p_svc.add_argument("--cache-grid", type=int, default=16,
                        help="resolution of the cache's region-MBR grid")
+    p_svc.add_argument("--backend", choices=BACKENDS, default="thread",
+                       help="shard fan-out backend (process keeps "
+                            "pre-loaded per-shard trees in pool workers)")
+    p_svc.add_argument("--kernel", choices=KERNELS, default="auto",
+                       help="geometry kernel: scalar (paper-faithful "
+                            "tree probing), soa (stdlib columnar), numpy "
+                            "(vectorized columnar), auto (numpy if "
+                            "available, else soa)")
     p_svc.add_argument("--fault-rate", type=float, default=0.0,
                        help="inject seeded page-read failures at this rate")
     p_svc.add_argument("--fault-latency-ms", type=float, default=0.0,
@@ -249,6 +258,7 @@ def _cmd_service(args) -> int:
     from repro.obs import EventLog, ObservabilityServer, write_chrome_trace
     from repro.service import (
         BreakerConfig,
+        CacheConfig,
         ResilienceConfig,
         RetryPolicy,
         build_service,
@@ -275,11 +285,15 @@ def _cmd_service(args) -> int:
         default_budget=budget,
         seed=args.seed,
     )
+    cache = None
+    if args.cache_capacity > 0:
+        cache = CacheConfig(capacity=args.cache_capacity,
+                            grid=args.cache_grid)
     service = build_service(
         uniform_points(args.n, seed=args.seed),
         shards=args.shards,
-        cache_capacity=args.cache_capacity,
-        cache_grid=args.cache_grid,
+        execution=ExecutionConfig(backend=args.backend, kernel=args.kernel),
+        cache=cache,
         buffer_fraction=args.buffer_fraction,
         resilience=resilience,
         events=EventLog(capacity=args.event_capacity, sample=sample),
@@ -378,6 +392,9 @@ def _cmd_service(args) -> int:
             except KeyboardInterrupt:
                 pass
         obs.stop()
+    close = getattr(server, "close", None)
+    if close is not None:  # sharded servers own worker pools
+        close()
     return 0
 
 

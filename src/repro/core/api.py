@@ -17,8 +17,10 @@ benchmark harness — can program against:
 * :meth:`repro.core.server.LocationServer.answer`, the single entry
   point dispatching any request to the right processing path.
 
-The per-type server methods (``knn_query`` etc.) remain available for
-callers that prefer them.
+``answer(request)`` is the only query entry point: the per-type server
+methods (``knn_query`` etc.) and the mapping-style ``detail["..."]``
+shim were removed in v1.3.0 after their deprecation window (opened in
+v1.1.0) lapsed — see docs/API.md.
 """
 
 from __future__ import annotations
@@ -43,41 +45,11 @@ __all__ = [
     "QueryResponse",
     "QueryBudget",
     "BudgetClock",
-    "DetailMapping",
     "QueryDetail",
 ]
 
 
-class DetailMapping:
-    """Dict-style read access over a detail record's attributes.
-
-    Response ``detail`` objects are dataclasses, but the degraded-mode
-    contract was historically documented as ``detail["degraded"]`` so
-    generic callers (benchmark harnesses, JSON dumpers) needed no
-    per-type knowledge.  Mixing this in gives every detail record both
-    spellings.
-
-    .. deprecated::
-        Mapping-style access (``detail["degraded"]``, ``detail.get``)
-        is a back-compat shim kept for one deprecation window (see
-        docs/API.md); new code should use the typed attributes of the
-        :class:`QueryDetail` hierarchy directly.
-    """
-
-    def __getitem__(self, key: str):
-        try:
-            return getattr(self, key)
-        except AttributeError:
-            raise KeyError(key) from None
-
-    def get(self, key: str, default=None):
-        return getattr(self, key, default)
-
-    def __contains__(self, key) -> bool:
-        return isinstance(key, str) and hasattr(self, key)
-
-
-class QueryDetail(DetailMapping):
+class QueryDetail:
     """Base of the typed per-query-type detail hierarchy.
 
     Every response's ``detail`` is a dataclass deriving from this base:
@@ -90,9 +62,6 @@ class QueryDetail(DetailMapping):
     * ``kind`` — the query type the detail describes;
     * ``degraded`` — whether the budget ran out and the shipped region
       is a conservative under-approximation (the result stays exact).
-
-    Mapping-style access is inherited from :class:`DetailMapping` as a
-    deprecated back-compat shim.
     """
 
     #: The query type this detail record describes.
@@ -116,8 +85,8 @@ class QueryBudget:
     bounds simulated I/O.  When either is exhausted mid-computation the
     server stops refining the validity region and ships a **degraded
     response**: the (still exact) query result with a conservatively
-    shrunk region and ``detail["degraded"] = True`` — clients stay
-    correct, they just re-query sooner.
+    shrunk region and ``detail.degraded`` set — clients stay correct,
+    they just re-query sooner.
     """
 
     deadline_ms: Optional[float] = None

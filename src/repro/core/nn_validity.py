@@ -108,8 +108,9 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
                         rng: Optional[random.Random] = None,
                         nn_phase: str = "nn",
                         tp_phase: str = "tpnn",
-                        clock: Optional[BudgetClock] = None
-                        ) -> NNValidityResult:
+                        clock: Optional[BudgetClock] = None,
+                        kernel=None,
+                        columns=None) -> NNValidityResult:
     """Process a location-based kNN query end to end (Section 3.2).
 
     Step (i) runs an ordinary kNN query (charged to phase ``nn_phase``),
@@ -123,12 +124,24 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
     is exhausted mid-probing, step (ii) stops early and the result is
     **degraded**: still the exact kNN set, but with the conservative
     safe disk of :func:`degraded_safe_radius` as its validity region.
+
+    With a columnar ``kernel`` (see :mod:`repro.kernel.backends`) and a
+    ``columns`` snapshot of the dataset, steps (i) and (ii) evaluate
+    whole candidate sets at once instead of traversing the tree; the
+    phase blocks still open (so trace spans keep their shape) but
+    charge zero node accesses.
     """
     if universe is None:
         universe = tree.root.mbr
     q = Point(float(q[0]), float(q[1]))
+    columnar = (kernel is not None and getattr(kernel, "columnar", False)
+                and columns is not None)
     with tree.disk.phase(nn_phase):
-        neighbors = [n.entry for n in nearest_neighbors(tree, q, k, method=nn_method)]
+        if columnar:
+            neighbors = [e for _d2, e in kernel.knn(columns, q.x, q.y, k)]
+        else:
+            neighbors = [n.entry for n in
+                         nearest_neighbors(tree, q, k, method=nn_method)]
     if len(neighbors) < k:
         # Fewer than k objects exist: the result never changes anywhere.
         return NNValidityResult(q, neighbors, [],
@@ -136,7 +149,8 @@ def compute_nn_validity(tree: RStarTree, q, k: int = 1,
     with tree.disk.phase(tp_phase):
         return retrieve_influence_set_knn(tree, q, neighbors, universe,
                                           vertex_policy=vertex_policy,
-                                          rng=rng, clock=clock)
+                                          rng=rng, clock=clock,
+                                          kernel=kernel, columns=columns)
 
 
 def retrieve_influence_set_1nn(tree: RStarTree, q, nearest: LeafEntry,
@@ -157,8 +171,9 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
                                universe: Rect,
                                vertex_policy: str = "fifo",
                                rng: Optional[random.Random] = None,
-                               clock: Optional[BudgetClock] = None
-                               ) -> NNValidityResult:
+                               clock: Optional[BudgetClock] = None,
+                               kernel=None,
+                               columns=None) -> NNValidityResult:
     """Algorithm ``Retrieve_Influence_Set_kNN`` (Figure 12).
 
     Maintains the influence *pair* set S_inf_p: for k > 1 the same
@@ -168,6 +183,10 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
 
     With a ``clock``, each probe iteration first checks the budget;
     on exhaustion the loop stops and a degraded result is returned.
+
+    With a columnar ``kernel`` + ``columns`` snapshot, each TPNN probe
+    evaluates influence times over the whole candidate column set in
+    one batch instead of a best-first tree search.
     """
     if vertex_policy not in VERTEX_POLICIES:
         raise ValueError(f"unknown vertex policy {vertex_policy!r}")
@@ -192,6 +211,13 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
     # either confirms a vertex or shrinks the region), but degenerate
     # float behaviour should fail loudly rather than spin.
     max_queries = 64 + 16 * (len(neighbors) + len(tree.root.entries) + 64)
+    columnar = (kernel is not None and getattr(kernel, "columnar", False)
+                and columns is not None)
+    # One probe context per (query, result) pair: it amortizes the
+    # direction-independent work (distances, near-subset candidate
+    # levels) across every TP probe of the retrieval loop.
+    probe_ctx = (kernel.tp_context(columns, q.x, q.y, neighbors)
+                 if columnar else None)
 
     degraded = False
     while True:
@@ -208,8 +234,12 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
             num_confirm += 1
             continue
         direction = q.towards(vertex)
-        event = tp_knn(tree, q, direction, neighbors,
-                       prefer_new=known_influence_oids)
+        if columnar:
+            event = probe_ctx.probe(direction[0], direction[1],
+                                    prefer_new=known_influence_oids)
+        else:
+            event = tp_knn(tree, q, direction, neighbors,
+                           prefer_new=known_influence_oids)
         num_tp += 1
         if not event.found:
             confirmed[(vertex.x, vertex.y)] = True
@@ -239,7 +269,9 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
 
     safe_radius = None
     if degraded:
-        safe_radius = degraded_safe_radius(tree, q, neighbors)
+        safe_radius = degraded_safe_radius(
+            tree, q, neighbors,
+            kernel=kernel if columnar else None, columns=columns)
     return NNValidityResult(
         query=q,
         neighbors=list(neighbors),
@@ -255,7 +287,8 @@ def retrieve_influence_set_knn(tree: RStarTree, q, neighbors: Sequence[LeafEntry
 
 def degraded_safe_radius(tree: RStarTree, q: Point,
                          neighbors: Sequence[LeafEntry],
-                         phase: str = "degraded") -> float:
+                         phase: str = "degraded",
+                         kernel=None, columns=None) -> float:
     """Radius of the conservative safe disk of a degraded kNN response.
 
     Let ``d_k`` be the distance from ``q`` to its farthest result
@@ -274,13 +307,23 @@ def degraded_safe_radius(tree: RStarTree, q: Point,
     k = len(neighbors)
     d_k = max(q.distance_to((e.x, e.y)) for e in neighbors)
     with tree.disk.phase(phase):
-        ranked = nearest_neighbors(tree, q, k + 1)
+        if (kernel is not None and getattr(kernel, "columnar", False)
+                and columns is not None):
+            ranked_d2 = kernel.knn(columns, q.x, q.y, k + 1)
+            if len(ranked_d2) <= k:
+                ranked = ranked_d2
+                d_next = 0.0
+            else:
+                ranked = ranked_d2
+                d_next = ranked_d2[-1][0] ** 0.5
+        else:
+            ranked = nearest_neighbors(tree, q, k + 1)
+            d_next = ranked[-1].dist if len(ranked) > k else 0.0
     if len(ranked) <= k:
         # The whole dataset is in the result: valid everywhere.  A disk
         # spanning the universe diagonal is an equivalent, finite stand-in.
         mbr = tree.root.mbr
         return ((mbr.width ** 2 + mbr.height ** 2) ** 0.5)
-    d_next = ranked[-1].dist
     return max(0.0, (d_next - d_k) / 2.0)
 
 

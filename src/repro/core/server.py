@@ -6,14 +6,19 @@ statistics that Section 6 reports.
 
 Every response class implements the :class:`repro.core.api.QueryResponse`
 protocol (``.result``, ``.region``, ``.detail``, ``.transfer_bytes()``),
-and :meth:`LocationServer.answer` accepts any typed request from
-:mod:`repro.core.api`; the per-type methods are kept for back-compat.
+and :meth:`LocationServer.answer` — the single query entry point —
+accepts any typed request from :mod:`repro.core.api`.
+
+The geometry kernel is pluggable (``kernel=``): the default scalar
+kernel runs the paper's per-object tree algorithms and charges
+simulated node accesses; the columnar kernels of :mod:`repro.kernel`
+batch-evaluate kNN and TPNN influence times over a struct-of-arrays
+snapshot of the dataset (cached per epoch) for raw CPU throughput.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -134,11 +139,35 @@ class LocationServer:
     cost under updates the paper criticizes.
     """
 
-    def __init__(self, tree: RStarTree, universe: Optional[Rect] = None):
+    def __init__(self, tree: RStarTree, universe: Optional[Rect] = None,
+                 kernel=None):
         self.tree = tree
         self.universe = universe if universe is not None else tree.root.mbr
         self.queries_processed = 0
         self.epoch = 0
+        # Resolved lazily-importable to keep repro.core free of a hard
+        # dependency edge on repro.kernel at module import time.
+        from repro.kernel.backends import get_kernel
+        self.kernel = get_kernel(kernel)
+        self._columns = None
+        self._columns_epoch = -1
+
+    def use_kernel(self, kernel) -> None:
+        """Swap the geometry kernel (name, ``None``, or instance)."""
+        from repro.kernel.backends import get_kernel
+        self.kernel = get_kernel(kernel)
+        self._columns = None
+        self._columns_epoch = -1
+
+    def _kernel_columns(self):
+        """The epoch-cached SoA snapshot (``None`` on the scalar path)."""
+        if not self.kernel.columnar:
+            return None
+        if self._columns is None or self._columns_epoch != self.epoch:
+            from repro.kernel.columns import PointColumns
+            self._columns = PointColumns.from_tree(self.tree)
+            self._columns_epoch = self.epoch
+        return self._columns
 
     # ------------------------------------------------------------------
     # updates
@@ -158,12 +187,13 @@ class LocationServer:
     @classmethod
     def from_points(cls, points: Sequence, universe: Optional[Rect] = None,
                     capacity: Optional[int] = None, fill: float = 0.7,
-                    buffer_fraction: float = 0.0) -> "LocationServer":
+                    buffer_fraction: float = 0.0,
+                    kernel=None) -> "LocationServer":
         """Bulk-load a server over raw ``(x, y)`` data."""
         tree = bulk_load_str(points, capacity=capacity, fill=fill)
         if buffer_fraction > 0.0:
             tree.attach_lru_buffer(buffer_fraction)
-        return cls(tree, universe)
+        return cls(tree, universe, kernel=kernel)
 
     # ------------------------------------------------------------------
     # the unified entry point
@@ -210,7 +240,9 @@ class LocationServer:
         detail = compute_nn_validity(self.tree, location, k=k,
                                      universe=self.universe,
                                      vertex_policy=vertex_policy, rng=rng,
-                                     clock=self._start_clock(budget))
+                                     clock=self._start_clock(budget),
+                                     kernel=self.kernel,
+                                     columns=self._kernel_columns())
         self.queries_processed += 1
         return KNNResponse(
             neighbors=detail.neighbors,
@@ -250,68 +282,6 @@ class LocationServer:
                       budget: Optional[QueryBudget] = None) -> DeltaResponse:
         full = self._window(focus, width, height, budget=budget)
         return _delta(full, full.result, previous_ids)
-
-    # ------------------------------------------------------------------
-    # deprecated per-type call styles (use ``answer(request)``)
-    # ------------------------------------------------------------------
-    def knn_query(self, location, k: int = 1,
-                  vertex_policy: str = "fifo",
-                  rng: Optional[random.Random] = None,
-                  budget: Optional[QueryBudget] = None) -> KNNResponse:
-        """Location-based kNN: result + validity region + influence set.
-
-        ``budget`` bounds server-side work; when it is exhausted during
-        TPNN probing the response degrades to an exact result with a
-        conservative safe-disk region and ``detail.degraded`` set.
-
-        .. deprecated::
-            Use ``answer(KNNRequest(location, k=k, ...))`` — the typed
-            path all service-layer features (cache, shards, tracing)
-            hang off.  See the deprecation window in docs/API.md.
-        """
-        _warn_per_type("knn_query", "KNNRequest")
-        return self._knn(location, k=k, vertex_policy=vertex_policy,
-                         rng=rng, budget=budget)
-
-    def window_query(self, focus, width: float, height: float,
-                     budget: Optional[QueryBudget] = None) -> WindowResponse:
-        """Location-based window query around a focus point.
-
-        .. deprecated:: Use ``answer(WindowRequest(...))``.
-        """
-        _warn_per_type("window_query", "WindowRequest")
-        return self._window(focus, width, height, budget=budget)
-
-    def range_query(self, location, radius: float,
-                    budget: Optional[QueryBudget] = None) -> RangeResponse:
-        """Location-based circular range query (§7 extension).
-
-        .. deprecated:: Use ``answer(RangeRequest(...))``.
-        """
-        _warn_per_type("range_query", "RangeRequest")
-        return self._range(location, radius, budget=budget)
-
-    def knn_query_delta(self, location, k: int, previous_ids,
-                        budget: Optional[QueryBudget] = None
-                        ) -> DeltaResponse:
-        """kNN re-query shipping only the change versus ``previous_ids``.
-
-        .. deprecated:: Use ``answer(KNNRequest(..., previous_ids=ids))``.
-        """
-        _warn_per_type("knn_query_delta", "KNNRequest")
-        return self._knn_delta(location, k, previous_ids, budget=budget)
-
-    def window_query_delta(self, focus, width: float, height: float,
-                           previous_ids,
-                           budget: Optional[QueryBudget] = None
-                           ) -> DeltaResponse:
-        """Window re-query shipping only the change versus ``previous_ids``.
-
-        .. deprecated:: Use ``answer(WindowRequest(..., previous_ids=ids))``.
-        """
-        _warn_per_type("window_query_delta", "WindowRequest")
-        return self._window_delta(focus, width, height, previous_ids,
-                                  budget=budget)
 
     # ------------------------------------------------------------------
     # instrumentation — the narrow interface the service layer uses.
@@ -354,14 +324,6 @@ class LocationServer:
         if callable(injected) and hasattr(disk, "plan"):
             out["faults_injected"] = disk.snapshot()
         return out
-
-
-def _warn_per_type(method: str, request_type: str) -> None:
-    warnings.warn(
-        f"LocationServer.{method}() is deprecated; use "
-        f"answer({request_type}(...)) — see docs/API.md for the "
-        f"deprecation window",
-        DeprecationWarning, stacklevel=3)
 
 
 def delta_response(full, result: List[LeafEntry], previous_ids

@@ -54,13 +54,16 @@ def nearest_neighbors(tree: RStarTree, q, k: int = 1,
 # best-first [HS99]
 # ----------------------------------------------------------------------
 def _best_first(tree: RStarTree, q, k: int, exclude) -> List[Neighbor]:
+    # The heap is ordered by *squared* distance — the ordering (and
+    # hence the node-access sequence) is identical, and the per-entry
+    # sqrt moves off the hot path to the k materialized results.
     result: List[Neighbor] = []
     counter = 0  # heap tie-breaker; nodes/entries are not comparable
     heap = [(0.0, counter, tree.root)]
     while heap:
-        dist, _, item = heapq.heappop(heap)
+        d2, _, item = heapq.heappop(heap)
         if isinstance(item, LeafEntry):
-            result.append(Neighbor(item, dist))
+            result.append(Neighbor(item, math.sqrt(d2)))
             if len(result) == k:
                 return result
             continue
@@ -70,12 +73,13 @@ def _best_first(tree: RStarTree, q, k: int, exclude) -> List[Neighbor]:
                 if e.oid in exclude:
                     continue
                 counter += 1
-                d = math.hypot(e.x - q[0], e.y - q[1])
-                heapq.heappush(heap, (d, counter, e))
+                d2 = (e.x - q[0]) ** 2 + (e.y - q[1]) ** 2
+                heapq.heappush(heap, (d2, counter, e))
         else:
             for child in item.entries:
                 counter += 1
-                heapq.heappush(heap, (child.mbr.mindist(q), counter, child))
+                heapq.heappush(heap,
+                               (child.mbr.mindist_sq(q), counter, child))
     return result
 
 
@@ -83,10 +87,11 @@ def _best_first(tree: RStarTree, q, k: int, exclude) -> List[Neighbor]:
 # depth-first [RKV95]
 # ----------------------------------------------------------------------
 def _depth_first(tree: RStarTree, q, k: int, exclude) -> List[Neighbor]:
-    # Max-heap (by negated distance) of the best k candidates so far.
+    # Max-heap (by negated squared distance) of the best k candidates;
+    # pruning compares squared quantities, sqrt runs once per result.
     best: List = []
 
-    def kth_dist() -> float:
+    def kth_dist_sq() -> float:
         return -best[0][0] if len(best) == k else math.inf
 
     def visit(node) -> None:
@@ -95,17 +100,18 @@ def _depth_first(tree: RStarTree, q, k: int, exclude) -> List[Neighbor]:
             for e in node.entries:
                 if e.oid in exclude:
                     continue
-                d = math.hypot(e.x - q[0], e.y - q[1])
-                if d < kth_dist():
-                    heapq.heappush(best, (-d, e.oid, e))
+                d2 = (e.x - q[0]) ** 2 + (e.y - q[1]) ** 2
+                if d2 < kth_dist_sq():
+                    heapq.heappush(best, (-d2, e.oid, e))
                     if len(best) > k:
                         heapq.heappop(best)
             return
-        children = sorted(node.entries, key=lambda c: c.mbr.mindist(q))
+        children = sorted(node.entries, key=lambda c: c.mbr.mindist_sq(q))
         for child in children:
-            if child.mbr.mindist(q) < kth_dist() or len(best) < k:
+            if child.mbr.mindist_sq(q) < kth_dist_sq() or len(best) < k:
                 visit(child)
 
     visit(tree.root)
-    ordered = sorted(((-negd, e) for negd, _, e in best), key=lambda t: t[0])
-    return [Neighbor(e, d) for d, e in ordered]
+    ordered = sorted(((-negd2, e) for negd2, _, e in best),
+                     key=lambda t: t[0])
+    return [Neighbor(e, math.sqrt(d2)) for d2, e in ordered]

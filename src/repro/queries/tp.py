@@ -32,7 +32,10 @@ import heapq
 import math
 from typing import List, NamedTuple, Optional, Sequence, Set, Tuple
 
-import numpy as np
+try:  # numpy is optional: the vectorized leaf scan degrades gracefully
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via stdlib-only CI
+    np = None
 
 from repro.geometry import Rect
 from repro.index.entry import LeafEntry
@@ -164,7 +167,9 @@ def tp_knn(tree: RStarTree, q, direction, result: Sequence[LeafEntry],
             break
         tree.read_node(node)
         if node.is_leaf:
-            if len(node.entries) * len(result) >= _VECTORIZE_THRESHOLD:
+            if (np is not None
+                    and len(node.entries) * len(result)
+                    >= _VECTORIZE_THRESHOLD):
                 candidates = _leaf_scan_vectorized(
                     node.entries, qx, qy, vx, vy, res_info, result_oids)
             else:

@@ -1,0 +1,493 @@
+"""Binary request/response framing for the process-pool shard backend.
+
+Worker processes cannot share the parent's object graph, so scattered
+shard queries cross the boundary as compact struct-packed frames —
+the same wire philosophy as the response ``transfer_bytes()`` model
+(20-byte ``<Idd`` point entries, fixed-size rectangles and disks),
+extended with the envelope a real shard RPC needs:
+
+* **request frame** — magic/version/kind header, the query parameters,
+  the split budget (NaN/-1 encode "unlimited"), the trace id (so the
+  worker's spans join the parent's trace), and one ``(sid, k)`` job
+  per shard in the chunk;
+* **response frame** — per job: the shard id, a degraded flag, the
+  per-phase node-access/page-fault deltas the job charged, the span
+  tree it recorded (JSON-encoded meta, parent links as local indices),
+  and the kind-specific payload from which the parent rebuilds the
+  full typed response (result entries, influence pairs/objects,
+  region geometry, probe counters).
+
+Every multi-byte integer is little-endian; entries are the paper's
+20-byte ``<Idd`` records throughout.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.nn_validity import NNValidityResult
+from repro.core.range_validity import RangeValidityResult
+from repro.core.server import (
+    KNNResponse,
+    RangeResponse,
+    WindowResponse,
+)
+from repro.core.window_validity import WindowValidityResult
+from repro.geometry import ConvexPolygon, Point, Rect
+from repro.geometry.rectilinear import RectilinearRegion
+from repro.index.entry import LeafEntry
+
+__all__ = [
+    "RequestFrame",
+    "JobResult",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+REQUEST_MAGIC = b"RPQF"
+RESPONSE_MAGIC = b"RPRF"
+FRAMING_VERSION = 1
+
+_KINDS = ("knn", "window", "range")
+
+_REQ_HEADER = struct.Struct("<4sHBH")   # magic, version, kind, njobs
+_RESP_HEADER = struct.Struct("<4sHBH")
+_BUDGET = struct.Struct("<dq")          # deadline_ms (NaN=None), max_na (-1=None)
+_ENTRY = struct.Struct("<Idd")          # oid, x, y — the paper's point entry
+_RECT = struct.Struct("<dddd")
+_POINT = struct.Struct("<dd")
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_SPAN_FIXED = struct.Struct("<ddi")     # offset_ms, duration_ms, parent idx
+
+
+@dataclass
+class RequestFrame:
+    """One scatter chunk: a query plus the shard jobs that evaluate it."""
+
+    kind: str
+    #: Query parameters: ``(qx, qy, vertex_policy)`` for kNN,
+    #: ``(fx, fy, width, height)`` for window, ``(x, y, radius)`` for range.
+    params: Tuple
+    #: Per-shard jobs: ``(sid, k)`` for kNN, ``(sid,)`` otherwise.
+    jobs: List[Tuple]
+    deadline_ms: Optional[float] = None
+    max_node_accesses: Optional[int] = None
+    trace_id: Optional[str] = None
+
+
+@dataclass
+class JobResult:
+    """One decoded per-shard answer from a response frame."""
+
+    sid: int
+    response: object
+    node_accesses: Dict[str, int] = field(default_factory=dict)
+    page_faults: Dict[str, int] = field(default_factory=dict)
+    #: ``(name, offset_ms, duration_ms, parent_local_index, meta)``
+    spans: List[Tuple[str, float, float, int, Dict]] = field(
+        default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# low-level helpers
+# ----------------------------------------------------------------------
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return _U16.pack(len(raw)) + raw
+
+
+def _unpack_str(data: bytes, off: int) -> Tuple[str, int]:
+    (n,) = _U16.unpack_from(data, off)
+    off += _U16.size
+    return data[off:off + n].decode("utf-8"), off + n
+
+
+def _pack_entries(entries: Sequence[LeafEntry]) -> bytes:
+    parts = [_U32.pack(len(entries))]
+    parts.extend(_ENTRY.pack(e.oid, e.x, e.y) for e in entries)
+    return b"".join(parts)
+
+
+def _unpack_entries(data: bytes, off: int) -> Tuple[List[LeafEntry], int]:
+    (n,) = _U32.unpack_from(data, off)
+    off += _U32.size
+    out = []
+    for _ in range(n):
+        oid, x, y = _ENTRY.unpack_from(data, off)
+        out.append(LeafEntry(oid, x, y))
+        off += _ENTRY.size
+    return out, off
+
+
+def _pack_opt_entry(entry: Optional[LeafEntry]) -> bytes:
+    if entry is None:
+        return _U8.pack(0)
+    return _U8.pack(1) + _ENTRY.pack(entry.oid, entry.x, entry.y)
+
+
+def _unpack_opt_entry(data: bytes, off: int
+                      ) -> Tuple[Optional[LeafEntry], int]:
+    (flag,) = _U8.unpack_from(data, off)
+    off += _U8.size
+    if not flag:
+        return None, off
+    oid, x, y = _ENTRY.unpack_from(data, off)
+    return LeafEntry(oid, x, y), off + _ENTRY.size
+
+
+def _pack_rect(rect: Rect) -> bytes:
+    return _RECT.pack(rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+
+
+def _unpack_rect(data: bytes, off: int) -> Tuple[Rect, int]:
+    xmin, ymin, xmax, ymax = _RECT.unpack_from(data, off)
+    return Rect(xmin, ymin, xmax, ymax), off + _RECT.size
+
+
+def _pack_counter(counts: Dict[str, int]) -> bytes:
+    parts = [_U16.pack(len(counts))]
+    for name, value in counts.items():
+        parts.append(_pack_str(name))
+        parts.append(_I64.pack(value))
+    return b"".join(parts)
+
+
+def _unpack_counter(data: bytes, off: int) -> Tuple[Dict[str, int], int]:
+    (n,) = _U16.unpack_from(data, off)
+    off += _U16.size
+    out: Dict[str, int] = {}
+    for _ in range(n):
+        name, off = _unpack_str(data, off)
+        (value,) = _I64.unpack_from(data, off)
+        off += _I64.size
+        out[name] = value
+    return out, off
+
+
+# ----------------------------------------------------------------------
+# request frames
+# ----------------------------------------------------------------------
+def encode_request(frame: RequestFrame) -> bytes:
+    kind_code = _KINDS.index(frame.kind)
+    parts = [_REQ_HEADER.pack(REQUEST_MAGIC, FRAMING_VERSION, kind_code,
+                              len(frame.jobs))]
+    deadline = (math.nan if frame.deadline_ms is None
+                else float(frame.deadline_ms))
+    max_na = (-1 if frame.max_node_accesses is None
+              else int(frame.max_node_accesses))
+    parts.append(_BUDGET.pack(deadline, max_na))
+    parts.append(_pack_str(frame.trace_id or ""))
+    if frame.kind == "knn":
+        qx, qy, policy = frame.params
+        parts.append(_POINT.pack(qx, qy))
+        parts.append(_pack_str(policy))
+        for sid, k in frame.jobs:
+            parts.append(_U32.pack(sid))
+            parts.append(_U32.pack(k))
+    elif frame.kind == "window":
+        fx, fy, width, height = frame.params
+        parts.append(_RECT.pack(fx, fy, width, height))
+        for (sid,) in frame.jobs:
+            parts.append(_U32.pack(sid))
+    else:
+        x, y, radius = frame.params
+        parts.append(struct.pack("<ddd", x, y, radius))
+        for (sid,) in frame.jobs:
+            parts.append(_U32.pack(sid))
+    return b"".join(parts)
+
+
+def decode_request(data: bytes) -> RequestFrame:
+    magic, version, kind_code, njobs = _REQ_HEADER.unpack_from(data, 0)
+    if magic != REQUEST_MAGIC:
+        raise ValueError("not a shard request frame")
+    if version != FRAMING_VERSION:
+        raise ValueError(f"unsupported request frame version {version}")
+    off = _REQ_HEADER.size
+    deadline, max_na = _BUDGET.unpack_from(data, off)
+    off += _BUDGET.size
+    trace_id, off = _unpack_str(data, off)
+    kind = _KINDS[kind_code]
+    jobs: List[Tuple] = []
+    if kind == "knn":
+        qx, qy = _POINT.unpack_from(data, off)
+        off += _POINT.size
+        policy, off = _unpack_str(data, off)
+        params: Tuple = (qx, qy, policy)
+        for _ in range(njobs):
+            (sid,) = _U32.unpack_from(data, off)
+            off += _U32.size
+            (k,) = _U32.unpack_from(data, off)
+            off += _U32.size
+            jobs.append((sid, k))
+    elif kind == "window":
+        fx, fy, width, height = _RECT.unpack_from(data, off)
+        off += _RECT.size
+        params = (fx, fy, width, height)
+        for _ in range(njobs):
+            (sid,) = _U32.unpack_from(data, off)
+            off += _U32.size
+            jobs.append((sid,))
+    else:
+        x, y, radius = struct.unpack_from("<ddd", data, off)
+        off += 24
+        params = (x, y, radius)
+        for _ in range(njobs):
+            (sid,) = _U32.unpack_from(data, off)
+            off += _U32.size
+            jobs.append((sid,))
+    return RequestFrame(
+        kind=kind,
+        params=params,
+        jobs=jobs,
+        deadline_ms=None if math.isnan(deadline) else deadline,
+        max_node_accesses=None if max_na < 0 else max_na,
+        trace_id=trace_id or None,
+    )
+
+
+# ----------------------------------------------------------------------
+# response frames
+# ----------------------------------------------------------------------
+def _pack_spans(spans) -> bytes:
+    parts = [_U16.pack(len(spans))]
+    for name, offset_ms, duration_ms, parent_idx, meta in spans:
+        parts.append(_pack_str(name))
+        parts.append(_SPAN_FIXED.pack(offset_ms, duration_ms, parent_idx))
+        raw = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def _unpack_spans(data: bytes, off: int):
+    (n,) = _U16.unpack_from(data, off)
+    off += _U16.size
+    spans = []
+    for _ in range(n):
+        name, off = _unpack_str(data, off)
+        offset_ms, duration_ms, parent_idx = _SPAN_FIXED.unpack_from(
+            data, off)
+        off += _SPAN_FIXED.size
+        (mlen,) = _U32.unpack_from(data, off)
+        off += _U32.size
+        meta = json.loads(data[off:off + mlen].decode("utf-8"))
+        off += mlen
+        spans.append((name, offset_ms, duration_ms, parent_idx, meta))
+    return spans, off
+
+
+def _pack_knn_payload(response: KNNResponse) -> bytes:
+    detail = response.detail
+    parts = [_pack_entries(detail.neighbors)]
+    parts.append(_U32.pack(len(detail.influence_pairs)))
+    for res, inf in detail.influence_pairs:
+        parts.append(_ENTRY.pack(res.oid, res.x, res.y))
+        parts.append(_ENTRY.pack(inf.oid, inf.x, inf.y))
+    vertices = detail.region.vertices
+    parts.append(_U32.pack(len(vertices)))
+    parts.extend(_POINT.pack(v.x, v.y) for v in vertices)
+    parts.append(struct.pack(
+        "<ddIIdd", detail.query.x, detail.query.y,
+        detail.num_tp_queries, detail.num_confirmations,
+        detail.clip_seconds,
+        math.nan if detail.safe_radius is None else detail.safe_radius))
+    return b"".join(parts)
+
+
+def _unpack_knn_payload(data: bytes, off: int, degraded: bool,
+                        universe: Rect) -> Tuple[KNNResponse, int]:
+    neighbors, off = _unpack_entries(data, off)
+    (npairs,) = _U32.unpack_from(data, off)
+    off += _U32.size
+    pairs = []
+    for _ in range(npairs):
+        r_oid, r_x, r_y = _ENTRY.unpack_from(data, off)
+        off += _ENTRY.size
+        i_oid, i_x, i_y = _ENTRY.unpack_from(data, off)
+        off += _ENTRY.size
+        pairs.append((LeafEntry(r_oid, r_x, r_y), LeafEntry(i_oid, i_x, i_y)))
+    (nverts,) = _U32.unpack_from(data, off)
+    off += _U32.size
+    vertices = []
+    for _ in range(nverts):
+        x, y = _POINT.unpack_from(data, off)
+        vertices.append(Point(x, y))
+        off += _POINT.size
+    qx, qy, num_tp, num_confirm, clip_seconds, safe_radius = (
+        struct.unpack_from("<ddIIdd", data, off))
+    off += struct.calcsize("<ddIIdd")
+    detail = NNValidityResult(
+        query=Point(qx, qy),
+        neighbors=neighbors,
+        influence_pairs=pairs,
+        region=ConvexPolygon(vertices),
+        num_tp_queries=num_tp,
+        num_confirmations=num_confirm,
+        clip_seconds=clip_seconds,
+        degraded=degraded,
+        safe_radius=None if math.isnan(safe_radius) else safe_radius,
+    )
+    response = KNNResponse(neighbors=neighbors,
+                           region=detail.validity_region(universe),
+                           detail=detail)
+    return response, off
+
+
+def _pack_window_payload(response: WindowResponse) -> bytes:
+    detail = response.detail
+    parts = [_pack_entries(detail.result),
+             _pack_entries(detail.inner_influence),
+             _pack_entries(detail.outer_influence),
+             _POINT.pack(detail.focus.x, detail.focus.y),
+             _pack_rect(detail.window),
+             _pack_rect(detail.inner_region),
+             _pack_rect(detail.conservative_region),
+             _pack_rect(detail.exact_region.base),
+             _U16.pack(len(detail.exact_region.holes))]
+    parts.extend(_pack_rect(h) for h in detail.exact_region.holes)
+    parts.append(_U8.pack(1 if detail.exact_region_is_lower_bound else 0))
+    return b"".join(parts)
+
+
+def _unpack_window_payload(data: bytes, off: int, degraded: bool
+                           ) -> Tuple[WindowResponse, int]:
+    result, off = _unpack_entries(data, off)
+    inner_influence, off = _unpack_entries(data, off)
+    outer_influence, off = _unpack_entries(data, off)
+    fx, fy = _POINT.unpack_from(data, off)
+    off += _POINT.size
+    window, off = _unpack_rect(data, off)
+    inner_region, off = _unpack_rect(data, off)
+    conservative, off = _unpack_rect(data, off)
+    base, off = _unpack_rect(data, off)
+    (nholes,) = _U16.unpack_from(data, off)
+    off += _U16.size
+    holes = []
+    for _ in range(nholes):
+        hole, off = _unpack_rect(data, off)
+        holes.append(hole)
+    (lower,) = _U8.unpack_from(data, off)
+    off += _U8.size
+    detail = WindowValidityResult(
+        focus=Point(fx, fy),
+        window=window,
+        result=result,
+        inner_influence=inner_influence,
+        outer_influence=outer_influence,
+        inner_region=inner_region,
+        conservative_region=conservative,
+        exact_region=RectilinearRegion(base, holes),
+        exact_region_is_lower_bound=bool(lower),
+        degraded=degraded,
+    )
+    response = WindowResponse(result=result,
+                              region=detail.validity_region(),
+                              detail=detail)
+    return response, off
+
+
+def _pack_range_payload(response: RangeResponse) -> bytes:
+    detail = response.detail
+    return b"".join([
+        _pack_entries(detail.result),
+        _pack_opt_entry(detail.inner_influence),
+        _pack_opt_entry(detail.outer_influence),
+        struct.pack("<ddd", detail.focus.x, detail.focus.y, detail.radius),
+        _F64.pack(detail.validity_radius),
+    ])
+
+
+def _unpack_range_payload(data: bytes, off: int, degraded: bool
+                          ) -> Tuple[RangeResponse, int]:
+    result, off = _unpack_entries(data, off)
+    inner_influence, off = _unpack_opt_entry(data, off)
+    outer_influence, off = _unpack_opt_entry(data, off)
+    fx, fy, radius = struct.unpack_from("<ddd", data, off)
+    off += 24
+    (validity_radius,) = _F64.unpack_from(data, off)
+    off += _F64.size
+    detail = RangeValidityResult(
+        focus=Point(fx, fy),
+        radius=radius,
+        result=result,
+        inner_influence=inner_influence,
+        outer_influence=outer_influence,
+        validity_radius=validity_radius,
+        degraded=degraded,
+    )
+    response = RangeResponse(result=result,
+                             region=detail.validity_region(),
+                             detail=detail)
+    return response, off
+
+
+_PACKERS = {
+    "knn": _pack_knn_payload,
+    "window": _pack_window_payload,
+    "range": _pack_range_payload,
+}
+
+
+def encode_response(kind: str, results: Sequence[Tuple]) -> bytes:
+    """Encode worker results.
+
+    ``results`` items are ``(sid, response, na_by_phase, pf_by_phase,
+    spans)`` with spans as ``(name, offset_ms, duration_ms,
+    parent_local_index, meta)`` tuples.
+    """
+    pack_payload = _PACKERS[kind]
+    parts = [_RESP_HEADER.pack(RESPONSE_MAGIC, FRAMING_VERSION,
+                               _KINDS.index(kind), len(results))]
+    for sid, response, na, pf, spans in results:
+        parts.append(_U32.pack(sid))
+        parts.append(_U8.pack(1 if getattr(response.detail, "degraded",
+                                           False) else 0))
+        parts.append(_pack_counter(na))
+        parts.append(_pack_counter(pf))
+        parts.append(_pack_spans(spans))
+        parts.append(pack_payload(response))
+    return b"".join(parts)
+
+
+def decode_response(data: bytes, universe: Rect) -> List[JobResult]:
+    """Decode a worker response frame back into typed responses."""
+    magic, version, kind_code, njobs = _RESP_HEADER.unpack_from(data, 0)
+    if magic != RESPONSE_MAGIC:
+        raise ValueError("not a shard response frame")
+    if version != FRAMING_VERSION:
+        raise ValueError(f"unsupported response frame version {version}")
+    kind = _KINDS[kind_code]
+    off = _RESP_HEADER.size
+    out: List[JobResult] = []
+    for _ in range(njobs):
+        (sid,) = _U32.unpack_from(data, off)
+        off += _U32.size
+        (flags,) = _U8.unpack_from(data, off)
+        off += _U8.size
+        degraded = bool(flags & 1)
+        na, off = _unpack_counter(data, off)
+        pf, off = _unpack_counter(data, off)
+        spans, off = _unpack_spans(data, off)
+        if kind == "knn":
+            response, off = _unpack_knn_payload(data, off, degraded,
+                                                universe)
+        elif kind == "window":
+            response, off = _unpack_window_payload(data, off, degraded)
+        else:
+            response, off = _unpack_range_payload(data, off, degraded)
+        out.append(JobResult(sid=sid, response=response,
+                             node_accesses=na, page_faults=pf,
+                             spans=spans))
+    return out

@@ -47,10 +47,10 @@ points.
 from __future__ import annotations
 
 import itertools
-import math
 import random
 import threading
 import time
+import warnings
 from concurrent.futures import Executor
 from dataclasses import dataclass, replace
 from time import perf_counter
@@ -66,6 +66,7 @@ from repro.core.api import (
 )
 from repro.core.server import DeltaResponse, KNNResponse, LocationServer
 from repro.geometry import Rect
+from repro.kernel import ExecutionConfig
 from repro.obs.context import TraceContext, emit_event, start_trace
 from repro.obs.events import EventLog
 from repro.service.cache import CacheConfig, ValidityCache
@@ -329,7 +330,7 @@ class QueryService:
             qx, qy = request.location
             ranked = sorted(
                 cached.neighbors,
-                key=lambda e: (math.hypot(e.x - qx, e.y - qy), e.oid))
+                key=lambda e: ((e.x - qx) ** 2 + (e.y - qy) ** 2, e.oid))
             if ranked != cached.neighbors:
                 return replace(cached, neighbors=ranked)
         return cached
@@ -510,16 +511,18 @@ def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
 
 def build_service(points: Sequence, *,
                   shards: int = 1,
-                  cache_capacity: int = 0,
-                  cache_grid: int = 16,
                   universe: Optional[Rect] = None,
                   capacity: Optional[int] = None,
                   fill: float = 0.7,
                   buffer_fraction: float = 0.0,
+                  execution: Optional[ExecutionConfig] = None,
+                  cache: Optional[CacheConfig] = None,
                   metrics: Optional[MetricsRegistry] = None,
                   trace_capacity: int = 256,
                   resilience: Optional[ResilienceConfig] = None,
                   events: Optional[EventLog] = None,
+                  cache_capacity: Optional[int] = None,
+                  cache_grid: Optional[int] = None,
                   max_workers: Optional[int] = None) -> QueryService:
     """Assemble the full serving stack over raw ``(x, y)`` data.
 
@@ -528,32 +531,69 @@ def build_service(points: Sequence, *,
     * ``shards=1`` builds the paper's single R*-tree
       :class:`LocationServer`; ``shards=K`` (K > 1) builds a K×K
       :class:`~repro.service.shard.ShardedServer` scatter-gather fleet.
-    * ``cache_capacity=0`` disables the server-side
-      :class:`~repro.service.cache.ValidityCache`; a positive value
-      bounds the number of cached responses, indexed on a
-      ``cache_grid``² uniform grid.
+    * ``execution`` — an :class:`~repro.kernel.ExecutionConfig` —
+      selects the geometry kernel (``scalar`` / ``soa`` / ``numpy`` /
+      ``auto``) and, for sharded servers, the fan-out backend
+      (``thread`` or ``process``) and worker count.  A ``process``
+      backend over a single-tree server is a documented no-op: the
+      paper's server owns one simulated disk and runs serially.
+    * ``cache`` — a :class:`~repro.service.cache.CacheConfig` — attaches
+      a server-side :class:`~repro.service.cache.ValidityCache`; None
+      disables it.
+    * ``resilience`` — a :class:`ResilienceConfig` — governs retries,
+      the circuit breaker and the default query budget.
 
     Everything else is threaded through unchanged (index node
     ``capacity`` and ``fill``, LRU ``buffer_fraction`` per disk,
-    ``resilience`` policy, metrics registry, trace-ring size).
+    metrics registry, trace-ring size).
+
+    ``cache_capacity`` / ``cache_grid`` / ``max_workers`` are the
+    pre-1.3 spellings, deprecated in favour of ``cache=CacheConfig(...)``
+    and ``execution=ExecutionConfig(workers=...)`` (removal planned for
+    v1.5).
     """
     if shards < 1:
         raise ValueError("shards must be positive")
-    if cache_capacity < 0:
-        raise ValueError("cache_capacity must be non-negative")
+    if cache_capacity is not None or cache_grid is not None:
+        if cache is not None:
+            raise TypeError(
+                "pass either cache=CacheConfig(...) or the legacy "
+                "cache_capacity/cache_grid, not both")
+        warnings.warn(
+            "cache_capacity/cache_grid are deprecated; pass "
+            "cache=CacheConfig(capacity=..., grid=...) instead "
+            "(removal planned for v1.5)",
+            DeprecationWarning, stacklevel=2)
+        if cache_capacity is not None and cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if cache_capacity:
+            cache = CacheConfig(capacity=cache_capacity,
+                                grid=cache_grid if cache_grid else 16)
+    if max_workers is not None:
+        if execution is not None:
+            raise TypeError(
+                "pass either execution=ExecutionConfig(...) or the "
+                "legacy max_workers, not both")
+        warnings.warn(
+            "max_workers is deprecated; pass "
+            "execution=ExecutionConfig(workers=...) instead "
+            "(removal planned for v1.5)",
+            DeprecationWarning, stacklevel=2)
+        execution = ExecutionConfig(workers=max_workers)
     if shards == 1:
+        kernel = execution.resolved_kernel() if execution is not None else None
         server = LocationServer.from_points(
             points, universe=universe, capacity=capacity, fill=fill,
-            buffer_fraction=buffer_fraction)
+            buffer_fraction=buffer_fraction, kernel=kernel)
     else:
         server = ShardedServer.from_points(
             points, grid=shards, universe=universe, capacity=capacity,
             fill=fill, buffer_fraction=buffer_fraction,
-            max_workers=max_workers)
-    cache = None
-    if cache_capacity > 0:
-        cache = ValidityCache(server.universe, CacheConfig(
-            capacity=cache_capacity, grid=cache_grid))
+            execution=execution)
+    validity_cache = None
+    if cache is not None and cache.capacity > 0:
+        validity_cache = ValidityCache(server.universe, cache)
     return QueryService(server, metrics=metrics,
                         trace_capacity=trace_capacity,
-                        resilience=resilience, cache=cache, events=events)
+                        resilience=resilience, cache=validity_cache,
+                        events=events)

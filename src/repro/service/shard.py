@@ -49,9 +49,11 @@ cache, tracing, metrics, resilience — composes with it unchanged.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -80,9 +82,14 @@ from repro.geometry import Point, Rect
 from repro.index.bulk import bulk_load_str
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
+from repro.kernel import ExecutionConfig
+from repro.kernel.backends import get_kernel
 from repro.obs.context import attach, current_trace, emit_event
 from repro.obs.context import span as obs_span
+from repro.service.framing import RequestFrame, decode_response, encode_request
+from repro.service.procpool import worker_init, worker_run
 from repro.storage.counters import AccessStats
+from repro.storage.serialize import tree_to_bytes
 
 __all__ = [
     "ShardedServer",
@@ -238,7 +245,9 @@ class ShardedServer:
 
     def __init__(self, shards: Sequence[Shard], universe: Rect,
                  grid: int, capacity: Optional[int] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 execution: Optional[ExecutionConfig] = None,
+                 buffer_fraction: float = 0.0):
         self.universe = universe
         self.grid = grid
         self._capacity = capacity
@@ -247,12 +256,34 @@ class ShardedServer:
         }
         self.queries_processed = 0
         self.epoch = 0
-        if max_workers is None:
-            max_workers = min(max(len(self._by_cell), 1),
-                              os.cpu_count() or 4)
-        self._max_workers = max(1, int(max_workers))
+        if max_workers is not None:
+            warnings.warn(
+                "ShardedServer(max_workers=...) is deprecated; pass "
+                "execution=ExecutionConfig(workers=...) instead "
+                "(removal planned for v1.5)",
+                DeprecationWarning, stacklevel=2)
+            if execution is not None:
+                raise TypeError(
+                    "pass either execution= or the deprecated "
+                    "max_workers=, not both")
+            execution = ExecutionConfig(workers=int(max_workers))
+        self.execution = (execution if execution is not None
+                          else ExecutionConfig())
+        self._kernel = get_kernel(self.execution.resolved_kernel())
+        if execution is not None:
+            # An explicit config owns kernel selection for every shard.
+            for s in self._by_cell.values():
+                s.server.use_kernel(self._kernel)
+        self._buffer_fraction = float(buffer_fraction)
+        workers = self.execution.workers
+        if workers is None:
+            workers = min(max(len(self._by_cell), 1),
+                          os.cpu_count() or 4)
+        self._max_workers = max(1, int(workers))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._proc_pool: Optional[ProcessPoolExecutor] = None
+        self._proc_epoch = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -262,12 +293,15 @@ class ShardedServer:
                     universe: Optional[Rect] = None,
                     capacity: Optional[int] = None, fill: float = 0.7,
                     buffer_fraction: float = 0.0,
-                    max_workers: Optional[int] = None) -> "ShardedServer":
+                    max_workers: Optional[int] = None,
+                    execution: Optional[ExecutionConfig] = None
+                    ) -> "ShardedServer":
         """Partition ``(x, y)`` data into a ``grid``×``grid`` fleet.
 
         Object ids are the sequence positions (matching
         :meth:`LocationServer.from_points`), preserved globally across
-        shards.
+        shards.  ``execution`` selects the scatter backend and the
+        geometry kernel every shard server runs.
         """
         if grid < 1:
             raise ValueError("grid must be positive")
@@ -294,7 +328,8 @@ class ShardedServer:
                 server=LocationServer(tree, universe),
             ))
         return cls(shards, universe, grid, capacity=capacity,
-                   max_workers=max_workers)
+                   max_workers=max_workers, execution=execution,
+                   buffer_fraction=buffer_fraction)
 
     # ------------------------------------------------------------------
     # topology
@@ -311,11 +346,15 @@ class ShardedServer:
         return [s for s in self.shards if s.num_points > 0]
 
     def close(self) -> None:
-        """Shut down the scatter-gather worker pool."""
+        """Shut down the scatter-gather worker pools."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown(wait=True)
+                self._proc_pool = None
+                self._proc_epoch = -1
 
     # ------------------------------------------------------------------
     # updates (bump the epoch: outstanding validity regions die)
@@ -333,7 +372,8 @@ class ShardedServer:
                 cell=cell,
                 bounds=self.universe.grid_cell(cell[0], cell[1],
                                                self.grid, self.grid),
-                server=LocationServer(tree, self.universe),
+                server=LocationServer(tree, self.universe,
+                                      kernel=self._kernel),
             )
             self._by_cell[cell] = shard
         shard.server.insert_object(oid, x, y)
@@ -424,6 +464,110 @@ class ShardedServer:
         return [f.result() for f in [pool.submit(handoff(job))
                                      for job in jobs]]
 
+    # ------------------------------------------------------------------
+    # process-pool scatter
+    # ------------------------------------------------------------------
+    def _ensure_proc_pool(self) -> ProcessPoolExecutor:
+        """The lazily-built process pool, rebuilt after data updates.
+
+        Workers load every shard's pre-serialized R*-tree exactly once
+        at initialization (``tree_to_bytes`` images through the pool
+        initializer); an epoch bump invalidates the pool, so the next
+        query ships fresh snapshots.
+        """
+        with self._pool_lock:
+            if (self._proc_pool is not None
+                    and self._proc_epoch != self.epoch):
+                self._proc_pool.shutdown(wait=True)
+                self._proc_pool = None
+            if self._proc_pool is None:
+                blobs = {s.sid: tree_to_bytes(s.server.tree)
+                         for s in self._live()}
+                universe = (self.universe.xmin, self.universe.ymin,
+                            self.universe.xmax, self.universe.ymax)
+                try:
+                    mp_ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX hosts
+                    mp_ctx = multiprocessing.get_context()
+                self._proc_pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=mp_ctx,
+                    initializer=worker_init,
+                    initargs=(blobs, universe, self._kernel.name,
+                              self._buffer_fraction))
+                self._proc_epoch = self.epoch
+            return self._proc_pool
+
+    def _scatter_process(self, kind: str, params: Tuple,
+                         jobs: List[Tuple[Shard, Tuple]],
+                         budget: Optional[QueryBudget]):
+        """Scatter shard jobs over the process pool.
+
+        Jobs are chunked into one request frame per worker (MINDIST
+        order is preserved); every decoded job result is folded back
+        into the parent's world: the response objects are rebuilt from
+        the frame, the per-phase I/O deltas are merged into the shard's
+        own counters, and the worker's span tree is re-injected into
+        the live trace — shifted by the parent's elapsed time at
+        submission, so process workers render like thread workers.
+
+        Returns ``(shard, response, node_accesses)`` triples exactly
+        like :meth:`_metered`.
+        """
+        pool = self._ensure_proc_pool()
+        ctx = current_trace()
+        trace_id = ctx.trace_id if ctx is not None else None
+        deadline = budget.deadline_ms if budget is not None else None
+        max_na = budget.max_node_accesses if budget is not None else None
+        chunks = [jobs[i::self._max_workers]
+                  for i in range(min(self._max_workers, len(jobs)))]
+        chunks = [c for c in chunks if c]
+        shift_ms = ctx.elapsed_ms() if ctx is not None else 0.0
+        futures = []
+        for chunk in chunks:
+            frame = RequestFrame(
+                kind=kind,
+                params=params,
+                jobs=[job for _shard, job in chunk],
+                deadline_ms=deadline,
+                max_node_accesses=max_na,
+                trace_id=trace_id,
+            )
+            futures.append(pool.submit(worker_run, encode_request(frame)))
+        by_sid = {s.sid: s for s in self._live()}
+        out = []
+        for chunk, future in zip(chunks, futures):
+            for job in decode_response(future.result(), self.universe):
+                shard = by_sid[job.sid]
+                stats = shard.server.io_stats
+                stats.node_accesses.update(job.node_accesses)
+                stats.page_faults.update(job.page_faults)
+                if ctx is not None:
+                    self._inject_spans(ctx, job.spans, shift_ms)
+                out.append((shard, job.response,
+                            sum(job.node_accesses.values())))
+        # Preserve the caller's job order (MINDIST order), not the
+        # chunk interleave.
+        rank = {job[0].sid: i for i, job in enumerate(jobs)}
+        out.sort(key=lambda item: rank[item[0].sid])
+        return out
+
+    @staticmethod
+    def _inject_spans(ctx, spans, shift_ms: float) -> None:
+        """Replay a worker's span tree under the active trace context.
+
+        Span ids are process-local, so parent links arrive as indices
+        and are remapped to the fresh ids ``add_span`` assigns; offsets
+        shift from the worker's trace origin to the parent's.
+        """
+        new_ids: Dict[int, str] = {}
+        for i, (name, offset_ms, duration_ms, parent_idx, meta) in (
+                enumerate(spans)):
+            parent_id = new_ids.get(parent_idx)
+            span_ = ctx.add_span(name, offset_ms + shift_ms, duration_ms,
+                                 meta=meta, parent_id=parent_id)
+            new_ids[i] = span_.span_id
+
     @staticmethod
     def _metered(shard: Shard, fn):
         """Run ``fn`` under a per-shard child span and report the node
@@ -458,7 +602,9 @@ class ShardedServer:
         live = self._live()
         if not live:
             raise ValueError("kNN query over an empty sharded dataset")
-        order = sorted(live, key=lambda s: s.data_mbr.mindist(loc))
+        # Ordering and pruning compare *squared* MINDIST — identical
+        # order, and sqrt stays off the scatter hot path.
+        order = sorted(live, key=lambda s: s.data_mbr.mindist_sq(loc))
 
         # The nearest shard runs inline: its k-th distance is the
         # pruning bound for everyone else.
@@ -471,40 +617,48 @@ class ShardedServer:
                 budget=sub_budget))]
         if first_k == k and len(queried[0][1].neighbors) >= k:
             last = queried[0][1].neighbors[-1]
-            d_bound = math.hypot(last.x - loc[0], last.y - loc[1])
+            d2_bound = (last.x - loc[0]) ** 2 + (last.y - loc[1]) ** 2
         else:
-            d_bound = math.inf
+            d2_bound = math.inf
 
         survivors = [s for s in order[1:]
-                     if s.data_mbr.mindist(loc) <= d_bound]
+                     if s.data_mbr.mindist_sq(loc) <= d2_bound]
         pruned = [s for s in order[1:]
-                  if s.data_mbr.mindist(loc) > d_bound]
+                  if s.data_mbr.mindist_sq(loc) > d2_bound]
         emit_event("shard", event="shard.scatter", kind="knn",
                    visited=[first.sid] + [s.sid for s in survivors],
                    pruned=[s.sid for s in pruned])
-        queried.extend(self._run([
-            (lambda s=s: self._metered(
-                s, lambda: s.server._knn(
-                    loc, k=min(k, s.num_points),
-                    vertex_policy=vertex_policy, budget=sub_budget)))
-            for s in survivors
-        ]))
+        if survivors and self.execution.backend == "process":
+            queried.extend(self._scatter_process(
+                "knn", (loc[0], loc[1], vertex_policy),
+                [(s, (s.sid, min(k, s.num_points))) for s in survivors],
+                sub_budget))
+        else:
+            queried.extend(self._run([
+                (lambda s=s: self._metered(
+                    s, lambda: s.server._knn(
+                        loc, k=min(k, s.num_points),
+                        vertex_policy=vertex_policy, budget=sub_budget)))
+                for s in survivors
+            ]))
 
-        # Gather: global top-k of the candidate union.
+        # Gather: global top-k of the candidate union (squared keys —
+        # the ordering is the same, sqrt waits until the safety radius).
         candidates = sorted(
-            (math.hypot(e.x - loc[0], e.y - loc[1]), e.oid, e)
+            ((e.x - loc[0]) ** 2 + (e.y - loc[1]) ** 2, e.oid, e)
             for _s, resp, _na in queried for e in resp.neighbors)
         top = candidates[:k]
-        neighbors = [e for _d, _oid, e in top]
+        neighbors = [e for _d2, _oid, e in top]
 
         # The safety disk: freeze the cross-shard candidate ordering and
         # keep every pruned shard out of reach.
         rho: Optional[float] = None
         if len(candidates) > k:
-            rho = (candidates[k][0] - candidates[k - 1][0]) / 2.0
+            rho = (math.sqrt(candidates[k][0])
+                   - math.sqrt(candidates[k - 1][0])) / 2.0
         if pruned:
-            d_k = top[-1][0]
-            slack = min((s.data_mbr.mindist(loc) - d_k) / 2.0
+            d_k = math.sqrt(top[-1][0])
+            slack = min((math.sqrt(s.data_mbr.mindist_sq(loc)) - d_k) / 2.0
                         for s in pruned)
             rho = slack if rho is None else min(rho, slack)
 
@@ -552,12 +706,17 @@ class ShardedServer:
         emit_event("shard", event="shard.scatter", kind="window",
                    visited=[s.sid for s in contributing],
                    pruned=[s.sid for s in others])
-        queried = self._run([
-            (lambda s=s: self._metered(
-                s, lambda: s.server._window(f, width, height,
-                                            budget=sub_budget)))
-            for s in contributing
-        ])
+        if contributing and self.execution.backend == "process":
+            queried = self._scatter_process(
+                "window", (f[0], f[1], width, height),
+                [(s, (s.sid,)) for s in contributing], sub_budget)
+        else:
+            queried = self._run([
+                (lambda s=s: self._metered(
+                    s, lambda: s.server._window(f, width, height,
+                                                budget=sub_budget)))
+                for s in contributing
+            ])
 
         rect = self.universe
         for _s, resp, _na in queried:
@@ -603,27 +762,35 @@ class ShardedServer:
                budget: Optional[QueryBudget] = None) -> RangeResponse:
         loc = (float(location[0]), float(location[1]))
         live = self._live()
+        r2 = radius * radius
         reachable = [s for s in live
-                     if s.data_mbr.mindist(loc) <= radius]
-        pruned = [s for s in live if s.data_mbr.mindist(loc) > radius]
+                     if s.data_mbr.mindist_sq(loc) <= r2]
+        pruned = [s for s in live if s.data_mbr.mindist_sq(loc) > r2]
 
         sub_budget = self._split_budget(budget, len(reachable))
         emit_event("shard", event="shard.scatter", kind="range",
                    visited=[s.sid for s in reachable],
                    pruned=[s.sid for s in pruned])
-        queried = self._run([
-            (lambda s=s: self._metered(
-                s, lambda: s.server._range(loc, radius, budget=sub_budget)))
-            for s in reachable
-        ])
+        if reachable and self.execution.backend == "process":
+            queried = self._scatter_process(
+                "range", (loc[0], loc[1], radius),
+                [(s, (s.sid,)) for s in reachable], sub_budget)
+        else:
+            queried = self._run([
+                (lambda s=s: self._metered(
+                    s, lambda: s.server._range(loc, radius,
+                                               budget=sub_budget)))
+                for s in reachable
+            ])
 
         validity_radius = math.inf
         for _s, resp, _na in queried:
             validity_radius = min(validity_radius,
                                   resp.detail.validity_radius)
         for s in pruned:
-            validity_radius = min(validity_radius,
-                                  s.data_mbr.mindist(loc) - radius)
+            validity_radius = min(
+                validity_radius,
+                math.sqrt(s.data_mbr.mindist_sq(loc)) - radius)
         validity_radius = max(validity_radius, 0.0)
 
         result = sorted((e for _s, resp, _na in queried

@@ -41,20 +41,55 @@ def page_size_for(capacity: int) -> int:
     return ((needed + 511) // 512) * 512
 
 
-def save_tree(tree: RStarTree, path: str) -> int:
-    """Write ``tree`` to ``path``; returns the number of bytes written."""
+def tree_to_bytes(tree: RStarTree) -> bytes:
+    """Serialize ``tree`` to its paged binary image (no file involved).
+
+    This is the byte string :func:`save_tree` writes; the process-pool
+    shard backend ships it to workers so each one can rebuild its shard
+    trees exactly once at initialization.
+    """
     page_size = page_size_for(tree.capacity)
     # Assign dense page indices in a deterministic DFS order.
     order: List[Node] = list(tree.nodes())
     index: Dict[int, int] = {id(node): i for i, node in enumerate(order)}
+    parts = [_HEADER.pack(MAGIC, VERSION, 0, page_size, tree.capacity,
+                          tree.height, len(tree), index[id(tree.root)]),
+             struct.pack("<I", len(order))]
+    parts.extend(_encode_page(node, index, page_size) for node in order)
+    return b"".join(parts)
+
+
+def save_tree(tree: RStarTree, path: str) -> int:
+    """Write ``tree`` to ``path``; returns the number of bytes written."""
+    data = tree_to_bytes(tree)
     with open(path, "wb") as fh:
-        header = _HEADER.pack(MAGIC, VERSION, 0, page_size, tree.capacity,
-                              tree.height, len(tree), index[id(tree.root)])
-        fh.write(header)
-        fh.write(struct.pack("<I", len(order)))
-        for node in order:
-            fh.write(_encode_page(node, index, page_size))
-    return _HEADER.size + 4 + len(order) * page_size
+        fh.write(data)
+    return len(data)
+
+
+def tree_from_bytes(data: bytes, disk: DiskSimulator | None = None,
+                    source: str = "<bytes>") -> RStarTree:
+    """Rebuild a tree from its :func:`tree_to_bytes` image.
+
+    Entry order is preserved page-for-page, so a rebuilt tree traverses
+    (and therefore answers and charges) exactly like the original.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError(f"{source}: truncated header")
+    magic, version, _, page_size, capacity, height, size, root_page = (
+        _HEADER.unpack_from(data, 0))
+    if magic != MAGIC:
+        raise ValueError(f"{source}: not a serialized R*-tree")
+    if version != VERSION:
+        raise ValueError(f"{source}: unsupported version {version}")
+    offset = _HEADER.size
+    (num_pages,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if len(data) < offset + num_pages * page_size:
+        raise ValueError(f"{source}: truncated page data")
+    pages = [data[offset + i * page_size: offset + (i + 1) * page_size]
+             for i in range(num_pages)]
+    return _assemble(pages, capacity, height, size, root_page, disk, source)
 
 
 def load_tree(path: str, disk: DiskSimulator | None = None) -> RStarTree:
@@ -64,20 +99,12 @@ def load_tree(path: str, disk: DiskSimulator | None = None) -> RStarTree:
     charged to ``disk`` like any other.
     """
     with open(path, "rb") as fh:
-        raw = fh.read(_HEADER.size)
-        if len(raw) < _HEADER.size:
-            raise ValueError(f"{path}: truncated header")
-        magic, version, _, page_size, capacity, height, size, root_page = (
-            _HEADER.unpack(raw))
-        if magic != MAGIC:
-            raise ValueError(f"{path}: not a serialized R*-tree")
-        if version != VERSION:
-            raise ValueError(f"{path}: unsupported version {version}")
-        (num_pages,) = struct.unpack("<I", fh.read(4))
-        pages = [fh.read(page_size) for _ in range(num_pages)]
-        if any(len(p) < page_size for p in pages):
-            raise ValueError(f"{path}: truncated page data")
+        return tree_from_bytes(fh.read(), disk=disk, source=path)
 
+
+def _assemble(pages: List[bytes], capacity: int, height: int, size: int,
+              root_page: int, disk: DiskSimulator | None,
+              source: str) -> RStarTree:
     tree = RStarTree(capacity=capacity, disk=disk)
     tree.pages.free(tree.root.page_id)  # discard the placeholder root
 
@@ -94,11 +121,11 @@ def load_tree(path: str, disk: DiskSimulator | None = None) -> RStarTree:
     for node in sorted(nodes, key=lambda n: n.level):
         node.recompute_mbr()
     if not 0 <= root_page < len(nodes):
-        raise ValueError(f"{path}: root page {root_page} out of range")
+        raise ValueError(f"{source}: root page {root_page} out of range")
     tree.root = nodes[root_page]
     tree._size = size
     if tree.height != height:
-        raise ValueError(f"{path}: height mismatch "
+        raise ValueError(f"{source}: height mismatch "
                          f"({tree.height} != stored {height})")
     return tree
 

@@ -10,6 +10,9 @@ from repro.core import (
     QueryResponse,
     RangeRequest,
     WindowRequest,
+    compute_nn_validity,
+    compute_range_validity,
+    compute_window_validity,
 )
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
@@ -53,24 +56,25 @@ class TestRequests:
 
 
 class TestAnswerDispatch:
-    def test_knn_answer_equals_legacy_method(self, server):
-        legacy = server.knn_query((0.4, 0.6), k=4)
+    def test_knn_answer_matches_validity_computation(self, server):
         unified = server.answer(KNNRequest((0.4, 0.6), k=4))
+        direct = compute_nn_validity(server.tree, (0.4, 0.6), k=4)
         assert [e.oid for e in unified.result] == [
-            e.oid for e in legacy.neighbors]
-        assert unified.transfer_bytes() == legacy.transfer_bytes()
+            e.oid for e in direct.neighbors]
+        assert unified.transfer_bytes() > 0
 
-    def test_window_answer_equals_legacy_method(self, server):
-        legacy = server.window_query((0.5, 0.5), 0.2, 0.1)
+    def test_window_answer_matches_validity_computation(self, server):
         unified = server.answer(WindowRequest((0.5, 0.5), 0.2, 0.1))
+        direct = compute_window_validity(server.tree, (0.5, 0.5), 0.2, 0.1,
+                                         universe=server.universe)
         assert ({e.oid for e in unified.result}
-                == {e.oid for e in legacy.result})
+                == {e.oid for e in direct.result})
 
-    def test_range_answer_equals_legacy_method(self, server):
-        legacy = server.range_query((0.5, 0.5), 0.08)
+    def test_range_answer_matches_validity_computation(self, server):
         unified = server.answer(RangeRequest((0.5, 0.5), 0.08))
+        direct = compute_range_validity(server.tree, (0.5, 0.5), 0.08)
         assert ({e.oid for e in unified.result}
-                == {e.oid for e in legacy.result})
+                == {e.oid for e in direct.result})
 
     def test_delta_dispatch_from_previous_ids(self, server):
         first = server.answer(KNNRequest((0.3, 0.3), k=5))
@@ -105,13 +109,14 @@ class TestQueryResponseProtocol:
             assert isinstance(resp.region.contains((0.5, 0.5)), bool)
 
     def test_knn_result_aliases_neighbors(self, server):
-        resp = server.knn_query((0.7, 0.2), k=3)
+        resp = server.answer(KNNRequest((0.7, 0.2), k=3))
         assert resp.result is resp.neighbors
 
     def test_delta_response_delegates_to_full(self, server):
-        first = server.window_query((0.5, 0.5), 0.2, 0.2)
-        delta = server.window_query_delta(
-            (0.5, 0.5), 0.2, 0.2, [e.oid for e in first.result])
+        first = server.answer(WindowRequest((0.5, 0.5), 0.2, 0.2))
+        delta = server.answer(WindowRequest(
+            (0.5, 0.5), 0.2, 0.2,
+            previous_ids=tuple(e.oid for e in first.result)))
         assert delta.result == delta.full.result
         assert delta.region is delta.full.region
         assert delta.detail is delta.full.detail

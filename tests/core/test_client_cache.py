@@ -12,6 +12,7 @@ import pytest
 from repro.geometry import Rect
 from repro.index import bulk_load_str
 from repro.core import LocationServer, MobileClient
+from repro.core.api import KNNRequest, WindowRequest
 from tests.conftest import brute_knn_set, brute_window
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
@@ -39,8 +40,8 @@ class TestIncrementalEpochInvalidation:
         # The re-query was answered with a *full* response (the delta
         # base died with the epoch), so it cost full-response bytes.
         full_cost = client.stats.bytes_received - bytes_before
-        assert full_cost == server.knn_query((0.5, 0.5),
-                                             k=5).transfer_bytes()
+        assert full_cost == server.answer(
+            KNNRequest((0.5, 0.5), k=5)).transfer_bytes()
         assert client.stats.cache_answers == 0
 
     def test_delete_drops_delta_base_window(self, server, points):
@@ -91,7 +92,7 @@ class TestIncrementalReQuery:
         before = inc.stats.bytes_received
         # Different extents: the cached base is for another query shape,
         # so this must be a full response, not a delta.
-        resp_cost = server.window_query((0.5, 0.5), 0.3, 0.3)
+        resp_cost = server.answer(WindowRequest((0.5, 0.5), 0.3, 0.3))
         inc.window((0.5, 0.5), 0.3, 0.3)
         assert (inc.stats.bytes_received - before
                 == resp_cost.transfer_bytes())

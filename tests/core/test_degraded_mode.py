@@ -2,7 +2,7 @@
 
 The resilience contract: a budget-exhausted query still returns the
 *exact* result — only the validity region shrinks (conservatively), and
-the response is flagged via ``detail["degraded"]``.  A client facing a
+the response is flagged via ``detail.degraded``.  A client facing a
 transiently failing server serves its cached answer within a bounded
 staleness instead of raising.
 """
@@ -41,11 +41,10 @@ def test_budget_validation():
 def test_degraded_knn_keeps_exact_result(uniform_1k, small_tree):
     server = LocationServer(small_tree)
     q = (0.41, 0.57)
-    full = server.knn_query(q, k=5)
-    degraded = server.knn_query(q, k=5, budget=TIGHT)
+    full = server.answer(KNNRequest(q, k=5))
+    degraded = server.answer(KNNRequest(q, k=5, budget=TIGHT))
     assert degraded.detail.degraded
-    assert degraded.detail["degraded"]  # the documented subscript access
-    assert not full.detail["degraded"]
+    assert not full.detail.degraded
     assert ({e.oid for e in degraded.neighbors}
             == {e.oid for e in full.neighbors})
 
@@ -63,7 +62,7 @@ def test_degraded_knn_keeps_exact_result(uniform_1k, small_tree):
 def test_degraded_knn_safe_radius_is_half_margin(uniform_1k, small_tree):
     server = LocationServer(small_tree)
     q = (0.3, 0.3)
-    degraded = server.knn_query(q, k=3, budget=TIGHT)
+    degraded = server.answer(KNNRequest(q, k=3, budget=TIGHT))
     ranked = sorted(math.dist(p, q) for p in uniform_1k)
     expected = (ranked[3] - ranked[2]) / 2.0
     assert degraded.detail.safe_radius == pytest.approx(expected)
@@ -74,7 +73,7 @@ def test_degraded_knn_set_invariant_inside_safe_disk(uniform_1k, small_tree):
     server = LocationServer(small_tree)
     q = (0.62, 0.48)
     k = 4
-    degraded = server.knn_query(q, k=k, budget=TIGHT)
+    degraded = server.answer(KNNRequest(q, k=k, budget=TIGHT))
     knn_at_q = brute_knn_set(uniform_1k, q, k)
     r = degraded.region.radius
     for i in range(12):
@@ -86,9 +85,10 @@ def test_degraded_knn_set_invariant_inside_safe_disk(uniform_1k, small_tree):
 
 def test_generous_budget_is_not_degraded(small_tree):
     server = LocationServer(small_tree)
-    resp = server.knn_query((0.5, 0.5), k=3,
-                            budget=QueryBudget(max_node_accesses=10_000_000,
-                                               deadline_ms=60_000.0))
+    resp = server.answer(KNNRequest(
+        (0.5, 0.5), k=3,
+        budget=QueryBudget(max_node_accesses=10_000_000,
+                           deadline_ms=60_000.0)))
     assert not resp.detail.degraded
     assert resp.detail.safe_radius is None
 
@@ -99,9 +99,9 @@ def test_generous_budget_is_not_degraded(small_tree):
 def test_degraded_window_keeps_exact_result(uniform_1k, small_tree):
     server = LocationServer(small_tree)
     focus, w, h = (0.5, 0.5), 0.2, 0.15
-    full = server.window_query(focus, w, h)
-    degraded = server.window_query(focus, w, h, budget=TIGHT)
-    assert degraded.detail["degraded"]
+    full = server.answer(WindowRequest(focus, w, h))
+    degraded = server.answer(WindowRequest(focus, w, h, budget=TIGHT))
+    assert degraded.detail.degraded
     assert ({e.oid for e in degraded.result} == {e.oid for e in full.result})
     expected = brute_window(
         uniform_1k, Rect(focus[0] - w / 2, focus[1] - h / 2,
@@ -115,33 +115,31 @@ def test_degraded_window_keeps_exact_result(uniform_1k, small_tree):
 def test_degraded_range_keeps_exact_result(small_tree):
     server = LocationServer(small_tree)
     q, radius = (0.44, 0.52), 0.1
-    full = server.range_query(q, radius)
-    degraded = server.range_query(q, radius, budget=TIGHT)
-    assert degraded.detail["degraded"]
+    full = server.answer(RangeRequest(q, radius))
+    degraded = server.answer(RangeRequest(q, radius, budget=TIGHT))
+    assert degraded.detail.degraded
     assert ({e.oid for e in degraded.result} == {e.oid for e in full.result})
     assert degraded.detail.validity_radius == 0.0
     assert degraded.region.contains(q)
 
 
-def test_detail_mapping_access(small_tree):
+def test_detail_attribute_access(small_tree):
     server = LocationServer(small_tree)
-    detail = server.knn_query((0.5, 0.5), k=2).detail
-    assert detail.get("degraded") is False
-    assert detail.get("no_such_key", "fallback") == "fallback"
-    assert "degraded" in detail
-    assert "no_such_key" not in detail
-    with pytest.raises(KeyError):
-        detail["no_such_key"]
+    detail = server.answer(KNNRequest((0.5, 0.5), k=2)).detail
+    assert detail.degraded is False
+    assert detail.kind == "knn"
+    with pytest.raises(AttributeError):
+        detail.no_such_key
 
 
 def test_budget_threads_through_answer_entry_point(small_tree):
     server = LocationServer(small_tree)
     assert server.answer(
-        KNNRequest((0.5, 0.5), k=3, budget=TIGHT)).detail["degraded"]
+        KNNRequest((0.5, 0.5), k=3, budget=TIGHT)).detail.degraded
     assert server.answer(
-        WindowRequest((0.5, 0.5), 0.2, 0.2, budget=TIGHT)).detail["degraded"]
+        WindowRequest((0.5, 0.5), 0.2, 0.2, budget=TIGHT)).detail.degraded
     assert server.answer(
-        RangeRequest((0.5, 0.5), 0.1, budget=TIGHT)).detail["degraded"]
+        RangeRequest((0.5, 0.5), 0.1, budget=TIGHT)).detail.degraded
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,7 @@ import pytest
 from repro.geometry import Rect
 from repro.index import bulk_load_str
 from repro.core import LocationServer, MobileClient
+from repro.core.api import KNNRequest
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
 
@@ -34,11 +35,13 @@ class TestServerUpdates:
         assert server.epoch == 0
 
     def test_queries_reflect_updates(self, server):
-        assert server.knn_query((0.5, 0.5)).neighbors[0].oid in {0, 1, 2}
+        nearest = lambda: server.answer(
+            KNNRequest((0.5, 0.5))).neighbors[0].oid
+        assert nearest() in {0, 1, 2}
         server.insert_object(100, 0.5, 0.5)
-        assert server.knn_query((0.5, 0.5)).neighbors[0].oid == 100
+        assert nearest() == 100
         server.delete_object(100, 0.5, 0.5)
-        assert server.knn_query((0.5, 0.5)).neighbors[0].oid != 100
+        assert nearest() != 100
 
 
 class TestClientInvalidation:

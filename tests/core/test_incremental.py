@@ -4,6 +4,7 @@ import pytest
 
 from repro.geometry import Rect
 from repro.core import LocationServer, MobileClient
+from repro.core.api import KNNRequest, WindowRequest
 from tests.conftest import brute_knn_set, brute_window
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
@@ -12,40 +13,41 @@ UNIT = Rect(0.0, 0.0, 1.0, 1.0)
 class TestServerDelta:
     def test_knn_delta_contents(self, small_tree):
         server = LocationServer(small_tree, UNIT)
-        first = server.knn_query((0.2, 0.2), k=5)
+        first = server.answer(KNNRequest((0.2, 0.2), k=5))
         prev = {e.oid for e in first.neighbors}
-        delta = server.knn_query_delta((0.6, 0.6), k=5, previous_ids=prev)
+        delta = server.answer(KNNRequest((0.6, 0.6), k=5,
+                                         previous_ids=tuple(prev)))
         current = {e.oid for e in delta.full.neighbors}
         assert {e.oid for e in delta.added} == current - prev
         assert set(delta.removed_ids) == prev - current
 
     def test_window_delta_contents(self, small_tree):
         server = LocationServer(small_tree, UNIT)
-        first = server.window_query((0.4, 0.4), 0.2, 0.2)
+        first = server.answer(WindowRequest((0.4, 0.4), 0.2, 0.2))
         prev = {e.oid for e in first.result}
-        delta = server.window_query_delta((0.45, 0.4), 0.2, 0.2,
-                                          previous_ids=prev)
+        delta = server.answer(WindowRequest((0.45, 0.4), 0.2, 0.2,
+                                            previous_ids=tuple(prev)))
         current = {e.oid for e in delta.full.result}
         assert {e.oid for e in delta.added} == current - prev
         assert set(delta.removed_ids) == prev - current
 
     def test_no_change_delta_is_small(self, small_tree):
         server = LocationServer(small_tree, UNIT)
-        first = server.window_query((0.4, 0.4), 0.2, 0.2)
+        first = server.answer(WindowRequest((0.4, 0.4), 0.2, 0.2))
         prev = {e.oid for e in first.result}
-        delta = server.window_query_delta((0.4, 0.4), 0.2, 0.2,
-                                          previous_ids=prev)
+        delta = server.answer(WindowRequest((0.4, 0.4), 0.2, 0.2,
+                                            previous_ids=tuple(prev)))
         assert delta.added == [] and delta.removed_ids == []
         assert delta.transfer_bytes() < first.transfer_bytes()
 
     def test_delta_bytes_smaller_for_small_moves(self, small_tree):
         """The whole point: overlapping results make deltas cheap."""
         server = LocationServer(small_tree, UNIT)
-        first = server.window_query((0.4, 0.4), 0.3, 0.3)
+        first = server.answer(WindowRequest((0.4, 0.4), 0.3, 0.3))
         prev = {e.oid for e in first.result}
-        delta = server.window_query_delta((0.41, 0.4), 0.3, 0.3,
-                                          previous_ids=prev)
-        full = server.window_query((0.41, 0.4), 0.3, 0.3)
+        delta = server.answer(WindowRequest((0.41, 0.4), 0.3, 0.3,
+                                            previous_ids=tuple(prev)))
+        full = server.answer(WindowRequest((0.41, 0.4), 0.3, 0.3))
         assert delta.transfer_bytes() < full.transfer_bytes()
 
 

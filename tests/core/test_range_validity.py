@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.index import bulk_load_str
 from repro.core import LocationServer, MobileClient, compute_range_validity
+from repro.core.api import RangeRequest
 from repro.geometry import Rect
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)
@@ -109,7 +110,7 @@ class TestRangeValidity:
 class TestServerClientRange:
     def test_server_range_query(self, small_tree, uniform_1k):
         server = LocationServer(small_tree, UNIT)
-        resp = server.range_query((0.5, 0.5), 0.1)
+        resp = server.answer(RangeRequest((0.5, 0.5), 0.1))
         assert {e.oid for e in resp.result} == brute_range_set(
             uniform_1k, (0.5, 0.5), 0.1)
         assert resp.transfer_bytes() >= 24

@@ -8,6 +8,7 @@ import pytest
 from repro.geometry import Rect
 from repro.index import bulk_load_str
 from repro.core import LocationServer, MobileClient
+from repro.core.api import KNNRequest, WindowRequest
 from repro.core.validity import NNValidityRegion, WindowValidityRegion
 from tests.conftest import brute_knn_set, brute_window
 
@@ -26,7 +27,7 @@ class TestLocationServer:
 
     def test_knn_query_response(self, small_tree, uniform_1k):
         server = LocationServer(small_tree, UNIT)
-        resp = server.knn_query((0.5, 0.5), k=3)
+        resp = server.answer(KNNRequest((0.5, 0.5), k=3))
         assert {e.oid for e in resp.neighbors} == brute_knn_set(
             uniform_1k, (0.5, 0.5), 3)
         assert resp.region.contains((0.5, 0.5))
@@ -35,7 +36,7 @@ class TestLocationServer:
 
     def test_window_query_response(self, small_tree, uniform_1k):
         server = LocationServer(small_tree, UNIT)
-        resp = server.window_query((0.5, 0.5), 0.1, 0.1)
+        resp = server.answer(WindowRequest((0.5, 0.5), 0.1, 0.1))
         assert sorted(e.oid for e in resp.result) == brute_window(
             uniform_1k, Rect.around((0.5, 0.5), 0.1, 0.1))
         assert resp.region.contains((0.5, 0.5))
@@ -44,7 +45,7 @@ class TestLocationServer:
     def test_io_stats_accumulate(self, small_tree):
         server = LocationServer(small_tree, UNIT)
         server.reset_io_stats()
-        server.knn_query((0.3, 0.3))
+        server.answer(KNNRequest((0.3, 0.3)))
         assert server.io_stats.total_node_accesses > 0
         server.reset_io_stats()
         assert server.io_stats.total_node_accesses == 0

@@ -22,7 +22,7 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.core import compute_nn_validity, compute_window_validity
-from repro.core.api import QueryBudget
+from repro.core.api import KNNRequest, QueryBudget
 from repro.core.server import LocationServer
 from repro.geometry import Rect
 from repro.index import bulk_load_str
@@ -99,9 +99,9 @@ class TestNNRegionOracle:
         points, query, rnd = _instance(seed, n=120)
         server = LocationServer(bulk_load_str(points, capacity=8),
                                 universe=UNIT)
-        resp = server.knn_query(query, k=k,
-                                budget=QueryBudget(max_node_accesses=1))
-        assert resp.detail["degraded"]
+        resp = server.answer(KNNRequest(
+            query, k=k, budget=QueryBudget(max_node_accesses=1)))
+        assert resp.detail.degraded
         cached = {e.oid for e in resp.neighbors}
         radius = resp.region.radius
         for i in range(10):

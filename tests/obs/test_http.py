@@ -9,7 +9,7 @@ import urllib.request
 
 import pytest
 
-from repro import KNNRequest, WindowRequest, build_service
+from repro import CacheConfig, KNNRequest, WindowRequest, build_service
 from repro.obs import ObservabilityServer
 from repro.obs.http import PROMETHEUS_CONTENT_TYPE
 
@@ -24,7 +24,7 @@ def _fetch(url: str):
 def served():
     rnd = random.Random(42)
     points = [(rnd.random(), rnd.random()) for _ in range(600)]
-    service = build_service(points, shards=2, cache_capacity=32)
+    service = build_service(points, shards=2, cache=CacheConfig(capacity=32))
     service.answer(KNNRequest((0.5, 0.5), k=3, trace_id="t-http-knn"))
     service.answer(KNNRequest((0.5, 0.5), k=3))  # server-cache hit
     service.answer(WindowRequest((0.3, 0.3), width=0.2, height=0.2))

@@ -47,7 +47,7 @@ class TestCacheOracle:
     @settings(deadline=None, max_examples=20)
     def test_cache_served_knn_equals_brute_force_at_probe(self, seed, k):
         points, query, rnd = _instance(seed)
-        service = build_service(points, cache_capacity=64)
+        service = build_service(points, cache=CacheConfig(capacity=64))
         service.answer(KNNRequest(query, k=k))
         hits = 0
         for probe in _probes_near(query, rnd):
@@ -73,7 +73,7 @@ class TestCacheOracle:
     def test_cache_served_window_equals_brute_force_at_probe(
             self, seed, w, h):
         points, focus, rnd = _instance(seed)
-        service = build_service(points, cache_capacity=64)
+        service = build_service(points, cache=CacheConfig(capacity=64))
         service.answer(WindowRequest(focus, w, h))
         for probe in _probes_near(focus, rnd):
             before = service.cache.hits
@@ -92,7 +92,7 @@ class TestCacheOracle:
     def test_cache_served_range_equals_brute_force_at_probe(
             self, seed, radius):
         points, focus, rnd = _instance(seed)
-        service = build_service(points, cache_capacity=64)
+        service = build_service(points, cache=CacheConfig(capacity=64))
         service.answer(RangeRequest(focus, radius))
         for probe in _probes_near(focus, rnd, sigma=0.01):
             before = service.cache.hits
@@ -112,7 +112,7 @@ class TestCacheOracle:
     @settings(deadline=None, max_examples=15)
     def test_hit_costs_zero_node_accesses(self, seed, k):
         points, query, _ = _instance(seed)
-        service = build_service(points, cache_capacity=64)
+        service = build_service(points, cache=CacheConfig(capacity=64))
         service.answer(KNNRequest(query, k=k))
         before = service.server.io_stats.total_node_accesses
         response = service.answer(KNNRequest(query, k=k))
@@ -155,7 +155,7 @@ class TestCacheMechanics:
 
     def test_mutation_invalidates_through_the_service(self):
         points, _, _ = _instance(3)
-        service = build_service(points, cache_capacity=64)
+        service = build_service(points, cache=CacheConfig(capacity=64))
         request = KNNRequest((0.5, 0.5), k=2)
         service.answer(request)
         assert len(service.cache) == 1
@@ -183,7 +183,7 @@ class TestCacheMechanics:
         starved = server.answer(
             KNNRequest((0.5, 0.5), k=2,
                        budget=QueryBudget(max_node_accesses=1)))
-        assert starved.detail["degraded"]
+        assert starved.detail.degraded
         assert not cache.admit(full, starved, server.epoch)
         assert len(cache) == 0
 

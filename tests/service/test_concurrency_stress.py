@@ -194,7 +194,7 @@ def test_budgeted_batch_under_latency_degrades_but_completes(uniform_1k):
     with ThreadPoolExecutor(max_workers=6) as pool:
         responses = service.dispatch_batch(requests, executor=pool)
     assert len(responses) == 30
-    degraded = [r for r in responses if r.detail["degraded"]]
+    degraded = [r for r in responses if r.detail.degraded]
     assert degraded, "tight budget should degrade some responses"
     counters = service.metrics.snapshot()["counters"]
     assert counters.get("service.degraded", 0) == len(degraded)

@@ -1,0 +1,120 @@
+"""Roundtrip tests for the struct-packed shard wire frames.
+
+The process-pool backend ships queries to workers as compact binary
+request frames and gets typed responses back the same way; these tests
+pin the codec: every field survives ``encode -> decode`` bit-exact,
+optional budgets map through the NaN / -1 sentinels, and foreign bytes
+are rejected instead of misparsed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import KNNRequest, RangeRequest, WindowRequest
+from repro.core.server import LocationServer
+from repro.service.framing import (
+    JobResult,
+    RequestFrame,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+from tests.conftest import UNIT
+
+
+@pytest.fixture(scope="module")
+def server():
+    rnd = random.Random(21)
+    points = [(rnd.random(), rnd.random()) for _ in range(250)]
+    return LocationServer.from_points(points, universe=UNIT)
+
+
+class TestRequestFrames:
+    def test_knn_roundtrip_with_budget(self):
+        frame = RequestFrame(
+            kind="knn", params=(0.25, 0.75, "fifo"),
+            jobs=[(0, 3), (4, 1)], deadline_ms=12.5,
+            max_node_accesses=400, trace_id="abc123")
+        decoded = decode_request(encode_request(frame))
+        assert decoded == frame
+
+    def test_none_budgets_survive(self):
+        for kind, params, jobs in [
+            ("knn", (0.1, 0.2, "lifo"), [(2, 5)]),
+            ("window", (0.5, 0.5, 0.2, 0.1), [(0,), (1,)]),
+            ("range", (0.3, 0.4, 0.05), [(7,)]),
+        ]:
+            frame = RequestFrame(kind=kind, params=params, jobs=jobs)
+            decoded = decode_request(encode_request(frame))
+            assert decoded.deadline_ms is None
+            assert decoded.max_node_accesses is None
+            assert decoded.trace_id is None
+            assert decoded.params == pytest.approx(params) \
+                if kind != "knn" else decoded.params == params
+            assert decoded.jobs == jobs
+
+    def test_rejects_foreign_bytes(self):
+        frame = RequestFrame(kind="window", params=(0, 0, 1, 1),
+                             jobs=[(0,)])
+        good = encode_request(frame)
+        with pytest.raises(ValueError):
+            decode_request(b"XXXX" + good[4:])
+        with pytest.raises(ValueError):
+            decode_response(good, UNIT)  # request magic != response magic
+
+
+class TestResponseFrames:
+    def _roundtrip(self, kind, response):
+        na = {"result": 7, "influence": 3}
+        pf = {"result": 2}
+        spans = [("shard_0", 0.0, 1.5, -1, {"sid": 0, "process": True}),
+                 ("index_descent", 0.1, 0.4, 0, {})]
+        data = encode_response(kind, [(0, response, na, pf, spans)])
+        (job,) = decode_response(data, UNIT)
+        assert isinstance(job, JobResult)
+        assert job.sid == 0
+        assert job.node_accesses == na
+        assert job.page_faults == pf
+        assert job.spans == spans
+        return job.response
+
+    def test_knn_payload(self, server):
+        response = server.answer(KNNRequest((0.4, 0.6), k=4))
+        got = self._roundtrip("knn", response)
+        assert [e.oid for e in got.neighbors] == \
+            [e.oid for e in response.neighbors]
+        assert got.detail.degraded == response.detail.degraded
+        assert got.region.contains((0.4, 0.6))
+
+    def test_window_payload(self, server):
+        response = server.answer(WindowRequest((0.5, 0.5), 0.3, 0.2))
+        got = self._roundtrip("window", response)
+        assert [e.oid for e in got.result] == \
+            [e.oid for e in response.result]
+        assert (got.detail.conservative_region
+                == response.detail.conservative_region)
+
+    def test_range_payload(self, server):
+        response = server.answer(RangeRequest((0.5, 0.5), 0.15))
+        got = self._roundtrip("range", response)
+        assert [e.oid for e in got.result] == \
+            [e.oid for e in response.result]
+        assert got.detail.validity_radius == pytest.approx(
+            response.detail.validity_radius)
+
+    def test_multiple_jobs_preserve_order(self, server):
+        responses = [server.answer(KNNRequest((x, 0.5), k=2))
+                     for x in (0.2, 0.5, 0.8)]
+        data = encode_response(
+            "knn", [(sid, r, {}, {}, [])
+                    for sid, r in enumerate(responses)])
+        jobs = decode_response(data, UNIT)
+        assert [j.sid for j in jobs] == [0, 1, 2]
+        for job, original in zip(jobs, responses):
+            assert [e.oid for e in job.response.neighbors] == \
+                [e.oid for e in original.neighbors]

@@ -17,7 +17,7 @@ import threading
 
 import pytest
 
-from repro import KNNRequest, build_service
+from repro import CacheConfig, KNNRequest, build_service
 from repro.core import LocationServer, MobileClient
 from repro.geometry import Rect
 from repro.obs import EventLog, current_trace, prometheus_text
@@ -43,7 +43,7 @@ def _points(n=600, seed=42):
 # the end-to-end span tree
 # ----------------------------------------------------------------------
 def test_sharded_query_builds_one_tree_client_to_disk():
-    service = build_service(_points(), shards=2, cache_capacity=8)
+    service = build_service(_points(), shards=2, cache=CacheConfig(capacity=8))
     service.answer(KNNRequest((0.5, 0.5), k=4, trace_id="t-e2e"))
 
     trace = service.traces.find("t-e2e")
@@ -68,7 +68,7 @@ def test_sharded_query_builds_one_tree_client_to_disk():
 
 
 def test_query_events_are_correlated_and_ordered():
-    service = build_service(_points(), shards=2, cache_capacity=8)
+    service = build_service(_points(), shards=2, cache=CacheConfig(capacity=8))
     service.answer(KNNRequest((0.5, 0.5), k=4, trace_id="t-ev"))
     service.answer(KNNRequest((0.5, 0.5), k=4, trace_id="t-ev2"))  # hit
 
@@ -84,7 +84,7 @@ def test_query_events_are_correlated_and_ordered():
 
 
 def test_client_mints_trace_ids_and_logs_cache_answers():
-    service = build_service(_points(), shards=1, cache_capacity=0)
+    service = build_service(_points(), shards=1)
     client = MobileClient(service)
     client.knn((0.5, 0.5), k=3)
     first = service.traces.recent()[-1]
@@ -99,7 +99,7 @@ def test_client_mints_trace_ids_and_logs_cache_answers():
 
 
 def test_no_trace_context_leaks_out_of_answer():
-    service = build_service(_points(), shards=2, cache_capacity=8)
+    service = build_service(_points(), shards=2, cache=CacheConfig(capacity=8))
     service.answer(KNNRequest((0.5, 0.5), k=3))
     assert current_trace() is None
 

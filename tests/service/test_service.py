@@ -27,20 +27,22 @@ class TestAnswerParity:
     """The service returns exactly what the bare server returns."""
 
     def test_knn_matches_server(self, small_tree, service):
-        direct = LocationServer(small_tree, UNIT).knn_query((0.4, 0.4), k=5)
+        direct = LocationServer(small_tree, UNIT).answer(
+            KNNRequest((0.4, 0.4), k=5))
         via = service.answer(KNNRequest((0.4, 0.4), k=5))
         assert [e.oid for e in via.result] == [e.oid for e in direct.result]
         assert via.transfer_bytes() == direct.transfer_bytes()
 
     def test_window_matches_server(self, small_tree, service):
-        direct = LocationServer(small_tree, UNIT).window_query(
-            (0.5, 0.5), 0.2, 0.2)
+        direct = LocationServer(small_tree, UNIT).answer(
+            WindowRequest((0.5, 0.5), 0.2, 0.2))
         via = service.window_query((0.5, 0.5), 0.2, 0.2)
         assert ({e.oid for e in via.result}
                 == {e.oid for e in direct.result})
 
     def test_range_matches_server(self, small_tree, service):
-        direct = LocationServer(small_tree, UNIT).range_query((0.5, 0.5), 0.1)
+        direct = LocationServer(small_tree, UNIT).answer(
+            RangeRequest((0.5, 0.5), 0.1))
         via = service.range_query((0.5, 0.5), 0.1)
         assert ({e.oid for e in via.result}
                 == {e.oid for e in direct.result})

@@ -15,9 +15,11 @@ from __future__ import annotations
 import math
 import random
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
-from repro import KNNRequest, RangeRequest, WindowRequest
+from repro import ExecutionConfig, KNNRequest, RangeRequest, WindowRequest
 from repro.core.api import QueryBudget
 from repro.core.server import LocationServer
 from repro.geometry import Rect
@@ -45,8 +47,9 @@ def _instance(seed: int, n: int = 160):
 
 def _pair(points, grid):
     return (LocationServer.from_points(points, universe=UNIT),
-            ShardedServer.from_points(points, grid=grid, universe=UNIT,
-                                      max_workers=1))
+            ShardedServer.from_points(
+                points, grid=grid, universe=UNIT,
+                execution=ExecutionConfig(workers=1)))
 
 
 class TestEquivalence:
@@ -123,7 +126,7 @@ class TestMergedRegionSoundness:
         points, focus, rnd = _instance(seed)
         _, sharded = _pair(points, grid)
         response = sharded.answer(WindowRequest(focus, w, h))
-        rect = response.detail["conservative_region"]
+        rect = response.detail.conservative_region
         cached = sorted(e.oid for e in response.result)
         assert rect.contains_point(focus)
         for _ in range(20):
@@ -145,7 +148,7 @@ class TestMergedRegionSoundness:
         _, sharded = _pair(points, grid)
         response = sharded.answer(RangeRequest(focus, radius))
         cached = sorted(e.oid for e in response.result)
-        rho = response.detail["validity_radius"]
+        rho = response.detail.validity_radius
         assert rho >= 0.0
         for _ in range(20):
             angle = rnd.uniform(0.0, 2.0 * math.pi)
@@ -165,26 +168,27 @@ class TestScatterGatherMechanics:
     def _sharded(self, seed=7, n=300, grid=3):
         points, query, rnd = _instance(seed, n=n)
         return points, query, rnd, ShardedServer.from_points(
-            points, grid=grid, universe=UNIT, max_workers=1)
+            points, grid=grid, universe=UNIT,
+            execution=ExecutionConfig(workers=1))
 
     def test_knn_accounting_and_pruning(self):
         points, query, _, sharded = self._sharded()
         detail = sharded.answer(KNNRequest(query, k=3)).detail
         assert isinstance(detail, ShardedKNNDetail)
-        assert detail["shards_total"] == len(sharded.shards)
-        assert (detail["shards_queried"] + detail["shards_pruned"]
-                == detail["shards_total"])
-        assert detail["shards_queried"] >= 1
-        assert set(detail["per_shard_node_accesses"]) <= {
+        assert detail.shards_total == len(sharded.shards)
+        assert (detail.shards_queried + detail.shards_pruned
+                == detail.shards_total)
+        assert detail.shards_queried >= 1
+        assert set(detail.per_shard_node_accesses) <= {
             s.sid for s in sharded.shards}
 
     def test_small_window_prunes_far_shards(self):
         points, _, _, sharded = self._sharded(n=400, grid=3)
         detail = sharded.answer(
             WindowRequest((0.1, 0.1), 0.05, 0.05)).detail
-        assert detail["shards_queried"] < detail["shards_total"]
-        assert (detail["shards_queried"] + detail["shards_pruned"]
-                == detail["shards_total"])
+        assert detail.shards_queried < detail.shards_total
+        assert (detail.shards_queried + detail.shards_pruned
+                == detail.shards_total)
 
     def test_knn_delta_against_full(self):
         points, query, _, sharded = self._sharded()
@@ -202,7 +206,7 @@ class TestScatterGatherMechanics:
         response = sharded.answer(
             KNNRequest(query, k=2,
                        budget=QueryBudget(max_node_accesses=2)))
-        assert response.detail["degraded"]
+        assert response.detail.degraded
         assert _knn_set_unchanged(points, query,
                                   {e.oid for e in response.neighbors})
 
@@ -224,7 +228,7 @@ class TestScatterGatherMechanics:
         _, _, _, sharded = self._sharded()
         assert all(s.server.universe == UNIT for s in sharded.shards)
 
-    def test_typed_details_expose_mapping_view(self):
+    def test_typed_details_expose_attributes(self):
         points, query, _, sharded = self._sharded()
         knn = sharded.answer(KNNRequest(query, k=2)).detail
         window = sharded.answer(WindowRequest(query, 0.2, 0.2)).detail
@@ -233,16 +237,19 @@ class TestScatterGatherMechanics:
         assert isinstance(window, ShardedWindowDetail)
         assert isinstance(rng, ShardedRangeDetail)
         for detail in (knn, window, rng):
-            assert detail["shards_total"] == len(sharded.shards)
-            assert "per_shard_node_accesses" in detail
-            assert detail.get("no_such_key") is None
+            assert detail.shards_total == len(sharded.shards)
+            assert isinstance(detail.per_shard_node_accesses, dict)
+            with pytest.raises(AttributeError):
+                detail.no_such_key
 
     def test_parallel_pool_matches_inline_execution(self):
         points, query, _, _ = self._sharded()
-        inline = ShardedServer.from_points(points, grid=3, universe=UNIT,
-                                           max_workers=1)
-        pooled = ShardedServer.from_points(points, grid=3, universe=UNIT,
-                                           max_workers=4)
+        inline = ShardedServer.from_points(
+            points, grid=3, universe=UNIT,
+            execution=ExecutionConfig(workers=1))
+        pooled = ShardedServer.from_points(
+            points, grid=3, universe=UNIT,
+            execution=ExecutionConfig(workers=4))
         try:
             for k in (1, 3, 5):
                 a = inline.answer(KNNRequest(query, k=k))

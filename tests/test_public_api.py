@@ -9,7 +9,7 @@ from repro.service import checkapi
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_all_exports_resolve():
@@ -44,7 +44,8 @@ def test_checkapi_requires_markers(tmp_path):
 
 def test_build_service_front_door():
     service = repro.build_service(
-        repro.uniform_points(500, seed=3), shards=2, cache_capacity=16)
+        repro.uniform_points(500, seed=3), shards=2,
+        cache=repro.CacheConfig(capacity=16))
     response = service.answer(repro.KNNRequest((0.5, 0.5), k=2))
     assert len(response.neighbors) == 2
     again = service.answer(repro.KNNRequest((0.5, 0.5), k=2))
@@ -53,15 +54,48 @@ def test_build_service_front_door():
     assert service.cache.hits == 1
 
 
-def test_per_type_query_methods_are_deprecated():
+def test_build_service_accepts_execution_config():
+    service = repro.build_service(
+        repro.uniform_points(400, seed=5),
+        execution=repro.ExecutionConfig(kernel="auto"))
+    response = service.answer(repro.KNNRequest((0.5, 0.5), k=3))
+    assert len(response.neighbors) == 3
+
+
+def test_per_type_query_methods_are_removed():
     server = repro.LocationServer.from_points(
         repro.uniform_points(300, seed=4))
+    for name in ("knn_query", "window_query", "range_query",
+                 "knn_query_delta", "window_query_delta"):
+        assert not hasattr(server, name)
+    response = server.answer(repro.KNNRequest((0.5, 0.5), k=1))
+    assert len(response.neighbors) == 1
+
+
+def test_legacy_service_kwargs_warn():
+    points = repro.uniform_points(300, seed=6)
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         with pytest.raises(DeprecationWarning):
-            server.knn_query((0.5, 0.5), k=1)
-    response = server.answer(repro.KNNRequest((0.5, 0.5), k=1))
-    assert len(response.neighbors) == 1
+            repro.build_service(points, cache_capacity=8)
+        with pytest.raises(DeprecationWarning):
+            repro.build_service(points, shards=2, max_workers=1)
+    with pytest.raises(TypeError):
+        repro.build_service(points, shards=2, max_workers=1,
+                            execution=repro.ExecutionConfig())
+    with pytest.raises(TypeError):
+        repro.build_service(points, cache_capacity=8,
+                            cache=repro.CacheConfig(capacity=8))
+
+
+def test_execution_config_validation():
+    with pytest.raises(ValueError):
+        repro.ExecutionConfig(backend="carrier-pigeon")
+    with pytest.raises(ValueError):
+        repro.ExecutionConfig(kernel="fortran")
+    with pytest.raises(ValueError):
+        repro.ExecutionConfig(workers=0)
+    assert set(repro.available_kernels()) >= {"scalar", "soa"}
 
 
 def test_module_docstring_example():
