@@ -249,7 +249,8 @@ def bench_record_path(name: str, prefix: str = "obs") -> str:
     working directory, which is where CI collects ``BENCH_<prefix>_*.json``
     artifacts from).  ``prefix`` namespaces independent trails: "obs"
     for the observability benches, "kernel" for the execution-config
-    (kernel x backend) matrix.
+    (kernel x backend) matrix, "fleet" for the replicated-serving
+    chaos/overload gate.
     """
     out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
     return os.path.join(out_dir, f"BENCH_{prefix}_{name}.json")
@@ -267,6 +268,7 @@ def write_bench_record(name: str, metrics, context=None,
     import time
 
     path = bench_record_path(name, prefix=prefix)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     record = {"schema": BENCH_SCHEMA, "name": name, "runs": []}
     if os.path.exists(path):
         try:

@@ -1,8 +1,8 @@
 """Diff the last two runs of a bench record and fail on regressions.
 
 The regression trail: benches append flat numeric metrics to
-schema-versioned ``BENCH_obs_<name>.json`` /
-``BENCH_kernel_<name>.json`` files (see
+schema-versioned ``BENCH_obs_<name>.json`` / ``BENCH_kernel_<name>.json``
+/ ``BENCH_fleet_<name>.json`` files (see
 ``common.write_bench_record``); this tool compares each record's most
 recent run against the one before it and exits non-zero when a guarded
 metric regressed by more than the threshold (default 25%).
@@ -12,8 +12,11 @@ Guarded metrics — where a *worse* value fails the check:
 * latency quantiles (``*p50_ms``, ``*p95_ms``, ``*p99_ms``) and
   elapsed times (``*elapsed_s``): higher is worse;
 * node accesses (``*node_accesses*``): higher is worse;
-* throughput (``*throughput*``, ``*qps*``) and hit ratios
-  (``*hit_ratio*``): **lower** is worse.
+* throughput (``*throughput*``, ``*qps*``), hit ratios
+  (``*hit_ratio*``) and availability (``*availability*``): **lower**
+  is worse;
+* incorrect answers (``*incorrect*``): higher is worse (any regression
+  from a zero baseline is reported but cannot be ratio-compared).
 
 Unguarded metrics (counts like ``queries``) are reported but never
 fail the check.
@@ -22,9 +25,10 @@ Usage::
 
     python benchmarks/compare.py [RECORD.json ...] [--threshold 0.25]
 
-With no file arguments, every ``BENCH_obs_*.json`` and
-``BENCH_kernel_*.json`` in the bench directory (``REPRO_BENCH_DIR``,
-default the current directory) is checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
+With no file arguments, every ``BENCH_obs_*.json``,
+``BENCH_kernel_*.json`` and ``BENCH_fleet_*.json`` in the bench
+directory (``REPRO_BENCH_DIR``, default the current directory) is
+checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
 2 bad input.
 """
 
@@ -44,6 +48,8 @@ _DIRECTIONS: List[Tuple[str, bool]] = [
     ("throughput", True),
     ("qps", True),
     ("hit_ratio", True),
+    ("availability", True),
+    ("incorrect", False),
     ("p50_ms", False),
     ("p95_ms", False),
     ("p99_ms", False),
@@ -122,8 +128,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="compare the last two runs of BENCH_*.json records")
     parser.add_argument("records", nargs="*",
-                        help="record files (default: BENCH_obs_*.json and "
-                             "BENCH_kernel_*.json in $REPRO_BENCH_DIR or .)")
+                        help="record files (default: BENCH_obs_*.json, "
+                             "BENCH_kernel_*.json and BENCH_fleet_*.json "
+                             "in $REPRO_BENCH_DIR or .)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated relative regression "
                              "(default 0.25 = 25%%)")
@@ -133,10 +140,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         bench_dir = os.environ.get("REPRO_BENCH_DIR", ".")
         records = sorted(
             glob.glob(os.path.join(bench_dir, "BENCH_obs_*.json"))
-            + glob.glob(os.path.join(bench_dir, "BENCH_kernel_*.json")))
+            + glob.glob(os.path.join(bench_dir, "BENCH_kernel_*.json"))
+            + glob.glob(os.path.join(bench_dir, "BENCH_fleet_*.json")))
         if not records:
-            print(f"no BENCH_obs_*.json or BENCH_kernel_*.json records "
-                  f"under {bench_dir!r}; run a bench first")
+            print(f"no BENCH_obs_*.json, BENCH_kernel_*.json or "
+                  f"BENCH_fleet_*.json records under {bench_dir!r}; "
+                  f"run a bench first")
             return 0
     worst = 0
     for path in records:

@@ -62,18 +62,24 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.service import (
+    AdmissionConfig,
+    AdmissionRejectedError,
     CacheConfig,
     ClientFleet,
     FleetConfig,
     MetricsRegistry,
     QueryService,
+    ReplicaConfig,
+    ReplicaSet,
     ResilienceConfig,
+    RetryBudgetConfig,
+    ServedResponse,
     ShardedServer,
     ValidityCache,
     build_service,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -117,6 +123,12 @@ __all__ = [
     "FleetConfig",
     "build_service",
     "ShardedServer",
+    "ReplicaSet",
+    "ReplicaConfig",
+    "ServedResponse",
+    "AdmissionConfig",
+    "AdmissionRejectedError",
+    "RetryBudgetConfig",
     "ValidityCache",
     "CacheConfig",
     "ExecutionConfig",

@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc.add_argument("--shards", type=int, default=1,
                        help="K builds a KxK scatter-gather shard grid "
                             "(1 = the paper's single R*-tree)")
+    p_svc.add_argument("--replicas", type=int, default=1,
+                       help="N fronts N independent server replicas with "
+                            "consistent-hash routing and failover "
+                            "(1 = unreplicated)")
+    p_svc.add_argument("--replication-lag", type=int, default=0,
+                       help="max pending mutations a replica may lag the "
+                            "primary by (0 = synchronous replication)")
     p_svc.add_argument("--cache-capacity", type=int, default=0,
                        help="server-side validity-region cache size "
                             "(0 disables it)")
@@ -134,8 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="consecutive failures that trip the breaker "
                             "(0 disables it)")
     p_svc.add_argument("--max-stale", type=int, default=None,
-                       help="client staleness bound for cache fallback "
-                            "on server failure")
+                       help="staleness bound: client cache fallback on "
+                            "server failure, and (with --replicas) the "
+                            "mutations a serving replica may lag by")
+    p_svc.add_argument("--admission-concurrency", type=int, default=0,
+                       help="admission gate: max concurrent queries "
+                            "(0 disables admission control)")
+    p_svc.add_argument("--admission-queue", type=int, default=64,
+                       help="admission gate: max queued queries beyond "
+                            "the concurrency limit")
+    p_svc.add_argument("--retry-budget", type=int, default=0,
+                       help="cap total retries per rolling second across "
+                            "all queries (0 = uncapped)")
     p_svc.add_argument("--json", action="store_true",
                        help="dump the full stats snapshot as JSON")
     p_svc.add_argument("--out", default=None,
@@ -251,15 +268,29 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _server_trees(server):
+    """Every R*-tree a server owns, across replicas and shards."""
+    replicas = getattr(server, "replicas", None)
+    if replicas is not None:  # replica set: fault every member's disks
+        return [t for rep in replicas for t in _server_trees(rep.server)]
+    shards = getattr(server, "shards", None)
+    if shards is not None:
+        return [shard.server.tree for shard in shards]
+    return [server.tree]
+
+
 def _cmd_service(args) -> int:
     import time as _time
 
     from repro.core.api import QueryBudget
     from repro.obs import EventLog, ObservabilityServer, write_chrome_trace
     from repro.service import (
+        AdmissionConfig,
         BreakerConfig,
         CacheConfig,
+        ReplicaConfig,
         ResilienceConfig,
+        RetryBudgetConfig,
         RetryPolicy,
         build_service,
     )
@@ -284,14 +315,25 @@ def _cmd_service(args) -> int:
                  if args.breaker_threshold > 0 else None),
         default_budget=budget,
         seed=args.seed,
+        retry_budget=(RetryBudgetConfig(max_retries=args.retry_budget)
+                      if args.retry_budget > 0 else None),
+        admission=(AdmissionConfig(max_concurrency=args.admission_concurrency,
+                                   max_queue_depth=args.admission_queue)
+                   if args.admission_concurrency > 0 else None),
     )
     cache = None
     if args.cache_capacity > 0:
         cache = CacheConfig(capacity=args.cache_capacity,
                             grid=args.cache_grid)
+    replica = None
+    if args.replicas > 1:
+        replica = ReplicaConfig(replication_lag=args.replication_lag,
+                                default_max_stale=args.max_stale)
     service = build_service(
         uniform_points(args.n, seed=args.seed),
         shards=args.shards,
+        replicas=args.replicas,
+        replica=replica,
         execution=ExecutionConfig(backend=args.backend, kernel=args.kernel),
         cache=cache,
         buffer_fraction=args.buffer_fraction,
@@ -312,9 +354,7 @@ def _cmd_service(args) -> int:
             latency_mean_s=args.fault_latency_ms / 1e3,
             latency_rate=1.0 if args.fault_latency_ms > 0.0 else 0.0,
         )
-        trees = ([shard.server.tree for shard in server.shards]
-                 if args.shards > 1 else [server.tree])
-        for tree in trees:
+        for tree in _server_trees(server):
             inject_faults(tree, plan)
     fleet = ClientFleet(service, FleetConfig(
         num_clients=args.clients,
@@ -345,6 +385,22 @@ def _cmd_service(args) -> int:
         print(f"  shards: {len(shards)} live, "
               f"node accesses min {min(accesses)} / "
               f"max {max(accesses)} / total {sum(accesses)}")
+    replica_set = report.snapshot.get("replica_set")
+    if replica_set:
+        rows = replica_set["replicas"]
+        states = ", ".join(f"r{r['rid']}:{r['state']}" for r in rows)
+        print(f"  replicas: {len(rows)} ({states}), "
+              f"{replica_set['failovers']} failovers, "
+              f"{replica_set['stale_served']} stale served, "
+              f"{replica_set['stale_skips']} stale skips")
+    admission = report.snapshot.get("admission")
+    if admission:
+        rejected = (admission["rejected_queue_full"]
+                    + admission["rejected_deadline"]
+                    + admission["rejected_timeout"])
+        print(f"  admission: {admission['accepted']} accepted, "
+              f"{rejected} rejected, level {admission['level']} "
+              f"(load {admission['load_factor']:.2f})")
     res = report.snapshot["resilience"]
     if faulty or res["retries"] or res["degraded"] or stats.stale_answers:
         breaker = res["breaker"] or {}

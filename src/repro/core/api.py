@@ -193,12 +193,19 @@ class KNNRequest:
     #: Per-query processing allowance; exhausting it yields a degraded
     #: (conservatively shrunk-region) response instead of an error.
     budget: Optional[QueryBudget] = None
+    #: Staleness bound for replica reads: the answering replica may lag
+    #: the primary by at most this many unapplied mutations (its region
+    #: is conservatively shrunk so the answer stays provably correct).
+    #: ``None`` defers to the server's default (fresh reads only).
+    max_stale: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "previous_ids",
                            _freeze_ids(self.previous_ids))
         if self.k < 1:
             raise ValueError("k must be >= 1")
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be non-negative")
 
     def as_delta(self, previous_ids) -> "KNNRequest":
         """This request as an incremental re-query versus ``previous_ids``."""
@@ -217,12 +224,16 @@ class WindowRequest:
     previous_ids: Optional[Tuple[int, ...]] = None
     trace_id: Optional[str] = None
     budget: Optional[QueryBudget] = None
+    #: Replica-read staleness bound (see :class:`KNNRequest.max_stale`).
+    max_stale: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "previous_ids",
                            _freeze_ids(self.previous_ids))
         if self.width <= 0 or self.height <= 0:
             raise ValueError("window extents must be positive")
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be non-negative")
 
     def as_delta(self, previous_ids) -> "WindowRequest":
         """This request as an incremental re-query versus ``previous_ids``."""
@@ -239,10 +250,14 @@ class RangeRequest:
     radius: float
     trace_id: Optional[str] = None
     budget: Optional[QueryBudget] = None
+    #: Replica-read staleness bound (see :class:`KNNRequest.max_stale`).
+    max_stale: Optional[int] = None
 
     def __post_init__(self):
         if self.radius <= 0:
             raise ValueError("radius must be positive")
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be non-negative")
 
 
 QueryRequest = Union[KNNRequest, WindowRequest, RangeRequest]

@@ -5,15 +5,23 @@
 * :mod:`repro.service.tracing` — structured per-query traces with
   timed spans and phase-attributed node accesses.
 * :mod:`repro.service.retry` — capped exponential backoff with full
-  jitter for transient failures.
+  jitter for transient failures, plus the service-wide
+  :class:`RetryBudget` against retry storms.
 * :mod:`repro.service.faults` — the closed/open/half-open circuit
   breaker that isolates a failing disk.
+* :mod:`repro.service.admission` — :class:`AdmissionController`, the
+  overload gate: bounded concurrency, deadline-aware fast reject and
+  the graded brownout ladder.
 * :mod:`repro.service.cache` — :class:`ValidityCache`, the server-side
   validity-region cache: any query whose point falls inside a cached
   region is answered with zero node accesses.
 * :mod:`repro.service.shard` — :class:`ShardedServer`, a K×K grid of
   independent R*-trees answering queries by scatter-gather with sound
   merged validity regions.
+* :mod:`repro.service.replica` — :class:`ReplicaSet`, the replicated
+  tier: consistent-hash routing, per-replica breaker ejection,
+  transparent failover and bounded-stale reads whose regions stay
+  provably correct (:mod:`repro.service.staleness`).
 * :mod:`repro.service.service` — :class:`QueryService`, the
   instrumented, thread-safe, fault-tolerant front-end a deployment
   runs (see :class:`ResilienceConfig`), and :func:`build_service`, the
@@ -31,11 +39,22 @@ service opens a trace per query and every layer below reports into it.
 
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.tracing import QueryTrace, Span, TraceBuffer
-from repro.service.retry import RetryPolicy, call_with_retry, is_transient
+from repro.service.retry import (
+    RetryBudget,
+    RetryBudgetConfig,
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+)
 from repro.service.faults import (
     BreakerConfig,
     CircuitBreaker,
     CircuitOpenError,
+)
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejectedError,
 )
 from repro.service.cache import CacheConfig, ValidityCache
 from repro.service.shard import (
@@ -44,6 +63,12 @@ from repro.service.shard import (
     ShardedRangeDetail,
     ShardedServer,
     ShardedWindowDetail,
+)
+from repro.service.staleness import ServedResponse
+from repro.service.replica import (
+    NoReplicaAvailableError,
+    ReplicaConfig,
+    ReplicaSet,
 )
 from repro.service.service import QueryService, ResilienceConfig, build_service
 from repro.service.fleet import ClientFleet, FleetConfig, FleetReport
@@ -57,11 +82,16 @@ __all__ = [
     "Span",
     "TraceBuffer",
     "RetryPolicy",
+    "RetryBudget",
+    "RetryBudgetConfig",
     "call_with_retry",
     "is_transient",
     "BreakerConfig",
     "CircuitBreaker",
     "CircuitOpenError",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejectedError",
     "CacheConfig",
     "ValidityCache",
     "Shard",
@@ -69,6 +99,10 @@ __all__ = [
     "ShardedKNNDetail",
     "ShardedWindowDetail",
     "ShardedRangeDetail",
+    "ServedResponse",
+    "ReplicaSet",
+    "ReplicaConfig",
+    "NoReplicaAvailableError",
     "QueryService",
     "ResilienceConfig",
     "build_service",

@@ -1,0 +1,257 @@
+"""Admission control: concurrency gating, fast reject, brownout ladder.
+
+Overload protection for the query service.  Without it, a traffic
+spike piles requests onto the executor until every query misses its
+deadline — the classic queued-then-expired collapse.  The
+:class:`AdmissionController` in front of the execution path enforces:
+
+* a **concurrency gate** — at most ``max_concurrency`` queries execute
+  at once; up to ``max_queue_depth`` more may wait, but never longer
+  than ``queue_timeout_ms``;
+* **deadline-aware fast reject** — a request whose estimated queue wait
+  (EWMA service latency × queue position) already exceeds its deadline
+  is rejected *immediately*, in microseconds, instead of being queued
+  and expiring: the caller gets back-pressure while it is still
+  actionable;
+* a **brownout ladder** — as the load factor
+  ``(inflight + queued) / max_concurrency`` climbs, the service sheds
+  load in grades rather than falling over:
+
+  ========  ===================  ==========================================
+  level     name                 behaviour
+  ========  ===================  ==========================================
+  0         ``normal``           full service
+  1         ``reduced``          budget-less requests get the (small)
+                                 ``brownout_budget`` — reduced kernel probe
+                                 levels, degraded (shrunk-region) responses
+  2         ``cache_only``       cache hits are served (with an extra
+                                 conservative region shrink); misses are
+                                 fast-rejected
+  3         ``reject``           everything is fast-rejected
+  ========  ===================  ==========================================
+
+:class:`AdmissionRejectedError` carries the duck-typed ``transient``
+flag, so a :class:`~repro.core.client.MobileClient` with ``max_stale``
+turns an overload rejection into a bounded-stale cached answer — the
+"overloaded degraded response" end to end.  Like
+:class:`~repro.service.faults.CircuitOpenError`, it is deliberately
+never retried by the service itself: retrying into an overloaded gate
+only deepens the overload.
+
+The controller is pure mechanism (no metrics, no events); the service
+layer meters every decision it makes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro.core.api import QueryBudget
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "LEVEL_NORMAL",
+    "LEVEL_REDUCED",
+    "LEVEL_CACHE_ONLY",
+    "LEVEL_REJECT",
+    "LEVEL_NAMES",
+]
+
+LEVEL_NORMAL = 0
+LEVEL_REDUCED = 1
+LEVEL_CACHE_ONLY = 2
+LEVEL_REJECT = 3
+LEVEL_NAMES = ("normal", "reduced", "cache_only", "reject")
+
+
+class AdmissionRejectedError(RuntimeError):
+    """The admission gate shed this request (fast, before any queueing).
+
+    ``transient = True`` lets clients fall back to their bounded-stale
+    cache; the service itself never retries an admission rejection.
+    """
+
+    transient = True
+
+    def __init__(self, reason: str, retry_after_s: float = 0.0):
+        super().__init__(f"admission rejected: {reason}")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Shape of the admission gate and its brownout ladder.
+
+    ``reduce_at`` / ``cache_only_at`` / ``reject_at`` are load factors
+    (``(inflight + queued) / max_concurrency``) at which the ladder
+    steps up; they must be non-decreasing.  ``brownout_budget`` is
+    applied to budget-less requests at the ``reduced`` level;
+    ``cache_only_shrink`` scales the extra conservative region shrink
+    applied to cache hits served at the ``cache_only`` level.
+    """
+
+    max_concurrency: int = 32
+    max_queue_depth: int = 64
+    queue_timeout_ms: float = 50.0
+    reduce_at: float = 1.0
+    cache_only_at: float = 1.5
+    reject_at: float = 2.0
+    brownout_budget: QueryBudget = field(
+        default_factory=lambda: QueryBudget(max_node_accesses=64))
+    cache_only_shrink: float = 0.5
+    #: EWMA weight of the newest latency sample (wait estimation).
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self):
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.queue_timeout_ms < 0:
+            raise ValueError("queue_timeout_ms must be non-negative")
+        if not (0.0 < self.reduce_at <= self.cache_only_at <= self.reject_at):
+            raise ValueError("brownout thresholds must be positive and "
+                             "non-decreasing: reduce_at <= cache_only_at "
+                             "<= reject_at")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not (0.0 < self.cache_only_shrink <= 1.0):
+            raise ValueError("cache_only_shrink must be in (0, 1]")
+
+
+class AdmissionController:
+    """The thread-safe gate itself: slots, queue, load-factor ladder."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None,
+                 clock=perf_counter):
+        self.config = config if config is not None else AdmissionConfig()
+        self._clock = clock
+        self._cv = threading.Condition(threading.Lock())
+        self.inflight = 0
+        self.queued = 0
+        #: EWMA of observed execution latency (ms); None until a sample.
+        self._ewma_ms: Optional[float] = None
+        #: Test/operations hook: pin the brownout level regardless of load.
+        self.forced_level: Optional[int] = None
+        # Decision tallies (the service mirrors these into its registry).
+        self.accepted = 0
+        self.rejected_queue_full = 0
+        self.rejected_deadline = 0
+        self.rejected_timeout = 0
+
+    # ------------------------------------------------------------------
+    # the brownout ladder
+    # ------------------------------------------------------------------
+    def load_factor(self) -> float:
+        with self._cv:
+            return (self.inflight + self.queued) / self.config.max_concurrency
+
+    def level(self) -> int:
+        """The current brownout level (``LEVEL_*``)."""
+        return self._level_for(self.load_factor())
+
+    def _level_for(self, load: float) -> int:
+        if self.forced_level is not None:
+            return self.forced_level
+        if load >= self.config.reject_at:
+            return LEVEL_REJECT
+        if load >= self.config.cache_only_at:
+            return LEVEL_CACHE_ONLY
+        if load >= self.config.reduce_at:
+            return LEVEL_REDUCED
+        return LEVEL_NORMAL
+
+    # ------------------------------------------------------------------
+    # the gate
+    # ------------------------------------------------------------------
+    def try_acquire(self, deadline_ms: Optional[float] = None) -> float:
+        """Take an execution slot; returns the time queued (ms).
+
+        Raises :class:`AdmissionRejectedError` — without ever sleeping —
+        when the queue is full or the estimated wait already exceeds
+        ``deadline_ms``; raises it after at most ``queue_timeout_ms``
+        (further capped by the deadline) when no slot frees up in time.
+        """
+        t0 = self._clock()
+        cfg = self.config
+        with self._cv:
+            if self.inflight < cfg.max_concurrency and self.queued == 0:
+                self.inflight += 1
+                self.accepted += 1
+                return 0.0
+            # Fast-reject paths: no sleep, no queueing.
+            if self.queued >= cfg.max_queue_depth:
+                self.rejected_queue_full += 1
+                raise AdmissionRejectedError(
+                    "queue full", retry_after_s=self._est_wait_ms() / 1e3)
+            est = self._est_wait_ms()
+            if deadline_ms is not None and est > deadline_ms:
+                self.rejected_deadline += 1
+                raise AdmissionRejectedError(
+                    f"estimated wait {est:.1f}ms exceeds deadline "
+                    f"{deadline_ms:.1f}ms", retry_after_s=est / 1e3)
+            # Queue, bounded by the timeout and the deadline.
+            wait_budget_ms = cfg.queue_timeout_ms
+            if deadline_ms is not None:
+                wait_budget_ms = min(wait_budget_ms, deadline_ms)
+            self.queued += 1
+            try:
+                while self.inflight >= cfg.max_concurrency:
+                    remaining_s = (wait_budget_ms / 1e3
+                                   - (self._clock() - t0))
+                    if remaining_s <= 0 or not self._cv.wait(remaining_s):
+                        self.rejected_timeout += 1
+                        raise AdmissionRejectedError(
+                            f"queued {((self._clock() - t0) * 1e3):.1f}ms "
+                            "without a slot")
+                self.inflight += 1
+                self.accepted += 1
+            finally:
+                self.queued -= 1
+            return (self._clock() - t0) * 1e3
+
+    def release(self, latency_ms: Optional[float] = None) -> None:
+        """Return a slot; ``latency_ms`` feeds the wait estimator."""
+        with self._cv:
+            self.inflight = max(0, self.inflight - 1)
+            if latency_ms is not None:
+                alpha = self.config.ewma_alpha
+                self._ewma_ms = (latency_ms if self._ewma_ms is None
+                                 else (1 - alpha) * self._ewma_ms
+                                 + alpha * latency_ms)
+            self._cv.notify()
+
+    def _est_wait_ms(self) -> float:
+        """Expected queue wait for a new arrival (lock held by caller)."""
+        if self._ewma_ms is None:
+            return 0.0  # no signal yet: optimistic, let the timeout decide
+        return self._ewma_ms * (self.queued + 1) / self.config.max_concurrency
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._cv:
+            est = self._est_wait_ms()
+            load = ((self.inflight + self.queued)
+                    / self.config.max_concurrency)
+            return {
+                "inflight": self.inflight,
+                "queued": self.queued,
+                "max_concurrency": self.config.max_concurrency,
+                "max_queue_depth": self.config.max_queue_depth,
+                "load_factor": load,
+                "level": LEVEL_NAMES[self._level_for(load)],
+                "accepted": self.accepted,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_deadline": self.rejected_deadline,
+                "rejected_timeout": self.rejected_timeout,
+                "ewma_latency_ms": self._ewma_ms,
+                "estimated_wait_ms": est,
+            }

@@ -12,16 +12,28 @@ else propagates immediately.  :class:`repro.service.faults.CircuitOpenError`
 is deliberately *not* retried by the service even though it is marked
 transient for clients: retrying against an open breaker would defeat
 its purpose.
+
+:class:`RetryBudget` caps the *total* retries the whole service spends
+per rolling window, across all queries.  Per-query retry caps bound
+each request's amplification, but when a replica dies under load every
+in-flight query retries at once — N concurrent queries × (attempts-1)
+retries is a retry *storm* precisely when capacity just dropped.  The
+budget is the global back-pressure valve: once it is spent, further
+failures surface immediately (clients fall back to their stale caches)
+instead of multiplying load.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Deque, Dict, Optional
 
-__all__ = ["RetryPolicy", "call_with_retry", "is_transient"]
+__all__ = ["RetryPolicy", "RetryBudget", "RetryBudgetConfig",
+           "call_with_retry", "is_transient"]
 
 
 def is_transient(exc: BaseException) -> bool:
@@ -60,18 +72,75 @@ class RetryPolicy:
         return (rng or random).uniform(0.0, cap)
 
 
+@dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Cap on total service-wide retries per rolling window."""
+
+    max_retries: int = 32
+    window_s: float = 1.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+class RetryBudget:
+    """The runtime state of a :class:`RetryBudgetConfig`: a thread-safe
+    sliding window of retry timestamps.
+
+    :meth:`try_spend` answers "may one more retry happen now?" — False
+    once ``max_retries`` have been spent within the trailing
+    ``window_s`` seconds.  Exhaustions are tallied on ``exhausted`` (the
+    service mirrors it to the ``service.retry_budget.exhausted``
+    counter).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, config: Optional[RetryBudgetConfig] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config if config is not None else RetryBudgetConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spent: Deque[float] = deque()
+        self.exhausted = 0
+
+    def try_spend(self) -> bool:
+        """Reserve one retry from the window; False when exhausted."""
+        now = self._clock()
+        horizon = now - self.config.window_s
+        with self._lock:
+            while self._spent and self._spent[0] <= horizon:
+                self._spent.popleft()
+            if len(self._spent) >= self.config.max_retries:
+                self.exhausted += 1
+                return False
+            self._spent.append(now)
+            return True
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "in_window": len(self._spent),
+                "max_retries": self.config.max_retries,
+                "window_s": self.config.window_s,
+                "exhausted": self.exhausted,
+            }
+
+
 def call_with_retry(fn: Callable[[], object], policy: RetryPolicy,
                     rng: Optional[random.Random] = None,
                     sleep: Callable[[float], None] = time.sleep,
                     retryable: Callable[[BaseException], bool] = is_transient,
                     on_retry: Optional[Callable[[int, float, BaseException],
-                                                None]] = None):
+                                                None]] = None,
+                    budget: Optional[RetryBudget] = None):
     """Call ``fn`` under ``policy``; return its result.
 
     ``on_retry(attempt, delay_s, exc)`` is invoked before each backoff
     sleep (metrics/tracing hook).  The last failure propagates
-    unchanged once attempts are exhausted or the error is not
-    retryable.
+    unchanged once attempts are exhausted, the error is not retryable,
+    or the shared ``budget`` (if any) is spent for its window.
     """
     attempt = 0
     while True:
@@ -79,6 +148,8 @@ def call_with_retry(fn: Callable[[], object], policy: RetryPolicy,
             return fn()
         except BaseException as exc:
             if not retryable(exc) or attempt + 1 >= policy.max_attempts:
+                raise
+            if budget is not None and not budget.try_spend():
                 raise
             delay = policy.backoff_s(attempt, rng)
             if on_retry is not None:

@@ -65,15 +65,32 @@ from repro.core.api import (
     WindowRequest,
 )
 from repro.core.server import DeltaResponse, KNNResponse, LocationServer
+from repro.core.validity import CompositeValidityRegion, ValidityDisk
 from repro.geometry import Rect
 from repro.kernel import ExecutionConfig
 from repro.obs.context import TraceContext, emit_event, start_trace
 from repro.obs.events import EventLog
+from repro.service.admission import (
+    LEVEL_CACHE_ONLY,
+    LEVEL_NORMAL,
+    LEVEL_REDUCED,
+    LEVEL_REJECT,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejectedError,
+)
 from repro.service.cache import CacheConfig, ValidityCache
 from repro.service.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
 from repro.service.metrics import MetricsRegistry
-from repro.service.retry import RetryPolicy, is_transient
+from repro.service.replica import ReplicaConfig, ReplicaSet
+from repro.service.retry import (
+    RetryBudget,
+    RetryBudgetConfig,
+    RetryPolicy,
+    is_transient,
+)
 from repro.service.shard import ShardedServer
+from repro.service.staleness import ServedResponse
 from repro.service.tracing import QueryTrace, TraceBuffer, now
 
 __all__ = ["QueryService", "ResilienceConfig", "build_service"]
@@ -88,12 +105,22 @@ class ResilienceConfig:
     persist; ``default_budget`` is applied to every request that does
     not carry its own, turning overload into degraded responses rather
     than latency pileups.  ``seed`` makes the retry jitter reproducible.
+
+    ``retry_budget`` (None disables it) caps *total* retries per
+    rolling window across all queries, so concurrent failures — a
+    replica dying under load — cannot amplify into a retry storm.
+    ``admission`` (None disables it) puts the
+    :class:`~repro.service.admission.AdmissionController` in front of
+    execution: a concurrency/queue gate with deadline-aware fast
+    reject and the graded brownout ladder.
     """
 
     retry: RetryPolicy = RetryPolicy()
     breaker: Optional[BreakerConfig] = BreakerConfig()
     default_budget: Optional[QueryBudget] = None
     seed: int = 0
+    retry_budget: Optional[RetryBudgetConfig] = None
+    admission: Optional[AdmissionConfig] = None
 
 
 class QueryService:
@@ -116,6 +143,12 @@ class QueryService:
         self.breaker: Optional[CircuitBreaker] = None
         if resilience is not None and resilience.breaker is not None:
             self.breaker = CircuitBreaker(resilience.breaker)
+        self.retry_budget: Optional[RetryBudget] = None
+        if resilience is not None and resilience.retry_budget is not None:
+            self.retry_budget = RetryBudget(resilience.retry_budget)
+        self.admission: Optional[AdmissionController] = None
+        if resilience is not None and resilience.admission is not None:
+            self.admission = AdmissionController(resilience.admission)
         self._retry_rng = random.Random(
             resilience.seed if resilience is not None else 0)
         self._rng_lock = threading.Lock()
@@ -136,15 +169,21 @@ class QueryService:
         return self.server.universe
 
     def insert_object(self, oid: int, x: float, y: float) -> None:
-        with self._lock:
+        if getattr(self.server, "concurrent_safe", False):
             self.server.insert_object(oid, x, y)
+        else:
+            with self._lock:
+                self.server.insert_object(oid, x, y)
         if self.cache is not None:  # every cached region is now stale
             self.cache.invalidate_all()
         self.metrics.counter("service.updates.insert").inc()
 
     def delete_object(self, oid: int, x: float, y: float) -> bool:
-        with self._lock:
+        if getattr(self.server, "concurrent_safe", False):
             removed = self.server.delete_object(oid, x, y)
+        else:
+            with self._lock:
+                removed = self.server.delete_object(oid, x, y)
         if removed and self.cache is not None:
             self.cache.invalidate_all()
         self.metrics.counter("service.updates.delete").inc()
@@ -189,6 +228,16 @@ class QueryService:
         t0 = ctx.origin
         emit_event("query", event="query.start", kind=kind)
 
+        # Admission first: the brownout level is sampled once per query
+        # so one request sees one consistent shedding policy.
+        level = LEVEL_NORMAL
+        if self.admission is not None:
+            level = self.admission.level()
+            self.metrics.gauge("service.admission.level").set(level)
+            if level >= LEVEL_REJECT:
+                self._shed(trace, ctx, kind, AdmissionRejectedError(
+                    "brownout: shedding all load"))
+
         # The cache front door: a hit never touches the server, the
         # breaker, or the retry loop — zero node accesses, by contract.
         cached: Optional[QueryResponse] = None
@@ -211,67 +260,122 @@ class QueryService:
 
         if cached is not None:
             response = self._serve_cached(request, cached)
+            if level >= LEVEL_CACHE_ONLY:
+                response = self._brownout_shrink(request, response, kind)
             node_accesses: Dict[str, int] = {}
             page_faults: Dict[str, int] = {}
         else:
+            # A miss under a cache-only brownout never executes — that
+            # is the whole point of the level: the disk is saturated.
+            if level >= LEVEL_CACHE_ONLY:
+                self._shed(trace, ctx, kind, AdmissionRejectedError(
+                    "brownout: cache-only, request missed"))
+            acquired = False
+            exec_start = t0
+            if self.admission is not None:
+                budget = getattr(request, "budget", None)
+                deadline = budget.deadline_ms if budget is not None else None
+                gate_start = perf_counter()
+                try:
+                    wait_ms = self.admission.try_acquire(deadline_ms=deadline)
+                except AdmissionRejectedError as exc:
+                    # Fast reject: meter how fast (the <1ms contract).
+                    self.metrics.histogram(
+                        "service.admission.reject_ms").record(
+                            (perf_counter() - gate_start) * 1e3)
+                    self._shed(trace, ctx, kind, exc)
+                acquired = True
+                self.metrics.counter("service.admission.accepted").inc()
+                if wait_ms > 0.0:
+                    ctx.add_span("admission_wait",
+                                 offset_ms=(gate_start - t0) * 1e3,
+                                 duration_ms=wait_ms)
+                    self.metrics.histogram(
+                        "service.admission.wait_ms").record(wait_ms)
+                if level >= LEVEL_REDUCED:
+                    request = self._brownout_budget(request, kind)
+                exec_start = perf_counter()
             retry = (self.resilience.retry
                      if self.resilience is not None else None)
             attempt = 0
-            while True:
-                if self.breaker is not None:
-                    try:
-                        self.breaker.before_call()
-                    except CircuitOpenError as exc:
-                        self.metrics.counter(
-                            "service.breaker.rejections").inc()
-                        emit_event("breaker", event="breaker.reject",
-                                   kind=kind)
-                        self._fail(trace, ctx, kind, exc)
-                try:
-                    (response, node_accesses, page_faults,
-                     epoch) = self._execute_once(request)
-                except Exception as exc:
-                    transient = is_transient(exc)
-                    if self.breaker is not None and transient:
-                        trips_before = self.breaker.trips
-                        self.breaker.record_failure()
-                        if self.breaker.trips > trips_before:
-                            emit_event("breaker", event="breaker.trip",
-                                       trips=self.breaker.trips)
-                        if self.breaker.trips:
-                            self.metrics.gauge("service.breaker.trips").set(
-                                self.breaker.trips)
-                    if (transient and retry is not None
-                            and attempt + 1 < retry.max_attempts):
-                        with self._rng_lock:
-                            delay = retry.backoff_s(attempt, self._retry_rng)
-                        self.metrics.counter("service.retries").inc()
-                        self.metrics.counter(f"service.retries.{kind}").inc()
-                        trace.retries += 1
-                        ctx.add_span(
-                            "retry_backoff",
-                            offset_ms=(perf_counter() - t0) * 1e3,
-                            duration_ms=delay * 1e3,
-                            meta={"attempt": attempt + 1,
-                                  "error": f"{type(exc).__name__}: {exc}"},
-                        )
-                        emit_event("retry", event="query.retry",
-                                   attempt=attempt + 1,
-                                   delay_ms=delay * 1e3,
-                                   error=f"{type(exc).__name__}: {exc}")
-                        if delay > 0.0:
-                            self._sleep(delay)
-                        attempt += 1
-                        continue
-                    self._fail(trace, ctx, kind, exc)
-                else:
+            try:
+                while True:
                     if self.breaker is not None:
-                        recoveries_before = self.breaker.recoveries
-                        self.breaker.record_success()
-                        if self.breaker.recoveries > recoveries_before:
-                            emit_event("breaker", event="breaker.recover",
-                                       recoveries=self.breaker.recoveries)
-                    break
+                        try:
+                            self.breaker.before_call()
+                        except CircuitOpenError as exc:
+                            self.metrics.counter(
+                                "service.breaker.rejections").inc()
+                            emit_event("breaker", event="breaker.reject",
+                                       kind=kind)
+                            self._fail(trace, ctx, kind, exc)
+                    try:
+                        (response, node_accesses, page_faults,
+                         epoch) = self._execute_once(request)
+                    except Exception as exc:
+                        transient = is_transient(exc)
+                        if self.breaker is not None and transient:
+                            trips_before = self.breaker.trips
+                            self.breaker.record_failure()
+                            if self.breaker.trips > trips_before:
+                                emit_event("breaker", event="breaker.trip",
+                                           trips=self.breaker.trips)
+                            if self.breaker.trips:
+                                self.metrics.gauge(
+                                    "service.breaker.trips").set(
+                                        self.breaker.trips)
+                        retryable = (
+                            transient and retry is not None
+                            and attempt + 1 < retry.max_attempts
+                            # Retrying into an open breaker or an
+                            # overloaded gate only deepens the problem.
+                            and not isinstance(exc, (AdmissionRejectedError,
+                                                     CircuitOpenError)))
+                        if (retryable and self.retry_budget is not None
+                                and not self.retry_budget.try_spend()):
+                            retryable = False
+                            self.metrics.counter(
+                                "service.retry_budget.exhausted").inc()
+                            emit_event("retry",
+                                       event="retry.budget_exhausted",
+                                       kind=kind)
+                        if retryable:
+                            with self._rng_lock:
+                                delay = retry.backoff_s(attempt,
+                                                        self._retry_rng)
+                            self.metrics.counter("service.retries").inc()
+                            self.metrics.counter(
+                                f"service.retries.{kind}").inc()
+                            trace.retries += 1
+                            ctx.add_span(
+                                "retry_backoff",
+                                offset_ms=(perf_counter() - t0) * 1e3,
+                                duration_ms=delay * 1e3,
+                                meta={"attempt": attempt + 1,
+                                      "error":
+                                      f"{type(exc).__name__}: {exc}"},
+                            )
+                            emit_event("retry", event="query.retry",
+                                       attempt=attempt + 1,
+                                       delay_ms=delay * 1e3,
+                                       error=f"{type(exc).__name__}: {exc}")
+                            if delay > 0.0:
+                                self._sleep(delay)
+                            attempt += 1
+                            continue
+                        self._fail(trace, ctx, kind, exc)
+                    else:
+                        if self.breaker is not None:
+                            recoveries_before = self.breaker.recoveries
+                            self.breaker.record_success()
+                            if self.breaker.recoveries > recoveries_before:
+                                emit_event("breaker", event="breaker.recover",
+                                           recoveries=self.breaker.recoveries)
+                        break
+            finally:
+                if acquired:
+                    self.admission.release(
+                        (perf_counter() - exec_start) * 1e3)
             if self.cache is not None:
                 self.cache.admit(request, response, epoch)
         if self.cache is not None:
@@ -309,7 +413,7 @@ class QueryService:
         self.traces.append(trace)
         self._record(kind, trace,
                      delta=getattr(request, "previous_ids", None) is not None,
-                     detail=response.detail)
+                     detail=response.detail, response=response)
         emit_event("query", event="query.finish", kind=kind,
                    duration_ms=trace.duration_ms,
                    node_accesses=trace.total_node_accesses,
@@ -324,16 +428,90 @@ class QueryService:
         identical anywhere inside the region; only the distance order
         of kNN neighbours can differ at the new query point, so that is
         re-ranked (a k·log k in-memory step — still zero node accesses).
+        Replica-served entries are :class:`ServedResponse` wrappers; the
+        re-ranking preserves their serving annotations.
         """
-        if isinstance(cached, KNNResponse) and isinstance(request,
-                                                          KNNRequest):
+        inner = getattr(cached, "inner", cached)
+        if isinstance(inner, KNNResponse) and isinstance(request,
+                                                         KNNRequest):
             qx, qy = request.location
             ranked = sorted(
-                cached.neighbors,
+                inner.neighbors,
                 key=lambda e: ((e.x - qx) ** 2 + (e.y - qy) ** 2, e.oid))
-            if ranked != cached.neighbors:
-                return replace(cached, neighbors=ranked)
+            if ranked != inner.neighbors:
+                reranked = replace(inner, neighbors=ranked)
+                if inner is cached:
+                    return reranked
+                return cached.with_inner(reranked)
         return cached
+
+    # ------------------------------------------------------------------
+    # admission plumbing
+    # ------------------------------------------------------------------
+    def _shed(self, trace: QueryTrace, ctx: TraceContext, kind: str,
+              exc: AdmissionRejectedError) -> None:
+        """Record an admission rejection and raise it — never queued."""
+        self.metrics.counter("service.admission.rejected").inc()
+        self.metrics.counter(f"service.admission.rejected.{kind}").inc()
+        emit_event("admission", event="admission.reject", kind=kind,
+                   reason=exc.reason)
+        self._fail(trace, ctx, kind, exc)
+
+    def _brownout_budget(self, request: QueryRequest,
+                         kind: str) -> QueryRequest:
+        """Under a ``reduced`` brownout, clamp the request to the small
+        ``brownout_budget`` — reduced kernel probe depth buys capacity,
+        and the degraded-region contract keeps the answer correct.
+        Only budget-less requests (or ones carrying the service-wide
+        default) are clamped; an explicit caller budget wins.
+        """
+        cfg = self.resilience.admission
+        budget = getattr(request, "budget", None)
+        default = self.resilience.default_budget
+        if cfg.brownout_budget is None or (
+                budget is not None and budget is not default):
+            return request
+        self.metrics.counter("service.admission.brownout.reduced").inc()
+        emit_event("admission", event="admission.brownout",
+                   level="reduced", kind=kind)
+        return replace(request, budget=cfg.brownout_budget)
+
+    def _brownout_shrink(self, request: QueryRequest,
+                         response: QueryResponse,
+                         kind: str) -> QueryResponse:
+        """Extra conservative region shrink on cache hits served under a
+        ``cache_only`` brownout: intersect the cached region with a disk
+        around the query point whose radius is the region's half-extent
+        scaled by ``cache_only_shrink``.  A subset of a valid region is
+        valid — the shrink only makes brownout-served answers expire
+        sooner, pushing the re-query to after the overload.
+        """
+        cfg = self.resilience.admission
+        factor = cfg.cache_only_shrink
+        loc = getattr(request, "location", None)
+        if loc is None:
+            loc = getattr(request, "focus", None)
+        region = response.region
+        try:
+            box = region.mbr()
+        except (AttributeError, ValueError):
+            return response
+        if box is None or loc is None or factor >= 1.0:
+            return response
+        half = 0.5 * min(box.xmax - box.xmin, box.ymax - box.ymin)
+        disk = ValidityDisk((float(loc[0]), float(loc[1])),
+                            max(half * factor, 0.0))
+        shrunk = CompositeValidityRegion([region, disk])
+        self.metrics.counter("service.admission.brownout.cache_only").inc()
+        emit_event("admission", event="admission.brownout",
+                   level="cache_only", kind=kind)
+        if isinstance(response, ServedResponse):
+            out = response.with_inner(response.inner)
+            out.region = shrunk
+            out.brownout_level = LEVEL_CACHE_ONLY
+            return out
+        return ServedResponse(response, region=shrunk,
+                              brownout_level=LEVEL_CACHE_ONLY)
 
     # ------------------------------------------------------------------
     # resilience plumbing
@@ -347,10 +525,29 @@ class QueryService:
         return replace(request, budget=self.resilience.default_budget)
 
     def _execute_once(self, request: QueryRequest):
-        """One locked pass through the server; returns the response,
-        this attempt's phase-attributed access deltas, and the dataset
-        epoch it ran under.  The storage layer records disk-level spans
-        itself through the active trace context."""
+        """One pass through the server; returns the response, this
+        attempt's phase-attributed access deltas, and the dataset epoch
+        the answer is valid for.  The storage layer records disk-level
+        spans itself through the active trace context.
+
+        A ``concurrent_safe`` server (the :class:`ReplicaSet`) manages
+        its own locking and measures its access deltas inside the
+        serving replica's critical section, so the service lock — which
+        would serialize the whole fleet — is skipped and the deltas are
+        read off the :class:`ServedResponse`.  A stale-served answer is
+        valid for the *primary* epoch its shrink accounted for
+        (``valid_for_epoch``), which is the epoch the cache admits under.
+        """
+        if getattr(self.server, "concurrent_safe", False):
+            epoch = self.server.epoch
+            response = self.server.answer(request)
+            valid_epoch = getattr(response, "valid_for_epoch", None)
+            if valid_epoch is None:
+                valid_epoch = epoch
+            node_accesses = dict(getattr(response, "node_accesses",
+                                         None) or {})
+            page_faults = dict(getattr(response, "page_faults", None) or {})
+            return response, node_accesses, page_faults, valid_epoch
         with self._lock:
             epoch = self.server.epoch
             before = self.server.node_accesses_by_phase()
@@ -408,7 +605,7 @@ class QueryService:
     # reporting
     # ------------------------------------------------------------------
     def _record(self, kind: str, trace: QueryTrace, delta: bool,
-                detail=None) -> None:
+                detail=None, response=None) -> None:
         m = self.metrics
         m.counter(f"service.queries.{kind}").inc()
         m.counter("service.queries").inc()
@@ -435,6 +632,17 @@ class QueryService:
                 if count:
                     m.counter(f"service.shard.{sid}.node_accesses").inc(
                         count)
+        # Replica-served responses carry their serving annotations.
+        rid = getattr(response, "replica_id", None)
+        if rid is not None:
+            m.counter(f"service.replica.{rid}.queries").inc()
+            staleness = getattr(response, "staleness", 0)
+            if staleness:
+                m.counter("service.replica.stale_served").inc()
+                m.histogram("service.replica.staleness").record(staleness)
+            failovers = getattr(response, "failovers", 0)
+            if failovers:
+                m.counter("service.replica.failovers").inc(failovers)
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Everything observable about the running service, as JSON data.
@@ -485,6 +693,12 @@ class QueryService:
                 "num_pages": self.server.num_pages,
             },
         }
+        if self.retry_budget is not None:
+            out["resilience"]["retry_budget"] = self.retry_budget.snapshot()
+        if self.admission is not None:
+            out["admission"] = self.admission.snapshot()
+        if hasattr(self.server, "replica_snapshot"):
+            out["replica_set"] = self.server.snapshot()
         if "shards" in disk_info:
             out["shards"] = disk_info["shards"]
         if "faults_injected" in disk_info:
@@ -499,6 +713,25 @@ class QueryService:
         self.metrics.reset()
         self.server.reset_io_stats()
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the server's resources (worker pools, replica fleets).
+
+        Idempotent — the layers below guard their own teardown — and
+        also reachable as a context manager (``with build_service(...)``).
+        """
+        close = getattr(self.server, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
     out = {}
@@ -511,6 +744,8 @@ def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
 
 def build_service(points: Sequence, *,
                   shards: int = 1,
+                  replicas: int = 1,
+                  replica: Optional[ReplicaConfig] = None,
                   universe: Optional[Rect] = None,
                   capacity: Optional[int] = None,
                   fill: float = 0.7,
@@ -531,6 +766,14 @@ def build_service(points: Sequence, *,
     * ``shards=1`` builds the paper's single R*-tree
       :class:`LocationServer`; ``shards=K`` (K > 1) builds a K×K
       :class:`~repro.service.shard.ShardedServer` scatter-gather fleet.
+    * ``replicas=N`` (N > 1, or any N with an explicit ``replica``
+      config) fronts N such servers with a
+      :class:`~repro.service.replica.ReplicaSet` — consistent-hash
+      routing, per-replica breaker ejection, transparent failover and
+      bounded-stale reads per ``replica`` (a
+      :class:`~repro.service.replica.ReplicaConfig`).  Replication
+      composes with sharding: each replica is its own ``shards``-way
+      fleet.
     * ``execution`` — an :class:`~repro.kernel.ExecutionConfig` —
       selects the geometry kernel (``scalar`` / ``soa`` / ``numpy`` /
       ``auto``) and, for sharded servers, the fan-out backend
@@ -541,7 +784,8 @@ def build_service(points: Sequence, *,
       a server-side :class:`~repro.service.cache.ValidityCache`; None
       disables it.
     * ``resilience`` — a :class:`ResilienceConfig` — governs retries,
-      the circuit breaker and the default query budget.
+      the retry budget, the circuit breaker, the default query budget
+      and admission control.
 
     Everything else is threaded through unchanged (index node
     ``capacity`` and ``fill``, LRU ``buffer_fraction`` per disk,
@@ -554,6 +798,8 @@ def build_service(points: Sequence, *,
     """
     if shards < 1:
         raise ValueError("shards must be positive")
+    if replicas < 1:
+        raise ValueError("replicas must be positive")
     if cache_capacity is not None or cache_grid is not None:
         if cache is not None:
             raise TypeError(
@@ -580,7 +826,12 @@ def build_service(points: Sequence, *,
             "(removal planned for v1.5)",
             DeprecationWarning, stacklevel=2)
         execution = ExecutionConfig(workers=max_workers)
-    if shards == 1:
+    if replicas > 1 or replica is not None:
+        server = ReplicaSet.from_points(
+            points, replicas=replicas, shards=shards, universe=universe,
+            capacity=capacity, fill=fill, buffer_fraction=buffer_fraction,
+            execution=execution, config=replica)
+    elif shards == 1:
         kernel = execution.resolved_kernel() if execution is not None else None
         server = LocationServer.from_points(
             points, universe=universe, capacity=capacity, fill=fill,

@@ -48,11 +48,14 @@ cache, tracing, metrics, resilience — composes with it unchanged.
 
 from __future__ import annotations
 
+import atexit
+import functools
 import math
 import multiprocessing
 import os
 import threading
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -209,6 +212,14 @@ class ShardedRangeDetail(QueryDetail):
         return _merged_influence(self.shard_details)
 
 
+def _close_at_exit(server_ref: "weakref.ref") -> None:
+    """The atexit hook shutting down a leaked process pool (weakly
+    bound: a server that was garbage-collected needs no cleanup)."""
+    server = server_ref()
+    if server is not None:
+        server.close()
+
+
 def _cut_away(rect: Rect, box: Rect, p) -> Rect:
     """The largest sub-rectangle of ``rect`` containing ``p`` but not
     overlapping ``box``'s span on one axis.
@@ -284,6 +295,7 @@ class ShardedServer:
         self._pool_lock = threading.Lock()
         self._proc_pool: Optional[ProcessPoolExecutor] = None
         self._proc_epoch = -1
+        self._atexit_cb = None
 
     # ------------------------------------------------------------------
     # construction
@@ -346,7 +358,15 @@ class ShardedServer:
         return [s for s in self.shards if s.num_points > 0]
 
     def close(self) -> None:
-        """Shut down the scatter-gather worker pools."""
+        """Shut down the scatter-gather worker pools.
+
+        Idempotent: closing twice (or closing a server that never built
+        a pool) is a no-op.  A process-backend server also registers an
+        ``atexit`` hook when its pool is first built, so fork workers
+        are reaped at interpreter exit even if the owner forgets to
+        close — the hook holds only a weak reference and unregisters
+        itself here, so a closed server is collectable.
+        """
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
@@ -355,6 +375,15 @@ class ShardedServer:
                 self._proc_pool.shutdown(wait=True)
                 self._proc_pool = None
                 self._proc_epoch = -1
+            if self._atexit_cb is not None:
+                atexit.unregister(self._atexit_cb)
+                self._atexit_cb = None
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # updates (bump the epoch: outstanding validity regions die)
@@ -496,6 +525,12 @@ class ShardedServer:
                     initargs=(blobs, universe, self._kernel.name,
                               self._buffer_fraction))
                 self._proc_epoch = self.epoch
+                if self._atexit_cb is None:
+                    # Reap fork workers at interpreter exit; weakly bound
+                    # so the hook never keeps a dropped server alive.
+                    self._atexit_cb = functools.partial(
+                        _close_at_exit, weakref.ref(self))
+                    atexit.register(self._atexit_cb)
             return self._proc_pool
 
     def _scatter_process(self, kind: str, params: Tuple,

@@ -1,0 +1,233 @@
+"""Sound validity regions for answers served by a lagging replica.
+
+A replica that has not yet applied the primary's latest mutations
+answers queries over a *stale* snapshot of the dataset.  The staleness
+contract of the replicated tier (:mod:`repro.service.replica`) is the
+server-side generalization of the client's ``max_stale`` fallback —
+with one crucial strengthening: a stale answer is only served when it
+can be made **provably correct for the fresh dataset**, by shrinking
+its validity region against the replica's pending-mutation backlog.
+
+:func:`shrunk_stale_region` implements the per-query-type rules.  With
+``R`` the stale result and ``V`` its (stale-dataset) validity region:
+
+* **kNN** — a pending *delete* of a result member makes the answer
+  unserveable (the fresh kNN set differs at the query point itself).
+  Every pending *insert* ``m`` contributes bisector halfplanes "closer
+  to each neighbour than to ``m``" (the PR-3
+  :class:`~repro.core.validity.NNValidityRegion` machinery): inside
+  their intersection every insert is farther than the k-th neighbour,
+  so the fresh top-k equals ``R``.  Deletes of non-members are harmless
+  anywhere in ``V`` — a non-member is outside the top-k everywhere the
+  stale set is frozen, and removing it cannot promote anything.
+* **window** — a pending delete of a result member: unserveable.  Each
+  pending insert ``m`` defines the *zone* of foci whose window contains
+  ``m`` (the query rectangle centred on ``m``); a focus inside the zone
+  is unserveable, otherwise the zone is cut away from the validity
+  rectangle with the scatter-gather axis-cut
+  (:func:`repro.service.shard._cut_away`).
+* **range** — a pending delete of a result member: unserveable.  A
+  pending insert within ``radius`` of the query point: unserveable.
+  Otherwise each insert at distance ``d`` caps the validity-disk radius
+  at ``d - radius`` (moving less than that keeps the insert outside).
+
+In every case the shrunk region is a subset of ``V`` in which the
+stale result equals the fresh result — the answer is valid for the
+**primary** epoch at serve time, which is what makes admitting it to
+the :class:`~repro.service.cache.ValidityCache` sound.  Returning
+``None`` means "unserveable from this replica": the caller fails over
+to a fresher one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.api import (
+    KNNRequest,
+    QueryRequest,
+    QueryResponse,
+    RangeRequest,
+    WindowRequest,
+)
+from repro.core.range_validity import RangeValidityRegion
+from repro.core.validity import (
+    CompositeValidityRegion,
+    NNValidityRegion,
+    WindowValidityRegion,
+)
+from repro.geometry import Point, Rect
+from repro.index.entry import LeafEntry
+from repro.service.shard import _cut_away
+
+__all__ = ["Mutation", "ServedResponse", "shrunk_stale_region"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One primary-side data change awaiting application on a replica."""
+
+    op: str  # "insert" | "delete"
+    oid: int
+    x: float
+    y: float
+
+    def __post_init__(self):
+        if self.op not in ("insert", "delete"):
+            raise ValueError(f"unknown mutation op {self.op!r}")
+
+    @property
+    def entry(self) -> LeafEntry:
+        return LeafEntry(self.oid, self.x, self.y)
+
+
+class ServedResponse:
+    """A :class:`QueryResponse` proxy annotated with how it was served.
+
+    Wraps the replica's raw response, optionally overriding its region
+    with the staleness-shrunk (or brownout-shrunk) one, and carries the
+    serving metadata the service layer meters: which replica answered,
+    at which epoch, how stale it was, how many failovers the request
+    survived, and the per-phase access deltas measured inside the
+    replica's lock (the concurrent-safe replacement for the service's
+    before/after diff, which would race across parallel replicas).
+    """
+
+    __slots__ = ("inner", "region", "replica_id", "epoch", "staleness",
+                 "valid_for_epoch", "failovers", "brownout_level",
+                 "node_accesses", "page_faults")
+
+    def __init__(self, inner: QueryResponse, region=None,
+                 replica_id: Optional[int] = None,
+                 epoch: Optional[int] = None,
+                 staleness: int = 0,
+                 valid_for_epoch: Optional[int] = None,
+                 failovers: int = 0,
+                 brownout_level: int = 0,
+                 node_accesses: Optional[Dict[str, int]] = None,
+                 page_faults: Optional[Dict[str, int]] = None):
+        self.inner = inner
+        self.region = inner.region if region is None else region
+        self.replica_id = replica_id
+        self.epoch = epoch
+        self.staleness = staleness
+        self.valid_for_epoch = valid_for_epoch
+        self.failovers = failovers
+        self.brownout_level = brownout_level
+        self.node_accesses = node_accesses if node_accesses is not None else {}
+        self.page_faults = page_faults if page_faults is not None else {}
+
+    @property
+    def result(self):
+        return self.inner.result
+
+    @property
+    def detail(self):
+        return self.inner.detail
+
+    def transfer_bytes(self) -> int:
+        base = self.inner.transfer_bytes()
+        if self.region is not self.inner.region:
+            base += (self.region.transfer_bytes()
+                     - self.inner.region.transfer_bytes())
+        return base
+
+    def with_inner(self, inner: QueryResponse) -> "ServedResponse":
+        """A copy of this annotation around a replacement response
+        (used by the service's cached-kNN re-ranking)."""
+        region = None if self.region is self.inner.region else self.region
+        return ServedResponse(
+            inner, region=region, replica_id=self.replica_id,
+            epoch=self.epoch, staleness=self.staleness,
+            valid_for_epoch=self.valid_for_epoch, failovers=self.failovers,
+            brownout_level=self.brownout_level,
+            node_accesses=self.node_accesses, page_faults=self.page_faults)
+
+    def __getattr__(self, name):
+        # Per-type conveniences (``neighbors``, ``added`` …) proxy through.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServedResponse(replica={self.replica_id}, "
+                f"staleness={self.staleness}, inner={self.inner!r})")
+
+
+def shrunk_stale_region(request: QueryRequest, response: QueryResponse,
+                        pending: Sequence[Mutation], universe: Rect):
+    """The fresh-dataset validity region of a stale answer, or ``None``.
+
+    ``pending`` is the replica's mutation backlog at serve time (primary
+    changes the answering snapshot has not seen).  Returns a region that
+    is a subset of ``response.region`` inside which the stale result
+    provably equals the fresh result, or ``None`` when no such region
+    containing the query point exists (the answer is unserveable stale).
+    """
+    if not pending:
+        return response.region
+    if isinstance(request, KNNRequest):
+        return _knn_stale_region(request, response, pending, universe)
+    if isinstance(request, WindowRequest):
+        return _window_stale_region(request, response, pending)
+    if isinstance(request, RangeRequest):
+        return _range_stale_region(request, response, pending)
+    raise TypeError(f"not a query request: {request!r}")
+
+
+def _deleted_member(response: QueryResponse,
+                    pending: Sequence[Mutation]) -> bool:
+    result_ids = {e.oid for e in response.result}
+    return any(m.op == "delete" and m.oid in result_ids for m in pending)
+
+
+def _knn_stale_region(request: KNNRequest, response: QueryResponse,
+                      pending: Sequence[Mutation], universe: Rect):
+    if _deleted_member(response, pending):
+        return None
+    inserts = [m for m in pending if m.op == "insert"]
+    if not inserts:
+        return response.region
+    q = (float(request.location[0]), float(request.location[1]))
+    pairs = [(neighbor, m.entry)
+             for m in inserts for neighbor in response.result]
+    closer_than_inserts = NNValidityRegion(pairs, universe)
+    if not closer_than_inserts.contains(q):
+        return None  # an insert beats a current neighbour at q itself
+    return CompositeValidityRegion([response.region, closer_than_inserts])
+
+
+def _window_stale_region(request: WindowRequest, response: QueryResponse,
+                         pending: Sequence[Mutation]):
+    if _deleted_member(response, pending):
+        return None
+    f = (float(request.focus[0]), float(request.focus[1]))
+    hw, hh = request.width / 2.0, request.height / 2.0
+    rect = response.region.rect
+    for m in pending:
+        if m.op != "insert":
+            continue
+        # Foci whose query window would contain the inserted point.
+        zone = Rect(m.x - hw, m.y - hh, m.x + hw, m.y + hh)
+        if zone.contains_point(f):
+            return None
+        if zone.intersects(rect):
+            rect = _cut_away(rect, zone, f)
+    return WindowValidityRegion(rect)
+
+
+def _range_stale_region(request: RangeRequest, response: QueryResponse,
+                        pending: Sequence[Mutation]):
+    if _deleted_member(response, pending):
+        return None
+    qx, qy = float(request.location[0]), float(request.location[1])
+    radius = float(request.radius)
+    validity = response.region.radius
+    for m in pending:
+        if m.op != "insert":
+            continue
+        d = math.hypot(m.x - qx, m.y - qy)
+        if d <= radius:
+            return None  # the insert is in range at q itself
+        validity = min(validity, d - radius)
+    return RangeValidityRegion(Point(qx, qy), max(validity, 0.0))

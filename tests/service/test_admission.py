@@ -1,0 +1,230 @@
+"""Unit tests for admission control (:mod:`repro.service.admission`).
+
+Covers the concurrency gate, the fast-reject paths (queue full,
+deadline-aware — both must decide without sleeping), the queue timeout,
+the brownout ladder thresholds, and the QueryService integration
+(reject / cache-only / reduced behaviours, metered end to end).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro.core.api import KNNRequest, QueryBudget
+from repro.geometry import Rect
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejectedError,
+    CacheConfig,
+    ResilienceConfig,
+    build_service,
+)
+from repro.service.admission import (
+    LEVEL_CACHE_ONLY,
+    LEVEL_NORMAL,
+    LEVEL_REDUCED,
+    LEVEL_REJECT,
+)
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def test_immediate_grant_under_capacity():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=2))
+    assert ctl.try_acquire() == 0.0
+    assert ctl.try_acquire() == 0.0
+    assert ctl.inflight == 2
+    assert ctl.accepted == 2
+    ctl.release(latency_ms=1.0)
+    ctl.release(latency_ms=1.0)
+    assert ctl.inflight == 0
+
+
+def test_queue_full_fast_reject_never_sleeps():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=1,
+                                              max_queue_depth=0))
+    ctl.try_acquire()
+    t0 = perf_counter()
+    with pytest.raises(AdmissionRejectedError) as exc_info:
+        ctl.try_acquire()
+    elapsed_ms = (perf_counter() - t0) * 1e3
+    assert elapsed_ms < 10.0  # decided without queueing, i.e. no sleep
+    assert ctl.rejected_queue_full == 1
+    assert exc_info.value.transient is True
+
+
+def test_deadline_aware_fast_reject():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=1,
+                                              max_queue_depth=8,
+                                              ewma_alpha=1.0))
+    # Teach the estimator that execution takes ~100 ms.
+    ctl.try_acquire()
+    ctl.release(latency_ms=100.0)
+    ctl.try_acquire()  # occupy the only slot
+    t0 = perf_counter()
+    with pytest.raises(AdmissionRejectedError):
+        ctl.try_acquire(deadline_ms=5.0)  # est wait ~100ms >> 5ms
+    assert (perf_counter() - t0) * 1e3 < 10.0
+    assert ctl.rejected_deadline == 1
+    # A generous deadline is allowed to queue (and times out instead).
+    with pytest.raises(AdmissionRejectedError):
+        ctl.try_acquire(deadline_ms=10_000.0)
+    assert ctl.rejected_timeout == 1
+
+
+def test_queue_timeout_is_bounded():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=1,
+                                              queue_timeout_ms=20.0))
+    ctl.try_acquire()
+    t0 = perf_counter()
+    with pytest.raises(AdmissionRejectedError):
+        ctl.try_acquire()
+    elapsed_ms = (perf_counter() - t0) * 1e3
+    assert 10.0 <= elapsed_ms < 500.0
+    assert ctl.rejected_timeout == 1
+    assert ctl.queued == 0  # the queue slot was returned
+
+
+def test_queued_request_gets_slot_when_released():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=1,
+                                              queue_timeout_ms=2_000.0))
+    ctl.try_acquire()
+    timer = threading.Timer(0.02, ctl.release)
+    timer.start()
+    wait_ms = ctl.try_acquire()
+    timer.join()
+    assert wait_ms > 0.0
+    assert ctl.inflight == 1
+
+
+def test_release_is_floored_at_zero():
+    ctl = AdmissionController()
+    ctl.release()
+    assert ctl.inflight == 0
+
+
+# ----------------------------------------------------------------------
+# the brownout ladder
+# ----------------------------------------------------------------------
+def test_ladder_thresholds():
+    ctl = AdmissionController(AdmissionConfig(
+        max_concurrency=4, reduce_at=1.0, cache_only_at=1.5, reject_at=2.0))
+    assert ctl._level_for(0.0) == LEVEL_NORMAL
+    assert ctl._level_for(0.99) == LEVEL_NORMAL
+    assert ctl._level_for(1.0) == LEVEL_REDUCED
+    assert ctl._level_for(1.5) == LEVEL_CACHE_ONLY
+    assert ctl._level_for(2.0) == LEVEL_REJECT
+    ctl.forced_level = LEVEL_REJECT
+    assert ctl._level_for(0.0) == LEVEL_REJECT
+
+
+def test_level_tracks_inflight():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=2,
+                                              reduce_at=1.0))
+    assert ctl.level() == LEVEL_NORMAL
+    ctl.try_acquire()
+    ctl.try_acquire()
+    assert ctl.load_factor() == 1.0
+    assert ctl.level() == LEVEL_REDUCED
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionConfig(max_concurrency=0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(reduce_at=2.0, cache_only_at=1.0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(cache_only_shrink=0.0)
+
+
+def test_snapshot_is_consistent():
+    ctl = AdmissionController(AdmissionConfig(max_concurrency=2))
+    ctl.try_acquire()
+    snap = ctl.snapshot()
+    assert snap["inflight"] == 1
+    assert snap["load_factor"] == 0.5
+    assert snap["level"] == "normal"
+    assert snap["accepted"] == 1
+
+
+# ----------------------------------------------------------------------
+# QueryService integration
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def admitted_service():
+    rng = random.Random(11)
+    points = [(rng.random(), rng.random()) for _ in range(400)]
+    service = build_service(
+        points, universe=UNIT,
+        cache=CacheConfig(capacity=64),
+        resilience=ResilienceConfig(admission=AdmissionConfig()))
+    yield service
+    service.close()
+
+
+def test_service_reject_level_sheds_everything(admitted_service):
+    admitted_service.admission.forced_level = LEVEL_REJECT
+    with pytest.raises(AdmissionRejectedError):
+        admitted_service.answer(KNNRequest((0.5, 0.5)))
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert counters["service.admission.rejected"] == 1
+    assert counters["service.errors"] == 1
+
+
+def test_service_cache_only_serves_hits_with_extra_shrink(admitted_service):
+    req = KNNRequest((0.5, 0.5), k=2)
+    fresh = admitted_service.answer(req)  # primes the cache
+    admitted_service.admission.forced_level = LEVEL_CACHE_ONLY
+    browned = admitted_service.answer(req)
+    assert {e.oid for e in browned.result} == {e.oid for e in fresh.result}
+    assert browned.region.contains((0.5, 0.5))
+    # The brownout region is a strict subset of the cached one.
+    fb = fresh.region.mbr()
+    bb = browned.region.mbr()
+    assert (bb.xmax - bb.xmin) <= (fb.xmax - fb.xmin)
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert counters["service.admission.brownout.cache_only"] == 1
+    # A miss at cache_only level is fast-rejected.
+    with pytest.raises(AdmissionRejectedError):
+        admitted_service.answer(KNNRequest((0.11, 0.87), k=3))
+
+
+def test_service_reduced_level_clamps_budget(admitted_service):
+    admitted_service.admission.forced_level = LEVEL_REDUCED
+    resp = admitted_service.answer(KNNRequest((0.4, 0.6), k=2))
+    assert len(resp.result) == 2  # still a correct, exact result
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert counters["service.admission.brownout.reduced"] == 1
+
+
+def test_service_reduced_level_respects_explicit_budget(admitted_service):
+    admitted_service.admission.forced_level = LEVEL_REDUCED
+    budget = QueryBudget(max_node_accesses=10_000)
+    admitted_service.answer(KNNRequest((0.4, 0.6), k=2, budget=budget))
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert "service.admission.brownout.reduced" not in counters
+
+
+def test_service_meters_accepted_queries(admitted_service):
+    admitted_service.answer(KNNRequest((0.5, 0.5)))
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert counters["service.admission.accepted"] == 1
+    snap = admitted_service.stats_snapshot()
+    assert snap["admission"]["accepted"] == 1
+    assert snap["admission"]["level"] == "normal"
+
+
+def test_service_rejection_is_never_retried(admitted_service):
+    admitted_service.admission.forced_level = LEVEL_REJECT
+    with pytest.raises(AdmissionRejectedError):
+        admitted_service.answer(KNNRequest((0.5, 0.5)))
+    counters = admitted_service.metrics.snapshot()["counters"]
+    assert "service.retries" not in counters
