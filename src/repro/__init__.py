@@ -66,6 +66,7 @@ from repro.service import (
     AdmissionRejectedError,
     CacheConfig,
     ClientFleet,
+    ContinuousConfig,
     FleetConfig,
     MetricsRegistry,
     QueryService,
@@ -75,11 +76,13 @@ from repro.service import (
     RetryBudgetConfig,
     ServedResponse,
     ShardedServer,
+    Subscription,
+    SubscriptionUpdate,
     ValidityCache,
     build_service,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -131,6 +134,9 @@ __all__ = [
     "RetryBudgetConfig",
     "ValidityCache",
     "CacheConfig",
+    "ContinuousConfig",
+    "Subscription",
+    "SubscriptionUpdate",
     "ExecutionConfig",
     "available_kernels",
     "TraceContext",

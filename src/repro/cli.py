@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc.add_argument("--seed", type=int, default=0)
     p_svc.add_argument("--speed", type=float, default=0.01)
     p_svc.add_argument("-k", type=int, default=3)
+    p_svc.add_argument("--subscription-share", type=float, default=0.0,
+                       help="fraction of clients running as continuous-"
+                            "query subscribers (server push)")
+    p_svc.add_argument("--knn-margin", type=int, default=8,
+                       help="extra neighbours retained per kNN "
+                            "subscription (the O(delta) patch budget)")
     p_svc.add_argument("--incremental-share", type=float, default=0.0,
                        help="fraction of clients using the delta protocol")
     p_svc.add_argument("--buffer-fraction", type=float, default=0.1,
@@ -288,6 +294,7 @@ def _cmd_service(args) -> int:
         AdmissionConfig,
         BreakerConfig,
         CacheConfig,
+        ContinuousConfig,
         ReplicaConfig,
         ResilienceConfig,
         RetryBudgetConfig,
@@ -339,6 +346,7 @@ def _cmd_service(args) -> int:
         buffer_fraction=args.buffer_fraction,
         resilience=resilience,
         events=EventLog(capacity=args.event_capacity, sample=sample),
+        continuous=ContinuousConfig(margin=max(1, args.knn_margin)),
     )
     server = service.server
     obs = None
@@ -361,6 +369,7 @@ def _cmd_service(args) -> int:
         k=args.k,
         speed=args.speed,
         incremental_share=args.incremental_share,
+        subscription_share=args.subscription_share,
         seed=args.seed,
         max_stale=args.max_stale,
         continue_on_error=faulty,
@@ -385,6 +394,16 @@ def _cmd_service(args) -> int:
         print(f"  shards: {len(shards)} live, "
               f"node accesses min {min(accesses)} / "
               f"max {max(accesses)} / total {sum(accesses)}")
+    continuous = report.snapshot.get("continuous")
+    if continuous:
+        print(f"  subscriptions: {continuous['subscriptions']} live "
+              f"({continuous['broken']} broken), "
+              f"{continuous['pushes']} pushes "
+              f"({continuous['patches']} patches / "
+              f"{continuous['invalidates']} invalidations, "
+              f"{continuous['coalesced']} coalesced), moves "
+              f"{continuous['moves_patched']} patched / "
+              f"{continuous['moves_refetched']} re-queried")
     replica_set = report.snapshot.get("replica_set")
     if replica_set:
         rows = replica_set["replicas"]

@@ -13,6 +13,17 @@ paper's Section 7 on re-queries: the server ships only the objects
 added and the ids removed relative to the cached result, which the
 client applies locally — same answers, fewer bytes.
 
+With ``subscribe=True`` (and a server exposing ``subscribe``, such as
+:class:`~repro.service.service.QueryService` or
+:class:`~repro.service.replica.ReplicaSet`) the client registers each
+query kind as a **continuous query**: the server pushes O(delta)
+patches or invalidations over the subscription's bounded queue
+whenever the dataset mutates, and the client drains them on every
+position update — so mutations refresh the cache instead of killing
+it.  Leaving the validity region calls ``move()`` on the subscription,
+which the server repairs from its retained candidate margin whenever
+that is provably sound, again without touching the index.
+
 With ``max_stale`` set, the client degrades gracefully when the server
 fails transiently (simulated page-read errors, an open circuit
 breaker): instead of raising, it serves the last cached result for the
@@ -51,6 +62,11 @@ class ClientStats:
     bytes_received: int = 0
     #: Updates answered from a stale cache because the server failed.
     stale_answers: int = 0
+    #: Server pushes applied to the cache (subscription mode).
+    pushes_applied: int = 0
+    #: Region exits repaired via ``subscription.move()`` (these also
+    #: count as ``server_queries``; most cost zero node accesses).
+    subscription_moves: int = 0
 
     @property
     def query_saving(self) -> float:
@@ -96,11 +112,17 @@ class MobileClient:
     """
 
     def __init__(self, server: LocationServer, incremental: bool = False,
-                 metrics=None, max_stale: Optional[int] = None):
+                 metrics=None, max_stale: Optional[int] = None,
+                 subscribe: bool = False):
         if max_stale is not None and max_stale < 0:
             raise ValueError("max_stale must be None or >= 0")
+        if subscribe and not hasattr(server, "subscribe"):
+            raise ValueError(
+                "subscribe=True needs a server with a subscribe() method "
+                "(a QueryService or ReplicaSet)")
         self.server = server
         self.incremental = incremental
+        self.subscribed = subscribe
         self.stats = ClientStats()
         self.metrics = metrics
         #: Maximum server-epoch lag a fallback answer may have; ``None``
@@ -113,6 +135,8 @@ class MobileClient:
         self._caches: Dict[str, Optional[CacheEntry]] = {
             "knn": None, "window": None, "range": None,
         }
+        #: Live subscriptions per query kind (subscription mode only).
+        self._subs: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # the per-type entry points
@@ -167,6 +191,13 @@ class MobileClient:
         # Keep a reference to an epoch-stale entry: it cannot answer
         # normally, but it is the fallback if the server fails.
         fallback = cached
+        if self.subscribed:
+            # Subscription mode: pushes (drained below) keep the cache
+            # epoch-correct, so the epoch drop does not apply.
+            try:
+                return self._answer_subscribed(kind, key, location, request)
+            except Exception as exc:
+                return self._stale_fallback(key, fallback, exc)
         if cached is not None and cached.epoch != self.server.epoch:
             # Dataset changed under us: the region (and the delta base)
             # are both unusable.
@@ -203,6 +234,85 @@ class MobileClient:
         self.last_served = "server"
         self.last_staleness = 0
         return entries
+
+    def _answer_subscribed(self, kind: str, key: Tuple, location,
+                           request) -> List[LeafEntry]:
+        """The pub/sub protocol: drain pushes → cache check → move().
+
+        The subscription's queue is drained first; its *last* update is
+        authoritative (every push carries full state), refreshing or
+        invalidating the cache.  A cache miss (the client left the
+        region) becomes ``subscription.move()`` — repaired server-side
+        from the candidate margin when sound, a full re-query
+        otherwise.  Broken or shape-changed subscriptions are closed
+        and re-established.
+        """
+        pair = self._subs.get(kind)
+        sub = None
+        if pair is not None:
+            sub_key, sub = pair
+            if sub_key != key or sub.broken or sub.closed:
+                sub.close()
+                del self._subs[kind]
+                self._caches[kind] = None
+                sub = None
+        if sub is None:
+            sub = self.server.subscribe(request)
+            self._subs[kind] = (key, sub)
+            self._event("client.subscribe", kind=kind,
+                        trace_id=request.trace_id)
+            return self._refresh_subscribed(kind, key, sub.response,
+                                            request.trace_id)
+        updates = sub.drain()
+        if updates:
+            self.stats.pushes_applied += len(updates)
+            self._count("client.pushes_applied", len(updates))
+            last = updates[-1]
+            if last.kind == "patch":
+                received = sum(u.transfer_bytes for u in updates)
+                self.stats.bytes_received += received
+                self._count("client.bytes_received", received)
+                self._caches[kind] = CacheEntry(
+                    key=key, response=last.response,
+                    entries=list(last.response.result),
+                    epoch=self.server.epoch, trace_id=request.trace_id)
+            else:  # invalidated: the move() below re-queries
+                self._caches[kind] = None
+        cached = self._caches[kind]
+        if cached is not None and cached.answers(key, location):
+            self.stats.cache_answers += 1
+            self._count("client.cache_answers")
+            self._event("client.cache_answer", kind=kind,
+                        trace_id=cached.trace_id)
+            self.last_served = "cache"
+            self.last_staleness = 0
+            return cached.entries
+        response = sub.move(_point(location))
+        self.stats.subscription_moves += 1
+        self._count("client.subscription_moves")
+        return self._refresh_subscribed(kind, key, response,
+                                        request.trace_id)
+
+    def _refresh_subscribed(self, kind: str, key: Tuple,
+                            response, trace_id) -> List[LeafEntry]:
+        received = response.transfer_bytes()
+        self.stats.server_queries += 1
+        self.stats.bytes_received += received
+        self._count("client.server_queries")
+        self._count("client.bytes_received", received)
+        entries = list(response.result)
+        self._caches[kind] = CacheEntry(
+            key=key, response=response, entries=entries,
+            epoch=self.server.epoch, trace_id=trace_id)
+        self.last_served = "server"
+        self.last_staleness = 0
+        return entries
+
+    def close(self) -> None:
+        """Tear down any live subscriptions (idempotent)."""
+        for kind, (_key, sub) in list(self._subs.items()):
+            sub.close()
+            del self._subs[kind]
 
     def _stale_fallback(self, key: Tuple, cached: Optional[CacheEntry],
                         exc: Exception) -> List[LeafEntry]:

@@ -22,6 +22,10 @@
   tier: consistent-hash routing, per-replica breaker ejection,
   transparent failover and bounded-stale reads whose regions stay
   provably correct (:mod:`repro.service.staleness`).
+* :mod:`repro.service.continuous` — :class:`SubscriptionHub`, the
+  server-push continuous-query tier: influence-set-plus-margin kNN
+  caching, O(delta) patches on mutation, bounded per-subscription
+  queues with latest-wins coalescing.
 * :mod:`repro.service.service` — :class:`QueryService`, the
   instrumented, thread-safe, fault-tolerant front-end a deployment
   runs (see :class:`ResilienceConfig`), and :func:`build_service`, the
@@ -65,6 +69,13 @@ from repro.service.shard import (
     ShardedWindowDetail,
 )
 from repro.service.staleness import ServedResponse
+from repro.service.continuous import (
+    ContinuousConfig,
+    PatchResponse,
+    Subscription,
+    SubscriptionHub,
+    SubscriptionUpdate,
+)
 from repro.service.replica import (
     NoReplicaAvailableError,
     ReplicaConfig,
@@ -100,6 +111,11 @@ __all__ = [
     "ShardedWindowDetail",
     "ShardedRangeDetail",
     "ServedResponse",
+    "ContinuousConfig",
+    "PatchResponse",
+    "Subscription",
+    "SubscriptionHub",
+    "SubscriptionUpdate",
     "ReplicaSet",
     "ReplicaConfig",
     "NoReplicaAvailableError",

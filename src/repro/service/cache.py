@@ -16,9 +16,17 @@ structure (the INSQ-style influence-set cache, arXiv:1602.00363):
   window extents, same range radius) and the query point passes the
   exact ``region.contains`` test of the geometry layer — never the MBR
   alone, so hits inherit the paper's correctness guarantee unchanged;
-* entries are evicted LRU once ``capacity`` is exceeded, and the whole
-  cache is dropped by the dataset-mutation invalidation hook (every
-  region is computed against one dataset epoch).
+* entries are evicted LRU once ``capacity`` is exceeded;
+* the dataset-mutation hook is **surgical** (:meth:`invalidate_mutation`):
+  a mutation drops only the entries whose region the mutated object can
+  reach — an insert kills a kNN entry only when some corner of its
+  region MBR is closer to the new object than to one of its neighbours
+  (the bisector test), a window entry only when the insert's zone
+  touches its rectangle, a range entry only when the insert lands
+  within ``radius`` of its MBR — and re-stamps every survivor to the
+  new dataset epoch, so hit rates stay high under write traffic.  The
+  pre-existing drop-everything hook (:meth:`invalidate_all`) remains as
+  the ``surgical=False`` baseline.
 
 A cache hit costs zero node accesses: the request never reaches the
 index, which is what turns a stream of moving-client queries into
@@ -39,7 +47,7 @@ from repro.core.api import (
     RangeRequest,
     WindowRequest,
 )
-from repro.geometry import Rect
+from repro.geometry import Rect, bisector_halfplane
 
 __all__ = ["CacheConfig", "ValidityCache"]
 
@@ -52,12 +60,15 @@ class CacheConfig:
     it); ``grid`` is the resolution of the uniform cell grid the region
     MBRs are indexed in; ``admit_degraded`` controls whether
     budget-degraded responses (tiny conservative regions) are worth
-    caching at all.
+    caching at all; ``surgical`` selects the mutation hook — overlap
+    tests that keep unaffected entries alive (the default) versus the
+    drop-everything baseline.
     """
 
     capacity: int = 1024
     grid: int = 16
     admit_degraded: bool = False
+    surgical: bool = True
 
     def __post_init__(self):
         if self.capacity < 0:
@@ -69,15 +80,16 @@ class CacheConfig:
 class _Entry:
     """One cached response and where its region MBR is registered."""
 
-    __slots__ = ("uid", "key", "response", "epoch", "cells")
+    __slots__ = ("uid", "key", "response", "epoch", "cells", "mbr")
 
     def __init__(self, uid: int, key: Tuple, response: QueryResponse,
-                 epoch: int, cells: Tuple[Tuple[int, int], ...]):
+                 epoch: int, cells: Tuple[Tuple[int, int], ...], mbr: Rect):
         self.uid = uid
         self.key = key
         self.response = response
         self.epoch = epoch
         self.cells = cells
+        self.mbr = mbr
 
 
 def request_key(request: QueryRequest) -> Optional[Tuple]:
@@ -107,6 +119,33 @@ def request_location(request: QueryRequest) -> Tuple[float, float]:
     return getattr(request, "location", None) or request.focus
 
 
+def _survives(entry: _Entry, op: str, oid: int, x: float, y: float) -> bool:
+    """Can the cached ``entry`` provably be unaffected by the mutation?"""
+    if op == "delete":
+        return all(e.oid != oid for e in entry.response.result)
+    kind = entry.key[0]
+    if kind == "knn":
+        result = entry.response.result
+        if len(result) < entry.key[1]:
+            return False  # "everything there is": any insert joins it
+        corners = entry.mbr.corners()
+        for neighbor in result:
+            if neighbor.x == x and neighbor.y == y:
+                return False  # coincident points: bisector undefined
+            halfplane = bisector_halfplane(neighbor.point, (x, y))
+            if not all(halfplane.contains(c) for c in corners):
+                return False
+        return True
+    if kind == "window":
+        _, width, height = entry.key
+        zone = Rect(x - width / 2.0, y - height / 2.0,
+                    x + width / 2.0, y + height / 2.0)
+        return not zone.intersects(entry.mbr)
+    if kind == "range":
+        return entry.mbr.mindist((x, y)) > entry.key[1]
+    return False
+
+
 class ValidityCache:
     """A thread-safe spatial cache of responses keyed by validity region."""
 
@@ -124,6 +163,8 @@ class ValidityCache:
         self.insertions = 0
         self.evictions = 0
         self.invalidations = 0
+        self.surgical_drops = 0
+        self.surgical_survivals = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -198,7 +239,7 @@ class ValidityCache:
                       for iy in range(iy0, iy1 + 1))
         with self._lock:
             self._uids += 1
-            entry = _Entry(self._uids, key, response, epoch, cells)
+            entry = _Entry(self._uids, key, response, epoch, cells, mbr)
             self._entries[entry.uid] = entry
             for cell in cells:
                 self._grid.setdefault(cell, {})[entry.uid] = entry
@@ -213,11 +254,58 @@ class ValidityCache:
     # invalidation
     # ------------------------------------------------------------------
     def invalidate_all(self) -> int:
-        """Drop everything (the dataset-mutation hook); returns the count."""
+        """Drop everything (the blunt mutation hook); returns the count."""
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
             self._grid.clear()
+            if dropped:
+                self.invalidations += 1
+        return dropped
+
+    def invalidate_mutation(self, op: str, oid: int, x: float, y: float,
+                            epoch: int) -> int:
+        """Surgically apply one dataset mutation; returns entries dropped.
+
+        ``epoch`` is the dataset epoch *after* the mutation.  Every
+        entry that provably cannot be affected is re-stamped to the new
+        epoch and stays servable; everything else (including entries
+        whose epoch already lagged) is dropped.  The per-kind survival
+        tests are conservative — sound in the only direction that
+        matters (never keep an entry the mutation could touch):
+
+        * **delete** — an entry survives iff the deleted object is not
+          in its result (a non-member is beaten everywhere the result
+          is frozen; removing it promotes nothing);
+        * **insert / kNN** — survives iff every corner of the region
+          MBR is at least as close to each of the k neighbours as to
+          the new object; the bisector half-planes are convex, so the
+          corners bound the whole MBR, hence the whole region;
+        * **insert / window** — survives iff the insert's zone (the
+          query rectangle centred on it) misses the region rectangle;
+        * **insert / range** — survives iff the insert is farther than
+          ``radius`` from every point of the region MBR.
+
+        The walk is a full scan of the (capacity-bounded) entry table:
+        a kNN region can be influenced from anywhere, so there is no
+        sound cell-local shortcut for it, and the scan is what re-stamps
+        survivors in one pass.
+        """
+        if op not in ("insert", "delete"):
+            raise ValueError(f"unknown mutation op {op!r}")
+        x, y = float(x), float(y)
+        dropped = survived = 0
+        with self._lock:
+            for entry in list(self._entries.values()):
+                if (entry.epoch == epoch - 1
+                        and _survives(entry, op, oid, x, y)):
+                    entry.epoch = epoch
+                    survived += 1
+                else:
+                    self._remove(entry)
+                    dropped += 1
+            self.surgical_drops += dropped
+            self.surgical_survivals += survived
             if dropped:
                 self.invalidations += 1
         return dropped
@@ -258,4 +346,7 @@ class ValidityCache:
                 "insertions": self.insertions,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "surgical": self.config.surgical,
+                "surgical_drops": self.surgical_drops,
+                "surgical_survivals": self.surgical_survivals,
             }

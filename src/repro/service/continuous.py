@@ -1,0 +1,722 @@
+"""Server-push continuous queries: influence-set maintenance + pub/sub.
+
+The paper's validity regions tell a client *when* its answer dies;
+until this module, expiry — or any dataset mutation — forced a full
+re-query.  Here the server keeps a small amount of per-query state so
+that most deaths are repaired with an **O(delta) patch** instead of a
+fresh traversal, and pushes the repaired answer to the client over a
+bounded queue.
+
+kNN maintenance — the anchor/horizon invariant
+----------------------------------------------
+Subscribing a ``k``-NN query fetches ``k + margin`` neighbours of the
+query point (the *anchor*) in one go and keeps the whole candidate set
+server-side.  With ``horizon`` the distance of the farthest retrieved
+candidate from the anchor, the retrieval guarantees the invariant
+
+    every live non-candidate object is at distance >= horizon
+    from the anchor,
+
+and every mutation preserves it for free: an insert within the horizon
+joins the candidate set, an insert beyond it is a no-op, a delete
+removes at most one candidate.  Serving the top-``k`` at a point ``p``
+purely from the candidates is sound whenever
+
+    d_k(p) + dist(anchor, p) < horizon
+
+(``d_k`` measured over the candidates): by the triangle inequality any
+non-candidate is farther from ``p`` than the k-th candidate.  The
+patched validity region is the intersection of
+
+* the exact bisector half-planes between the ``k`` members and the
+  remaining candidates (the re-ranked influence set — a local order-k
+  cell over the candidate universe), and
+* the safety disk of radius ``(horizon - dist(anchor, p) - d_k(p)) / 2``
+  centred on ``p``, inside which no non-candidate can catch up.
+
+Both pieces are computed from cached state with **zero node accesses**.
+When the condition fails — the margin is exhausted by deletes, or the
+client wandered too close to the horizon — the subscription falls back
+to a full re-query (the soundness escape hatch).
+
+Window and range patches reuse the staleness rules of
+:mod:`repro.service.staleness`: an inserted object's *zone* (the foci
+whose window contains it) is intersected in or cut away; a range
+insert at distance ``d`` caps the validity radius at ``d - radius``;
+member deletes drop the entry from the result with the region (window)
+or validity radius (range) untouched.
+
+Push semantics
+--------------
+Every queued :class:`SubscriptionUpdate` carries the **full** latest
+state (result + region), never a diff of a diff — which is what makes
+backpressure coalescing sound: when a subscriber's bounded queue is
+full, the newest update replaces the queue *tail* (latest wins, the
+``coalesced`` counter records the merge) so a slow subscriber never
+buffers unboundedly and never loses the final state.  A subscription
+whose patch computation raises is marked ``broken`` and receives one
+final ``invalidate`` push: there is no silent staleness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.api import QueryDetail, QueryRequest
+from repro.core.range_validity import RangeValidityRegion
+from repro.core.validity import (
+    POINT_BYTES,
+    CompositeValidityRegion,
+    NNValidityRegion,
+    ValidityDisk,
+    WindowValidityRegion,
+)
+from repro.geometry import Point, Rect
+from repro.index.entry import LeafEntry
+from repro.obs.events import EventLog
+from repro.service.shard import _cut_away
+from repro.service.staleness import Mutation
+
+__all__ = [
+    "ContinuousConfig",
+    "ContinuousDetail",
+    "PatchResponse",
+    "Subscription",
+    "SubscriptionHub",
+    "SubscriptionUpdate",
+]
+
+#: Wire cost of an invalidation push: one 4-byte subscription token.
+INVALIDATE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ContinuousConfig:
+    """Tuning of the continuous-query tier.
+
+    ``margin`` is the number of extra neighbours retrieved (and kept
+    server-side) per kNN subscription — the patch budget: each delete
+    of a candidate spends one unit, each insert inside the horizon
+    earns one back.  ``queue_capacity`` bounds every subscriber queue;
+    overflow coalesces (latest wins), it never grows the buffer.
+    """
+
+    margin: int = 8
+    queue_capacity: int = 8
+
+    def __post_init__(self):
+        if self.margin < 1:
+            raise ValueError("margin must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class ContinuousDetail(QueryDetail):
+    """Detail record of a response served from subscription state."""
+
+    query_kind: str = ""
+    #: How this response was produced: "subscribe" (initial fetch),
+    #: "patch" (mutation repair), "move" (client relocation repaired
+    #: from the margin) or "refetch" (escape hatch re-query).
+    origin: str = "subscribe"
+    #: Monotonic per-subscription state version.
+    generation: int = 0
+    degraded: bool = False
+
+
+class PatchResponse:
+    """A response assembled from subscription state (zero node accesses).
+
+    Satisfies the :class:`~repro.core.api.QueryResponse` protocol so a
+    :class:`~repro.core.client.MobileClient` can cache it exactly like
+    a served answer.
+    """
+
+    __slots__ = ("result", "region", "detail")
+
+    def __init__(self, result, region, detail: ContinuousDetail):
+        self.result = list(result)
+        self.region = region
+        self.detail = detail
+
+    def transfer_bytes(self) -> int:
+        return POINT_BYTES * len(self.result) + self.region.transfer_bytes()
+
+
+@dataclass
+class SubscriptionUpdate:
+    """One server push.  ``response`` is the **full** latest state for
+    a ``"patch"``; ``None`` for an ``"invalidate"`` (the client must
+    re-query).  ``coalesced`` counts older updates this one replaced
+    under backpressure; ``transfer_bytes`` is the modelled wire cost of
+    the *delta* (added points + removed ids + region)."""
+
+    seq: int
+    kind: str  # "patch" | "invalidate"
+    reason: str
+    response: Optional[PatchResponse] = None
+    coalesced: int = 0
+    transfer_bytes: int = INVALIDATE_BYTES
+
+
+# ----------------------------------------------------------------------
+# per-kind maintained state
+# ----------------------------------------------------------------------
+def _dist(a, b) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class _KnnState:
+    __slots__ = ("k", "anchor", "horizon", "point", "candidates")
+
+    def __init__(self, k: int, anchor: Tuple[float, float], horizon: float,
+                 point: Tuple[float, float],
+                 candidates: Dict[int, LeafEntry]):
+        self.k = k
+        self.anchor = anchor
+        self.horizon = horizon
+        self.point = point
+        self.candidates = candidates
+
+
+class _WindowState:
+    __slots__ = ("focus", "width", "height", "result", "rect")
+
+    def __init__(self, focus, width: float, height: float,
+                 result: Dict[int, LeafEntry], rect: Optional[Rect]):
+        self.focus = (float(focus[0]), float(focus[1]))
+        self.width = width
+        self.height = height
+        self.result = result
+        self.rect = rect
+
+
+class _RangeState:
+    __slots__ = ("center", "radius", "result", "validity")
+
+    def __init__(self, center, radius: float,
+                 result: Dict[int, LeafEntry], validity: Optional[float]):
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = radius
+        self.result = result
+        self.validity = validity
+
+
+def _knn_served(state: _KnnState, universe: Rect):
+    """Top-k + patched region at ``state.point``, or ``None`` when the
+    margin cannot prove the candidate set covers the true top-k."""
+    point = state.point
+    cands = sorted(state.candidates.values(),
+                   key=lambda e: (_dist(e.point, point), e.oid))
+    k = state.k
+    if len(cands) < k:
+        return None
+    members, rest = cands[:k], cands[k:]
+    d_k = _dist(members[-1].point, point)
+    if math.isinf(state.horizon):
+        # The candidates are the whole dataset: always serveable.
+        slack = math.inf
+    else:
+        slack = state.horizon - _dist(state.anchor, point)
+        if d_k >= slack:
+            return None  # a non-candidate could undercut the k-th member
+    radius = math.inf if math.isinf(slack) else (slack - d_k) / 2.0
+    radius = min(radius, math.hypot(universe.width, universe.height))
+    if radius <= 0.0:
+        return None
+    disk = ValidityDisk(point, radius)
+    if not rest:
+        return members, disk
+    pairs = [(m, r) for m in members for r in rest]
+    try:
+        fences = NNValidityRegion(pairs, universe)
+    except ValueError:  # coincident member/non-member: bisector undefined
+        return None
+    return members, CompositeValidityRegion([fences, disk])
+
+
+def _knn_apply(state: _KnnState, m: Mutation) -> str:
+    """Fold one mutation into the candidate set (idempotent by oid)."""
+    if m.op == "insert":
+        if m.oid in state.candidates:
+            return "skip"
+        if _dist((m.x, m.y), state.anchor) >= state.horizon:
+            return "skip"  # invariant untouched, old region still sound
+        state.candidates[m.oid] = m.entry
+        return "patch"  # region must shrink against the newcomer
+    if m.oid not in state.candidates:
+        return "skip"
+    was_member = m.oid in {
+        e.oid for e in sorted(
+            state.candidates.values(),
+            key=lambda e: (_dist(e.point, state.point), e.oid))[:state.k]}
+    del state.candidates[m.oid]
+    # A deleted non-member only removes a competitor: the shipped
+    # result and region both stay sound without a push.
+    return "patch" if was_member else "silent"
+
+
+def _ordered(result: Dict[int, LeafEntry]) -> List[LeafEntry]:
+    return sorted(result.values(), key=lambda e: e.oid)
+
+
+def _window_apply(state: _WindowState, m: Mutation, old_region):
+    zone = Rect(m.x - state.width / 2.0, m.y - state.height / 2.0,
+                m.x + state.width / 2.0, m.y + state.height / 2.0)
+    if m.op == "insert":
+        if m.oid in state.result:
+            return ("skip",)
+        if zone.contains_point(state.focus):
+            state.result[m.oid] = m.entry
+            if state.rect is None:
+                return ("exhausted",)
+            shrunk = state.rect.intersection(zone)
+            if shrunk is None:
+                return ("exhausted",)
+            state.rect = shrunk
+            return ("patch", _ordered(state.result),
+                    WindowValidityRegion(shrunk))
+        bound = state.rect
+        if bound is None:
+            get = getattr(old_region, "mbr", None)
+            bound = get() if get is not None else None
+        if bound is None or zone.intersects(bound):
+            if state.rect is None:
+                return ("exhausted",)
+            state.rect = _cut_away(state.rect, zone, state.focus)
+            return ("patch", _ordered(state.result),
+                    WindowValidityRegion(state.rect))
+        return ("skip",)
+    if m.oid not in state.result:
+        return ("skip",)
+    del state.result[m.oid]
+    # A member was in the window for every focus in the region, so the
+    # region survives the delete unchanged.
+    region = (WindowValidityRegion(state.rect)
+              if state.rect is not None else old_region)
+    return ("patch", _ordered(state.result), region)
+
+
+def _range_apply(state: _RangeState, m: Mutation):
+    if state.validity is None:
+        return ("exhausted",)
+    if m.op == "insert":
+        if m.oid in state.result:
+            return ("skip",)
+        d = _dist((m.x, m.y), state.center)
+        if d <= state.radius:
+            state.result[m.oid] = m.entry
+            state.validity = min(state.validity, state.radius - d)
+        else:
+            cap = d - state.radius
+            if cap >= state.validity:
+                return ("skip",)
+            state.validity = cap
+    else:
+        if m.oid not in state.result:
+            return ("skip",)
+        # Dropping a member can only loosen the inner bound; keeping
+        # the old validity radius stays sound.
+        del state.result[m.oid]
+    state.validity = max(state.validity, 0.0)
+    return ("patch", _ordered(state.result),
+            RangeValidityRegion(Point(*state.center), state.validity))
+
+
+# ----------------------------------------------------------------------
+# the subscription object (server side of the push channel)
+# ----------------------------------------------------------------------
+class Subscription:
+    """One registered continuous query.
+
+    The client polls :meth:`poll`/:meth:`drain` for pushed
+    :class:`SubscriptionUpdate` objects, calls :meth:`move` when it
+    relocates, and :meth:`close` when done.  ``broken`` subscriptions
+    stop receiving patches — their final queued update is an
+    ``invalidate`` — and must be re-established.
+    """
+
+    def __init__(self, sid: int, request: QueryRequest,
+                 hub: "SubscriptionHub", capacity: int):
+        self.sid = sid
+        self.request = request
+        self.kind = request.kind
+        self.capacity = capacity
+        self.broken = False
+        self.broken_reason: Optional[str] = None
+        self.closed = False
+        #: Latest server-side view (a :class:`PatchResponse`).
+        self.response: Optional[PatchResponse] = None
+        self.generation = 0
+        self.pushes = 0
+        self.patches = 0
+        self.invalidates = 0
+        self.coalesced = 0
+        self.polls = 0
+        self.moves_patched = 0
+        self.moves_refetched = 0
+        self._hub = hub
+        self._queue: Deque[SubscriptionUpdate] = deque()
+        self._lock = threading.RLock()
+        self._seq = itertools.count(1)
+        self._state = None
+        self._needs_refresh = False
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def poll(self) -> Optional[SubscriptionUpdate]:
+        """Pop the oldest queued update (None when the queue is empty)."""
+        with self._lock:
+            self.polls += 1
+            return self._queue.popleft() if self._queue else None
+
+    def drain(self) -> List[SubscriptionUpdate]:
+        """Pop every queued update, oldest first."""
+        with self._lock:
+            self.polls += 1
+            out = list(self._queue)
+            self._queue.clear()
+            return out
+
+    def move(self, location):
+        """Re-anchor at ``location``; patched from the margin when
+        sound, otherwise a full re-query.  Returns the response."""
+        return self._hub.move(self, location)
+
+    def close(self) -> None:
+        self._hub.unsubscribe(self)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "sid": self.sid,
+                "kind": self.kind,
+                "pending": len(self._queue),
+                "generation": self.generation,
+                "pushes": self.pushes,
+                "patches": self.patches,
+                "invalidates": self.invalidates,
+                "coalesced": self.coalesced,
+                "polls": self.polls,
+                "moves_patched": self.moves_patched,
+                "moves_refetched": self.moves_refetched,
+                "broken": self.broken,
+                "broken_reason": self.broken_reason,
+            }
+
+    # -- hub internals (caller holds self._lock) -----------------------
+    def _enqueue(self, update: SubscriptionUpdate) -> None:
+        if len(self._queue) >= self.capacity:
+            # Latest wins: every update carries full state, so replacing
+            # the tail merges histories without losing the final state.
+            tail = self._queue.pop()
+            update.coalesced = tail.coalesced + 1
+            self.coalesced += 1
+        self._queue.append(update)
+        self.pushes += 1
+        if update.kind == "patch":
+            self.patches += 1
+        else:
+            self.invalidates += 1
+
+
+# ----------------------------------------------------------------------
+# the hub: registry + push fan-out
+# ----------------------------------------------------------------------
+class SubscriptionHub:
+    """Registry and push fan-out for continuous queries.
+
+    ``owner`` is whoever executes the escape-hatch queries — a
+    :class:`~repro.service.service.QueryService` or
+    :class:`~repro.service.replica.ReplicaSet`; it only needs
+    ``answer(request)`` and ``universe``.  The owner calls
+    :meth:`notify` after every applied mutation (on the mutating
+    thread, so pushes are enqueued before the mutation call returns).
+    """
+
+    def __init__(self, owner, config: Optional[ContinuousConfig] = None,
+                 metrics=None, events: Optional[EventLog] = None):
+        self.owner = owner
+        self.config = config if config is not None else ContinuousConfig()
+        self.metrics = metrics
+        self.events = events
+        self._lock = threading.RLock()
+        self._subs: Dict[int, Subscription] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    # -- registration --------------------------------------------------
+    def subscribe(self, request: QueryRequest, *,
+                  queue_capacity: Optional[int] = None) -> Subscription:
+        """Register ``request`` as a continuous query.
+
+        Runs the initial (margin-widened, for kNN) fetch through the
+        owner and returns a live :class:`Subscription` whose
+        ``response`` answers the request.
+        """
+        capacity = queue_capacity or self.config.queue_capacity
+        # Holding the hub lock across fetch+insert serializes with
+        # notify(): a mutation is either visible to the fetch or
+        # delivered as a (by-oid idempotent) patch afterwards.
+        with self._lock:
+            sub = Subscription(next(self._ids), request, self, capacity)
+            if request.kind == "knn":
+                self._init_knn(sub, request)
+            elif request.kind == "window":
+                self._init_window(sub, request)
+            elif request.kind == "range":
+                self._init_range(sub, request)
+            else:
+                raise ValueError(
+                    f"cannot subscribe a {request.kind!r} request")
+            self._subs[sub.sid] = sub
+        self._count("service.continuous.subscriptions")
+        self._emit("push.subscribe", sid=sub.sid, kind=request.kind)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            self._subs.pop(sub.sid, None)
+        with sub._lock:
+            sub.closed = True
+
+    # -- mutation fan-out ----------------------------------------------
+    def notify(self, mutation: Mutation) -> None:
+        """Fan one applied mutation out to every live subscription.
+
+        Per-subscription work is O(candidates): a re-rank plus a local
+        region rebuild — never a tree traversal.  A subscription whose
+        patch raises is marked broken (with one final invalidate push),
+        so the failure of one subscriber cannot poison the mutation
+        path or its neighbours.
+        """
+        with self._lock:
+            subs = list(self._subs.values())
+        for sub in subs:
+            try:
+                self._apply(sub, mutation)
+            except Exception as exc:  # no silent staleness, ever
+                self._break(sub, f"{type(exc).__name__}: {exc}")
+
+    def _apply(self, sub: Subscription, m: Mutation) -> None:
+        with sub._lock:
+            if sub.closed or sub.broken:
+                return
+            if sub._needs_refresh:
+                # Margin already exhausted: keep the client informed
+                # (coalesced) until it re-queries via move().
+                self._push_invalidate(sub, "stale")
+                return
+            if sub.kind == "knn":
+                code = _knn_apply(sub._state, m)
+                if code == "patch":
+                    served = _knn_served(sub._state, self.owner.universe)
+                    outcome = (("patch",) + served if served is not None
+                               else ("exhausted",))
+                else:
+                    outcome = (code,)
+            elif sub.kind == "window":
+                outcome = _window_apply(
+                    sub._state, m,
+                    sub.response.region if sub.response else None)
+            else:
+                outcome = _range_apply(sub._state, m)
+            if outcome[0] in ("skip", "silent"):
+                return
+            if outcome[0] == "exhausted":
+                sub._needs_refresh = True
+                self._push_invalidate(sub, "margin_exhausted")
+                return
+            _, result, region = outcome
+            self._push_patch(sub, result, region, reason=m.op)
+
+    # -- client relocation ---------------------------------------------
+    def move(self, sub: Subscription, location):
+        """Serve ``sub`` at a new ``location``.
+
+        kNN moves are repaired from the candidate margin when the
+        anchor/horizon condition holds (zero node accesses); window and
+        range moves inside the current region re-serve the cached view.
+        Anything else takes the escape hatch: a full re-query that
+        re-anchors the subscription.
+        """
+        loc = (float(location[0]), float(location[1]))
+        with sub._lock:
+            if sub.closed:
+                raise RuntimeError("subscription is closed")
+            if sub.broken:
+                raise RuntimeError(
+                    f"subscription is broken: {sub.broken_reason}")
+            if not sub._needs_refresh and sub.response is not None:
+                if sub.kind == "knn":
+                    state = sub._state
+                    previous = state.point
+                    state.point = loc
+                    served = _knn_served(state, self.owner.universe)
+                    if served is not None:
+                        sub.moves_patched += 1
+                        self._count("service.continuous.moves_patched")
+                        result, region = served
+                        return self._set_response(sub, result, region,
+                                                  origin="move")
+                    state.point = previous
+                elif sub.response.region.contains(loc):
+                    sub.moves_patched += 1
+                    self._count("service.continuous.moves_patched")
+                    return sub.response
+            return self._refetch(sub, loc)
+
+    def _refetch(self, sub: Subscription, loc) -> PatchResponse:
+        sub.moves_refetched += 1
+        self._count("service.continuous.moves_refetched")
+        if sub.kind == "knn":
+            request = replace(sub.request, location=loc, previous_ids=None)
+            self._init_knn(sub, request)
+        elif sub.kind == "window":
+            request = replace(sub.request, focus=loc, previous_ids=None)
+            self._init_window(sub, request)
+        else:
+            request = replace(sub.request, location=loc)
+            self._init_range(sub, request)
+        sub.request = request
+        self._emit("push.refetch", sid=sub.sid, kind=sub.kind)
+        return sub.response
+
+    # -- initial / escape-hatch fetches --------------------------------
+    def _init_knn(self, sub: Subscription, request) -> None:
+        fetch = replace(request, k=request.k + self.config.margin,
+                        previous_ids=None)
+        response = self.owner.answer(fetch)
+        cands = list(response.result)
+        anchor = (float(request.location[0]), float(request.location[1]))
+        # Fewer candidates than asked for means the fetch returned the
+        # whole dataset: no non-candidate exists, the horizon is open.
+        horizon = math.inf
+        if len(cands) >= fetch.k:
+            horizon = max(_dist(e.point, anchor) for e in cands)
+        sub._state = _KnnState(k=request.k, anchor=anchor, horizon=horizon,
+                               point=anchor,
+                               candidates={e.oid: e for e in cands})
+        sub._needs_refresh = False
+        served = _knn_served(sub._state, self.owner.universe)
+        if served is not None:
+            members, region = served
+        elif len(cands) < request.k:
+            # The answer is "everything there is"; the fetched region
+            # (however the server shaped it) bounds that claim.
+            members, region = cands, response.region
+        else:
+            # Distance tie exactly at the horizon: correct here, but
+            # nowhere else provably — serve a point-sized region.
+            members, region = (sorted(
+                cands, key=lambda e: (_dist(e.point, anchor), e.oid))[:request.k],
+                ValidityDisk(anchor, 0.0))
+        self._set_response(sub, members, region, origin="subscribe")
+
+    def _init_window(self, sub: Subscription, request) -> None:
+        response = self.owner.answer(replace(request, previous_ids=None))
+        sub._state = _WindowState(
+            request.focus, request.width, request.height,
+            {e.oid: e for e in response.result},
+            getattr(response.region, "rect", None))
+        sub._needs_refresh = False
+        self._set_response(sub, list(response.result), response.region,
+                           origin="subscribe")
+
+    def _init_range(self, sub: Subscription, request) -> None:
+        response = self.owner.answer(request)
+        sub._state = _RangeState(
+            request.location, request.radius,
+            {e.oid: e for e in response.result},
+            getattr(response.region, "radius", None))
+        sub._needs_refresh = False
+        self._set_response(sub, list(response.result), response.region,
+                           origin="subscribe")
+
+    # -- push plumbing -------------------------------------------------
+    def _set_response(self, sub: Subscription, result, region,
+                      origin: str) -> PatchResponse:
+        sub.generation += 1
+        response = PatchResponse(result, region, ContinuousDetail(
+            query_kind=sub.kind, origin=origin, generation=sub.generation))
+        sub.response = response
+        return response
+
+    def _push_patch(self, sub: Subscription, result, region,
+                    reason: str) -> None:
+        previous = ({e.oid for e in sub.response.result}
+                    if sub.response is not None else set())
+        current = {e.oid for e in result}
+        delta = (POINT_BYTES * len(current - previous)
+                 + 4 * len(previous - current)
+                 + region.transfer_bytes())
+        response = self._set_response(sub, result, region, origin="patch")
+        sub._enqueue(SubscriptionUpdate(
+            seq=next(sub._seq), kind="patch", reason=reason,
+            response=response, transfer_bytes=delta))
+        self._count("service.continuous.pushes")
+        self._count("service.continuous.patches")
+        self._emit("push.patch", sid=sub.sid, kind=sub.kind, reason=reason)
+
+    def _push_invalidate(self, sub: Subscription, reason: str) -> None:
+        sub._enqueue(SubscriptionUpdate(
+            seq=next(sub._seq), kind="invalidate", reason=reason))
+        self._count("service.continuous.pushes")
+        self._count("service.continuous.invalidates")
+        self._emit("push.invalidate", sid=sub.sid, kind=sub.kind,
+                   reason=reason)
+
+    def _break(self, sub: Subscription, reason: str) -> None:
+        with sub._lock:
+            if sub.broken:
+                return
+            sub.broken = True
+            sub.broken_reason = reason
+            self._push_invalidate(sub, "broken")
+        self._count("service.continuous.broken")
+        self._emit("push.broken", sid=sub.sid, reason=reason)
+
+    # -- observability -------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            subs = list(self._subs.values())
+        rows = [s.snapshot() for s in subs]
+        return {
+            "subscriptions": len(rows),
+            "broken": sum(1 for r in rows if r["broken"]),
+            "pushes": sum(r["pushes"] for r in rows),
+            "patches": sum(r["patches"] for r in rows),
+            "invalidates": sum(r["invalidates"] for r in rows),
+            "coalesced": sum(r["coalesced"] for r in rows),
+            "moves_patched": sum(r["moves_patched"] for r in rows),
+            "moves_refetched": sum(r["moves_refetched"] for r in rows),
+            "per_subscription": rows,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            subs = list(self._subs.values())
+            self._subs.clear()
+        for sub in subs:
+            with sub._lock:
+                sub.closed = True
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit("push", event=event, **fields)

@@ -46,6 +46,10 @@ class FleetConfig:
     speed: float = 0.01
     #: Fraction of clients using the §7 incremental (delta) protocol.
     incremental_share: float = 0.0
+    #: Fraction of clients running as continuous-query subscribers
+    #: (server push; see :mod:`repro.service.continuous`).  Subscribed
+    #: clients never use the delta protocol — pushes supersede it.
+    subscription_share: float = 0.0
     seed: int = 0
     #: Per-client staleness bound for graceful degradation
     #: (:class:`~repro.core.client.MobileClient` ``max_stale``); ``None``
@@ -62,6 +66,8 @@ class FleetConfig:
             raise ValueError("query-mix shares must sum to <= 1")
         if not 0.0 <= self.incremental_share <= 1.0:
             raise ValueError("incremental_share must be in [0, 1]")
+        if not 0.0 <= self.subscription_share <= 1.0:
+            raise ValueError("subscription_share must be in [0, 1]")
         if self.max_stale is not None and self.max_stale < 0:
             raise ValueError("max_stale must be None or >= 0")
 
@@ -121,19 +127,28 @@ class ClientFleet:
         rng = random.Random(cfg.seed)
         n_knn = round(cfg.num_clients * cfg.knn_share)
         n_window = round(cfg.num_clients * cfg.window_share)
+        for sim in self._clients:  # drop any prior run's subscriptions
+            sim.client.close()
         self._clients = []
         for i in range(cfg.num_clients):
             kind = ("knn" if i < n_knn
                     else "window" if i < n_knn + n_window
                     else "range")
-            incremental = (rng.random() < cfg.incremental_share
+            # Short-circuit keeps the rng draw sequence (and with it
+            # the incremental assignment) unchanged at share 0.
+            subscribed = (cfg.subscription_share > 0.0
+                          and rng.random() < cfg.subscription_share
+                          and hasattr(self.service, "subscribe"))
+            incremental = (not subscribed
+                           and rng.random() < cfg.incremental_share
                            and kind != "range")
             trajectory = random_waypoint(universe, ticks, speed=cfg.speed,
                                          seed=cfg.seed * 100003 + i)
             positions = [step.position for step in trajectory]
             client = MobileClient(self.service, incremental=incremental,
                                   metrics=self.service.metrics,
-                                  max_stale=cfg.max_stale)
+                                  max_stale=cfg.max_stale,
+                                  subscribe=subscribed)
             self._clients.append(_SimulatedClient(client, kind, positions,
                                                   cfg))
 
@@ -181,6 +196,8 @@ class ClientFleet:
             total.cache_answers += stats.cache_answers
             total.bytes_received += stats.bytes_received
             total.stale_answers += stats.stale_answers
+            total.pushes_applied += stats.pushes_applied
+            total.subscription_moves += stats.subscription_moves
         return total
 
     def _mix(self) -> Dict[str, int]:

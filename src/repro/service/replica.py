@@ -178,11 +178,14 @@ class ReplicaSet:
         ]
         self._mutation_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._hub = None
+        self._hub_lock = threading.Lock()
         self.failovers = 0
         self.ejected_skips = 0
         self.stale_skips = 0
         self.unserveable_stale = 0
         self.stale_served = 0
+        self.replication_retries = 0
         self._ring = self._build_ring()
         self._closed = False
 
@@ -382,7 +385,10 @@ class ReplicaSet:
             primary = self.replicas[0]
             with primary.lock:
                 primary.server.insert_object(oid, x, y)
-            self._replicate(Mutation("insert", int(oid), float(x), float(y)))
+            mutation = Mutation("insert", int(oid), float(x), float(y))
+            self._replicate(mutation)
+            if self._hub is not None:
+                self._hub.notify(mutation)
 
     def delete_object(self, oid: int, x: float, y: float) -> bool:
         with self._mutation_lock:
@@ -390,9 +396,40 @@ class ReplicaSet:
             with primary.lock:
                 removed = primary.server.delete_object(oid, x, y)
             if removed:  # only mutations that actually happened replicate
-                self._replicate(
-                    Mutation("delete", int(oid), float(x), float(y)))
+                mutation = Mutation("delete", int(oid), float(x), float(y))
+                self._replicate(mutation)
+                if self._hub is not None:
+                    self._hub.notify(mutation)
             return removed
+
+    # ------------------------------------------------------------------
+    # continuous queries (server push)
+    # ------------------------------------------------------------------
+    def subscribe(self, request: QueryRequest, *,
+                  queue_capacity: Optional[int] = None):
+        """Register ``request`` as a continuous query on the set.
+
+        The initial fetch (and any escape-hatch re-query) routes
+        through :meth:`answer` — so it enjoys failover and bounded-
+        stale reads — while pushes are driven synchronously from the
+        primary-side mutation path.  See
+        :mod:`repro.service.continuous`.
+        """
+        return self._ensure_hub().subscribe(
+            request, queue_capacity=queue_capacity)
+
+    @property
+    def hub(self):
+        """The push hub, if any subscription was ever registered."""
+        return self._hub
+
+    def _ensure_hub(self):
+        from repro.service.continuous import SubscriptionHub
+
+        with self._hub_lock:
+            if self._hub is None:
+                self._hub = SubscriptionHub(self)
+        return self._hub
 
     def _replicate(self, mutation: Mutation) -> None:
         lag = self.config.replication_lag
@@ -402,7 +439,19 @@ class ReplicaSet:
                 if not replica.alive:
                     continue  # backlog accrues; revive() catches up
                 while len(replica.pending) > lag:
-                    self._apply_locked(replica, replica.pending.popleft())
+                    head = replica.pending.popleft()
+                    try:
+                        self._apply_locked(replica, head)
+                    except Exception:
+                        # A faulty follower must not poison the write
+                        # path: re-queue in order and stop — the replica
+                        # is simply more stale (reads skip or shrink),
+                        # and the next mutation or sync() retries.
+                        replica.pending.appendleft(head)
+                        self._count("replication_retries")
+                        emit_event("replica", event="replica.apply_failed",
+                                   rid=replica.rid, op=mutation.op)
+                        break
 
     @staticmethod
     def _apply_locked(replica: Replica, mutation: Mutation) -> None:
@@ -578,6 +627,9 @@ class ReplicaSet:
             "stale_skips": self.stale_skips,
             "stale_served": self.stale_served,
             "unserveable_stale": self.unserveable_stale,
+            "replication_retries": self.replication_retries,
+            "continuous": (self._hub.snapshot()
+                           if self._hub is not None else None),
         }
 
     # ------------------------------------------------------------------
@@ -588,6 +640,8 @@ class ReplicaSet:
         if self._closed:
             return
         self._closed = True
+        if self._hub is not None:
+            self._hub.close()
         for r in self.replicas:
             close = getattr(r.server, "close", None)
             if close is not None:

@@ -70,6 +70,12 @@ from repro.geometry import Rect
 from repro.kernel import ExecutionConfig
 from repro.obs.context import TraceContext, emit_event, start_trace
 from repro.obs.events import EventLog
+from repro.service.continuous import (
+    ContinuousConfig,
+    Subscription,
+    SubscriptionHub,
+)
+from repro.service.staleness import Mutation
 from repro.service.admission import (
     LEVEL_CACHE_ONLY,
     LEVEL_NORMAL,
@@ -132,9 +138,11 @@ class QueryService:
                  resilience: Optional[ResilienceConfig] = None,
                  cache: Optional[ValidityCache] = None,
                  events: Optional[EventLog] = None,
+                 continuous: Optional[ContinuousConfig] = None,
                  sleep=time.sleep):
         self.server = server
         self.cache = cache
+        self.continuous = continuous
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceBuffer(trace_capacity)
         #: The structured event log every traced stage reports into.
@@ -154,6 +162,12 @@ class QueryService:
         self._rng_lock = threading.Lock()
         self._sleep = sleep
         self._lock = threading.RLock()
+        #: Serializes whole mutations (server apply + cache fix-up +
+        #: subscription fan-out) so surgical epoch re-stamping and push
+        #: ordering both see one-step epoch transitions.
+        self._mutation_lock = threading.Lock()
+        self._hub: Optional[SubscriptionHub] = None
+        self._hub_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._started_at = now()
 
@@ -169,25 +183,76 @@ class QueryService:
         return self.server.universe
 
     def insert_object(self, oid: int, x: float, y: float) -> None:
-        if getattr(self.server, "concurrent_safe", False):
-            self.server.insert_object(oid, x, y)
-        else:
-            with self._lock:
+        with self._mutation_lock:
+            if getattr(self.server, "concurrent_safe", False):
                 self.server.insert_object(oid, x, y)
-        if self.cache is not None:  # every cached region is now stale
-            self.cache.invalidate_all()
+            else:
+                with self._lock:
+                    self.server.insert_object(oid, x, y)
+            self._after_mutation("insert", oid, x, y)
         self.metrics.counter("service.updates.insert").inc()
 
     def delete_object(self, oid: int, x: float, y: float) -> bool:
-        if getattr(self.server, "concurrent_safe", False):
-            removed = self.server.delete_object(oid, x, y)
-        else:
-            with self._lock:
+        with self._mutation_lock:
+            if getattr(self.server, "concurrent_safe", False):
                 removed = self.server.delete_object(oid, x, y)
-        if removed and self.cache is not None:
-            self.cache.invalidate_all()
+            else:
+                with self._lock:
+                    removed = self.server.delete_object(oid, x, y)
+            if removed:
+                self._after_mutation("delete", oid, x, y)
         self.metrics.counter("service.updates.delete").inc()
         return removed
+
+    def _after_mutation(self, op: str, oid: int, x: float, y: float) -> None:
+        """Cache fix-up + subscription fan-out for one applied mutation.
+
+        Runs under the mutation lock: surgical invalidation re-stamps
+        survivors to the post-mutation epoch, and subscription pushes
+        are enqueued — in mutation order — before the mutating call
+        returns.
+        """
+        if self.cache is not None:
+            if self.cache.config.surgical:
+                dropped = self.cache.invalidate_mutation(
+                    op, oid, x, y, epoch=self.server.epoch)
+                self.metrics.counter(
+                    "service.cache.surgical_drops").inc(dropped)
+            else:  # the blunt baseline: every cached region dies
+                self.cache.invalidate_all()
+        if self._hub is not None:
+            self._hub.notify(Mutation(op, int(oid), float(x), float(y)))
+
+    # ------------------------------------------------------------------
+    # continuous queries (server push)
+    # ------------------------------------------------------------------
+    def subscribe(self, request: QueryRequest, *,
+                  queue_capacity: Optional[int] = None) -> Subscription:
+        """Register ``request`` as a continuous query (server push).
+
+        The initial fetch runs through the full traced/resilient
+        :meth:`answer` path (kNN requests are widened by the configured
+        margin); afterwards every applied mutation is folded into the
+        subscription state and pushed — as an O(delta) patch carrying
+        the complete latest result + region, or an invalidation when
+        the margin is exhausted — over the subscription's bounded
+        queue.  See :mod:`repro.service.continuous`.
+        """
+        return self._ensure_hub().subscribe(
+            request, queue_capacity=queue_capacity)
+
+    @property
+    def hub(self) -> Optional[SubscriptionHub]:
+        """The push hub, if any subscription was ever registered."""
+        return self._hub
+
+    def _ensure_hub(self) -> SubscriptionHub:
+        with self._hub_lock:
+            if self._hub is None:
+                self._hub = SubscriptionHub(
+                    self, config=self.continuous, metrics=self.metrics,
+                    events=self.events)
+        return self._hub
 
     # ------------------------------------------------------------------
     # query execution
@@ -686,6 +751,8 @@ class QueryService:
             "buffer": disk_info.get("buffer"),
             "cache": (self.cache.snapshot()
                       if self.cache is not None else None),
+            "continuous": (self._hub.snapshot()
+                           if self._hub is not None else None),
             "server": {
                 "epoch": self.server.epoch,
                 "queries_processed": self.server.queries_processed,
@@ -722,6 +789,8 @@ class QueryService:
         Idempotent — the layers below guard their own teardown — and
         also reachable as a context manager (``with build_service(...)``).
         """
+        if self._hub is not None:
+            self._hub.close()
         close = getattr(self.server, "close", None)
         if close is not None:
             close()
@@ -756,6 +825,7 @@ def build_service(points: Sequence, *,
                   trace_capacity: int = 256,
                   resilience: Optional[ResilienceConfig] = None,
                   events: Optional[EventLog] = None,
+                  continuous: Optional[ContinuousConfig] = None,
                   cache_capacity: Optional[int] = None,
                   cache_grid: Optional[int] = None,
                   max_workers: Optional[int] = None) -> QueryService:
@@ -786,6 +856,11 @@ def build_service(points: Sequence, *,
     * ``resilience`` — a :class:`ResilienceConfig` — governs retries,
       the retry budget, the circuit breaker, the default query budget
       and admission control.
+    * ``continuous`` — a
+      :class:`~repro.service.continuous.ContinuousConfig` — tunes the
+      server-push subscription tier (kNN candidate margin, per-
+      subscription queue bound); the tier itself is created lazily on
+      the first :meth:`QueryService.subscribe` call.
 
     Everything else is threaded through unchanged (index node
     ``capacity`` and ``fill``, LRU ``buffer_fraction`` per disk,
@@ -794,7 +869,7 @@ def build_service(points: Sequence, *,
     ``cache_capacity`` / ``cache_grid`` / ``max_workers`` are the
     pre-1.3 spellings, deprecated in favour of ``cache=CacheConfig(...)``
     and ``execution=ExecutionConfig(workers=...)`` (removal planned for
-    v1.5).
+    v2.0).
     """
     if shards < 1:
         raise ValueError("shards must be positive")
@@ -808,7 +883,7 @@ def build_service(points: Sequence, *,
         warnings.warn(
             "cache_capacity/cache_grid are deprecated; pass "
             "cache=CacheConfig(capacity=..., grid=...) instead "
-            "(removal planned for v1.5)",
+            "(removal planned for v2.0)",
             DeprecationWarning, stacklevel=2)
         if cache_capacity is not None and cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
@@ -823,7 +898,7 @@ def build_service(points: Sequence, *,
         warnings.warn(
             "max_workers is deprecated; pass "
             "execution=ExecutionConfig(workers=...) instead "
-            "(removal planned for v1.5)",
+            "(removal planned for v2.0)",
             DeprecationWarning, stacklevel=2)
         execution = ExecutionConfig(workers=max_workers)
     if replicas > 1 or replica is not None:
@@ -847,4 +922,4 @@ def build_service(points: Sequence, *,
     return QueryService(server, metrics=metrics,
                         trace_capacity=trace_capacity,
                         resilience=resilience, cache=validity_cache,
-                        events=events)
+                        events=events, continuous=continuous)

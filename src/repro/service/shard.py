@@ -271,7 +271,7 @@ class ShardedServer:
             warnings.warn(
                 "ShardedServer(max_workers=...) is deprecated; pass "
                 "execution=ExecutionConfig(workers=...) instead "
-                "(removal planned for v1.5)",
+                "(removal planned for v2.0)",
                 DeprecationWarning, stacklevel=2)
             if execution is not None:
                 raise TypeError(

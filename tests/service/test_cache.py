@@ -206,3 +206,125 @@ class TestCacheMechanics:
         assert snap["size"] == 1
         assert snap["hits"] == 1
         assert snap["hit_ratio"] == 1.0
+
+
+class TestSurgicalInvalidation:
+    """The mutation hook drops only entries the mutation can affect."""
+
+    def _server(self, n=200, seed=9):
+        rnd = random.Random(seed)
+        points = [(rnd.random(), rnd.random()) for _ in range(n)]
+        tree = bulk_load_str(points, capacity=8)
+        return points, LocationServer(tree, universe=UNIT)
+
+    def test_nonoverlapping_entries_survive_a_mutation(self):
+        """Regression for the blunt invalidate-all hook: a mutation on
+        the far side of the universe must not evict an unrelated entry,
+        and the survivor keeps serving hits with zero node accesses."""
+        points, _, _ = _instance(3)
+        service = build_service(points, cache=CacheConfig(capacity=64))
+        request = KNNRequest((0.2, 0.2), k=2)
+        service.answer(request)
+        assert len(service.cache) == 1
+        service.insert_object(len(points), 0.9, 0.9)  # far away
+        assert len(service.cache) == 1, "unrelated entry was evicted"
+        assert service.cache.surgical_survivals == 1
+        before = service.server.io_stats.total_node_accesses
+        response = service.answer(request)  # same key, post-mutation epoch
+        assert service.cache.hits == 1
+        assert service.server.io_stats.total_node_accesses == before
+        assert len(points) not in {e.oid for e in response.neighbors}
+
+    def test_overlapping_insert_still_drops_the_entry(self):
+        points, _, _ = _instance(3)
+        service = build_service(points, cache=CacheConfig(capacity=64))
+        request = KNNRequest((0.5, 0.5), k=2)
+        service.answer(request)
+        service.insert_object(len(points), 0.5001, 0.5001)
+        assert len(service.cache) == 0
+        assert service.cache.surgical_drops == 1
+        response = service.answer(request)
+        assert len(points) in {e.oid for e in response.neighbors}
+
+    def test_delete_only_touches_entries_holding_the_victim(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        near = KNNRequest((0.3, 0.3), k=2)
+        far = KNNRequest((0.8, 0.8), k=2)
+        near_response = server.answer(near)
+        cache.admit(near, near_response, server.epoch)
+        cache.admit(far, server.answer(far), server.epoch)
+        victim = near_response.result[0]
+        server.delete_object(victim.oid, victim.point[0], victim.point[1])
+        cache.invalidate_mutation("delete", victim.oid,
+                                  victim.point[0], victim.point[1],
+                                  epoch=server.epoch)
+        assert cache.probe(near, server.epoch) is None  # held the victim
+        assert cache.probe(far, server.epoch) is not None
+
+    def test_window_survival_is_zone_overlap(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        request = WindowRequest((0.3, 0.3), 0.1, 0.1)
+        cache.admit(request, server.answer(request), server.epoch)
+        # The inserted object's zone misses the cached region's MBR.
+        cache.invalidate_mutation("insert", 9_001, 0.9, 0.9,
+                                  epoch=server.epoch + 1)
+        assert cache.probe(request, server.epoch + 1) is not None
+        # A zone overlapping the MBR could flip some focus' answer.
+        cache.invalidate_mutation("insert", 9_002, 0.3, 0.3,
+                                  epoch=server.epoch + 2)
+        assert cache.probe(request, server.epoch + 2) is None
+
+    def test_range_survival_is_mindist(self):
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        request = RangeRequest((0.3, 0.3), 0.05)
+        cache.admit(request, server.answer(request), server.epoch)
+        cache.invalidate_mutation("insert", 9_001, 0.9, 0.9,
+                                  epoch=server.epoch + 1)
+        assert cache.probe(request, server.epoch + 1) is not None
+        cache.invalidate_mutation("insert", 9_002, 0.31, 0.3,
+                                  epoch=server.epoch + 2)
+        assert cache.probe(request, server.epoch + 2) is None
+
+    def test_surgical_false_restores_the_blunt_baseline(self):
+        points, _, _ = _instance(3)
+        service = build_service(
+            points, cache=CacheConfig(capacity=64, surgical=False))
+        service.answer(KNNRequest((0.2, 0.2), k=2))
+        service.insert_object(len(points), 0.9, 0.9)  # unrelated, but...
+        assert len(service.cache) == 0  # ...the baseline drops everything
+        assert service.cache.surgical_drops == 0
+
+    def test_lagging_entries_are_not_restamped(self):
+        """Only entries current as of the pre-mutation epoch may be
+        re-stamped; anything older is dropped, never resurrected."""
+        _, server = self._server()
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        request = KNNRequest((0.3, 0.3), k=2)
+        cache.admit(request, server.answer(request), epoch=0)
+        # Two mutations elapsed but only the second hook runs (the
+        # first was lost, say, to a crashed replica): the entry cannot
+        # prove survival across the unobserved epoch.
+        cache.invalidate_mutation("insert", 9_001, 0.9, 0.9, epoch=2)
+        assert cache.probe(request, epoch=2) is None
+
+    def test_unknown_op_is_rejected(self):
+        cache = ValidityCache(UNIT, CacheConfig(capacity=8))
+        try:
+            cache.invalidate_mutation("upsert", 1, 0.5, 0.5, epoch=1)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("unknown mutation op must raise")
+
+    def test_snapshot_reports_surgical_counters(self):
+        import json
+        points, _, _ = _instance(3)
+        service = build_service(points, cache=CacheConfig(capacity=64))
+        service.answer(KNNRequest((0.2, 0.2), k=2))
+        service.insert_object(len(points), 0.9, 0.9)
+        snap = json.loads(json.dumps(service.cache.snapshot()))
+        assert snap["surgical"] is True
+        assert snap["surgical_survivals"] == 1

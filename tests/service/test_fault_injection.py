@@ -241,3 +241,161 @@ def test_fleet_run_under_faults_reports_errors_not_crashes():
     served = stats.cache_answers + stats.server_queries + stats.stale_answers
     assert served + report.errors == stats.position_updates
     assert report.snapshot["resilience"]["retries"] >= 0
+
+
+def test_mutating_workload_with_faults_and_replica_kill():
+    """Continuous queries under chaos: a phased mutating workload over a
+    replicated tier with 5% read faults on the followers and a mid-run
+    replica kill.  The contract: zero incorrect answers — every served
+    (non-stale) response matches the brute-force oracle — and every
+    subscription either tracks the pushed patches/invalidations to a
+    state equal to a fresh recompute, or is loudly marked broken."""
+    from repro import (
+        ContinuousConfig,
+        KNNRequest,
+        RangeRequest,
+        WindowRequest,
+        build_service,
+    )
+
+    points = _dataset(seed=17, n=600)
+    service = build_service(
+        points, replicas=3,
+        continuous=ContinuousConfig(margin=6),
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=1e-4,
+                              max_delay_s=2e-3),
+            breaker=BreakerConfig(failure_threshold=3,
+                                  reset_timeout_s=0.005),
+            seed=8))
+    replica_set = service.server
+    # Faults on the read followers only: the primary is the write path,
+    # so the oracle's view of the live data stays exact.
+    faulty_disks = [
+        inject_faults(replica.server.tree,
+                      FaultPlan(seed=23, read_failure_rate=FAULT_RATE))
+        for replica in replica_set.replicas[1:]]
+    live = {i: p for i, p in enumerate(points)}
+    anchors = {"knn": (0.5, 0.5), "window": (0.45, 0.55),
+               "range": (0.55, 0.45)}
+    subs = {
+        "knn": service.subscribe(KNNRequest(anchors["knn"], k=3)),
+        "window": service.subscribe(
+            WindowRequest(anchors["window"], 0.15, 0.15)),
+        "range": service.subscribe(RangeRequest(anchors["range"], 0.1)),
+    }
+
+    def sync(sub, pos, attempts=5):
+        updates = sub.drain()
+        needs_move = ((updates and updates[-1].kind == "invalidate")
+                      or sub.response is None
+                      or not sub.response.region.contains(pos))
+        if needs_move:
+            for attempt in range(attempts):
+                try:
+                    sub.move(pos)
+                    break
+                except Exception as exc:
+                    if sub.broken or not getattr(exc, "transient", False):
+                        raise
+            else:
+                raise AssertionError("move never recovered from chaos")
+        return sub.response
+
+    def check_sub(kind):
+        sub = subs[kind]
+        if sub.broken:
+            return
+        pos = anchors[kind]
+        current = sync(sub, pos)
+        served = {e.oid for e in current.result}
+        if kind == "knn":
+            farthest = max((math.dist(live[i], pos) for i in served),
+                           default=0.0)
+            outside = min((math.dist(p, pos) for i, p in live.items()
+                           if i not in served), default=math.inf)
+            assert len(served) == min(3, len(live))
+            assert farthest <= outside + EPS, (
+                f"subscription served a wrong kNN set: {sorted(served)}")
+        elif kind == "window":
+            rect = Rect(pos[0] - 0.075, pos[1] - 0.075,
+                        pos[0] + 0.075, pos[1] + 0.075)
+            assert sorted(served) == sorted(
+                i for i, p in live.items() if rect.contains_point(p))
+        else:
+            assert sorted(served) == sorted(
+                i for i, p in live.items()
+                if math.dist(p, pos) <= 0.1 + EPS)
+
+    rnd = random.Random(31)
+    tally = _Tally()
+    clients = [MobileClient(service, max_stale=10,
+                            metrics=service.metrics) for _ in range(6)]
+
+    def drive(idx, pos):
+        client = clients[idx]
+        k = 2 + idx % 3
+        try:
+            answer = client.knn(pos, k=k)
+        except Exception as exc:
+            if getattr(exc, "transient", False):
+                tally.record("error")
+                return
+            raise
+        if client.last_served == "stale":
+            tally.record("stale")
+            return
+        snapshot_pts = dict(live)
+        ids = {e.oid for e in answer}
+        farthest = max((math.dist(snapshot_pts[i], pos) for i in ids),
+                       default=0.0)
+        outside = min((math.dist(p, pos) for i, p in snapshot_pts.items()
+                       if i not in ids), default=math.inf)
+        if len(ids) == k and farthest <= outside + EPS:
+            tally.record("checked")
+        else:
+            tally.record("incorrect", (idx, pos, sorted(ids)))
+
+    next_oid = len(points)
+    rounds = 20
+    for rnd_no in range(rounds):
+        if rnd_no == rounds // 2:
+            replica_set.kill(2)  # one follower crashes mid-run
+        # Mutation phase (single-writer, like a real primary).
+        for _ in range(6):
+            if live and rnd.random() < 0.4:
+                oid = rnd.choice(sorted(live))
+                x, y = live.pop(oid)
+                assert service.delete_object(oid, x, y)
+            else:
+                anchor = anchors[rnd.choice(("knn", "window", "range"))]
+                x = min(1.0, max(0.0, anchor[0] + rnd.gauss(0.0, 0.1)))
+                y = min(1.0, max(0.0, anchor[1] + rnd.gauss(0.0, 0.1)))
+                service.insert_object(next_oid, x, y)
+                live[next_oid] = (x, y)
+                next_oid += 1
+        # Query phase: concurrent clients against the frozen live set.
+        positions = [(rnd.random(), rnd.random()) for _ in clients]
+        with ThreadPoolExecutor(max_workers=len(clients)) as pool:
+            futures = [pool.submit(drive, i, positions[i])
+                       for i in range(len(clients))]
+            for f in futures:
+                f.result()
+        for kind in subs:
+            check_sub(kind)
+
+    assert tally.incorrect == [], (
+        f"{len(tally.incorrect)} incorrect answers: {tally.incorrect[:5]}")
+    assert tally.checked > 0
+    # The chaos actually happened: faults fired and the kill was felt.
+    assert sum(d.injected["read_failures"] for d in faulty_disks) > 0
+    snap = replica_set.snapshot()
+    assert snap["replication_retries"] >= 0  # shielded write path
+    rows = {r["rid"]: r for r in snap["replicas"]}
+    assert rows[2]["alive"] is False
+    # Every subscription is accounted for: live-and-correct (checked
+    # above every round) or loudly broken with a final invalidate.
+    for kind, sub in subs.items():
+        if sub.broken:
+            assert sub.invalidates >= 1, f"{kind} broke silently"
+    service.close()
