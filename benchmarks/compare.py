@@ -2,7 +2,8 @@
 
 The regression trail: benches append flat numeric metrics to
 schema-versioned ``BENCH_obs_<name>.json`` / ``BENCH_kernel_<name>.json``
-/ ``BENCH_fleet_<name>.json`` / ``BENCH_incr_<name>.json`` files (see
+/ ``BENCH_fleet_<name>.json`` / ``BENCH_incr_<name>.json`` /
+``BENCH_mixed_<name>.json`` files (see
 ``common.write_bench_record``); this tool compares each record's most
 recent run against the one before it and exits non-zero when a guarded
 metric regressed by more than the threshold (default 25%).
@@ -26,8 +27,8 @@ Usage::
     python benchmarks/compare.py [RECORD.json ...] [--threshold 0.25]
 
 With no file arguments, every ``BENCH_obs_*.json``,
-``BENCH_kernel_*.json``, ``BENCH_fleet_*.json`` and
-``BENCH_incr_*.json`` in the bench directory (``REPRO_BENCH_DIR``,
+``BENCH_kernel_*.json``, ``BENCH_fleet_*.json``, ``BENCH_incr_*.json``
+and ``BENCH_mixed_*.json`` in the bench directory (``REPRO_BENCH_DIR``,
 default the current directory) is checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
 2 bad input.
 """
@@ -129,7 +130,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="compare the last two runs of BENCH_*.json records")
     parser.add_argument("records", nargs="*",
                         help="record files (default: BENCH_obs_*.json, "
-                             "BENCH_kernel_*.json and BENCH_fleet_*.json "
+                             "BENCH_kernel_*.json, BENCH_fleet_*.json, "
+                             "BENCH_incr_*.json and BENCH_mixed_*.json "
                              "in $REPRO_BENCH_DIR or .)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated relative regression "
@@ -142,10 +144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             glob.glob(os.path.join(bench_dir, "BENCH_obs_*.json"))
             + glob.glob(os.path.join(bench_dir, "BENCH_kernel_*.json"))
             + glob.glob(os.path.join(bench_dir, "BENCH_fleet_*.json"))
-            + glob.glob(os.path.join(bench_dir, "BENCH_incr_*.json")))
+            + glob.glob(os.path.join(bench_dir, "BENCH_incr_*.json"))
+            + glob.glob(os.path.join(bench_dir, "BENCH_mixed_*.json")))
         if not records:
             print(f"no BENCH_obs_*.json, BENCH_kernel_*.json, "
-                  f"BENCH_fleet_*.json or BENCH_incr_*.json records "
+                  f"BENCH_fleet_*.json, BENCH_incr_*.json or "
+                  f"BENCH_mixed_*.json records "
                   f"under {bench_dir!r}; run a bench first")
             return 0
     worst = 0

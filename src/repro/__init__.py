@@ -24,13 +24,20 @@ from repro.core import (
     KNNRequest,
     LocationServer,
     MobileClient,
+    ProbKNNRequest,
     QueryBudget,
     QueryResponse,
+    QuerySemantics,
+    RKNNRequest,
     RangeRequest,
     WindowRequest,
+    check_semantics,
     compute_nn_validity,
     compute_range_validity,
     compute_window_validity,
+    query_semantics,
+    register_query_type,
+    registered_query_kinds,
 )
 from repro.analysis import (
     MinskewHistogram,
@@ -82,7 +89,7 @@ from repro.service import (
     build_service,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -104,8 +111,15 @@ __all__ = [
     "KNNRequest",
     "WindowRequest",
     "RangeRequest",
+    "RKNNRequest",
+    "ProbKNNRequest",
     "QueryBudget",
     "QueryResponse",
+    "QuerySemantics",
+    "register_query_type",
+    "query_semantics",
+    "registered_query_kinds",
+    "check_semantics",
     "compute_nn_validity",
     "compute_window_validity",
     "compute_range_validity",

@@ -79,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_rng.add_argument("x", type=float)
     p_rng.add_argument("y", type=float)
     p_rng.add_argument("radius", type=float)
+    p_rk = kind.add_parser("rknn", help="reverse kNN: objects that count "
+                                        "the query among their k nearest")
+    p_rk.add_argument("x", type=float)
+    p_rk.add_argument("y", type=float)
+    p_rk.add_argument("-k", type=int, default=1)
+    p_pk = kind.add_parser("probknn", help="kNN under a location-"
+                                           "uncertainty disk")
+    p_pk.add_argument("x", type=float)
+    p_pk.add_argument("y", type=float)
+    p_pk.add_argument("uncertainty", type=float)
+    p_pk.add_argument("-k", type=int, default=1)
 
     p_sim = sub.add_parser("simulate",
                            help="compare protocols over a moving client")
@@ -107,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "subscription (the O(delta) patch budget)")
     p_svc.add_argument("--incremental-share", type=float, default=0.0,
                        help="fraction of clients using the delta protocol")
+    p_svc.add_argument("--rknn-share", type=float, default=0.0,
+                       help="fraction of clients issuing reverse-kNN "
+                            "queries")
+    p_svc.add_argument("--probknn-share", type=float, default=0.0,
+                       help="fraction of clients issuing probabilistic "
+                            "kNN queries")
+    p_svc.add_argument("--probknn-uncertainty", type=float, default=0.02,
+                       help="uncertainty-disk radius for probabilistic "
+                            "kNN clients")
     p_svc.add_argument("--buffer-fraction", type=float, default=0.1,
                        help="LRU buffer size as a fraction of tree pages")
     p_svc.add_argument("--shards", type=int, default=1,
@@ -255,6 +275,23 @@ def _cmd_query(args) -> int:
         r = resp.detail.conservative_region
         print(f"# validity rect: [{r.xmin:.6g}, {r.ymin:.6g}, "
               f"{r.xmax:.6g}, {r.ymax:.6g}]")
+    elif args.query_kind == "rknn":
+        from repro.core.rknn import RKNNRequest
+        resp = server.answer(RKNNRequest((args.x, args.y), k=args.k))
+        for e in resp.result:
+            print(f"{e.oid}\t{e.x:.6g}\t{e.y:.6g}")
+        print(f"# {len(resp.result)} reverse neighbours from "
+              f"{len(resp.detail.candidates)} candidates, "
+              f"safety radius {resp.detail.safety_radius:.6g}")
+    elif args.query_kind == "probknn":
+        from repro.core.probknn import ProbKNNRequest
+        resp = server.answer(ProbKNNRequest(
+            (args.x, args.y), uncertainty=args.uncertainty, k=args.k))
+        detail = resp.detail
+        for e, p, band in zip(resp.result, detail.probabilities,
+                              detail.bands):
+            print(f"{e.oid}\t{e.x:.6g}\t{e.y:.6g}\t{p:.3f}\t{band}")
+        print(f"# validity annulus radius: {resp.region.outer:.6g}")
     else:
         resp = server.answer(RangeRequest((args.x, args.y), args.radius))
         for e in resp.result:
@@ -364,8 +401,19 @@ def _cmd_service(args) -> int:
         )
         for tree in _server_trees(server):
             inject_faults(tree, plan)
+    base = FleetConfig()
+    shares = (base.knn_share + base.window_share
+              + args.rknn_share + args.probknn_share)
+    if shares > 1.0:
+        print(f"--rknn-share + --probknn-share leave the query mix "
+              f"over-subscribed ({shares:.2f} > 1 with the default "
+              f"knn/window shares)", file=sys.stderr)
+        return 2
     fleet = ClientFleet(service, FleetConfig(
         num_clients=args.clients,
+        rknn_share=args.rknn_share,
+        probknn_share=args.probknn_share,
+        probknn_uncertainty=args.probknn_uncertainty,
         k=args.k,
         speed=args.speed,
         incremental_share=args.incremental_share,

@@ -21,15 +21,23 @@ from repro.core.api import (
     QueryDetail,
     QueryRequest,
     QueryResponse,
+    QuerySemantics,
     RangeRequest,
     WindowRequest,
+    query_semantics,
+    register_query_type,
+    registered_query_kinds,
 )
 from repro.core.validity import (
+    AnnulusValidityRegion,
     CompositeValidityRegion,
     NNValidityRegion,
     ValidityDisk,
     WindowValidityRegion,
 )
+from repro.core.rknn import RKNNDetail, RKNNRequest, RKNNResponse
+from repro.core.probknn import ProbKNNDetail, ProbKNNRequest, ProbKNNResponse
+from repro.core.conformance import check_semantics
 from repro.core.nn_validity import (
     NNValidityResult,
     compute_nn_validity,
@@ -61,15 +69,27 @@ __all__ = [
     "QueryResponse",
     "QueryBudget",
     "QueryDetail",
+    "QuerySemantics",
+    "register_query_type",
+    "query_semantics",
+    "registered_query_kinds",
+    "check_semantics",
     "KNNDetail",
     "WindowDetail",
     "RangeDetail",
+    "RKNNDetail",
+    "ProbKNNDetail",
     "KNNRequest",
     "WindowRequest",
     "RangeRequest",
+    "RKNNRequest",
+    "ProbKNNRequest",
+    "RKNNResponse",
+    "ProbKNNResponse",
     "NNValidityRegion",
     "WindowValidityRegion",
     "ValidityDisk",
+    "AnnulusValidityRegion",
     "CompositeValidityRegion",
     "NNValidityResult",
     "compute_nn_validity",

@@ -33,7 +33,6 @@ from typing import (
     Optional,
     Protocol,
     Tuple,
-    Union,
     runtime_checkable,
 )
 
@@ -46,6 +45,10 @@ __all__ = [
     "QueryBudget",
     "BudgetClock",
     "QueryDetail",
+    "QuerySemantics",
+    "register_query_type",
+    "query_semantics",
+    "registered_query_kinds",
 ]
 
 
@@ -248,16 +251,213 @@ class RangeRequest:
 
     location: Tuple[float, float]
     radius: float
+    previous_ids: Optional[Tuple[int, ...]] = None
     trace_id: Optional[str] = None
     budget: Optional[QueryBudget] = None
     #: Replica-read staleness bound (see :class:`KNNRequest.max_stale`).
     max_stale: Optional[int] = None
 
     def __post_init__(self):
+        object.__setattr__(self, "previous_ids",
+                           _freeze_ids(self.previous_ids))
         if self.radius <= 0:
             raise ValueError("radius must be positive")
         if self.max_stale is not None and self.max_stale < 0:
             raise ValueError("max_stale must be non-negative")
 
+    def as_delta(self, previous_ids) -> "RangeRequest":
+        """This request as an incremental re-query versus ``previous_ids``."""
+        return replace(self, previous_ids=_freeze_ids(previous_ids))
 
-QueryRequest = Union[KNNRequest, WindowRequest, RangeRequest]
+
+@runtime_checkable
+class QueryRequest(Protocol):
+    """Any registered query request (open protocol, not a closed union).
+
+    A request is whatever a registered :class:`QuerySemantics` says it
+    is; structurally it carries a ``kind`` tag plus the cross-cutting
+    fields every service layer reads (``trace_id``, ``budget``).
+    """
+
+    kind: str
+    trace_id: Optional[str]
+    budget: Optional[QueryBudget]
+
+
+# ----------------------------------------------------------------------
+# the query-type registry
+# ----------------------------------------------------------------------
+class QuerySemantics:
+    """Everything one query type means to the serving stack.
+
+    One instance per query ``kind`` bundles the per-type behaviour that
+    used to live as ``isinstance`` ladders across the service tiers:
+
+    * ``execute`` / ``shard_execute`` — answer the request against a
+      single-tree or sharded server (the default ``shard_execute``
+      falls back to centralized ``execute`` over the merged dataset,
+      so a new type works on both backends without a scatter-gather
+      merge rule);
+    * ``location`` / ``cache_key`` / ``serve_cached`` /
+      ``cache_survives`` — :class:`~repro.service.cache.ValidityCache`
+      addressing, admissibility and surgical mutation survival;
+    * ``stale_region`` — the replica bounded-staleness shrink
+      (``None`` = this response cannot be served stale);
+    * ``subscribe_init`` / ``continuous_apply`` / ``continuous_move`` /
+      ``refetch_request`` — continuous-query patching hooks (gated on
+      ``supports_subscriptions``);
+    * ``oracle`` — a brute-force reference answer, powering the
+      reusable :func:`repro.core.conformance.check_semantics` suite.
+
+    Third-party types subclass this, set ``kind``/``request_type``, and
+    call :func:`register_query_type`.
+    """
+
+    #: The request tag this semantics object answers for.
+    kind: str = ""
+    #: The concrete request dataclass (used for registry lookups by type).
+    request_type: Optional[type] = None
+    #: Whether :meth:`subscribe_init` / :meth:`continuous_apply` exist.
+    supports_subscriptions: bool = False
+
+    # --- execution ----------------------------------------------------
+    def execute(self, server, request):
+        """Answer ``request`` against a single-tree server."""
+        raise NotImplementedError
+
+    def shard_execute(self, server, request):
+        """Answer against a :class:`~repro.service.shard.ShardedServer`.
+
+        The default runs the centralized :meth:`execute` over the
+        sharded server's merged dataset snapshot — correct (if not
+        scatter-gathered) on both thread and process backends.
+        """
+        return self.execute(server, request)
+
+    # --- cache addressing / admissibility -----------------------------
+    def location(self, request) -> Tuple[float, float]:
+        """The client location the request is anchored at."""
+        loc = getattr(request, "location", None)
+        if loc is not None:
+            return loc
+        return request.focus
+
+    def cache_key(self, request) -> Optional[tuple]:
+        """Query-shape key for the validity cache (None = uncacheable)."""
+        return None
+
+    def serve_cached(self, request, inner):
+        """Adapt a cached inner response to ``request`` (e.g. re-rank
+        kNN hits by distance to the probing point).  Return ``inner``
+        unchanged when no adaptation is needed."""
+        return inner
+
+    def cache_survives(self, entry, op: str, oid: int,
+                       x: float, y: float) -> bool:
+        """Can the cached ``entry`` provably survive this mutation?"""
+        return False
+
+    # --- replica staleness --------------------------------------------
+    def stale_region(self, request, response, pending, universe):
+        """A region provably valid for the fresh dataset despite the
+        replica's ``pending`` mutation backlog, or ``None`` when the
+        response cannot be served stale."""
+        return None
+
+    # --- continuous queries -------------------------------------------
+    def subscribe_init(self, hub, sub, request) -> None:
+        """Fetch the initial answer and seed ``sub._state``."""
+        raise ValueError(f"cannot subscribe a {self.kind!r} request")
+
+    def continuous_apply(self, hub, sub, mutation) -> tuple:
+        """Fold one mutation into the subscription state.
+
+        Returns ``("skip",)``, ``("exhausted",)`` or
+        ``("patch", result, region)``.
+        """
+        return ("exhausted",)
+
+    def continuous_move(self, hub, sub, location):
+        """Relocate the subscription without a re-query, if possible.
+
+        Returns ``("patch", result, region)`` to install a repaired
+        answer, ``("serve", response)`` to re-serve the current response
+        unchanged (it already covers ``location``), or ``None`` to force
+        the escape-hatch re-fetch.
+        """
+        return None
+
+    def refetch_request(self, request, location):
+        """A fresh (non-delta) copy of ``request`` at ``location``."""
+        raise NotImplementedError
+
+    # --- conformance oracle -------------------------------------------
+    def oracle(self, points, request) -> Tuple[set, set]:
+        """Brute-force reference: ``(must_ids, may_ids)`` — every
+        correct answer contains all of ``must_ids`` and nothing outside
+        ``may_ids`` (the gap is tie slack)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} kind={self.kind!r}>"
+
+
+_REGISTRY: dict = {}
+_BY_TYPE: dict = {}
+_BUILTINS_LOADED = False
+
+
+def register_query_type(semantics: QuerySemantics) -> QuerySemantics:
+    """Register (or replace) the semantics for ``semantics.kind``.
+
+    Returns the registered object so the call composes as a statement
+    or decorator-style tail call.
+    """
+    if not isinstance(semantics, QuerySemantics):
+        raise TypeError(f"not a QuerySemantics: {semantics!r}")
+    if not semantics.kind:
+        raise ValueError("semantics.kind must be a non-empty string")
+    if semantics.request_type is None:
+        raise ValueError("semantics.request_type must be set")
+    _REGISTRY[semantics.kind] = semantics
+    _BY_TYPE[semantics.request_type] = semantics
+    return semantics
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in semantics lazily (avoids import cycles)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.core import semantics as _builtin  # noqa: F401
+    from repro.core import rknn as _rknn          # noqa: F401
+    from repro.core import probknn as _probknn    # noqa: F401
+
+
+def query_semantics(request_or_kind) -> QuerySemantics:
+    """The registered :class:`QuerySemantics` for a request or kind tag.
+
+    Raises ``TypeError`` for anything unregistered — the registry is
+    the single dispatch point replacing the old ``isinstance`` ladders.
+    """
+    _ensure_builtins()
+    if isinstance(request_or_kind, str):
+        try:
+            return _REGISTRY[request_or_kind]
+        except KeyError:
+            raise TypeError(
+                f"no query type registered for kind {request_or_kind!r}")
+    sem = _BY_TYPE.get(type(request_or_kind))
+    if sem is not None:
+        return sem
+    kind = getattr(request_or_kind, "kind", None)
+    if kind is not None and kind in _REGISTRY:
+        return _REGISTRY[kind]
+    raise TypeError(f"not a query request: {request_or_kind!r}")
+
+
+def registered_query_kinds() -> Tuple[str, ...]:
+    """All registered kind tags, sorted (built-ins included)."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))

@@ -132,9 +132,9 @@ class MobileClient:
         self.last_served: Optional[str] = None
         #: Epoch lag of the last stale answer (0 for fresh answers).
         self.last_staleness: int = 0
-        self._caches: Dict[str, Optional[CacheEntry]] = {
-            "knn": None, "window": None, "range": None,
-        }
+        #: One entry per query kind, opened on first use — any kind the
+        #: registry knows (including third-party ones) caches here.
+        self._caches: Dict[str, Optional[CacheEntry]] = {}
         #: Live subscriptions per query kind (subscription mode only).
         self._subs: Dict[str, object] = {}
 
@@ -163,13 +163,32 @@ class MobileClient:
                                RangeRequest(_point(location), radius))
         return list(entries)
 
+    def rknn(self, location, k: int = 1) -> List[LeafEntry]:
+        """The objects that count ``location`` among their own k nearest
+        (reverse kNN), cached under its bisector-fenced region."""
+        from repro.core.rknn import RKNNRequest
+        entries = self._answer("rknn", (k,), location,
+                               RKNNRequest(_point(location), k=k))
+        return list(entries)
+
+    def probknn(self, location, uncertainty: float,
+                k: int = 1) -> List[LeafEntry]:
+        """The probabilistic kNN candidates for an uncertain location
+        (a disk of radius ``uncertainty``), cached under the
+        probability-banded annulus region."""
+        from repro.core.probknn import ProbKNNRequest
+        entries = self._answer(
+            "probknn", (uncertainty, k), location,
+            ProbKNNRequest(_point(location), uncertainty=uncertainty, k=k))
+        return list(entries)
+
     def invalidate_cache(self) -> None:
         for kind in self._caches:
             self._caches[kind] = None
 
     def cache_entry(self, kind: str) -> Optional[CacheEntry]:
-        """The live cache entry for ``kind`` (``knn``/``window``/``range``)."""
-        return self._caches[kind]
+        """The live cache entry for ``kind``, or ``None``."""
+        return self._caches.get(kind)
 
     # ------------------------------------------------------------------
     # the generic protocol
@@ -187,7 +206,7 @@ class MobileClient:
         # the service and every layer below will correlate under.
         if request.trace_id is None:
             request = replace(request, trace_id=new_trace_id())
-        cached = self._caches[kind]
+        cached = self._caches.get(kind)
         # Keep a reference to an epoch-stale entry: it cannot answer
         # normally, but it is the fallback if the server fails.
         fallback = cached
@@ -278,7 +297,7 @@ class MobileClient:
                     epoch=self.server.epoch, trace_id=request.trace_id)
             else:  # invalidated: the move() below re-queries
                 self._caches[kind] = None
-        cached = self._caches[kind]
+        cached = self._caches.get(kind)
         if cached is not None and cached.answers(key, location):
             self.stats.cache_answers += 1
             self._count("client.cache_answers")

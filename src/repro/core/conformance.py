@@ -1,0 +1,166 @@
+"""A reusable conformance suite for registered query types.
+
+Any :class:`~repro.core.api.QuerySemantics` — builtin or third-party —
+must uphold the same contracts the service tiers rely on.  This module
+checks them against a brute-force oracle so new query types get the
+full battery for free:
+
+* **registration** — the semantics object is reachable through the
+  registry by kind and by request type;
+* **region soundness** — the answer matches the type's oracle and the
+  shipped region contains the query location;
+* **cache round-trip** — cache keys are deterministic, a cached
+  response re-served through :meth:`serve_cached` keeps the result
+  set, and any mutation :meth:`cache_survives` waves through provably
+  leaves the recomputed answer unchanged;
+* **staleness shrink containment** — :meth:`stale_region` only ever
+  *shrinks* (every point of the stale region lies in the original),
+  and a stale region that still covers the query location certifies
+  the stale answer against a full recompute on the mutated dataset.
+
+Use :func:`check_semantics` directly from a test::
+
+    check_semantics("rknn", points, [RKNNRequest((0.4, 0.6), k=2)])
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.core.api import QuerySemantics, query_semantics
+from repro.core.server import LocationServer
+from repro.service.staleness import Mutation
+
+__all__ = ["check_semantics"]
+
+_EPS = 1e-9
+_PROBES = 64
+
+
+def _result_ids(response) -> set:
+    return {e.oid for e in response.result}
+
+
+def _fresh_server(points, mutations: Sequence[Mutation]) -> LocationServer:
+    server = LocationServer.from_points(points)
+    for m in mutations:
+        if m.op == "insert":
+            server.insert_object(m.oid, m.x, m.y)
+        else:
+            server.delete_object(m.oid, m.x, m.y)
+    return server
+
+
+def _random_mutations(server: LocationServer, rng: random.Random,
+                      count: int) -> list:
+    entries = list(server.tree.points())
+    next_oid = max((e.oid for e in entries), default=-1) + 1
+    universe = server.universe
+    muts = []
+    for i in range(count):
+        if entries and rng.random() < 0.5:
+            victim = rng.choice(entries)
+            muts.append(Mutation("delete", victim.oid, victim.x, victim.y))
+        else:
+            x = universe.xmin + rng.random() * universe.width
+            y = universe.ymin + rng.random() * universe.height
+            muts.append(Mutation("insert", next_oid + i, x, y))
+    return muts
+
+
+class _CacheEntryShim:
+    """The attributes ``cache_survives`` reads off a real cache entry."""
+
+    __slots__ = ("key", "response", "mbr")
+
+    def __init__(self, key, response, universe):
+        self.key = key
+        self.response = response
+        mbr_of = getattr(response.region, "mbr", None)
+        mbr = mbr_of() if mbr_of is not None else None
+        self.mbr = mbr if mbr is not None else universe
+
+
+def check_semantics(kind, points: Sequence, requests: Iterable,
+                    num_mutations: int = 12,
+                    rng: Optional[random.Random] = None) -> None:
+    """Assert the full semantics contract for ``kind`` over ``points``.
+
+    ``kind`` is a registry kind string or a semantics instance;
+    ``requests`` are concrete request objects of that type.  Raises
+    ``AssertionError`` with a labelled message on the first violation.
+    """
+    sem = (query_semantics(kind) if isinstance(kind, str)
+           else kind)
+    assert isinstance(sem, QuerySemantics), sem
+    assert sem.kind, "semantics must declare a kind"
+    assert query_semantics(sem.kind) is sem, \
+        f"{sem.kind!r} does not resolve to this semantics in the registry"
+
+    rng = rng if rng is not None else random.Random(0)
+    server = LocationServer.from_points(points)
+    entries = list(server.tree.points())
+    universe = server.universe
+    mutations = _random_mutations(server, rng, num_mutations)
+
+    for request in requests:
+        if sem.request_type is not None:
+            assert isinstance(request, sem.request_type), request
+            assert query_semantics(request) is sem, \
+                "request type does not resolve to this semantics"
+        response = sem.execute(server, request)
+        loc = sem.location(request)
+        ids = _result_ids(response)
+
+        # --- region soundness ----------------------------------------
+        assert response.region.contains(loc, _EPS), \
+            f"{sem.kind}: region excludes its own query location"
+        must, may = sem.oracle(entries, request)
+        assert must <= ids, (f"{sem.kind}: answer misses mandatory ids "
+                             f"{sorted(must - ids)[:5]}")
+        assert ids <= may, (f"{sem.kind}: answer has impossible ids "
+                            f"{sorted(ids - may)[:5]}")
+
+        # --- cache round-trip ----------------------------------------
+        key = sem.cache_key(request)
+        assert key == sem.cache_key(request), \
+            f"{sem.kind}: cache key is not deterministic"
+        if key is not None:
+            assert key[0] == sem.kind, \
+                f"{sem.kind}: cache key must lead with the kind"
+            served = sem.serve_cached(request, response)
+            assert _result_ids(served) == ids, \
+                f"{sem.kind}: serve_cached changed the result set"
+
+        for m in mutations:
+            mutated = None
+
+            if key is not None:
+                shim = _CacheEntryShim(key, response, universe)
+                if sem.cache_survives(shim, m.op, m.oid, m.x, m.y):
+                    mutated = _fresh_server(points, [m])
+                    fresh = sem.execute(mutated, request)
+                    assert _result_ids(fresh) == ids, \
+                        (f"{sem.kind}: cache_survives kept an entry the "
+                         f"{m.op} of oid {m.oid} invalidates")
+
+            # --- staleness shrink containment ------------------------
+            stale = sem.stale_region(request, response, [m], universe)
+            if stale is None:
+                continue
+            for _ in range(_PROBES):
+                px = universe.xmin + rng.random() * universe.width
+                py = universe.ymin + rng.random() * universe.height
+                if stale.contains((px, py)):
+                    assert response.region.contains((px, py), _EPS), \
+                        (f"{sem.kind}: stale region grew beyond the "
+                         f"original under {m.op} of oid {m.oid}")
+            if stale.contains(loc):
+                if mutated is None:
+                    mutated = _fresh_server(points, [m])
+                fresh = sem.execute(mutated, request)
+                assert _result_ids(fresh) == ids, \
+                    (f"{sem.kind}: stale region certifies a wrong answer "
+                     f"under {m.op} of oid {m.oid}")

@@ -1,0 +1,397 @@
+"""Reverse-kNN validity queries.
+
+A reverse-kNN query at ``q`` returns every data object ``o`` that
+counts ``q`` among its own ``k`` nearest neighbours — formally,
+``dist(o, q) < r_o`` where ``r_o`` is the distance from ``o`` to its
+k-th nearest *data* object.  The thresholds ``r_o`` do not depend on
+``q`` at all, which is what makes the query a natural fit for the
+paper's validity-region contract: each member ``o`` stays a member
+exactly while the client remains inside the disk ``D(o, r_o)``, so the
+shipped region is the intersection of the member disks with a safety
+disk around ``q`` that keeps every non-member out.
+
+Candidates come from the classical 60-degree sector lemma: partition
+the plane around ``q`` into six half-open sectors and keep the ``k``
+``q``-nearest objects of each.  For any discarded object ``o`` there
+are ``k`` kept objects ``c`` in its sector with ``dist(c, q) <=
+dist(o, q)`` and an angle of at most 60 degrees at ``q``; the law of
+cosines then gives ``dist(c, o) <= dist(o, q)``, so ``o`` already has
+``k`` neighbours no farther than ``q`` — it can never be a member.
+Only the (at most ``6k``) candidates need their exact k-NN distance.
+
+The safety radius around ``q`` is the smallest of
+
+* ``dist(c, q) - r_c`` over non-member candidates ``c`` (moving less
+  keeps ``q`` outside their membership disks), and
+* ``dist(o, q) - m_o`` over non-candidates ``o``, where ``m_o`` is the
+  k-th smallest distance from ``o`` to the candidate set — an upper
+  bound on ``r_o`` (a k-th order statistic over a subset dominates the
+  one over the full set), and at most ``dist(o, q)`` by the sector
+  lemma, so the slack is never negative.
+
+Answers are computed from a point-in-time dataset snapshot (zero
+simulated node accesses, like the columnar kernels); the budget is
+ignored and responses are never degraded.  The result is a *set* —
+entries are reported in oid order — so cached answers re-serve without
+re-ranking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+from repro.core.api import (
+    QueryBudget,
+    QueryDetail,
+    QuerySemantics,
+    register_query_type,
+)
+from repro.core.validity import (
+    POINT_BYTES,
+    CompositeValidityRegion,
+    ValidityDisk,
+)
+from repro.geometry import Rect
+from repro.index.entry import LeafEntry
+
+__all__ = [
+    "RKNNDetail",
+    "RKNNRequest",
+    "RKNNResponse",
+    "RKNNSemantics",
+    "compute_rknn_validity",
+]
+
+
+@dataclass(frozen=True)
+class RKNNRequest:
+    """A reverse-kNN query: who counts ``location`` among its k nearest?"""
+
+    kind: ClassVar[str] = "rknn"
+
+    location: Tuple[float, float]
+    k: int = 1
+    trace_id: Optional[str] = None
+    #: Accepted for interface parity; reverse-kNN answers from a
+    #: dataset snapshot and never degrades, so the budget is ignored.
+    budget: Optional[QueryBudget] = None
+    #: Replica-read staleness bound (see ``KNNRequest.max_stale``).
+    max_stale: Optional[int] = None
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.max_stale is not None and self.max_stale < 0:
+            raise ValueError("max_stale must be non-negative")
+
+
+@dataclass
+class RKNNDetail(QueryDetail):
+    """How a reverse-kNN answer was derived (and what keeps it alive).
+
+    ``member_knn`` maps each member oid to its sorted k smallest
+    distances to other data objects — the exact competitor list the
+    staleness and continuous tiers fold pending inserts into.
+    ``candidates`` is the sector-filtered candidate set with
+    ``candidate_radii`` their exact k-NN distances.
+    """
+
+    kind = "rknn"
+
+    query: Tuple[float, float]
+    k: int
+    members: List[LeafEntry]
+    member_knn: Dict[int, Tuple[float, ...]]
+    candidates: Tuple[LeafEntry, ...]
+    candidate_radii: Dict[int, float]
+    #: Radius of the safety disk around the query point.
+    safety_radius: float
+    num_points: int
+    degraded: bool = False
+
+    @property
+    def influence_set(self) -> List[LeafEntry]:
+        member_ids = set(self.member_knn)
+        return [c for c in self.candidates if c.oid not in member_ids]
+
+
+@dataclass
+class RKNNResponse:
+    """What the server ships back for a reverse-kNN query."""
+
+    result: List[LeafEntry]
+    region: object
+    detail: RKNNDetail
+
+    def transfer_bytes(self) -> int:
+        return POINT_BYTES * len(self.result) + self.region.transfer_bytes()
+
+
+def _distances_sq(entries, x: float, y: float, kernel=None, columns=None):
+    """Squared distances from ``(x, y)`` to every entry, batched through
+    the columnar kernel when one is available."""
+    if (kernel is not None and columns is not None
+            and getattr(kernel, "columnar", False)):
+        return kernel.distances_sq(columns, x, y)
+    return [(e.x - x) ** 2 + (e.y - y) ** 2 for e in entries]
+
+
+def _knn_distances(entries, center: LeafEntry, k: int,
+                   kernel=None, columns=None) -> List[float]:
+    """The ``k`` smallest distances from ``center`` to *other* entries."""
+    d2 = _distances_sq(entries, center.x, center.y,
+                       kernel=kernel, columns=columns)
+    smallest = heapq.nsmallest(
+        k, (d2[i] for i, e in enumerate(entries) if e.oid != center.oid))
+    return [math.sqrt(v) for v in smallest]
+
+
+def compute_rknn_validity(entries, location, k: int, universe: Rect,
+                          kernel=None, columns=None) -> RKNNDetail:
+    """The reverse-kNN answer and its validity machinery at ``location``."""
+    q = (float(location[0]), float(location[1]))
+    entries = list(entries)
+    diag = math.hypot(universe.width, universe.height)
+
+    # 60-degree sector filter: at most 6k candidates survive.
+    sectors: List[List[Tuple[float, int, LeafEntry]]] = [[] for _ in range(6)]
+    dist_q: Dict[int, float] = {}
+    for e in entries:
+        d = math.hypot(e.x - q[0], e.y - q[1])
+        dist_q[e.oid] = d
+        angle = math.atan2(e.y - q[1], e.x - q[0]) % (2.0 * math.pi)
+        sectors[min(int(angle / (math.pi / 3.0)), 5)].append((d, e.oid, e))
+    candidates: List[LeafEntry] = []
+    for bucket in sectors:
+        bucket.sort()
+        candidates.extend(e for _d, _o, e in bucket[:k])
+    candidates.sort(key=lambda e: e.oid)
+    candidate_ids = {c.oid for c in candidates}
+
+    # Exact k-NN distance per candidate; members are strict.
+    members: List[LeafEntry] = []
+    member_knn: Dict[int, Tuple[float, ...]] = {}
+    candidate_radii: Dict[int, float] = {}
+    for c in candidates:
+        knn = _knn_distances(entries, c, k, kernel=kernel, columns=columns)
+        radius = knn[k - 1] if len(knn) >= k else math.inf
+        candidate_radii[c.oid] = radius
+        if dist_q[c.oid] < radius:
+            members.append(c)
+            member_knn[c.oid] = tuple(knn)
+
+    # Safety disk around q: keep every non-member out of membership.
+    slacks: List[float] = []
+    for c in candidates:
+        if c.oid not in member_knn:
+            slacks.append(dist_q[c.oid] - candidate_radii[c.oid])
+    for e in entries:
+        if e.oid in candidate_ids:
+            continue
+        # m_o: k-th smallest distance to the candidates — an upper
+        # bound on r_o, and <= dist(o, q) by the sector lemma.
+        m_o = heapq.nsmallest(
+            k, ((e.x - c.x) ** 2 + (e.y - c.y) ** 2 for c in candidates))
+        slacks.append(dist_q[e.oid] - math.sqrt(m_o[k - 1]))
+    rho = min(slacks) if slacks else diag
+    rho = max(0.0, min(rho, diag))
+
+    return RKNNDetail(
+        query=q,
+        k=k,
+        members=members,
+        member_knn=member_knn,
+        candidates=tuple(candidates),
+        candidate_radii=candidate_radii,
+        safety_radius=rho,
+        num_points=len(entries),
+    )
+
+
+def _detail_region(detail: RKNNDetail, universe: Rect):
+    diag = math.hypot(universe.width, universe.height)
+    components = [ValidityDisk(m.point,
+                               min(detail.member_knn[m.oid][detail.k - 1]
+                                   if len(detail.member_knn[m.oid]) >= detail.k
+                                   else math.inf, diag))
+                  for m in detail.members]
+    components.append(ValidityDisk(detail.query, detail.safety_radius))
+    if len(components) == 1:
+        return components[0]
+    return CompositeValidityRegion(components)
+
+
+def _insert_upper_bound(candidates, k: int, x: float, y: float) -> float:
+    """An upper bound on the inserted point's k-NN distance, from the
+    retained candidate set (a subset of the dataset)."""
+    d2 = heapq.nsmallest(
+        k, ((c.x - x) ** 2 + (c.y - y) ** 2 for c in candidates))
+    if len(d2) < k:
+        return math.inf
+    return math.sqrt(d2[k - 1])
+
+
+class RKNNSemantics(QuerySemantics):
+    """Reverse-kNN behind the query-type registry."""
+
+    kind = "rknn"
+    request_type = RKNNRequest
+    supports_subscriptions = True
+
+    # --- execution ----------------------------------------------------
+    def execute(self, server, request):
+        detail = compute_rknn_validity(
+            server.dataset_entries(), request.location, request.k,
+            universe=server.universe,
+            kernel=getattr(server, "kernel", None),
+            columns=(server._kernel_columns()
+                     if hasattr(server, "_kernel_columns") else None))
+        server.queries_processed += 1
+        result = sorted(detail.members, key=lambda e: e.oid)
+        return RKNNResponse(result=result,
+                            region=_detail_region(detail, server.universe),
+                            detail=detail)
+
+    # --- cache --------------------------------------------------------
+    def cache_key(self, request) -> Optional[tuple]:
+        return ("rknn", request.k)
+
+    # cache_survives stays the base False: a mutation anywhere can flip
+    # an arbitrary object's k-NN threshold, so no surgical test is sound
+    # without re-deriving the member radii (the staleness tier's job).
+
+    # --- replica staleness --------------------------------------------
+    def stale_region(self, request, response, pending, universe):
+        detail: RKNNDetail = response.detail
+        if any(m.op == "delete" for m in pending):
+            return None  # a delete can only grow thresholds: members join
+        loc = detail.query
+        diag = math.hypot(universe.width, universe.height)
+        updated: Dict[int, float] = {}
+        member_knn = {oid: list(knn) for oid, knn in detail.member_knn.items()}
+        slack = math.inf
+        for m in pending:
+            for member in detail.members:
+                knn = member_knn[member.oid]
+                d = math.hypot(member.x - m.x, member.y - m.y)
+                if knn and len(knn) >= detail.k and d >= knn[-1]:
+                    continue
+                knn.append(d)
+                knn.sort()
+                del knn[detail.k:]
+                if len(knn) >= detail.k:
+                    radius = knn[detail.k - 1]
+                    if math.hypot(member.x - loc[0],
+                                  member.y - loc[1]) >= radius:
+                        return None  # the insert evicts a member at q
+                    updated[member.oid] = radius
+            bound = _insert_upper_bound(detail.candidates, detail.k,
+                                        m.x, m.y)
+            gap = math.hypot(m.x - loc[0], m.y - loc[1]) - bound
+            if gap <= 0.0:
+                return None  # cannot refute the insert joining the result
+            slack = min(slack, gap)
+        components = [response.region]
+        by_oid = {e.oid: e for e in detail.members}
+        for oid, radius in updated.items():
+            components.append(ValidityDisk(by_oid[oid].point,
+                                           min(radius, diag)))
+        components.append(ValidityDisk(loc, min(slack, diag)))
+        return CompositeValidityRegion(components)
+
+    # --- continuous ---------------------------------------------------
+    def subscribe_init(self, hub, sub, request) -> None:
+        response = hub.owner.answer(request)
+        sub._state = _RknnSubState(request, response.detail)
+        sub._needs_refresh = False
+        hub._set_response(sub, list(response.result), response.region,
+                          origin="subscribe")
+
+    def continuous_apply(self, hub, sub, mutation) -> tuple:
+        if mutation.op == "delete":
+            return ("exhausted",)  # thresholds grow: members may join
+        state: _RknnSubState = sub._state
+        detail = state.detail
+        loc = detail.query
+        diag = math.hypot(hub.owner.universe.width,
+                          hub.owner.universe.height)
+        changed: List[Tuple[LeafEntry, float]] = []
+        for member in detail.members:
+            knn = state.member_knn[member.oid]
+            d = math.hypot(member.x - mutation.x, member.y - mutation.y)
+            if len(knn) >= detail.k and d >= knn[-1]:
+                continue
+            knn.append(d)
+            knn.sort()
+            del knn[detail.k:]
+            if len(knn) >= detail.k:
+                radius = knn[detail.k - 1]
+                if math.hypot(member.x - loc[0],
+                              member.y - loc[1]) >= radius:
+                    return ("exhausted",)  # result changes: re-fetch
+                changed.append((member, radius))
+        bound = _insert_upper_bound(state.candidates, detail.k,
+                                    mutation.x, mutation.y)
+        gap = (math.hypot(mutation.x - loc[0], mutation.y - loc[1])
+               - bound)
+        if gap <= 0.0:
+            return ("exhausted",)
+        state.candidates.append(mutation.entry)
+        region = CompositeValidityRegion(
+            [sub.response.region]
+            + [ValidityDisk(member.point, min(radius, diag))
+               for member, radius in changed]
+            + [ValidityDisk(loc, min(gap, diag))])
+        return ("patch", list(sub.response.result), region)
+
+    def continuous_move(self, hub, sub, location):
+        if sub.response.region.contains(location):
+            return ("serve", sub.response)
+        return None
+
+    def refetch_request(self, request, location):
+        return replace(request, location=location)
+
+    # --- oracle -------------------------------------------------------
+    def oracle(self, points, request) -> Tuple[set, set]:
+        eps = 1e-9
+        pts = list(points)
+        qx, qy = request.location
+        must, may = set(), set()
+        for o in pts:
+            others = sorted(math.hypot(o.x - e.x, o.y - e.y)
+                            for e in pts if e.oid != o.oid)
+            radius = (others[request.k - 1]
+                      if len(others) >= request.k else math.inf)
+            d = math.hypot(o.x - qx, o.y - qy)
+            if d < radius - eps:
+                must.add(o.oid)
+            if d < radius + eps:
+                may.add(o.oid)
+        return must, may
+
+
+@dataclass
+class _RknnSubState:
+    """Server-retained reverse-kNN subscription state.
+
+    ``member_knn`` is a mutable working copy of the members' competitor
+    lists (pending inserts are folded in exactly); ``candidates`` grows
+    with every applied insert so the refutation bound stays valid.
+    """
+
+    request: RKNNRequest
+    detail: RKNNDetail
+    member_knn: Dict[int, List[float]] = field(init=False)
+    candidates: List[LeafEntry] = field(init=False)
+
+    def __post_init__(self):
+        self.member_knn = {oid: list(knn)
+                           for oid, knn in self.detail.member_knn.items()}
+        self.candidates = list(self.detail.candidates)
+
+
+register_query_type(RKNNSemantics())

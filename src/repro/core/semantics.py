@@ -1,0 +1,294 @@
+"""Built-in query semantics: kNN, window and range as registry entries.
+
+Everything the serving stack used to decide with ``isinstance`` ladders
+— how to execute a request, how to key and adapt a cached answer, when
+a cached entry survives a mutation, how to shrink a stale replica
+region, how to patch a continuous subscription — lives here as the
+three built-in :class:`~repro.core.api.QuerySemantics` registrations.
+The service modules (:mod:`repro.service.cache`,
+:mod:`repro.service.staleness`, :mod:`repro.service.continuous`, …)
+look the behaviour up through
+:func:`~repro.core.api.query_semantics` and never name a concrete
+request type again, which is what lets reverse-kNN
+(:mod:`repro.core.rknn`), probabilistic kNN
+(:mod:`repro.core.probknn`) and third-party types plug into every tier
+without touching them.
+
+Hooks that need service-layer helpers import them lazily inside the
+method body: ``repro.core`` must stay importable without
+``repro.service`` (the dependency edge points the other way).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.api import (
+    KNNRequest,
+    QuerySemantics,
+    RangeRequest,
+    WindowRequest,
+    register_query_type,
+)
+from repro.geometry import Rect, bisector_halfplane
+
+__all__ = [
+    "KNNSemantics",
+    "RangeSemantics",
+    "WindowSemantics",
+]
+
+#: Tie slack of the brute-force oracles: distances within EPS of the
+#: decision boundary may legitimately fall on either side.
+_EPS = 1e-9
+
+
+def _delete_survives(entry, oid: int) -> bool:
+    """A delete is harmless iff the object is not in the cached result:
+    a non-member is beaten everywhere the result is frozen, and
+    removing it promotes nothing."""
+    return all(e.oid != oid for e in entry.response.result)
+
+
+class KNNSemantics(QuerySemantics):
+    """The k-nearest-neighbours query (paper Section 3)."""
+
+    kind = "knn"
+    request_type = KNNRequest
+    supports_subscriptions = True
+
+    # --- execution ----------------------------------------------------
+    def execute(self, server, request):
+        if request.previous_ids is not None:
+            return server._knn_delta(request.location, request.k,
+                                     request.previous_ids,
+                                     budget=request.budget)
+        return server._knn(request.location, k=request.k,
+                           vertex_policy=request.vertex_policy,
+                           budget=request.budget)
+
+    def shard_execute(self, server, request):
+        full = server._knn(request.location, k=request.k,
+                           vertex_policy=request.vertex_policy,
+                           budget=request.budget)
+        if request.previous_ids is not None:
+            from repro.core.server import delta_response
+            return delta_response(full, full.result, request.previous_ids)
+        return full
+
+    # --- cache --------------------------------------------------------
+    def cache_key(self, request) -> Optional[tuple]:
+        if request.previous_ids is not None:
+            return None
+        return ("knn", request.k)
+
+    def serve_cached(self, request, inner):
+        qx, qy = request.location
+        ranked = sorted(
+            inner.result,
+            key=lambda e: ((e.x - qx) ** 2 + (e.y - qy) ** 2, e.oid))
+        if list(inner.result) == ranked:
+            return inner
+        return replace(inner, neighbors=ranked)
+
+    def cache_survives(self, entry, op, oid, x, y) -> bool:
+        if op == "delete":
+            return _delete_survives(entry, oid)
+        if len(entry.response.result) < entry.key[1]:
+            return False  # the insert joins an under-full result
+        corners = entry.mbr.corners()
+        for neighbor in entry.response.result:
+            if neighbor.x == x and neighbor.y == y:
+                return False  # coincident: bisector undefined
+            halfplane = bisector_halfplane(neighbor.point, (x, y))
+            if not all(halfplane.contains(c) for c in corners):
+                return False
+        return True
+
+    # --- replica staleness --------------------------------------------
+    def stale_region(self, request, response, pending, universe):
+        from repro.service.staleness import _knn_stale_region
+        return _knn_stale_region(request, response, pending, universe)
+
+    # --- continuous ---------------------------------------------------
+    def subscribe_init(self, hub, sub, request) -> None:
+        hub._init_knn(sub, request)
+
+    def continuous_apply(self, hub, sub, mutation) -> tuple:
+        from repro.service.continuous import _knn_apply, _knn_served
+        code = _knn_apply(sub._state, mutation)
+        if code != "patch":
+            return (code,)
+        served = _knn_served(sub._state, hub.owner.universe)
+        if served is None:
+            return ("exhausted",)
+        return ("patch",) + served
+
+    def continuous_move(self, hub, sub, location):
+        from repro.service.continuous import _knn_served
+        state = sub._state
+        previous = state.point
+        state.point = location
+        served = _knn_served(state, hub.owner.universe)
+        if served is not None:
+            return ("patch",) + served
+        state.point = previous
+        return None
+
+    def refetch_request(self, request, location):
+        return replace(request, location=location, previous_ids=None)
+
+    # --- oracle -------------------------------------------------------
+    def oracle(self, points, request) -> Tuple[set, set]:
+        qx, qy = request.location
+        ranked = sorted((math.hypot(e.x - qx, e.y - qy), e.oid)
+                        for e in points)
+        if len(ranked) <= request.k:
+            ids = {oid for _, oid in ranked}
+            return ids, ids
+        kth = ranked[request.k - 1][0]
+        must = {oid for d, oid in ranked if d < kth - _EPS}
+        may = {oid for d, oid in ranked if d <= kth + _EPS}
+        return must, may
+
+
+class WindowSemantics(QuerySemantics):
+    """The window query centred on the client (paper Section 4)."""
+
+    kind = "window"
+    request_type = WindowRequest
+    supports_subscriptions = True
+
+    # --- execution ----------------------------------------------------
+    def execute(self, server, request):
+        if request.previous_ids is not None:
+            return server._window_delta(request.focus, request.width,
+                                        request.height, request.previous_ids,
+                                        budget=request.budget)
+        return server._window(request.focus, request.width, request.height,
+                              budget=request.budget)
+
+    def shard_execute(self, server, request):
+        full = server._window(request.focus, request.width, request.height,
+                              budget=request.budget)
+        if request.previous_ids is not None:
+            from repro.core.server import delta_response
+            return delta_response(full, full.result, request.previous_ids)
+        return full
+
+    # --- cache --------------------------------------------------------
+    def location(self, request) -> Tuple[float, float]:
+        return request.focus
+
+    def cache_key(self, request) -> Optional[tuple]:
+        if request.previous_ids is not None:
+            return None
+        return ("window", request.width, request.height)
+
+    def cache_survives(self, entry, op, oid, x, y) -> bool:
+        if op == "delete":
+            return _delete_survives(entry, oid)
+        width, height = entry.key[1], entry.key[2]
+        zone = Rect(x - width / 2.0, y - height / 2.0,
+                    x + width / 2.0, y + height / 2.0)
+        return not zone.intersects(entry.mbr)
+
+    # --- replica staleness --------------------------------------------
+    def stale_region(self, request, response, pending, universe):
+        from repro.service.staleness import _window_stale_region
+        return _window_stale_region(request, response, pending)
+
+    # --- continuous ---------------------------------------------------
+    def subscribe_init(self, hub, sub, request) -> None:
+        hub._init_window(sub, request)
+
+    def continuous_apply(self, hub, sub, mutation) -> tuple:
+        from repro.service.continuous import _window_apply
+        return _window_apply(sub._state, mutation,
+                             sub.response.region if sub.response else None)
+
+    def continuous_move(self, hub, sub, location):
+        if sub.response.region.contains(location):
+            return ("serve", sub.response)
+        return None
+
+    def refetch_request(self, request, location):
+        return replace(request, focus=location, previous_ids=None)
+
+    # --- oracle -------------------------------------------------------
+    def oracle(self, points, request) -> Tuple[set, set]:
+        fx, fy = request.focus
+        hw, hh = request.width / 2.0, request.height / 2.0
+        must = {e.oid for e in points
+                if abs(e.x - fx) < hw - _EPS and abs(e.y - fy) < hh - _EPS}
+        may = {e.oid for e in points
+               if abs(e.x - fx) <= hw + _EPS and abs(e.y - fy) <= hh + _EPS}
+        return must, may
+
+
+class RangeSemantics(QuerySemantics):
+    """The circular range query (the Section 7 extension)."""
+
+    kind = "range"
+    request_type = RangeRequest
+    supports_subscriptions = True
+
+    # --- execution ----------------------------------------------------
+    def execute(self, server, request):
+        full = server._range(request.location, request.radius,
+                             budget=request.budget)
+        if request.previous_ids is not None:
+            from repro.core.server import delta_response
+            return delta_response(full, full.result, request.previous_ids)
+        return full
+
+    shard_execute = execute
+
+    # --- cache --------------------------------------------------------
+    def cache_key(self, request) -> Optional[tuple]:
+        if request.previous_ids is not None:
+            return None
+        return ("range", request.radius)
+
+    def cache_survives(self, entry, op, oid, x, y) -> bool:
+        if op == "delete":
+            return _delete_survives(entry, oid)
+        return entry.mbr.mindist((x, y)) > entry.key[1]
+
+    # --- replica staleness --------------------------------------------
+    def stale_region(self, request, response, pending, universe):
+        from repro.service.staleness import _range_stale_region
+        return _range_stale_region(request, response, pending)
+
+    # --- continuous ---------------------------------------------------
+    def subscribe_init(self, hub, sub, request) -> None:
+        hub._init_range(sub, request)
+
+    def continuous_apply(self, hub, sub, mutation) -> tuple:
+        from repro.service.continuous import _range_apply
+        return _range_apply(sub._state, mutation)
+
+    def continuous_move(self, hub, sub, location):
+        if sub.response.region.contains(location):
+            return ("serve", sub.response)
+        return None
+
+    def refetch_request(self, request, location):
+        return replace(request, location=location, previous_ids=None)
+
+    # --- oracle -------------------------------------------------------
+    def oracle(self, points, request) -> Tuple[set, set]:
+        qx, qy = request.location
+        radius = request.radius
+        must = {e.oid for e in points
+                if math.hypot(e.x - qx, e.y - qy) < radius - _EPS}
+        may = {e.oid for e in points
+               if math.hypot(e.x - qx, e.y - qy) <= radius + _EPS}
+        return must, may
+
+
+register_query_type(KNNSemantics())
+register_query_type(WindowSemantics())
+register_query_type(RangeSemantics())

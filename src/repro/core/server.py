@@ -26,14 +26,7 @@ from repro.geometry import Rect
 from repro.index.entry import LeafEntry
 from repro.index.rstar import RStarTree
 from repro.index.bulk import bulk_load_str
-from repro.core.api import (
-    BudgetClock,
-    KNNRequest,
-    QueryBudget,
-    QueryRequest,
-    RangeRequest,
-    WindowRequest,
-)
+from repro.core.api import BudgetClock, QueryBudget, QueryRequest
 from repro.core.nn_validity import NNValidityResult, compute_nn_validity
 from repro.core.range_validity import (
     RangeValidityRegion,
@@ -199,31 +192,24 @@ class LocationServer:
     # the unified entry point
     # ------------------------------------------------------------------
     def answer(self, request: QueryRequest):
-        """Answer any typed query request (see :mod:`repro.core.api`).
+        """Answer any registered query request (see :mod:`repro.core.api`).
 
-        Requests carrying ``previous_ids`` are answered incrementally
-        (a :class:`DeltaResponse`); all responses satisfy the
-        :class:`~repro.core.api.QueryResponse` protocol.
+        Dispatch goes through the :class:`~repro.core.api.QuerySemantics`
+        registry, so third-party query types answered here need no
+        server changes.  Requests carrying ``previous_ids`` are answered
+        incrementally (a :class:`DeltaResponse`); all responses satisfy
+        the :class:`~repro.core.api.QueryResponse` protocol.
         """
-        budget = getattr(request, "budget", None)
-        if isinstance(request, KNNRequest):
-            if request.previous_ids is not None:
-                return self._knn_delta(request.location, request.k,
-                                       request.previous_ids, budget=budget)
-            return self._knn(request.location, k=request.k,
-                             vertex_policy=request.vertex_policy,
-                             budget=budget)
-        if isinstance(request, WindowRequest):
-            if request.previous_ids is not None:
-                return self._window_delta(
-                    request.focus, request.width, request.height,
-                    request.previous_ids, budget=budget)
-            return self._window(request.focus, request.width,
-                                request.height, budget=budget)
-        if isinstance(request, RangeRequest):
-            return self._range(request.location, request.radius,
-                               budget=budget)
-        raise TypeError(f"not a query request: {request!r}")
+        from repro.core.api import query_semantics
+        return query_semantics(request).execute(self, request)
+
+    def dataset_entries(self) -> List[LeafEntry]:
+        """A point-in-time list of every data entry (no simulated I/O).
+
+        Centralized query semantics (reverse-kNN, probabilistic kNN)
+        answer from this snapshot the same way the columnar kernels do.
+        """
+        return list(self.tree.points())
 
     def _start_clock(self, budget: Optional[QueryBudget]
                      ) -> Optional[BudgetClock]:

@@ -70,6 +70,50 @@ class ValidityDisk:
         return VALIDITY_DISK_BYTES
 
 
+#: Payload of an annulus: centre (2 x 8 bytes) + two radii (2 x 8 bytes).
+ANNULUS_BYTES = 32
+
+
+class AnnulusValidityRegion:
+    """A validity region bounded by two concentric circles.
+
+    Probabilistic-kNN answers ship one of these: the reported
+    probability bands and candidate ordering are guaranteed wherever
+    the (uncertain) client centre stays between ``inner`` and ``outer``
+    distance from the anchoring centre.  ``inner == 0`` degenerates to
+    a disk; ``inner == outer`` to a circle (or, with both zero, the
+    centre point itself).  Constant payload, constant-time check.
+    """
+
+    __slots__ = ("center", "inner", "outer")
+
+    def __init__(self, center: Tuple[float, float], inner: float,
+                 outer: float):
+        if inner < 0.0 or outer < inner:
+            raise ValueError("annulus radii must satisfy 0 <= inner <= outer")
+        self.center = (float(center[0]), float(center[1]))
+        self.inner = float(inner)
+        self.outer = float(outer)
+
+    def contains(self, location, eps: float = 0.0) -> bool:
+        dx = float(location[0]) - self.center[0]
+        dy = float(location[1]) - self.center[1]
+        d = math.hypot(dx, dy)
+        return self.inner - eps <= d <= self.outer + eps
+
+    def area(self) -> float:
+        return math.pi * (self.outer * self.outer - self.inner * self.inner)
+
+    def mbr(self) -> Rect:
+        """Bounding rectangle (the server-cache index key)."""
+        cx, cy = self.center
+        return Rect(cx - self.outer, cy - self.outer,
+                    cx + self.outer, cy + self.outer)
+
+    def transfer_bytes(self) -> int:
+        return ANNULUS_BYTES
+
+
 class NNValidityRegion:
     """The validity region of a (k)NN query, as the client sees it.
 

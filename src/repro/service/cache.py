@@ -40,14 +40,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.api import (
-    KNNRequest,
-    QueryRequest,
-    QueryResponse,
-    RangeRequest,
-    WindowRequest,
-)
-from repro.geometry import Rect, bisector_halfplane
+from repro.core.api import QueryRequest, QueryResponse, query_semantics
+from repro.geometry import Rect
 
 __all__ = ["CacheConfig", "ValidityCache"]
 
@@ -101,49 +95,29 @@ def request_key(request: QueryRequest) -> Optional[Tuple]:
     cached full-region response satisfies any budget, since serving it
     costs no work at all.
     """
-    if isinstance(request, KNNRequest):
-        if request.previous_ids is not None:
-            return None
-        return ("knn", request.k)
-    if isinstance(request, WindowRequest):
-        if request.previous_ids is not None:
-            return None
-        return ("window", request.width, request.height)
-    if isinstance(request, RangeRequest):
-        return ("range", request.radius)
-    return None
+    try:
+        sem = query_semantics(request)
+    except TypeError:
+        return None
+    return sem.cache_key(request)
 
 
 def request_location(request: QueryRequest) -> Tuple[float, float]:
     """The query point of any typed request."""
-    return getattr(request, "location", None) or request.focus
+    return query_semantics(request).location(request)
 
 
 def _survives(entry: _Entry, op: str, oid: int, x: float, y: float) -> bool:
-    """Can the cached ``entry`` provably be unaffected by the mutation?"""
-    if op == "delete":
-        return all(e.oid != oid for e in entry.response.result)
-    kind = entry.key[0]
-    if kind == "knn":
-        result = entry.response.result
-        if len(result) < entry.key[1]:
-            return False  # "everything there is": any insert joins it
-        corners = entry.mbr.corners()
-        for neighbor in result:
-            if neighbor.x == x and neighbor.y == y:
-                return False  # coincident points: bisector undefined
-            halfplane = bisector_halfplane(neighbor.point, (x, y))
-            if not all(halfplane.contains(c) for c in corners):
-                return False
-        return True
-    if kind == "window":
-        _, width, height = entry.key
-        zone = Rect(x - width / 2.0, y - height / 2.0,
-                    x + width / 2.0, y + height / 2.0)
-        return not zone.intersects(entry.mbr)
-    if kind == "range":
-        return entry.mbr.mindist((x, y)) > entry.key[1]
-    return False
+    """Can the cached ``entry`` provably be unaffected by the mutation?
+
+    The per-kind survival test is the registered semantics' —
+    ``entry.key[0]`` is the kind tag the key was minted with.
+    """
+    try:
+        sem = query_semantics(entry.key[0])
+    except TypeError:
+        return False
+    return sem.cache_survives(entry, op, oid, x, y)
 
 
 class ValidityCache:

@@ -67,7 +67,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.api import QueryDetail, QueryRequest
+from repro.core.api import QueryDetail, QueryRequest, query_semantics
 from repro.core.range_validity import RangeValidityRegion
 from repro.core.validity import (
     POINT_BYTES,
@@ -470,17 +470,12 @@ class SubscriptionHub:
         # Holding the hub lock across fetch+insert serializes with
         # notify(): a mutation is either visible to the fetch or
         # delivered as a (by-oid idempotent) patch afterwards.
+        sem = query_semantics(request)
+        if not sem.supports_subscriptions:
+            raise ValueError(f"cannot subscribe a {request.kind!r} request")
         with self._lock:
             sub = Subscription(next(self._ids), request, self, capacity)
-            if request.kind == "knn":
-                self._init_knn(sub, request)
-            elif request.kind == "window":
-                self._init_window(sub, request)
-            elif request.kind == "range":
-                self._init_range(sub, request)
-            else:
-                raise ValueError(
-                    f"cannot subscribe a {request.kind!r} request")
+            sem.subscribe_init(self, sub, request)
             self._subs[sub.sid] = sub
         self._count("service.continuous.subscriptions")
         self._emit("push.subscribe", sid=sub.sid, kind=request.kind)
@@ -519,20 +514,8 @@ class SubscriptionHub:
                 # (coalesced) until it re-queries via move().
                 self._push_invalidate(sub, "stale")
                 return
-            if sub.kind == "knn":
-                code = _knn_apply(sub._state, m)
-                if code == "patch":
-                    served = _knn_served(sub._state, self.owner.universe)
-                    outcome = (("patch",) + served if served is not None
-                               else ("exhausted",))
-                else:
-                    outcome = (code,)
-            elif sub.kind == "window":
-                outcome = _window_apply(
-                    sub._state, m,
-                    sub.response.region if sub.response else None)
-            else:
-                outcome = _range_apply(sub._state, m)
+            outcome = query_semantics(sub.request).continuous_apply(
+                self, sub, m)
             if outcome[0] in ("skip", "silent"):
                 return
             if outcome[0] == "exhausted":
@@ -560,36 +543,24 @@ class SubscriptionHub:
                 raise RuntimeError(
                     f"subscription is broken: {sub.broken_reason}")
             if not sub._needs_refresh and sub.response is not None:
-                if sub.kind == "knn":
-                    state = sub._state
-                    previous = state.point
-                    state.point = loc
-                    served = _knn_served(state, self.owner.universe)
-                    if served is not None:
-                        sub.moves_patched += 1
-                        self._count("service.continuous.moves_patched")
-                        result, region = served
-                        return self._set_response(sub, result, region,
-                                                  origin="move")
-                    state.point = previous
-                elif sub.response.region.contains(loc):
+                patched = query_semantics(sub.request).continuous_move(
+                    self, sub, loc)
+                if patched is not None:
                     sub.moves_patched += 1
                     self._count("service.continuous.moves_patched")
-                    return sub.response
+                    if patched[0] == "serve":
+                        return patched[1]
+                    _, result, region = patched
+                    return self._set_response(sub, result, region,
+                                              origin="move")
             return self._refetch(sub, loc)
 
     def _refetch(self, sub: Subscription, loc) -> PatchResponse:
         sub.moves_refetched += 1
         self._count("service.continuous.moves_refetched")
-        if sub.kind == "knn":
-            request = replace(sub.request, location=loc, previous_ids=None)
-            self._init_knn(sub, request)
-        elif sub.kind == "window":
-            request = replace(sub.request, focus=loc, previous_ids=None)
-            self._init_window(sub, request)
-        else:
-            request = replace(sub.request, location=loc)
-            self._init_range(sub, request)
+        sem = query_semantics(sub.request)
+        request = sem.refetch_request(sub.request, loc)
+        sem.subscribe_init(self, sub, request)
         sub.request = request
         self._emit("push.refetch", sid=sub.sid, kind=sub.kind)
         return sub.response

@@ -36,13 +36,16 @@ class FleetConfig:
 
     num_clients: int = 8
     #: Query mix: fraction of clients per query type.  Remaining
-    #: clients (after knn and window shares) issue range queries.
+    #: clients (after the explicit shares) issue range queries.
     knn_share: float = 0.5
     window_share: float = 0.3
+    rknn_share: float = 0.0
+    probknn_share: float = 0.0
     k: int = 3
     window_width: float = 0.1
     window_height: float = 0.1
     range_radius: float = 0.05
+    probknn_uncertainty: float = 0.02
     speed: float = 0.01
     #: Fraction of clients using the §7 incremental (delta) protocol.
     incremental_share: float = 0.0
@@ -62,8 +65,13 @@ class FleetConfig:
     def __post_init__(self):
         if self.num_clients < 1:
             raise ValueError("need at least one client")
-        if not 0.0 <= self.knn_share + self.window_share <= 1.0:
-            raise ValueError("query-mix shares must sum to <= 1")
+        shares = (self.knn_share + self.window_share
+                  + self.rknn_share + self.probknn_share)
+        if (min(self.knn_share, self.window_share, self.rknn_share,
+                self.probknn_share) < 0.0 or shares > 1.0 + 1e-9):
+            raise ValueError("query-mix shares must be >= 0 and sum to <= 1")
+        if self.probknn_uncertainty <= 0.0:
+            raise ValueError("probknn_uncertainty must be positive")
         if not 0.0 <= self.incremental_share <= 1.0:
             raise ValueError("incremental_share must be in [0, 1]")
         if not 0.0 <= self.subscription_share <= 1.0:
@@ -108,6 +116,11 @@ class _SimulatedClient:
         elif self.kind == "window":
             self.client.window(pos, self._cfg.window_width,
                                self._cfg.window_height)
+        elif self.kind == "rknn":
+            self.client.rknn(pos, k=self._cfg.k)
+        elif self.kind == "probknn":
+            self.client.probknn(pos, self._cfg.probknn_uncertainty,
+                                k=self._cfg.k)
         else:
             self.client.range(pos, self._cfg.range_radius)
 
@@ -127,12 +140,17 @@ class ClientFleet:
         rng = random.Random(cfg.seed)
         n_knn = round(cfg.num_clients * cfg.knn_share)
         n_window = round(cfg.num_clients * cfg.window_share)
+        n_rknn = round(cfg.num_clients * cfg.rknn_share)
+        n_probknn = round(cfg.num_clients * cfg.probknn_share)
         for sim in self._clients:  # drop any prior run's subscriptions
             sim.client.close()
         self._clients = []
         for i in range(cfg.num_clients):
             kind = ("knn" if i < n_knn
                     else "window" if i < n_knn + n_window
+                    else "rknn" if i < n_knn + n_window + n_rknn
+                    else "probknn"
+                    if i < n_knn + n_window + n_rknn + n_probknn
                     else "range")
             # Short-circuit keeps the rng draw sequence (and with it
             # the incremental assignment) unchanged at share 0.

@@ -63,8 +63,9 @@ from repro.core.api import (
     QueryResponse,
     RangeRequest,
     WindowRequest,
+    query_semantics,
 )
-from repro.core.server import DeltaResponse, KNNResponse, LocationServer
+from repro.core.server import DeltaResponse, LocationServer
 from repro.core.validity import CompositeValidityRegion, ValidityDisk
 from repro.geometry import Rect
 from repro.kernel import ExecutionConfig
@@ -497,18 +498,12 @@ class QueryService:
         re-ranking preserves their serving annotations.
         """
         inner = getattr(cached, "inner", cached)
-        if isinstance(inner, KNNResponse) and isinstance(request,
-                                                         KNNRequest):
-            qx, qy = request.location
-            ranked = sorted(
-                inner.neighbors,
-                key=lambda e: ((e.x - qx) ** 2 + (e.y - qy) ** 2, e.oid))
-            if ranked != inner.neighbors:
-                reranked = replace(inner, neighbors=ranked)
-                if inner is cached:
-                    return reranked
-                return cached.with_inner(reranked)
-        return cached
+        adapted = query_semantics(request).serve_cached(request, inner)
+        if adapted is inner:
+            return cached
+        if inner is cached:
+            return adapted
+        return cached.with_inner(adapted)
 
     # ------------------------------------------------------------------
     # admission plumbing
@@ -553,9 +548,7 @@ class QueryService:
         """
         cfg = self.resilience.admission
         factor = cfg.cache_only_shrink
-        loc = getattr(request, "location", None)
-        if loc is None:
-            loc = getattr(request, "focus", None)
+        loc = query_semantics(request).location(request)
         region = response.region
         try:
             box = region.mbr()
@@ -644,7 +637,12 @@ class QueryService:
         With an ``executor`` the batch fans out across its workers (the
         per-tick dispatch of a simulated client fleet); without one it
         runs inline.  Either way every query is individually traced.
+        The whole batch is validated against the query-type registry up
+        front, so an unregistered request fails the batch before any
+        work is dispatched.
         """
+        for r in requests:
+            query_semantics(r)  # TypeError before any query runs
         self.metrics.counter("service.batches").inc()
         self.metrics.histogram("service.batch_size").record(len(requests))
         if executor is None:
@@ -665,6 +663,15 @@ class QueryService:
 
     def range_query(self, location, radius: float):
         return self.answer(RangeRequest(tuple(location), radius))
+
+    def rknn_query(self, location, k: int = 1):
+        from repro.core.rknn import RKNNRequest
+        return self.answer(RKNNRequest(tuple(location), k=k))
+
+    def probknn_query(self, location, uncertainty: float, k: int = 1):
+        from repro.core.probknn import ProbKNNRequest
+        return self.answer(ProbKNNRequest(tuple(location),
+                                          uncertainty=uncertainty, k=k))
 
     # ------------------------------------------------------------------
     # reporting

@@ -61,12 +61,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.api import (
-    KNNRequest,
     QueryBudget,
     QueryDetail,
     QueryRequest,
-    RangeRequest,
-    WindowRequest,
+    query_semantics,
 )
 from repro.core.range_validity import RangeValidityRegion
 from repro.core.server import (
@@ -74,7 +72,6 @@ from repro.core.server import (
     LocationServer,
     RangeResponse,
     WindowResponse,
-    delta_response,
 )
 from repro.core.validity import (
     CompositeValidityRegion,
@@ -443,26 +440,19 @@ class ShardedServer:
             return response
 
     def _dispatch(self, request: QueryRequest):
-        budget = getattr(request, "budget", None)
-        if isinstance(request, KNNRequest):
-            full = self._knn(request.location, k=request.k,
-                             vertex_policy=request.vertex_policy,
-                             budget=budget)
-            if request.previous_ids is not None:
-                return delta_response(full, full.neighbors,
-                                      request.previous_ids)
-            return full
-        if isinstance(request, WindowRequest):
-            full = self._window(request.focus, request.width,
-                                request.height, budget=budget)
-            if request.previous_ids is not None:
-                return delta_response(full, full.result,
-                                      request.previous_ids)
-            return full
-        if isinstance(request, RangeRequest):
-            return self._range(request.location, request.radius,
-                               budget=budget)
-        raise TypeError(f"not a query request: {request!r}")
+        return query_semantics(request).shard_execute(self, request)
+
+    def dataset_entries(self) -> List[LeafEntry]:
+        """Every live entry across all shards (no simulated I/O).
+
+        The centralized :meth:`~repro.core.api.QuerySemantics.execute`
+        fallback answers snapshot-style query types (reverse-kNN,
+        probabilistic kNN) from this merged view.
+        """
+        out: List[LeafEntry] = []
+        for s in self._live():
+            out.extend(s.server.tree.points())
+        return out
 
     # ------------------------------------------------------------------
     # scatter-gather plumbing

@@ -51,6 +51,7 @@ from repro.core.api import (
     QueryResponse,
     RangeRequest,
     WindowRequest,
+    query_semantics,
 )
 from repro.core.range_validity import RangeValidityRegion
 from repro.core.validity import (
@@ -166,13 +167,8 @@ def shrunk_stale_region(request: QueryRequest, response: QueryResponse,
     """
     if not pending:
         return response.region
-    if isinstance(request, KNNRequest):
-        return _knn_stale_region(request, response, pending, universe)
-    if isinstance(request, WindowRequest):
-        return _window_stale_region(request, response, pending)
-    if isinstance(request, RangeRequest):
-        return _range_stale_region(request, response, pending)
-    raise TypeError(f"not a query request: {request!r}")
+    return query_semantics(request).stale_region(
+        request, response, pending, universe)
 
 
 def _deleted_member(response: QueryResponse,

@@ -1,0 +1,252 @@
+"""The pluggable query-type registry and its conformance contract.
+
+Every query type the service tiers can see — builtin or third-party —
+is a :class:`~repro.core.api.QuerySemantics` registered by kind.  This
+battery pins the registry mechanics (lookup by kind, by request type,
+by duck-typed ``kind`` attribute), runs the reusable conformance suite
+over all five builtin kinds, registers a brand-new toy query type end
+to end (service answer, validity cache, conformance — with zero
+changes to any service module), checks delta-protocol parity for
+window/range requests, and enforces the refactor invariant itself: no
+``isinstance(request, ...)`` dispatch ladder anywhere in
+``repro.service``.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import random
+import re
+from dataclasses import dataclass, replace
+from typing import ClassVar, List, Optional, Tuple
+
+import pytest
+
+import repro.service as service_pkg
+from repro import CacheConfig, build_service
+from repro.core.api import (
+    KNNRequest,
+    QueryDetail,
+    QueryRequest,
+    QuerySemantics,
+    RangeRequest,
+    WindowRequest,
+    query_semantics,
+    register_query_type,
+    registered_query_kinds,
+)
+from repro.core.conformance import check_semantics
+from repro.core.probknn import ProbKNNRequest
+from repro.core.rknn import RKNNRequest
+from repro.core.validity import AnnulusValidityRegion, POINT_BYTES
+
+
+def _points(seed: int = 9, n: int = 150):
+    rnd = random.Random(seed)
+    return [(rnd.random(), rnd.random()) for _ in range(n)]
+
+
+class TestRegistryLookup:
+    def test_all_builtin_kinds_are_registered(self):
+        assert set(registered_query_kinds()) >= {
+            "knn", "window", "range", "rknn", "probknn"}
+
+    def test_lookup_by_kind_request_type_and_duck_typing(self):
+        sem = query_semantics("rknn")
+        assert query_semantics(RKNNRequest((0.5, 0.5), k=1)) is sem
+
+        class _Duck:
+            kind = "rknn"
+        assert query_semantics(_Duck()) is sem
+
+    def test_requests_satisfy_the_open_protocol(self):
+        for request in (KNNRequest((0.1, 0.2), k=1),
+                        WindowRequest((0.1, 0.2), 0.1, 0.1),
+                        RangeRequest((0.1, 0.2), 0.1),
+                        RKNNRequest((0.1, 0.2), k=1),
+                        ProbKNNRequest((0.1, 0.2), uncertainty=0.01)):
+            assert isinstance(request, QueryRequest)
+
+    def test_unknown_kind_and_non_request_raise(self):
+        with pytest.raises(TypeError):
+            query_semantics("no-such-kind")
+        with pytest.raises(TypeError):
+            query_semantics(object())
+
+
+class TestBuiltinConformance:
+    @pytest.mark.parametrize("kind,requests", [
+        ("knn", [KNNRequest((0.4, 0.6), k=3), KNNRequest((0.9, 0.1), k=1)]),
+        ("window", [WindowRequest((0.5, 0.5), 0.2, 0.1)]),
+        ("range", [RangeRequest((0.3, 0.3), 0.15)]),
+        ("rknn", [RKNNRequest((0.4, 0.6), k=2), RKNNRequest((0.7, 0.2), k=4)]),
+        ("probknn", [ProbKNNRequest((0.4, 0.6), uncertainty=0.03, k=3),
+                     ProbKNNRequest((0.6, 0.4), uncertainty=0.01, k=1)]),
+    ])
+    def test_check_semantics_passes(self, kind, requests):
+        check_semantics(kind, _points(), requests)
+
+
+# --- a third-party query type, registered without touching the service ----
+
+@dataclass(frozen=True)
+class NearCountRequest:
+    """Toy type: the ids within a fixed disk, plus how many there are."""
+
+    kind: ClassVar[str] = "nearcount"
+
+    location: Tuple[float, float]
+    radius: float = 0.1
+    trace_id: Optional[str] = None
+    budget: Optional[object] = None
+    max_stale: Optional[int] = None
+
+
+@dataclass
+class NearCountDetail(QueryDetail):
+    kind = "nearcount"
+    query: Tuple[float, float]
+    radius: float
+    safety_radius: float
+    degraded: bool = False
+
+
+@dataclass
+class NearCountResponse:
+    result: List
+    region: AnnulusValidityRegion
+    detail: NearCountDetail
+
+    def transfer_bytes(self) -> int:
+        return POINT_BYTES * len(self.result) + self.region.transfer_bytes()
+
+
+class NearCountSemantics(QuerySemantics):
+    kind = "nearcount"
+    request_type = NearCountRequest
+
+    def execute(self, server, request):
+        cx, cy = request.location
+        hits, slack = [], math.hypot(server.universe.width,
+                                     server.universe.height)
+        for e in server.dataset_entries():
+            d = math.hypot(e.x - cx, e.y - cy)
+            slack = min(slack, abs(d - request.radius))
+            if d <= request.radius:
+                hits.append(e)
+        hits.sort(key=lambda e: e.oid)
+        server.queries_processed += 1
+        detail = NearCountDetail(query=(cx, cy), radius=request.radius,
+                                 safety_radius=slack)
+        return NearCountResponse(
+            result=hits,
+            region=AnnulusValidityRegion((cx, cy), 0.0, slack),
+            detail=detail)
+
+    def cache_key(self, request):
+        return ("nearcount", request.radius)
+
+    def stale_region(self, request, response, pending, universe):
+        rho = response.detail.safety_radius
+        cx, cy = request.location
+        ids = {e.oid for e in response.result}
+        for m in pending:
+            if m.op == "delete" and m.oid in ids:
+                return None
+            rho = min(rho, abs(math.hypot(m.x - cx, m.y - cy)
+                               - request.radius))
+        return AnnulusValidityRegion((cx, cy), 0.0, rho)
+
+    def refetch_request(self, request, location):
+        return replace(request, location=(float(location[0]),
+                                          float(location[1])))
+
+    def oracle(self, points, request):
+        eps = 1e-9
+        cx, cy = request.location
+        must, may = set(), set()
+        for e in points:
+            d = math.hypot(e.x - cx, e.y - cy)
+            if d < request.radius - eps:
+                must.add(e.oid)
+            if d <= request.radius + eps:
+                may.add(e.oid)
+        return must, may
+
+
+register_query_type(NearCountSemantics())
+
+
+class TestThirdPartyType:
+    def test_conformance(self):
+        check_semantics("nearcount", _points(),
+                        [NearCountRequest((0.5, 0.5), radius=0.12),
+                         NearCountRequest((0.2, 0.8), radius=0.05)])
+
+    def test_answers_through_the_full_service_with_caching(self):
+        points = _points()
+        service = build_service(points, cache=CacheConfig(capacity=32))
+        try:
+            request = NearCountRequest((0.5, 0.5), radius=0.1)
+            first = service.answer(request)
+            second = service.answer(request)
+            expected = sorted(
+                i for i, p in enumerate(points)
+                if math.dist(p, (0.5, 0.5)) <= 0.1)
+            assert [e.oid for e in first.result] == expected
+            assert [e.oid for e in second.result] == expected
+            stats = service.stats_snapshot()["cache"]
+            assert stats["hits"] >= 1
+        finally:
+            service.close()
+
+    def test_subscribe_rejects_types_without_subscription_support(self):
+        service = build_service(_points())
+        try:
+            with pytest.raises(ValueError):
+                service.subscribe(NearCountRequest((0.5, 0.5)))
+        finally:
+            service.close()
+
+    def test_answer_many_rejects_unregistered_requests(self):
+        service = build_service(_points())
+        try:
+            with pytest.raises(TypeError):
+                service.answer_many([KNNRequest((0.5, 0.5), k=1), object()])
+        finally:
+            service.close()
+
+
+class TestDeltaParity:
+    """Window and range requests speak the §7 delta protocol too."""
+
+    @pytest.mark.parametrize("request_", [
+        WindowRequest((0.5, 0.5), 0.3, 0.3),
+        RangeRequest((0.5, 0.5), 0.2),
+    ])
+    def test_as_delta_reconstructs_the_full_result(self, request_):
+        points = _points()
+        service = build_service(points)
+        try:
+            full = service.answer(request_)
+            previous = [e.oid for e in full.result][:-2]  # stale client
+            delta = service.answer(request_.as_delta(previous))
+            reconstructed = sorted(
+                set(previous) - set(delta.removed_ids)
+                | {e.oid for e in delta.added})
+            assert reconstructed == sorted(e.oid for e in full.result)
+            assert len(delta.added) >= 2
+        finally:
+            service.close()
+
+
+def test_no_isinstance_dispatch_ladders_left_in_the_service_tier():
+    """The refactor invariant itself: the service modules consult the
+    registry, never the concrete request classes."""
+    root = pathlib.Path(service_pkg.__file__).parent
+    pattern = re.compile(r"isinstance\(\s*request\s*,")
+    offenders = [p.name for p in sorted(root.glob("*.py"))
+                 if pattern.search(p.read_text())]
+    assert offenders == [], (
+        f"isinstance(request, ...) dispatch found in {offenders}")
