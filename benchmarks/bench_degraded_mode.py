@@ -61,8 +61,8 @@ def _run_one(fault_rate: float, seed: int = 11):
     elapsed = perf_counter() - t0
     res = report.snapshot["resilience"]
     breaker = res["breaker"] or {}
-    knn = report.snapshot["metrics"]["histograms"].get(
-        "service.latency_ms.knn", {})
+    knn = service.metrics.histogram_merged(
+        "service.latency_ms", query_kind="knn")
     return {
         "fault_rate": fault_rate,
         "updates": report.stats.position_updates,

@@ -22,14 +22,17 @@ WORKERS = 8
 def run_fleet():
     tree = uniform_tree(CONFIG.uniform_cardinalities[0])
     start = perf_counter()
-    report = fleet_run(tree, num_clients=NUM_CLIENTS, ticks=TICKS,
-                       max_workers=WORKERS, seed=7, incremental_share=0.25)
+    report, service = fleet_run(
+        tree, num_clients=NUM_CLIENTS, ticks=TICKS,
+        max_workers=WORKERS, seed=7, incremental_share=0.25,
+        return_service=True)
     elapsed = perf_counter() - start
-    hists = report.snapshot["metrics"]["histograms"]
     rows = []
     metrics = {}
     for kind, count in sorted(report.mix.items()):
-        h = hists[f"service.latency_ms.{kind}"]
+        # Merge the labeled latency series across the degraded dimension.
+        h = service.metrics.histogram_merged(
+            "service.latency_ms", query_kind=kind)
         rows.append((kind, count, h["count"], h["p50"], h["p95"], h["p99"]))
         for q in ("p50", "p95", "p99"):
             metrics[f"{kind}.{q}_ms"] = h[q]

@@ -205,13 +205,16 @@ def run_once(benchmark, fn: Callable[[], object]):
 # ----------------------------------------------------------------------
 def fleet_run(tree, num_clients: int = 16, ticks: int = 25,
               max_workers: int = 8, seed: int = 0,
-              incremental_share: float = 0.0):
+              incremental_share: float = 0.0,
+              return_service: bool = False):
     """Drive a simulated client fleet over ``tree`` through the
     instrumented :class:`~repro.service.service.QueryService`.
 
     Returns the :class:`~repro.service.fleet.FleetReport`; its
     ``snapshot`` field is the JSON-serializable stats the benches dump
-    with :func:`dump_snapshot`.
+    with :func:`dump_snapshot`.  With ``return_service=True`` returns
+    ``(report, service)`` so callers can read the live metrics registry
+    (e.g. ``metrics.histogram_merged`` for cross-label percentiles).
     """
     from repro.core import LocationServer
     from repro.service import ClientFleet, FleetConfig, QueryService
@@ -220,7 +223,8 @@ def fleet_run(tree, num_clients: int = 16, ticks: int = 25,
     fleet = ClientFleet(service, FleetConfig(
         num_clients=num_clients, seed=seed,
         incremental_share=incremental_share))
-    return fleet.run(ticks, max_workers=max_workers)
+    report = fleet.run(ticks, max_workers=max_workers)
+    return (report, service) if return_service else report
 
 
 def dump_snapshot(snapshot, title: str = "service snapshot") -> None:

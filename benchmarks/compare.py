@@ -3,7 +3,7 @@
 The regression trail: benches append flat numeric metrics to
 schema-versioned ``BENCH_obs_<name>.json`` / ``BENCH_kernel_<name>.json``
 / ``BENCH_fleet_<name>.json`` / ``BENCH_incr_<name>.json`` /
-``BENCH_mixed_<name>.json`` files (see
+``BENCH_mixed_<name>.json`` / ``BENCH_slo_<name>.json`` files (see
 ``common.write_bench_record``); this tool compares each record's most
 recent run against the one before it and exits non-zero when a guarded
 metric regressed by more than the threshold (default 25%).
@@ -17,7 +17,8 @@ Guarded metrics — where a *worse* value fails the check:
   (``*hit_ratio*``) and availability (``*availability*``): **lower**
   is worse;
 * incorrect answers (``*incorrect*``): higher is worse (any regression
-  from a zero baseline is reported but cannot be ratio-compared).
+  from a zero baseline is reported but cannot be ratio-compared);
+* instrumentation overhead (``*overhead*``): higher is worse.
 
 Unguarded metrics (counts like ``queries``) are reported but never
 fail the check.
@@ -27,8 +28,9 @@ Usage::
     python benchmarks/compare.py [RECORD.json ...] [--threshold 0.25]
 
 With no file arguments, every ``BENCH_obs_*.json``,
-``BENCH_kernel_*.json``, ``BENCH_fleet_*.json``, ``BENCH_incr_*.json``
-and ``BENCH_mixed_*.json`` in the bench directory (``REPRO_BENCH_DIR``,
+``BENCH_kernel_*.json``, ``BENCH_fleet_*.json``, ``BENCH_incr_*.json``,
+``BENCH_mixed_*.json`` and ``BENCH_slo_*.json``
+in the bench directory (``REPRO_BENCH_DIR``,
 default the current directory) is checked.  Exit codes: 0 ok / nothing to compare yet, 1 regression,
 2 bad input.
 """
@@ -51,6 +53,7 @@ _DIRECTIONS: List[Tuple[str, bool]] = [
     ("hit_ratio", True),
     ("availability", True),
     ("incorrect", False),
+    ("overhead", False),
     ("p50_ms", False),
     ("p95_ms", False),
     ("p99_ms", False),
@@ -131,8 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("records", nargs="*",
                         help="record files (default: BENCH_obs_*.json, "
                              "BENCH_kernel_*.json, BENCH_fleet_*.json, "
-                             "BENCH_incr_*.json and BENCH_mixed_*.json "
-                             "in $REPRO_BENCH_DIR or .)")
+                             "BENCH_incr_*.json, BENCH_mixed_*.json and "
+                             "BENCH_slo_*.json in $REPRO_BENCH_DIR or .)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum tolerated relative regression "
                              "(default 0.25 = 25%%)")
@@ -145,11 +148,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             + glob.glob(os.path.join(bench_dir, "BENCH_kernel_*.json"))
             + glob.glob(os.path.join(bench_dir, "BENCH_fleet_*.json"))
             + glob.glob(os.path.join(bench_dir, "BENCH_incr_*.json"))
-            + glob.glob(os.path.join(bench_dir, "BENCH_mixed_*.json")))
+            + glob.glob(os.path.join(bench_dir, "BENCH_mixed_*.json"))
+            + glob.glob(os.path.join(bench_dir, "BENCH_slo_*.json")))
         if not records:
             print(f"no BENCH_obs_*.json, BENCH_kernel_*.json, "
-                  f"BENCH_fleet_*.json, BENCH_incr_*.json or "
-                  f"BENCH_mixed_*.json records "
+                  f"BENCH_fleet_*.json, BENCH_incr_*.json, "
+                  f"BENCH_mixed_*.json or BENCH_slo_*.json records "
                   f"under {bench_dir!r}; run a bench first")
             return 0
     worst = 0

@@ -59,6 +59,9 @@ from repro.kernel import ExecutionConfig, available_kernels
 from repro.obs import (
     EventLog,
     ObservabilityServer,
+    PhaseProfiler,
+    SLOConfig,
+    SLOEngine,
     TraceContext,
     chrome_trace,
     current_trace,
@@ -85,11 +88,12 @@ from repro.service import (
     ShardedServer,
     Subscription,
     SubscriptionUpdate,
+    TailSamplingConfig,
     ValidityCache,
     build_service,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: The canonical public surface (docs/API.md documents every name;
 #: ``python -m repro.service.checkapi`` fails CI when the two drift).
@@ -163,5 +167,9 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "span_tree",
+    "SLOConfig",
+    "SLOEngine",
+    "PhaseProfiler",
+    "TailSamplingConfig",
     "__version__",
 ]

@@ -198,14 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc.add_argument("--trace-out", default=None,
                        help="write the slowest retained trace as Chrome "
                             "trace_event JSON (Perfetto-loadable)")
+    p_svc.add_argument("--slo", action="store_true",
+                       help="attach the SLO engine (availability + latency "
+                            "objectives) and let burn rates drive brownout")
+    p_svc.add_argument("--slo-latency-ms", type=float, default=50.0,
+                       help="latency-SLO threshold in ms (with --slo)")
+    p_svc.add_argument("--profile", action="store_true",
+                       help="enable phase profiling (/profile/flame)")
+    p_svc.add_argument("--tail-sample", type=int, default=0, metavar="N",
+                       help="tail-based trace sampling: always keep "
+                            "slow/errored/degraded/SLO-violating traces, "
+                            "1-in-N of the healthy rest (0 = off)")
 
     p_obs = sub.add_parser(
         "obs", help="inspect a running service's observability endpoint")
     p_obs.add_argument("--url", default="http://127.0.0.1:9464",
                        help="base URL of the observability endpoint")
-    what = p_obs.add_subparsers(dest="obs_what", required=True)
+    p_obs.add_argument("--flame", action="store_true",
+                       help="fetch the collapsed-stack flamegraph "
+                            "(/profile/flame) and exit")
+    what = p_obs.add_subparsers(dest="obs_what", required=False)
     what.add_parser("metrics", help="scrape the Prometheus exposition")
     what.add_parser("snapshot", help="fetch the full stats snapshot")
+    what.add_parser("slo", help="fetch burn rates, alerts and brownout")
+    what.add_parser("profile", help="fetch the phase-profile table")
     p_tail = what.add_parser("tail", help="tail the structured event log")
     p_tail.add_argument("-n", type=int, default=50)
     p_tail.add_argument("--category", default=None)
@@ -326,7 +342,13 @@ def _cmd_service(args) -> int:
     import time as _time
 
     from repro.core.api import QueryBudget
-    from repro.obs import EventLog, ObservabilityServer, write_chrome_trace
+    from repro.obs import (
+        EventLog,
+        ObservabilityServer,
+        SLOConfig,
+        SLOEngine,
+        write_chrome_trace,
+    )
     from repro.service import (
         AdmissionConfig,
         BreakerConfig,
@@ -336,6 +358,7 @@ def _cmd_service(args) -> int:
         ResilienceConfig,
         RetryBudgetConfig,
         RetryPolicy,
+        TailSamplingConfig,
         build_service,
     )
     from repro.storage import FaultPlan, inject_faults
@@ -373,6 +396,18 @@ def _cmd_service(args) -> int:
     if args.replicas > 1:
         replica = ReplicaConfig(replication_lag=args.replication_lag,
                                 default_max_stale=args.max_stale)
+    slo = None
+    if args.slo:
+        slo = SLOEngine([
+            SLOConfig(name="availability", objective="availability",
+                      target=0.999),
+            SLOConfig(name="latency", objective="latency", target=0.99,
+                      threshold_ms=args.slo_latency_ms),
+        ])
+    tail = None
+    if args.tail_sample > 0:
+        tail = TailSamplingConfig(keep_1_in=args.tail_sample,
+                                  slow_ms=args.slo_latency_ms)
     service = build_service(
         uniform_points(args.n, seed=args.seed),
         shards=args.shards,
@@ -384,13 +419,17 @@ def _cmd_service(args) -> int:
         resilience=resilience,
         events=EventLog(capacity=args.event_capacity, sample=sample),
         continuous=ContinuousConfig(margin=max(1, args.knn_margin)),
+        slo=slo,
+        tail=tail,
+        profile=args.profile,
     )
     server = service.server
     obs = None
     if args.metrics_port is not None:
         obs = ObservabilityServer(service, port=args.metrics_port).start()
         print(f"observability endpoint: {obs.url} "
-              f"(/metrics, /traces, /events, /snapshot)")
+              f"(/metrics, /traces, /events, /snapshot, /slo, "
+              f"/profile/flame, /healthz, /readyz)")
     faulty = args.fault_rate > 0.0 or args.fault_latency_ms > 0.0
     if faulty:
         plan = FaultPlan(
@@ -479,13 +518,22 @@ def _cmd_service(args) -> int:
               f"breaker {breaker.get('state', 'off')} "
               f"({breaker.get('trips', 0)} trips, "
               f"{breaker.get('recoveries', 0)} recoveries)")
-    hists = report.snapshot["metrics"]["histograms"]
     for kind in sorted(report.mix):
-        h = hists.get(f"service.latency_ms.{kind}")
-        if h:
+        h = service.metrics.histogram_merged("service.latency_ms",
+                                             query_kind=kind)
+        if h["count"]:
             print(f"  {kind:<7} p50 {h['p50']:.2f} ms   "
                   f"p95 {h['p95']:.2f} ms   p99 {h['p99']:.2f} ms   "
                   f"({h['count']} queries)")
+    slo_snap = report.snapshot.get("slo")
+    if slo_snap:
+        for name, row in sorted(slo_snap["slos"].items()):
+            burns = ", ".join(f"{w}={b:.2f}"
+                              for w, b in sorted(row["burn_rate"].items()))
+            print(f"  slo {name}: burn [{burns}], budget "
+                  f"{row['budget_remaining']:.1%} left, "
+                  f"fast_alert={row['fast_alert']}, "
+                  f"brownout={slo_snap['brownout']}")
     ev = service.events.stats()
     if ev["emitted"]:
         per_cat = ", ".join(f"{c}={n}"
@@ -538,10 +586,20 @@ def _cmd_obs(args) -> int:
             print(f"cannot reach {url}: {exc}", file=sys.stderr)
             raise SystemExit(1)
 
-    if args.obs_what == "metrics":
+    if args.obs_what is None:
+        if not args.flame:
+            print("repro obs: give a subcommand (metrics, snapshot, slo, "
+                  "profile, tail, trace) or --flame", file=sys.stderr)
+            return 2
+        sys.stdout.write(fetch("/profile/flame"))
+    elif args.obs_what == "metrics":
         sys.stdout.write(fetch("/metrics"))
     elif args.obs_what == "snapshot":
         sys.stdout.write(fetch("/snapshot"))
+    elif args.obs_what == "slo":
+        sys.stdout.write(fetch("/slo"))
+    elif args.obs_what == "profile":
+        sys.stdout.write(fetch("/profile"))
     elif args.obs_what == "tail":
         sys.stdout.write(fetch("/events", {
             "n": args.n, "category": args.category,

@@ -21,8 +21,15 @@ The pieces:
   ``trace_event`` (Perfetto-loadable) exporter, and ``span_tree``.
 * :mod:`repro.obs.http` — :class:`ObservabilityServer`, a stdlib
   ``http.server`` endpoint serving ``/metrics``, ``/traces/<id>``,
-  ``/events`` and friends for a running
+  ``/events``, ``/slo``, ``/profile/flame``, ``/healthz``/``/readyz``
+  and friends for a running
   :class:`~repro.service.service.QueryService`.
+* :mod:`repro.obs.slo` — :class:`SLOEngine` / :class:`SLOConfig`:
+  declarative availability/latency/staleness objectives tracked with
+  multi-window multi-burn-rate alerting, driving the admission
+  controller's brownout ladder.
+* :mod:`repro.obs.profile` — :class:`PhaseProfiler`: span trees folded
+  into per-phase self-time tables and collapsed-stack flamegraphs.
 
 See docs/OBSERVABILITY.md for the trace-context model, the event
 schema, and how to open an exported trace in Perfetto.
@@ -46,6 +53,8 @@ from repro.obs.exporters import (
     write_chrome_trace,
 )
 from repro.obs.http import ObservabilityServer
+from repro.obs.profile import PhaseProfiler, collapse_trace
+from repro.obs.slo import SLOConfig, SLOEngine
 
 __all__ = [
     "Span",
@@ -62,4 +71,8 @@ __all__ = [
     "span_tree",
     "write_chrome_trace",
     "ObservabilityServer",
+    "PhaseProfiler",
+    "collapse_trace",
+    "SLOConfig",
+    "SLOEngine",
 ]

@@ -5,12 +5,13 @@ Two dialects out of one telemetry pipeline:
 * :func:`prometheus_text` renders a
   :class:`~repro.service.metrics.MetricsRegistry` snapshot in the
   Prometheus text exposition format (version 0.0.4) — counters become
-  ``_total`` series, gauges stay plain, histograms surface as summaries
-  with ``quantile`` labels.  Per-kind / per-shard / per-phase metric
-  name suffixes (``service.latency_ms.knn``,
-  ``service.shard.3.queries``) are folded into **labels**
-  (``{kind="knn"}``, ``{shard="3"}``) so one family aggregates across
-  its dimensions the way PromQL expects.
+  ``_total`` series, gauges stay plain, histograms with bucket bounds
+  surface as native Prometheus histograms (cumulative ``_bucket{le=}``
+  series plus ``_sum``/``_count``) and bucketless histograms as
+  summaries with ``quantile`` labels.  The registry is dimensional:
+  snapshot keys are canonical series keys
+  (``service.queries{query_kind="knn"}``), so labels pass straight
+  through to the exposition — no metric-name suffix folding.
 
 * :func:`chrome_trace` converts a :class:`~repro.service.tracing.QueryTrace`
   span tree into the Chrome ``trace_event`` JSON format, loadable in
@@ -37,32 +38,26 @@ __all__ = ["prometheus_text", "chrome_trace", "write_chrome_trace",
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
-#: Metric-name suffix patterns folded into labels: (regex, label key).
-#: The family keeps the unmatched prefix (plus a ``.delta`` marker when
-#: present); the captured dimension becomes the label value.
-_KIND = re.compile(
-    r"^(service\.(?:queries|cache\.hits|retries|errors|degraded"
-    r"|latency_ms|transfer_bytes|result_size))"
-    r"\.(knn|window|range)(\.delta)?$")
-_SHARD = re.compile(r"^service\.shard\.(\d+)\.(queries|node_accesses)$")
-_PHASE = re.compile(r"^service\.(node_accesses|page_faults)\.([A-Za-z_]\w*)$")
+#: Matches one ``key="value"`` pair inside a canonical series key (the
+#: value may contain escaped quotes/backslashes/newlines).  Mirrors
+#: :func:`repro.service.metrics.series_key`; kept local so ``repro.obs``
+#: stays importable without the service layer.
+_SERIES_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 _QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
 
 
-def _family(name: str) -> Tuple[str, Dict[str, str]]:
-    """Split a dotted metric name into (family, labels)."""
-    m = _KIND.match(name)
-    if m:
-        family = m.group(1) + (".delta" if m.group(3) else "")
-        return family, {"kind": m.group(2)}
-    m = _SHARD.match(name)
-    if m:
-        return f"service.shard.{m.group(2)}", {"shard": m.group(1)}
-    m = _PHASE.match(name)
-    if m:
-        return f"service.{m.group(1)}", {"phase": m.group(2)}
-    return name, {}
+def _family(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a canonical series key into (family, labels)."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    family = key[:brace]
+    body = key[brace + 1:key.rfind("}")]
+    labels = {m.group(1): (m.group(2).replace(r"\n", "\n")
+                           .replace(r'\"', '"').replace(r"\\", "\\"))
+              for m in _SERIES_LABEL.finditer(body)}
+    return family, labels
 
 
 def _metric_name(family: str, namespace: str) -> str:
@@ -100,24 +95,25 @@ def prometheus_text(metrics, namespace: str = "repro") -> str:
     snap = metrics.snapshot()
     lines: List[str] = []
 
-    def render(kind_name: str, prom_type: str, values, serializer):
-        # Group dotted names into families so each family gets one
+    def group(values) -> Dict[str, List[Tuple[Dict[str, str], object]]]:
+        # Group series keys into families so each family gets one
         # HELP/TYPE header regardless of how many label sets it has.
         families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
-        for name in sorted(values):
-            family, labels = _family(name)
-            families.setdefault(family, []).append((labels, values[name]))
-        for family in sorted(families):
+        for key in sorted(values):
+            family, labels = _family(key)
+            families.setdefault(family, []).append((labels, values[key]))
+        return families
+
+    def render_scalar(kind_name: str, prom_type: str, values):
+        for family, series in sorted(group(values).items()):
             metric = _metric_name(family, namespace)
             if prom_type == "counter":
                 metric += "_total"
             lines.append(f"# HELP {metric} {family} ({kind_name})")
             lines.append(f"# TYPE {metric} {prom_type}")
-            for labels, value in families[family]:
-                serializer(metric, labels, value)
-
-    def emit_scalar(metric, labels, value):
-        lines.append(f"{metric}{_label_str(labels)} {_value_str(value)}")
+            for labels, value in series:
+                lines.append(f"{metric}{_label_str(labels)} "
+                             f"{_value_str(value)}")
 
     def emit_summary(metric, labels, hist):
         for key, quantile in _QUANTILES:
@@ -129,9 +125,38 @@ def prometheus_text(metrics, namespace: str = "repro") -> str:
         lines.append(f"{metric}_count{_label_str(labels)} "
                      f"{_value_str(hist['count'])}")
 
-    render("counter", "counter", snap.get("counters", {}), emit_scalar)
-    render("gauge", "gauge", snap.get("gauges", {}), emit_scalar)
-    render("histogram", "summary", snap.get("histograms", {}), emit_summary)
+    def emit_buckets(metric, labels, hist):
+        buckets = hist["buckets"]
+        for le in sorted(buckets,
+                         key=lambda s: float("inf") if s == "+Inf"
+                         else float(s)):
+            b_labels = dict(labels, le=le)
+            lines.append(f"{metric}_bucket{_label_str(b_labels)} "
+                         f"{_value_str(buckets[le])}")
+        lines.append(f"{metric}_sum{_label_str(labels)} "
+                     f"{_value_str(hist['sum'])}")
+        lines.append(f"{metric}_count{_label_str(labels)} "
+                     f"{_value_str(hist['count'])}")
+
+    def render_histograms(values):
+        for family, series in sorted(group(values).items()):
+            metric = _metric_name(family, namespace)
+            # A family is a native Prometheus histogram only when every
+            # series carries bucket counts; otherwise fall back to the
+            # reservoir-quantile summary rendering.
+            native = all("buckets" in hist for _, hist in series)
+            prom_type = "histogram" if native else "summary"
+            lines.append(f"# HELP {metric} {family} (histogram)")
+            lines.append(f"# TYPE {metric} {prom_type}")
+            for labels, hist in series:
+                if native:
+                    emit_buckets(metric, labels, hist)
+                else:
+                    emit_summary(metric, labels, hist)
+
+    render_scalar("counter", "counter", snap.get("counters", {}))
+    render_scalar("gauge", "gauge", snap.get("gauges", {}))
+    render_histograms(snap.get("histograms", {}))
     return "\n".join(lines) + "\n"
 
 

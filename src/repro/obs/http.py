@@ -5,16 +5,22 @@
 over plain ``http.server`` (no dependencies, daemon-threaded, safe to
 run beside a live fleet):
 
-====================  =====================================================
-``GET /metrics``      Prometheus text exposition of the metrics registry
-``GET /traces``       JSON index of retained traces (id, kind, duration)
-``GET /traces/<id>``  the trace's span tree as JSON
+=========================  ================================================
+``GET /metrics``           Prometheus text exposition of the registry
+``GET /traces``            JSON index of retained traces
+``GET /traces/<id>``       the trace's span tree as JSON
 ``GET /traces/<id>/chrome``  the trace as Chrome ``trace_event`` JSON
-``GET /events``       the event log tail as JSON Lines
-                      (``?n=100&category=fault&trace_id=...``)
-``GET /snapshot``     the full ``stats_snapshot()`` JSON
-``GET /healthz``      liveness probe
-====================  =====================================================
+``GET /events``            the event log tail as JSON Lines
+                           (``?n=100&category=fault&trace_id=...``)
+``GET /snapshot``          the full ``stats_snapshot()`` JSON
+``GET /slo``               SLO burn rates, alerts, brownout recommendation
+``GET /profile``           phase-profile table (samples, self/total ms)
+``GET /profile/flame``     collapsed-stack flamegraph (``flamegraph.pl``
+                           / speedscope input; values in microseconds)
+``GET /healthz``           liveness probe: the process serves requests
+``GET /readyz``            readiness probe: replicas probed healthy and
+                           admission is not rejecting (503 otherwise)
+=========================  ================================================
 
 ``port=0`` binds an ephemeral port (tests); :attr:`ObservabilityServer.url`
 is the base URL once :meth:`start`\\ ed.
@@ -58,6 +64,28 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(parsed.query)
         if parts == ["healthz"]:
             self._send(200, "ok\n")
+        elif parts == ["readyz"]:
+            ready, detail = self._readiness()
+            self._send_json(200 if ready else 503, detail)
+        elif parts == ["slo"]:
+            engine = getattr(self.service, "slo", None)
+            if engine is None:
+                self._send_json(404, {"error": "no SLO engine configured"})
+            else:
+                engine.maybe_evaluate()
+                self._send_json(200, engine.snapshot())
+        elif parts == ["profile"]:
+            profiler = getattr(self.service, "profiler", None)
+            if profiler is None:
+                self._send_json(404, {"error": "phase profiling disabled"})
+            else:
+                self._send_json(200, profiler.snapshot())
+        elif parts == ["profile", "flame"]:
+            profiler = getattr(self.service, "profiler", None)
+            if profiler is None:
+                self._send_json(404, {"error": "phase profiling disabled"})
+            else:
+                self._send(200, profiler.flamegraph())
         elif parts == ["metrics"]:
             self._send(200, prometheus_text(self.service.metrics),
                        content_type=PROMETHEUS_CONTENT_TYPE)
@@ -93,6 +121,28 @@ class _Handler(BaseHTTPRequestHandler):
                                       f"{parts[2]!r}"})
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def _readiness(self):
+        """Readiness = at least one healthy serving path AND admission is
+        not in full-reject brownout.  Liveness (``/healthz``) stays a plain
+        "the process answers"; this one is allowed to say no."""
+        detail = {"ready": True}
+        admission = getattr(self.service, "admission", None)
+        if admission is not None:
+            snap = admission.snapshot()
+            detail["admission"] = {"level": snap.get("level"),
+                                   "slo_level": snap.get("slo_level")}
+            if snap.get("level") == "reject":
+                detail["ready"] = False
+                detail["reason"] = "admission is rejecting all queries"
+        probe = getattr(self.service.server, "probe_health", None)
+        if probe is not None:
+            rows = probe()
+            detail["replicas"] = rows
+            if not any(r.get("status") == "ok" for r in rows):
+                detail["ready"] = False
+                detail["reason"] = "no replica passed its health probe"
+        return detail["ready"], detail
 
     def _send(self, status: int, body: str,
               content_type: str = "text/plain; charset=utf-8") -> None:

@@ -41,8 +41,20 @@ exporters and the HTTP endpoint — lives in :mod:`repro.obs`; the
 service opens a trace per query and every layer below reports into it.
 """
 
-from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.service.tracing import QueryTrace, Span, TraceBuffer
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_series_key,
+    series_key,
+)
+from repro.service.tracing import (
+    QueryTrace,
+    Span,
+    TailSamplingConfig,
+    TraceBuffer,
+)
 from repro.service.retry import (
     RetryBudget,
     RetryBudgetConfig,
@@ -89,9 +101,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "series_key",
+    "parse_series_key",
     "QueryTrace",
     "Span",
     "TraceBuffer",
+    "TailSamplingConfig",
     "RetryPolicy",
     "RetryBudget",
     "RetryBudgetConfig",

@@ -139,6 +139,10 @@ class AdmissionController:
         self._ewma_ms: Optional[float] = None
         #: Test/operations hook: pin the brownout level regardless of load.
         self.forced_level: Optional[int] = None
+        #: Floor set by the SLO engine (burn-rate-driven brownout): the
+        #: effective level is the max of the load-factor ladder and this
+        #: floor, so budget burn sheds load even while queues look fine.
+        self.slo_level = LEVEL_NORMAL
         # Decision tallies (the service mirrors these into its registry).
         self.accepted = 0
         self.rejected_queue_full = 0
@@ -160,12 +164,19 @@ class AdmissionController:
         if self.forced_level is not None:
             return self.forced_level
         if load >= self.config.reject_at:
-            return LEVEL_REJECT
-        if load >= self.config.cache_only_at:
-            return LEVEL_CACHE_ONLY
-        if load >= self.config.reduce_at:
-            return LEVEL_REDUCED
-        return LEVEL_NORMAL
+            level = LEVEL_REJECT
+        elif load >= self.config.cache_only_at:
+            level = LEVEL_CACHE_ONLY
+        elif load >= self.config.reduce_at:
+            level = LEVEL_REDUCED
+        else:
+            level = LEVEL_NORMAL
+        return max(level, self.slo_level)
+
+    def set_slo_level(self, level: int) -> None:
+        """Set the SLO-driven brownout floor (``LEVEL_*``; clamped)."""
+        with self._cv:
+            self.slo_level = max(LEVEL_NORMAL, min(LEVEL_REJECT, int(level)))
 
     # ------------------------------------------------------------------
     # the gate
@@ -248,6 +259,7 @@ class AdmissionController:
                 "max_queue_depth": self.config.max_queue_depth,
                 "load_factor": load,
                 "level": LEVEL_NAMES[self._level_for(load)],
+                "slo_level": LEVEL_NAMES[self.slo_level],
                 "accepted": self.accepted,
                 "rejected_queue_full": self.rejected_queue_full,
                 "rejected_deadline": self.rejected_deadline,

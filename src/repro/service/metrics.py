@@ -1,4 +1,4 @@
-"""Thread-safe metrics primitives for the query service.
+"""Thread-safe dimensional metrics primitives for the query service.
 
 One :class:`MetricsRegistry` is shared by every layer of a running
 service: the server reports per-query latencies and bytes on the wire,
@@ -7,30 +7,111 @@ folded in when a snapshot is taken.  Everything a snapshot returns is
 plain JSON-serializable data, so benchmark harnesses and the CLI can
 dump it directly.
 
+Metrics are **dimensional**: every accessor takes an optional
+``labels`` mapping (``registry.counter("service.queries",
+labels={"query_kind": "knn"})``), and each distinct (family, label set)
+pair is an independent time series.  Series are stored under a
+canonical key rendered by :func:`series_key` —
+``service.queries{query_kind="knn"}`` — which is exactly the
+Prometheus exposition syntax, so exporters can recover (family,
+labels) with :func:`parse_series_key` instead of pattern-matching
+dotted suffixes.  A family registered as one kind (counter / gauge /
+histogram) cannot be re-registered as another, regardless of labels.
+
 The primitives are deliberately small:
 
 * :class:`Counter` — a monotonically increasing integer;
 * :class:`Gauge` — a last-write-wins float;
 * :class:`Histogram` — a bounded sample reservoir with exact
-  count/sum/min/max and approximate percentiles (p50/p95/p99).
+  count/sum/min/max, approximate percentiles (p50/p95/p99), and —
+  when constructed with ``buckets`` — exact cumulative Prometheus
+  histogram bucket counts.
 
 The histogram keeps at most ``max_samples`` raw observations; once
 full, new observations overwrite pseudo-randomly chosen slots (a
 deterministic multiplicative hash of the observation count), which
 keeps memory bounded under sustained load while remaining reproducible
-run to run.
+run to run.  Bucket counts are exact regardless of reservoir overflow;
+percentiles are estimated from the reservoir, and snapshots report
+``retained_samples`` next to ``count`` so consumers can tell exact
+percentiles (``retained_samples == count``) from estimates.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
+import re
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "series_key",
+    "parse_series_key",
+]
 
 #: Knuth's multiplicative hash constant, used to pick reservoir slots.
 _HASH = 2654435761
+
+#: Default bucket upper bounds (milliseconds) for latency histograms.
+#: Roughly log-spaced from sub-millisecond cache hits to multi-second
+#: degraded tails; ``+Inf`` is implicit.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+_LABEL_KEY = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SERIES_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+            .replace('"', r'\"').replace("\n", r"\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace(r"\n", "\n")
+            .replace(r'\"', '"').replace(r"\\", "\\"))
+
+
+def series_key(name: str, labels: Optional[Mapping[str, object]] = None) -> str:
+    """Canonical storage key for one series of a metric family.
+
+    ``series_key("service.queries", {"query_kind": "knn"})`` →
+    ``'service.queries{query_kind="knn"}'``.  Label keys are sorted, so
+    equal label sets always produce the same key; an empty / missing
+    label set yields the bare family name.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_KEY.match(key):
+            raise ValueError(f"invalid label key {key!r}")
+        parts.append(f'{key}="{_escape_label_value(str(labels[key]))}"')
+    return name + "{" + ",".join(parts) + "}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_key`: ``key`` → ``(family, labels)``."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    family = key[:brace]
+    body = key[brace + 1:key.rfind("}")]
+    labels = {m.group(1): _unescape_label_value(m.group(2))
+              for m in _SERIES_LABEL.finditer(body)}
+    return family, labels
+
+
+def _labels_match(labels: Mapping[str, str], match: Mapping[str, object]) -> bool:
+    return all(labels.get(k) == str(v) for k, v in match.items())
 
 
 class Counter:
@@ -41,10 +122,12 @@ class Counter:
     point-in-time read; standalone counters default to a private lock.
     """
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None,
+                 labels: Optional[Mapping[str, str]] = None):
         self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
         self._value = 0
         self._lock = lock if lock is not None else threading.Lock()
 
@@ -59,16 +142,18 @@ class Counter:
         return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name}={self._value})"
+        return f"Counter({series_key(self.name, self.labels)}={self._value})"
 
 
 class Gauge:
     """A value that can go up and down (buffer occupancy, fleet size…)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, lock: Optional[threading.Lock] = None):
+    def __init__(self, name: str, lock: Optional[threading.Lock] = None,
+                 labels: Optional[Mapping[str, str]] = None):
         self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
         self._value = 0.0
         self._lock = lock if lock is not None else threading.Lock()
 
@@ -85,27 +170,58 @@ class Gauge:
         return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Gauge({self.name}={self._value})"
+        return f"Gauge({series_key(self.name, self.labels)}={self._value})"
+
+
+def bucket_bound_str(bound: float) -> str:
+    """Prometheus ``le`` rendering of a bucket upper bound (``+Inf`` aware)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return format(bound, "g")
 
 
 class Histogram:
-    """A sample distribution with exact moments and quantile estimates."""
+    """A sample distribution with exact moments and quantile estimates.
 
-    __slots__ = ("name", "_samples", "_lock", "_max_samples",
-                 "count", "total", "min", "max")
+    When ``buckets`` (a strictly ascending sequence of upper bounds) is
+    given, the histogram additionally keeps exact cumulative bucket
+    counts in the native Prometheus shape; an implicit ``+Inf`` bucket
+    always closes the set.
+    """
+
+    __slots__ = ("name", "labels", "_samples", "_lock", "_max_samples",
+                 "_bounds", "_bucket_counts", "count", "total", "min", "max")
 
     def __init__(self, name: str, max_samples: int = 65536,
-                 lock: Optional[threading.Lock] = None):
+                 lock: Optional[threading.Lock] = None,
+                 labels: Optional[Mapping[str, str]] = None,
+                 buckets: Optional[Sequence[float]] = None):
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
         self._samples: List[float] = []
         self._max_samples = max_samples
         self._lock = lock if lock is not None else threading.Lock()
+        if buckets is not None:
+            bounds = [float(b) for b in buckets if b != float("inf")]
+            if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+                raise ValueError("buckets must be strictly ascending and "
+                                 "non-empty")
+            self._bounds: Optional[List[float]] = bounds
+            # One non-cumulative count per bound, plus the +Inf overflow.
+            self._bucket_counts: Optional[List[int]] = [0] * (len(bounds) + 1)
+        else:
+            self._bounds = None
+            self._bucket_counts = None
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+
+    @property
+    def bucket_bounds(self) -> Optional[Tuple[float, ...]]:
+        return tuple(self._bounds) if self._bounds is not None else None
 
     def record(self, value: float) -> None:
         value = float(value)
@@ -114,6 +230,8 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            if self._bounds is not None:
+                self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
             if len(self._samples) < self._max_samples:
                 self._samples.append(value)
             else:
@@ -138,11 +256,11 @@ class Histogram:
         rank = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return self._snapshot_locked()
 
-    def _snapshot_locked(self) -> Dict[str, float]:
+    def _snapshot_locked(self) -> Dict[str, object]:
         """Snapshot body; the caller must hold this histogram's lock."""
         ordered = sorted(self._samples)
         count, total = self.count, self.total
@@ -155,8 +273,9 @@ class Histogram:
                        int(round(p / 100.0 * (len(ordered) - 1))))
             return ordered[rank]
 
-        return {
+        snap: Dict[str, object] = {
             "count": count,
+            "retained_samples": len(ordered),
             "sum": total,
             "mean": total / count if count else 0.0,
             "min": lo if lo is not None else 0.0,
@@ -165,17 +284,28 @@ class Histogram:
             "p95": q(95.0),
             "p99": q(99.0),
         }
+        if self._bounds is not None:
+            cumulative: Dict[str, int] = {}
+            running = 0
+            for bound, n in zip(self._bounds, self._bucket_counts):
+                running += n
+                cumulative[bucket_bound_str(bound)] = running
+            cumulative["+Inf"] = count
+            snap["buckets"] = cumulative
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Histogram({self.name}, n={self.count})"
+        return f"Histogram({series_key(self.name, self.labels)}, n={self.count})"
 
 
 class MetricsRegistry:
     """Get-or-create registry of named counters, gauges and histograms.
 
-    Names are free-form dotted strings (``query.latency_ms.knn``); the
-    registry imposes no schema, but a name registered as one kind cannot
-    be re-registered as another.
+    Family names are free-form dotted strings (``service.latency_ms``);
+    the registry imposes no schema, but a family registered as one kind
+    cannot be re-registered as another — even under different labels.
+    Each distinct (family, label set) is its own series, stored under
+    its canonical :func:`series_key`.
 
     Every metric the registry creates shares one **data lock**, so
     :meth:`snapshot` is a single consistent point-in-time read: no
@@ -192,37 +322,144 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Family name → "counter" | "gauge" | "histogram".
+        self._kinds: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # get-or-create accessors
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, object]] = None) -> Counter:
+        key = series_key(name, labels)
         with self._lock:
-            self._check_kind(name, self._counters)
-            if name not in self._counters:
-                self._counters[name] = Counter(name, lock=self._data_lock)
-            return self._counters[name]
+            self._check_kind(name, "counter")
+            if key not in self._counters:
+                self._counters[key] = Counter(
+                    name, lock=self._data_lock,
+                    labels={k: str(v) for k, v in (labels or {}).items()})
+            return self._counters[key]
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        key = series_key(name, labels)
         with self._lock:
-            self._check_kind(name, self._gauges)
-            if name not in self._gauges:
-                self._gauges[name] = Gauge(name, lock=self._data_lock)
-            return self._gauges[name]
+            self._check_kind(name, "gauge")
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(
+                    name, lock=self._data_lock,
+                    labels={k: str(v) for k, v in (labels or {}).items()})
+            return self._gauges[key]
 
-    def histogram(self, name: str, max_samples: int = 65536) -> Histogram:
+    def histogram(self, name: str, max_samples: int = 65536,
+                  labels: Optional[Mapping[str, object]] = None,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create one histogram series.
+
+        ``buckets`` applies on first creation of the series; subsequent
+        lookups return the existing series unchanged, so every series
+        of a family should be created with the same bucket layout.
+        """
+        key = series_key(name, labels)
         with self._lock:
-            self._check_kind(name, self._histograms)
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(name, max_samples,
-                                                   lock=self._data_lock)
-            return self._histograms[name]
+            self._check_kind(name, "histogram")
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(
+                    name, max_samples, lock=self._data_lock,
+                    labels={k: str(v) for k, v in (labels or {}).items()},
+                    buckets=buckets)
+            return self._histograms[key]
 
-    def _check_kind(self, name: str, expected_home: Dict) -> None:
-        for home in (self._counters, self._gauges, self._histograms):
-            if home is not expected_home and name in home:
-                raise ValueError(
-                    f"metric {name!r} already registered as a different kind")
+    def _check_kind(self, name: str, kind: str) -> None:
+        registered = self._kinds.get(name)
+        if registered is None:
+            self._kinds[name] = kind
+        elif registered != kind:
+            raise ValueError(
+                f"metric family {name!r} already registered as a "
+                f"{registered}, not a {kind}")
+
+    # ------------------------------------------------------------------
+    # family aggregation
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str, **match: object) -> int:
+        """Sum of a counter family across label sets matching ``match``.
+
+        ``counter_total("service.queries", query_kind="knn")`` sums
+        every ``service.queries`` series whose labels include
+        ``query_kind="knn"``; with no ``match`` it sums the whole
+        family (including the unlabeled series, when present).
+        """
+        with self._lock:
+            series = [c for c in self._counters.values() if c.name == name]
+        with self._data_lock:
+            return sum(c._value for c in series
+                       if _labels_match(c.labels, match))
+
+    def histogram_merged(self, name: str, **match: object) -> Dict[str, object]:
+        """One merged snapshot of a histogram family across label sets.
+
+        Counts, sums and bucket counts add exactly; min/max combine
+        exactly; percentiles are re-estimated from the concatenated
+        reservoirs.  Useful for reading e.g. per-kind latency
+        regardless of the ``degraded`` dimension.
+        """
+        with self._lock:
+            series = [h for h in self._histograms.values()
+                      if h.name == name and _labels_match(h.labels, match)]
+        with self._data_lock:
+            samples: List[float] = []
+            count = 0
+            total = 0.0
+            lo: Optional[float] = None
+            hi: Optional[float] = None
+            merged_buckets: Dict[str, int] = {}
+            any_buckets = False
+            for h in series:
+                samples.extend(h._samples)
+                count += h.count
+                total += h.total
+                if h.min is not None:
+                    lo = h.min if lo is None else min(lo, h.min)
+                if h.max is not None:
+                    hi = h.max if hi is None else max(hi, h.max)
+                snap = h._snapshot_locked()
+                if "buckets" in snap:
+                    any_buckets = True
+                    for le, n in snap["buckets"].items():
+                        merged_buckets[le] = merged_buckets.get(le, 0) + n
+        samples.sort()
+
+        def q(p: float) -> float:
+            if not samples:
+                return 0.0
+            rank = min(len(samples) - 1,
+                       int(round(p / 100.0 * (len(samples) - 1))))
+            return samples[rank]
+
+        merged: Dict[str, object] = {
+            "count": count,
+            "retained_samples": len(samples),
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": q(50.0),
+            "p95": q(95.0),
+            "p99": q(99.0),
+        }
+        if any_buckets:
+            merged["buckets"] = merged_buckets
+        return merged
+
+    def family_labels(self, name: str) -> List[Dict[str, str]]:
+        """Every label set registered for a family, in creation order."""
+        with self._lock:
+            for home in (self._counters, self._gauges, self._histograms):
+                found = [dict(m.labels) for m in home.values()
+                         if m.name == name]
+                if found:
+                    return found
+        return []
 
     # ------------------------------------------------------------------
     # reporting
@@ -230,10 +467,12 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict]:
         """Everything, as one consistent JSON-serializable snapshot.
 
-        All values are read under the shared data lock in a single
-        critical section, so the returned numbers are mutually
-        consistent (e.g. a hits counter never outruns its probes
-        counter within one snapshot).
+        Keys are canonical series keys (bare family name for unlabeled
+        series, ``family{k="v"}`` for labeled ones — parse with
+        :func:`parse_series_key`).  All values are read under the
+        shared data lock in a single critical section, so the returned
+        numbers are mutually consistent (e.g. a hits counter never
+        outruns its probes counter within one snapshot).
         """
         with self._lock:
             counters = dict(self._counters)
@@ -257,3 +496,4 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._kinds.clear()

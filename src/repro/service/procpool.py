@@ -16,9 +16,12 @@ The worker keeps the parent's observability contract:
   trace with a time-base shift — process workers render in exporters
   exactly like thread workers;
 * per-phase node-access/page-fault deltas are measured around each job
-  and merged into the parent-side shard counters, so ``io_stats``,
-  phase breakdowns and shard snapshots stay accurate under the
-  process backend.
+  and merged into the parent-side shard counters at decode time
+  (:meth:`~repro.service.shard.ShardedServer._scatter_process`), so
+  ``io_stats``, phase breakdowns, shard snapshots *and* the dimensional
+  ``service.shard.*{shard=,backend="process"}`` registry series stay
+  accurate under the process backend — the worker never talks to a
+  registry itself.
 """
 
 from __future__ import annotations

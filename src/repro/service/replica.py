@@ -188,6 +188,24 @@ class ReplicaSet:
         self.replication_retries = 0
         self._ring = self._build_ring()
         self._closed = False
+        #: Set by bind_metrics: failovers are attributed to the replica
+        #: that failed (the response only carries the final count).
+        self._metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Report replica-routing counters into ``registry`` with labels.
+
+        Failovers land in ``service.replica.failovers{replica=}``
+        against the *failing* replica — attribution the service layer
+        cannot recover from the served response — and each replica's
+        sharded server (when it is one) is bound with a ``replica``
+        label riding on its ``service.shard.*`` series.
+        """
+        self._metrics = registry
+        for replica in self.replicas:
+            bind = getattr(replica.server, "bind_metrics", None)
+            if bind is not None:
+                bind(registry, extra_labels={"replica": str(replica.rid)})
 
     # ------------------------------------------------------------------
     # construction
@@ -311,6 +329,10 @@ class ReplicaSet:
             last_exc = payload
             failovers += 1
             self._count("failovers")
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "service.replica.failovers",
+                    labels={"replica": str(replica.rid)}).inc()
             emit_event("replica", event="replica.failover", rid=replica.rid,
                        error=f"{type(payload).__name__}: {payload}")
         if last_exc is not None:

@@ -71,6 +71,8 @@ from repro.geometry import Rect
 from repro.kernel import ExecutionConfig
 from repro.obs.context import TraceContext, emit_event, start_trace
 from repro.obs.events import EventLog
+from repro.obs.profile import PhaseProfiler
+from repro.obs.slo import SLOEngine
 from repro.service.continuous import (
     ContinuousConfig,
     Subscription,
@@ -79,6 +81,7 @@ from repro.service.continuous import (
 from repro.service.staleness import Mutation
 from repro.service.admission import (
     LEVEL_CACHE_ONLY,
+    LEVEL_NAMES,
     LEVEL_NORMAL,
     LEVEL_REDUCED,
     LEVEL_REJECT,
@@ -88,7 +91,7 @@ from repro.service.admission import (
 )
 from repro.service.cache import CacheConfig, ValidityCache
 from repro.service.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.service.replica import ReplicaConfig, ReplicaSet
 from repro.service.retry import (
     RetryBudget,
@@ -98,7 +101,12 @@ from repro.service.retry import (
 )
 from repro.service.shard import ShardedServer
 from repro.service.staleness import ServedResponse
-from repro.service.tracing import QueryTrace, TraceBuffer, now
+from repro.service.tracing import (
+    QueryTrace,
+    TailSamplingConfig,
+    TraceBuffer,
+    now,
+)
 
 __all__ = ["QueryService", "ResilienceConfig", "build_service"]
 
@@ -140,12 +148,35 @@ class QueryService:
                  cache: Optional[ValidityCache] = None,
                  events: Optional[EventLog] = None,
                  continuous: Optional[ContinuousConfig] = None,
+                 slo: Optional[SLOEngine] = None,
+                 tail: Optional[TailSamplingConfig] = None,
+                 profile=False,
                  sleep=time.sleep):
         self.server = server
         self.cache = cache
         self.continuous = continuous
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.traces = TraceBuffer(trace_capacity)
+        # Layers that meter themselves (shard fan-out workers, replica
+        # routing) report into the service registry with their own
+        # label dimensions.
+        bind = getattr(server, "bind_metrics", None)
+        if bind is not None:
+            bind(self.metrics)
+        #: The SLO engine, if objectives are declared: every finished or
+        #: failed query is observed, and its recommended brownout level
+        #: becomes the admission controller's floor (see _slo_tick).
+        self.slo = slo
+        if self.slo is not None and self.slo.metrics is None:
+            self.slo.metrics = self.metrics
+        self.traces = TraceBuffer(trace_capacity, tail=tail)
+        if self.slo is not None and tail is not None:
+            self.traces.violation_check = self.slo.latency_violation
+        #: The phase profiler (a PhaseProfiler, or truthy for defaults):
+        #: finished span trees are folded into per-phase self-time.
+        if isinstance(profile, PhaseProfiler):
+            self.profiler: Optional[PhaseProfiler] = profile
+        else:
+            self.profiler = PhaseProfiler() if profile else None
         #: The structured event log every traced stage reports into.
         self.events = events if events is not None else EventLog()
         self.resilience = resilience
@@ -318,7 +349,8 @@ class QueryService:
             )
             if cached is not None:
                 self.metrics.counter("service.cache.hits").inc()
-                self.metrics.counter(f"service.cache.hits.{kind}").inc()
+                self.metrics.counter("service.cache.hits",
+                                     labels={"query_kind": kind}).inc()
                 emit_event("cache", event="cache.hit", kind=kind)
             else:
                 self.metrics.counter("service.cache.misses").inc()
@@ -351,20 +383,24 @@ class QueryService:
                             (perf_counter() - gate_start) * 1e3)
                     self._shed(trace, ctx, kind, exc)
                 acquired = True
-                self.metrics.counter("service.admission.accepted").inc()
-                if wait_ms > 0.0:
-                    ctx.add_span("admission_wait",
-                                 offset_ms=(gate_start - t0) * 1e3,
-                                 duration_ms=wait_ms)
-                    self.metrics.histogram(
-                        "service.admission.wait_ms").record(wait_ms)
-                if level >= LEVEL_REDUCED:
-                    request = self._brownout_budget(request, kind)
-                exec_start = perf_counter()
             retry = (self.resilience.retry
                      if self.resilience is not None else None)
             attempt = 0
+            # Everything past the acquire runs under the finally that
+            # releases the slot — a failure anywhere here must not leak
+            # admission concurrency.
             try:
+                if acquired:
+                    self.metrics.counter("service.admission.accepted").inc()
+                    if wait_ms > 0.0:
+                        ctx.add_span("admission_wait",
+                                     offset_ms=(gate_start - t0) * 1e3,
+                                     duration_ms=wait_ms)
+                        self.metrics.histogram(
+                            "service.admission.wait_ms").record(wait_ms)
+                    if level >= LEVEL_REDUCED:
+                        request = self._brownout_budget(request, kind)
+                    exec_start = perf_counter()
                 while True:
                     if self.breaker is not None:
                         try:
@@ -411,7 +447,8 @@ class QueryService:
                                                         self._retry_rng)
                             self.metrics.counter("service.retries").inc()
                             self.metrics.counter(
-                                f"service.retries.{kind}").inc()
+                                "service.retries",
+                                labels={"query_kind": kind}).inc()
                             trace.retries += 1
                             ctx.add_span(
                                 "retry_backoff",
@@ -477,6 +514,8 @@ class QueryService:
         trace.duration_ms = (perf_counter() - t0) * 1e3
         trace.spans = ctx.spans()
         self.traces.append(trace)
+        if self.profiler is not None:
+            self.profiler.record(trace)
         self._record(kind, trace,
                      delta=getattr(request, "previous_ids", None) is not None,
                      detail=response.detail, response=response)
@@ -512,7 +551,8 @@ class QueryService:
               exc: AdmissionRejectedError) -> None:
         """Record an admission rejection and raise it — never queued."""
         self.metrics.counter("service.admission.rejected").inc()
-        self.metrics.counter(f"service.admission.rejected.{kind}").inc()
+        self.metrics.counter("service.admission.rejected",
+                             labels={"query_kind": kind}).inc()
         emit_event("admission", event="admission.reject", kind=kind,
                    reason=exc.reason)
         self._fail(trace, ctx, kind, exc)
@@ -531,10 +571,16 @@ class QueryService:
         if cfg.brownout_budget is None or (
                 budget is not None and budget is not default):
             return request
+        try:
+            clamped = replace(request, budget=cfg.brownout_budget)
+        except TypeError:
+            # Not a dataclass request (an exotic/invalid type): leave it
+            # unclamped and let execution fail it through the traced path.
+            return request
         self.metrics.counter("service.admission.brownout.reduced").inc()
         emit_event("admission", event="admission.brownout",
                    level="reduced", kind=kind)
-        return replace(request, budget=cfg.brownout_budget)
+        return clamped
 
     def _brownout_shrink(self, request: QueryRequest,
                          response: QueryResponse,
@@ -623,10 +669,21 @@ class QueryService:
         trace.error = f"{type(exc).__name__}: {exc}"
         trace.spans = ctx.spans()
         self.traces.append(trace)
+        if self.profiler is not None:
+            self.profiler.record(trace)
         self.metrics.counter("service.errors").inc()
-        self.metrics.counter(f"service.errors.{kind}").inc()
+        self.metrics.counter("service.errors",
+                             labels={"query_kind": kind}).inc()
         emit_event("query", event="query.error", kind=kind,
                    error=trace.error)
+        # Admission sheds are the *mitigation*, not the symptom: counting
+        # them against availability would lock the brownout in (shed →
+        # bad → burn → shed).  Everything else — including breaker
+        # rejections — burns the error budget.
+        if self.slo is not None and not isinstance(exc,
+                                                   AdmissionRejectedError):
+            self.slo.observe(kind, latency_ms=trace.duration_ms, error=True)
+            self._slo_tick()
         raise exc
 
     def answer_many(self, requests: Sequence[QueryRequest],
@@ -679,42 +736,78 @@ class QueryService:
     def _record(self, kind: str, trace: QueryTrace, delta: bool,
                 detail=None, response=None) -> None:
         m = self.metrics
-        m.counter(f"service.queries.{kind}").inc()
+        by_kind = {"query_kind": kind}
+        # Unlabeled series are the pre-aggregated totals (what
+        # stats_snapshot and the bench trails read); the labeled series
+        # of the same family carry the dimensional breakdown.
         m.counter("service.queries").inc()
+        m.counter("service.queries", labels=by_kind).inc()
         if delta:
-            m.counter(f"service.queries.{kind}.delta").inc()
+            m.counter("service.queries.delta", labels=by_kind).inc()
         if trace.degraded:
             m.counter("service.degraded").inc()
-            m.counter(f"service.degraded.{kind}").inc()
+            m.counter("service.degraded", labels=by_kind).inc()
         m.counter("service.bytes_on_wire").inc(trace.transfer_bytes)
-        m.histogram(f"service.latency_ms.{kind}").record(trace.duration_ms)
-        m.histogram(f"service.transfer_bytes.{kind}").record(
+        m.histogram(
+            "service.latency_ms",
+            labels={"query_kind": kind,
+                    "degraded": "true" if trace.degraded else "false"},
+            buckets=DEFAULT_LATENCY_BUCKETS_MS).record(trace.duration_ms)
+        m.histogram("service.transfer_bytes", labels=by_kind).record(
             trace.transfer_bytes)
-        m.histogram(f"service.result_size.{kind}").record(trace.result_size)
+        m.histogram("service.result_size", labels=by_kind).record(
+            trace.result_size)
         for phase, count in trace.node_accesses.items():
-            m.counter(f"service.node_accesses.{phase}").inc(count)
+            m.counter("service.node_accesses",
+                      labels={"phase": phase}).inc(count)
         for phase, count in trace.page_faults.items():
-            m.counter(f"service.page_faults.{phase}").inc(count)
+            m.counter("service.page_faults",
+                      labels={"phase": phase}).inc(count)
+        # Per-shard breakdowns are metered by the sharded server itself
+        # (bind_metrics), with shard/backend labels; the service only
+        # records the fan-out shape here.
         fanout = getattr(detail, "per_shard_node_accesses", None)
         if fanout is not None:
             m.counter("service.shard.fanouts").inc()
             m.histogram("service.shard.fanout_width").record(len(fanout))
-            for sid, count in fanout.items():
-                m.counter(f"service.shard.{sid}.queries").inc()
-                if count:
-                    m.counter(f"service.shard.{sid}.node_accesses").inc(
-                        count)
         # Replica-served responses carry their serving annotations.
         rid = getattr(response, "replica_id", None)
+        staleness = 0
         if rid is not None:
-            m.counter(f"service.replica.{rid}.queries").inc()
+            by_replica = {"replica": str(rid)}
+            m.counter("service.replica.queries", labels=by_replica).inc()
             staleness = getattr(response, "staleness", 0)
             if staleness:
                 m.counter("service.replica.stale_served").inc()
-                m.histogram("service.replica.staleness").record(staleness)
+                m.counter("service.replica.stale_served",
+                          labels=by_replica).inc()
+                m.histogram("service.replica.staleness",
+                            labels=by_replica).record(staleness)
             failovers = getattr(response, "failovers", 0)
             if failovers:
                 m.counter("service.replica.failovers").inc(failovers)
+        if self.slo is not None:
+            self.slo.observe(kind, latency_ms=trace.duration_ms,
+                             error=False, staleness=staleness)
+            self._slo_tick()
+
+    def _slo_tick(self) -> None:
+        """Fold the SLO engine's recommendation into admission control.
+
+        ``maybe_evaluate`` is rate-limited by the engine's own clock, so
+        this is cheap to call per query; when the recommended brownout
+        level changes, it becomes the admission controller's floor —
+        burn rate drives the ladder even when queue depth looks healthy.
+        """
+        level = self.slo.maybe_evaluate()
+        if level is None or self.admission is None:
+            return
+        if level != self.admission.slo_level:
+            previous = self.admission.slo_level
+            self.admission.set_slo_level(level)
+            self.events.emit("slo", event="slo.brownout",
+                             previous=LEVEL_NAMES[previous],
+                             level=LEVEL_NAMES[level])
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Everything observable about the running service, as JSON data.
@@ -743,6 +836,7 @@ class QueryService:
                 "cache_hit_ratio": hits / updates if updates else 0.0,
                 "traces_retained": len(self.traces),
                 "traces_dropped": self.traces.dropped,
+                "trace_sampling": self.traces.sampling_stats(),
             },
             "events": self.events.stats(),
             "resilience": {
@@ -771,6 +865,10 @@ class QueryService:
             out["resilience"]["retry_budget"] = self.retry_budget.snapshot()
         if self.admission is not None:
             out["admission"] = self.admission.snapshot()
+        if self.slo is not None:
+            out["slo"] = self.slo.snapshot()
+        if self.profiler is not None:
+            out["profile"] = self.profiler.snapshot()
         if hasattr(self.server, "replica_snapshot"):
             out["replica_set"] = self.server.snapshot()
         if "shards" in disk_info:
@@ -833,6 +931,9 @@ def build_service(points: Sequence, *,
                   resilience: Optional[ResilienceConfig] = None,
                   events: Optional[EventLog] = None,
                   continuous: Optional[ContinuousConfig] = None,
+                  slo: Optional[SLOEngine] = None,
+                  tail: Optional[TailSamplingConfig] = None,
+                  profile=False,
                   cache_capacity: Optional[int] = None,
                   cache_grid: Optional[int] = None,
                   max_workers: Optional[int] = None) -> QueryService:
@@ -868,6 +969,14 @@ def build_service(points: Sequence, *,
       server-push subscription tier (kNN candidate margin, per-
       subscription queue bound); the tier itself is created lazily on
       the first :meth:`QueryService.subscribe` call.
+    * ``slo`` — an :class:`~repro.obs.slo.SLOEngine` — observes every
+      query outcome, exports ``slo_*`` gauges, and drives the
+      admission brownout ladder by error-budget burn rate; ``tail`` —
+      a :class:`~repro.service.tracing.TailSamplingConfig` — switches
+      the trace ring to tail-based retention; ``profile`` (a
+      :class:`~repro.obs.profile.PhaseProfiler` or truthy) folds span
+      trees into the per-phase self-time profile behind
+      ``/profile/flame``.
 
     Everything else is threaded through unchanged (index node
     ``capacity`` and ``fill``, LRU ``buffer_fraction`` per disk,
@@ -929,4 +1038,5 @@ def build_service(points: Sequence, *,
     return QueryService(server, metrics=metrics,
                         trace_capacity=trace_capacity,
                         resilience=resilience, cache=validity_cache,
-                        events=events, continuous=continuous)
+                        events=events, continuous=continuous,
+                        slo=slo, tail=tail, profile=profile)

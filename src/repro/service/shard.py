@@ -293,6 +293,32 @@ class ShardedServer:
         self._proc_pool: Optional[ProcessPoolExecutor] = None
         self._proc_epoch = -1
         self._atexit_cb = None
+        #: Set by bind_metrics: per-shard work is metered with
+        #: shard/backend (and any extra, e.g. replica) labels.
+        self._metrics = None
+        self._metric_labels: Dict[str, str] = {}
+
+    def bind_metrics(self, registry, extra_labels=None) -> None:
+        """Report per-shard counters into ``registry`` with labels.
+
+        Every shard job — thread-pool or process-pool — increments
+        ``service.shard.queries{shard=,backend=}`` and adds its node
+        accesses to ``service.shard.node_accesses{...}``.
+        ``extra_labels`` ride along on every series (a fronting
+        :class:`~repro.service.replica.ReplicaSet` adds ``replica``).
+        """
+        self._metrics = registry
+        self._metric_labels = dict(extra_labels or {})
+
+    def _meter_shard(self, sid: int, node_accesses: int) -> None:
+        if self._metrics is None:
+            return
+        labels = dict(self._metric_labels,
+                      shard=str(sid), backend=self.execution.backend)
+        self._metrics.counter("service.shard.queries", labels=labels).inc()
+        if node_accesses:
+            self._metrics.counter("service.shard.node_accesses",
+                                  labels=labels).inc(node_accesses)
 
     # ------------------------------------------------------------------
     # construction
@@ -569,6 +595,9 @@ class ShardedServer:
                 stats.page_faults.update(job.page_faults)
                 if ctx is not None:
                     self._inject_spans(ctx, job.spans, shift_ms)
+                # The worker's counters merge back here — the one place
+                # process-backend shard work is visible to the registry.
+                self._meter_shard(shard.sid, sum(job.node_accesses.values()))
                 out.append((shard, job.response,
                             sum(job.node_accesses.values())))
         # Preserve the caller's job order (MINDIST order), not the
@@ -593,8 +622,7 @@ class ShardedServer:
                                  meta=meta, parent_id=parent_id)
             new_ids[i] = span_.span_id
 
-    @staticmethod
-    def _metered(shard: Shard, fn):
+    def _metered(self, shard: Shard, fn):
         """Run ``fn`` under a per-shard child span and report the node
         accesses it cost the shard."""
         with obs_span(f"shard_{shard.sid}",
@@ -604,6 +632,7 @@ class ShardedServer:
             after = shard.server.io_stats.total_node_accesses
             if span_ is not None:
                 span_.meta["node_accesses"] = after - before
+        self._meter_shard(shard.sid, after - before)
         return shard, response, after - before
 
     @staticmethod

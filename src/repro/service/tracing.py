@@ -32,7 +32,8 @@ from typing import Dict, List, Optional
 
 from repro.obs.context import PHASE_SPAN_NAMES, Span
 
-__all__ = ["Span", "QueryTrace", "SPAN_NAMES", "TraceBuffer"]
+__all__ = ["Span", "QueryTrace", "SPAN_NAMES", "TailSamplingConfig",
+           "TraceBuffer"]
 
 #: Disk phase name → trace span name (shared with :mod:`repro.obs`).
 SPAN_NAMES = PHASE_SPAN_NAMES
@@ -64,6 +65,9 @@ class QueryTrace:
     #: True when the response shipped a degraded (shrunk) validity
     #: region because the query budget ran out.
     degraded: bool = False
+    #: Why the tail sampler kept this trace ("error" / "degraded" /
+    #: "slow" / "slo:<name>" / "sampled"); None without tail sampling.
+    retention_reason: Optional[str] = None
 
     @property
     def total_node_accesses(self) -> int:
@@ -108,7 +112,34 @@ class QueryTrace:
             out["retries"] = self.retries
         if self.degraded:
             out["degraded"] = True
+        if self.retention_reason is not None:
+            out["retention_reason"] = self.retention_reason
         return out
+
+
+@dataclass(frozen=True)
+class TailSamplingConfig:
+    """Tail-based retention policy for a :class:`TraceBuffer`.
+
+    Decisions are made at trace *end* (tail-based): errored, degraded,
+    slow (``>= slow_ms``) and SLO-violating traces are always kept;
+    healthy traces keep a deterministic 1-in-``keep_1_in``.  Traces sit
+    in a ``decision_window``-deep pending deque before the verdict is
+    applied, so the most recent traces are always findable (live
+    debugging) even when they would be downsampled.
+    """
+
+    keep_1_in: int = 10
+    slow_ms: Optional[float] = None
+    decision_window: int = 64
+
+    def __post_init__(self):
+        if self.keep_1_in < 1:
+            raise ValueError("keep_1_in must be >= 1 (keep 1-in-N)")
+        if self.slow_ms is not None and self.slow_ms <= 0:
+            raise ValueError("slow_ms must be positive")
+        if self.decision_window < 0:
+            raise ValueError("decision_window must be non-negative")
 
 
 class TraceBuffer:
@@ -117,17 +148,35 @@ class TraceBuffer:
     ``capacity=0`` is a true no-op sink: :meth:`append` returns without
     taking the lock (or touching anything), so high-QPS fleets can
     disable trace retention without contention.
+
+    With a :class:`TailSamplingConfig` the buffer becomes a
+    **tail-based sampler**: the retention decision is made when the
+    trace *ends* (so it can see the outcome), recorded as
+    ``retention_reason`` on the trace and its root span, and applied
+    only once the trace ages out of the pending decision window — the
+    newest ``decision_window`` traces are always findable regardless of
+    their verdict.  ``violation_check`` (set by the service when an
+    SLO engine is attached) is called as ``(kind, duration_ms)`` and
+    returns the name of a violated latency SLO, or None.
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256,
+                 tail: Optional[TailSamplingConfig] = None):
         if capacity < 0:
             raise ValueError("trace capacity must be non-negative")
         self._capacity = capacity
         #: Fast-path flag read without the lock on every append.
         self._enabled = capacity > 0
+        self.tail = tail
+        #: Hook: (kind, duration_ms) -> violated latency-SLO name | None.
+        self.violation_check = None
         self._traces: List[QueryTrace] = []
+        self._pending: List[QueryTrace] = []
         self._lock = threading.Lock()
         self._dropped = 0
+        self._healthy_seen = 0
+        self._downsampled = 0
+        self._retained_by_reason: Dict[str, int] = {}
 
     @property
     def capacity(self) -> int:
@@ -141,15 +190,72 @@ class TraceBuffer:
     def append(self, trace: QueryTrace) -> None:
         if not self._enabled:
             return
+        if self.tail is None:
+            with self._lock:
+                self._retain_locked(trace)
+            return
         with self._lock:
-            self._traces.append(trace)
-            if len(self._traces) > self._capacity:
-                del self._traces[:len(self._traces) - self._capacity]
-                self._dropped += 1
+            reason = self._decide_locked(trace)
+            if reason is not None:
+                trace.retention_reason = reason
+                self._retained_by_reason[reason.split(":")[0]] = (
+                    self._retained_by_reason.get(reason.split(":")[0], 0) + 1)
+                self._annotate_root(trace, reason)
+            self._pending.append(trace)
+            overflow = len(self._pending) - self.tail.decision_window
+            if overflow > 0:
+                decided, self._pending = (self._pending[:overflow],
+                                          self._pending[overflow:])
+                for aged in decided:
+                    if aged.retention_reason is None:
+                        self._downsampled += 1
+                    else:
+                        self._retain_locked(aged)
+
+    def _retain_locked(self, trace: QueryTrace) -> None:
+        self._traces.append(trace)
+        if len(self._traces) > self._capacity:
+            del self._traces[:len(self._traces) - self._capacity]
+            self._dropped += 1
+
+    def _decide_locked(self, trace: QueryTrace) -> Optional[str]:
+        """The tail verdict: why this finished trace must be kept."""
+        if trace.error is not None:
+            return "error"
+        if trace.degraded:
+            return "degraded"
+        tail = self.tail
+        if tail.slow_ms is not None and trace.duration_ms >= tail.slow_ms:
+            return "slow"
+        check = self.violation_check
+        if check is not None:
+            violated = check(trace.kind, trace.duration_ms)
+            if violated:
+                return f"slo:{violated}"
+        # Healthy: deterministic 1-in-N (the first, the N+1th, …).
+        self._healthy_seen += 1
+        if (self._healthy_seen - 1) % tail.keep_1_in == 0:
+            return "sampled"
+        return None
+
+    @staticmethod
+    def _annotate_root(trace: QueryTrace, reason: str) -> None:
+        ids = {s.span_id for s in trace.spans if s.span_id is not None}
+        for s in trace.spans:
+            if s.parent_id is None or s.parent_id not in ids:
+                s.meta["retention_reason"] = reason
+                break
 
     def find(self, trace_id: str) -> Optional[QueryTrace]:
-        """The retained trace with ``trace_id`` (newest wins), or None."""
+        """The retained trace with ``trace_id`` (newest wins), or None.
+
+        Pending (not-yet-committed) traces are searched first: the
+        newest traces are always reachable under tail sampling.
+        """
         with self._lock:
+            for trace in reversed(self._pending):
+                if trace.trace_id == trace_id:
+                    return trace
             for trace in reversed(self._traces):
                 if trace.trace_id == trace_id:
                     return trace
@@ -158,11 +264,23 @@ class TraceBuffer:
     def recent(self, n: Optional[int] = None) -> List[QueryTrace]:
         """The most recent ``n`` traces (all retained ones by default)."""
         with self._lock:
-            traces = list(self._traces)
+            traces = self._traces + self._pending
         return traces if n is None else traces[-n:]
 
+    def sampling_stats(self) -> Dict[str, object]:
+        """Tail-sampling accounting (all zeros without a tail config)."""
+        with self._lock:
+            return {
+                "tail_sampling": self.tail is not None,
+                "pending": len(self._pending),
+                "retained": len(self._traces),
+                "healthy_seen": self._healthy_seen,
+                "downsampled": self._downsampled,
+                "retained_by_reason": dict(self._retained_by_reason),
+            }
+
     def __len__(self) -> int:
-        return len(self._traces)
+        return len(self._traces) + len(self._pending)
 
 
 def now() -> float:

@@ -1,0 +1,140 @@
+"""EventLog accounting at the capacity boundary, alone and under load.
+
+The log's contract is "counted, never silently lost": every emit is
+either retained, sampled out, or dropped — and the three tallies add
+up exactly, even with concurrent writers hammering a full ring.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import EventLog
+
+pytestmark = pytest.mark.obs
+
+
+def _hammer(log: EventLog, threads: int, per_thread: int,
+            category: str = "query") -> None:
+    """Emit from many threads at once, released by a single barrier."""
+    barrier = threading.Barrier(threads)
+
+    def writer(tid: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            log.emit(category, tid=tid, i=i)
+
+    workers = [threading.Thread(target=writer, args=(t,))
+               for t in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+
+class TestCapacityBoundary:
+    def test_no_drop_at_exactly_capacity(self):
+        log = EventLog(capacity=8)
+        for i in range(8):
+            log.emit("query", i=i)
+        stats = log.stats()
+        assert stats["retained"] == 8
+        assert stats["dropped"] == 0
+
+    def test_one_drop_at_capacity_plus_one(self):
+        log = EventLog(capacity=8)
+        for i in range(9):
+            log.emit("query", i=i)
+        stats = log.stats()
+        assert stats["retained"] == 8
+        assert stats["dropped"] == 1
+        # The oldest event made way; the retained tail is 2..9.
+        assert [e["seq"] for e in log.tail()] == list(range(2, 10))
+
+    def test_capacity_zero_is_a_counting_sink(self):
+        log = EventLog(capacity=0)
+        for i in range(5):
+            assert log.emit("query", i=i) is False
+        stats = log.stats()
+        assert stats["retained"] == 0
+        assert stats["dropped"] == 5
+        assert stats["emitted"] == {"query": 5}
+        assert log.tail() == []
+
+
+class TestConcurrentWriters:
+    THREADS = 8
+    PER_THREAD = 200
+
+    def test_drop_accounting_is_exact_under_concurrency(self):
+        total = self.THREADS * self.PER_THREAD
+        log = EventLog(capacity=64)
+        _hammer(log, self.THREADS, self.PER_THREAD)
+        stats = log.stats()
+        assert stats["emitted"] == {"query": total}
+        assert stats["retained"] == 64
+        assert stats["dropped"] == total - 64
+        assert stats["sampled_out"] == {}
+
+    def test_retained_tail_is_the_contiguous_newest_window(self):
+        """Sequence numbers are unique and the ring holds exactly the
+        newest capacity-many of them, in order."""
+        total = self.THREADS * self.PER_THREAD
+        log = EventLog(capacity=64)
+        _hammer(log, self.THREADS, self.PER_THREAD)
+        seqs = [e["seq"] for e in log.tail()]
+        assert len(set(seqs)) == len(seqs)
+        assert seqs == list(range(total - 64 + 1, total + 1))
+
+    def test_sampling_counts_are_deterministic_under_concurrency(self):
+        """1-in-N sampling keeps exactly ceil(total/N), no matter how
+        the threads interleave — the counter lives under the lock."""
+        total = self.THREADS * self.PER_THREAD
+        keep_nth = 10
+        log = EventLog(capacity=total, sample={"query": keep_nth})
+        _hammer(log, self.THREADS, self.PER_THREAD)
+        kept = -(-total // keep_nth)  # ceil: the 1st, 11th, 21st, ...
+        stats = log.stats()
+        assert stats["emitted"] == {"query": total}
+        assert stats["sampled_out"] == {"query": total - kept}
+        assert stats["retained"] == kept
+        assert stats["dropped"] == 0
+
+    def test_every_emit_is_accounted_exactly_once(self):
+        """retained + sampled_out + dropped == emitted, always."""
+        total = self.THREADS * self.PER_THREAD
+        log = EventLog(capacity=32, sample={"query": 7})
+        _hammer(log, self.THREADS, self.PER_THREAD)
+        stats = log.stats()
+        assert (stats["retained"] + sum(stats["sampled_out"].values())
+                + stats["dropped"]) == total == sum(
+                    stats["emitted"].values())
+
+    def test_unsampled_category_survives_a_sampled_flood(self):
+        """Per-category accounting is independent: a 1-in-50 query flood
+        does not sample out a single fault event."""
+        log = EventLog(capacity=4096, sample={"query": 50})
+        barrier = threading.Barrier(2)
+
+        def flood():
+            barrier.wait()
+            for i in range(500):
+                log.emit("query", i=i)
+
+        def faults():
+            barrier.wait()
+            for i in range(20):
+                log.emit("fault", i=i)
+
+        workers = [threading.Thread(target=flood),
+                   threading.Thread(target=faults)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stats = log.stats()
+        assert stats["emitted"] == {"query": 500, "fault": 20}
+        assert stats["sampled_out"] == {"query": 490}
+        assert len(log.tail(category="fault")) == 20

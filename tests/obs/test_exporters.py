@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import re
 
+import pytest
+
 from repro.obs import chrome_trace, prometheus_text, span_tree, \
     write_chrome_trace
 from repro.service import MetricsRegistry, QueryTrace, Span
@@ -14,41 +16,64 @@ from repro.service import MetricsRegistry, QueryTrace, Span
 _EXPOSITION_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
-    r" [0-9.eE+-]+$")
+    r" [0-9.eE+-]+(Inf)?$")
 
 
 def _registry() -> MetricsRegistry:
     m = MetricsRegistry()
-    m.counter("service.queries.knn").inc(3)
-    m.counter("service.queries.window").inc(2)
+    m.counter("service.queries").inc(5)
+    m.counter("service.queries", labels={"query_kind": "knn"}).inc(3)
+    m.counter("service.queries", labels={"query_kind": "window"}).inc(2)
     m.counter("service.cache.probes").inc(7)
-    m.counter("service.shard.3.queries").inc(4)
-    m.counter("service.node_accesses.nn").inc(11)
+    m.counter("service.shard.queries",
+              labels={"shard": "3", "backend": "thread"}).inc(4)
+    m.counter("service.node_accesses", labels={"phase": "nn"}).inc(11)
     m.gauge("service.fleet.clients").set(16)
-    h = m.histogram("service.latency_ms.knn")
+    h = m.histogram("service.latency_ms",
+                    labels={"query_kind": "knn", "degraded": "false"},
+                    buckets=(1.0, 2.5, 10.0))
     for v in (1.0, 2.0, 3.0, 4.0):
         h.record(v)
+    s = m.histogram("service.batch_size")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        s.record(v)
     return m
 
 
+@pytest.mark.obs
 def test_prometheus_golden_lines():
+    """Pinned text-format output for labeled metrics: format drift —
+    label ordering, escaping, bucket rendering — fails loudly here."""
     text = prometheus_text(_registry())
     lines = text.splitlines()
-    # Per-kind counters fold the kind suffix into a label on one family.
-    assert "repro_service_queries_total{kind=\"knn\"} 3" in lines
-    assert "repro_service_queries_total{kind=\"window\"} 2" in lines
-    # Shard / phase dimensions likewise.
-    assert "repro_service_shard_queries_total{shard=\"3\"} 4" in lines
-    assert "repro_service_node_accesses_total{phase=\"nn\"} 11" in lines
-    # Unfolded names pass straight through.
-    assert "repro_service_cache_probes_total 7" in lines
-    assert "repro_service_fleet_clients 16.0" in lines
-    # Histograms surface as summaries with quantile labels
+    # The unlabeled series is the pre-aggregated total; labeled series
+    # carry the dimensional breakdown on the same family.
+    assert 'repro_service_queries_total 5' in lines
+    assert 'repro_service_queries_total{query_kind="knn"} 3' in lines
+    assert 'repro_service_queries_total{query_kind="window"} 2' in lines
+    # Multi-label series render keys sorted.
+    assert ('repro_service_shard_queries_total'
+            '{backend="thread",shard="3"} 4') in lines
+    assert 'repro_service_node_accesses_total{phase="nn"} 11' in lines
+    assert 'repro_service_cache_probes_total 7' in lines
+    assert 'repro_service_fleet_clients 16.0' in lines
+    # Bucketed histograms render native: cumulative le= series + +Inf.
+    assert ('repro_service_latency_ms_bucket'
+            '{degraded="false",le="1",query_kind="knn"} 1') in lines
+    assert ('repro_service_latency_ms_bucket'
+            '{degraded="false",le="2.5",query_kind="knn"} 2') in lines
+    assert ('repro_service_latency_ms_bucket'
+            '{degraded="false",le="10",query_kind="knn"} 4') in lines
+    assert ('repro_service_latency_ms_bucket'
+            '{degraded="false",le="+Inf",query_kind="knn"} 4') in lines
+    assert ('repro_service_latency_ms_sum'
+            '{degraded="false",query_kind="knn"} 10.0') in lines
+    assert ('repro_service_latency_ms_count'
+            '{degraded="false",query_kind="knn"} 4') in lines
+    # Bucketless histograms keep the summary rendering
     # (nearest-rank p50 of [1,2,3,4] is 3.0).
-    assert ("repro_service_latency_ms{kind=\"knn\",quantile=\"0.5\"} 3.0"
-            in lines)
-    assert "repro_service_latency_ms_sum{kind=\"knn\"} 10.0" in lines
-    assert "repro_service_latency_ms_count{kind=\"knn\"} 4" in lines
+    assert 'repro_service_batch_size{quantile="0.5"} 3.0' in lines
+    assert 'repro_service_batch_size_sum 10.0' in lines
 
 
 def test_prometheus_exposition_parses():
@@ -65,12 +90,13 @@ def test_prometheus_exposition_parses():
         elif not line.startswith("#"):
             assert _EXPOSITION_LINE.match(line), f"bad sample line: {line!r}"
             metric = re.split(r"[{ ]", line, maxsplit=1)[0]
-            family = re.sub(r"_(sum|count)$", "", metric)
+            family = re.sub(r"_(sum|count|bucket)$", "", metric)
             assert metric in types or family in types, (
                 f"sample {metric} has no TYPE header")
     assert types["repro_service_queries_total"] == "counter"
     assert types["repro_service_fleet_clients"] == "gauge"
-    assert types["repro_service_latency_ms"] == "summary"
+    assert types["repro_service_latency_ms"] == "histogram"
+    assert types["repro_service_batch_size"] == "summary"
 
 
 def _trace() -> QueryTrace:

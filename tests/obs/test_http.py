@@ -9,7 +9,17 @@ import urllib.request
 
 import pytest
 
-from repro import CacheConfig, KNNRequest, WindowRequest, build_service
+from repro import (
+    AdmissionConfig,
+    CacheConfig,
+    KNNRequest,
+    ResilienceConfig,
+    SLOConfig,
+    SLOEngine,
+    TailSamplingConfig,
+    WindowRequest,
+    build_service,
+)
 from repro.obs import ObservabilityServer
 from repro.obs.http import PROMETHEUS_CONTENT_TYPE
 
@@ -42,9 +52,9 @@ def test_metrics_is_prometheus_text(served):
     status, ctype, body = _fetch(served + "/metrics")
     assert status == 200
     assert ctype == PROMETHEUS_CONTENT_TYPE
-    assert 'repro_service_queries_total{kind="knn"} 2' in body
-    assert 'repro_service_cache_hits_total{kind="knn"} 1' in body
-    assert 'quantile="0.95"' in body
+    assert 'repro_service_queries_total{query_kind="knn"} 2' in body
+    assert 'repro_service_cache_hits_total{query_kind="knn"} 1' in body
+    assert 'le="+Inf"' in body  # native buckets on the latency family
 
 
 def test_snapshot_is_the_full_stats_json(served):
@@ -96,3 +106,105 @@ def test_unknown_paths_are_json_404s(served, path):
         _fetch(served + path)
     assert err.value.code == 404
     assert "error" in json.loads(err.value.read().decode("utf-8"))
+
+
+def test_readyz_is_ready_on_a_healthy_service(served):
+    status, ctype, body = _fetch(served + "/readyz")
+    assert status == 200
+    assert ctype == "application/json"
+    detail = json.loads(body)
+    assert detail["ready"] is True
+    # No admission gate configured → readiness reports no admission block.
+    assert "admission" not in detail
+
+
+@pytest.mark.obs
+@pytest.mark.parametrize("path", ["/slo", "/profile", "/profile/flame"])
+def test_optional_surfaces_404_when_not_configured(served, path):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _fetch(served + path)
+    assert err.value.code == 404
+    assert "error" in json.loads(err.value.read().decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def served_full():
+    """A service with the full observability stack switched on."""
+    rnd = random.Random(7)
+    points = [(rnd.random(), rnd.random()) for _ in range(600)]
+    slo = SLOEngine([
+        SLOConfig(name="availability", objective="availability",
+                  target=0.999),
+        SLOConfig(name="latency", objective="latency", target=0.99,
+                  threshold_ms=250.0),
+    ])
+    service = build_service(
+        points, replicas=2, slo=slo,
+        tail=TailSamplingConfig(keep_1_in=5),
+        profile=True,
+        resilience=ResilienceConfig(
+            admission=AdmissionConfig(max_concurrency=8)))
+    for i in range(12):
+        service.answer(KNNRequest((0.1 + 0.07 * i, 0.5), k=3))
+    with ObservabilityServer(service, port=0) as obs:
+        yield obs.url, service
+
+
+@pytest.mark.obs
+def test_slo_endpoint_serves_the_engine_snapshot(served_full):
+    url, _service = served_full
+    status, ctype, body = _fetch(url + "/slo")
+    assert (status, ctype) == (200, "application/json")
+    snap = json.loads(body)
+    assert set(snap["slos"]) == {"availability", "latency"}
+    assert snap["brownout"] == "normal"
+    # Snapshot reflects the engine's last (rate-limited) evaluation.
+    row = snap["slos"]["availability"]
+    assert row["observed"]["good"] >= 1
+    assert row["observed"]["bad"] == 0
+    assert row["fast_alert"] is False
+
+
+@pytest.mark.obs
+def test_profile_endpoints_serve_table_and_flamegraph(served_full):
+    url, _service = served_full
+    status, _ctype, body = _fetch(url + "/profile")
+    assert status == 200
+    snap = json.loads(body)
+    assert snap["sampled"] >= 12
+    assert any(row["phase"] == "replica" for row in snap["phases"])
+
+    status, ctype, body = _fetch(url + "/profile/flame")
+    assert status == 200
+    assert ctype.startswith("text/plain")
+    lines = body.splitlines()
+    assert lines
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        assert stack and value.isdigit()
+    assert any(line.startswith("knn;") for line in lines)
+
+
+@pytest.mark.obs
+def test_readyz_reports_replica_probes(served_full):
+    url, _service = served_full
+    _status, _ctype, body = _fetch(url + "/readyz")
+    detail = json.loads(body)
+    assert detail["ready"] is True
+    assert len(detail["replicas"]) == 2
+    assert all(r["status"] == "ok" for r in detail["replicas"])
+
+
+@pytest.mark.obs
+def test_readyz_503_when_admission_rejects(served_full):
+    url, service = served_full
+    service.admission.set_slo_level(3)
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _fetch(url + "/readyz")
+        assert err.value.code == 503
+        detail = json.loads(err.value.read().decode("utf-8"))
+        assert detail["ready"] is False
+        assert "rejecting" in detail["reason"]
+    finally:
+        service.admission.set_slo_level(0)

@@ -1,0 +1,256 @@
+"""The SLO engine: windows, burn rates, alerts, the brownout ladder.
+
+Everything runs on an injected fake clock, so window arithmetic is
+exact and deterministic — no sleeps, no wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SLOConfig, SLOEngine
+from repro.obs.slo import BROWNOUT_NAMES, _window_label
+from repro.service import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, s: float) -> None:
+        self.t += s
+
+
+def _engine(clock, **overrides) -> SLOEngine:
+    """An availability SLO with test-friendly thresholds.
+
+    target=0.9 gives a 10% error budget, so a recent bad fraction of
+    0.2 burns at 2.0; fast_burn=2.0 / slow_burn=6.0 keep the ladder
+    arithmetic readable.
+    """
+    cfg = dict(name="avail", objective="availability", target=0.9,
+               fast_burn=2.0)
+    cfg.update(overrides)
+    return SLOEngine([SLOConfig(**cfg)], clock=clock, eval_interval_s=0.0)
+
+
+def _seed_good(engine, n: int = 1000) -> None:
+    for _ in range(n):
+        engine.observe("knn", latency_ms=1.0)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            SLOConfig(name="x", objective="throughput")
+
+    def test_rejects_target_outside_unit_interval(self):
+        for target in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                SLOConfig(name="x", target=target)
+
+    def test_rejects_unordered_windows(self):
+        with pytest.raises(ValueError):
+            SLOConfig(name="x", fast_windows=(3600, 300))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            SLOEngine([SLOConfig(name="a"), SLOConfig(name="a")])
+
+    def test_budget_is_one_minus_target(self):
+        assert SLOConfig(name="x", target=0.999).budget == pytest.approx(0.001)
+
+    def test_window_labels(self):
+        assert _window_label(300) == "5m"
+        assert _window_label(3600) == "1h"
+        assert _window_label(21600) == "6h"
+        assert _window_label(259200) == "3d"
+        assert _window_label(45) == "45s"
+
+
+class TestBurnAndAlerts:
+    def test_no_traffic_burns_nothing(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        assert engine.evaluate() == 0
+        row = engine.snapshot()["slos"]["avail"]
+        assert all(b == 0.0 for b in row["burn_rate"].values())
+        assert row["budget_remaining"] == 1.0
+
+    def test_uniform_bad_fraction_sets_burn_rate(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        for i in range(100):
+            engine.observe("knn", error=(i < 20))  # 20% bad
+        engine.evaluate()
+        row = engine.snapshot()["slos"]["avail"]
+        # 0.2 bad fraction over a 0.1 budget = burning 2x the allowance.
+        assert row["burn_rate"]["5m"] == pytest.approx(2.0)
+        assert row["burn_rate"]["3d"] == pytest.approx(2.0)
+
+    def test_short_spike_alone_cannot_page(self):
+        """Fast alert needs BOTH the 5m and 1h windows above threshold."""
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        _seed_good(engine)               # healthy hour-scale history
+        clock.advance(600.0)             # past 5m, inside 1h
+        for _ in range(30):
+            engine.observe("knn", error=True)   # 5m window: 100% bad
+        engine.evaluate()
+        row = engine.snapshot()["slos"]["avail"]
+        assert row["burn_rate"]["5m"] > 2.0
+        assert row["burn_rate"]["1h"] < 2.0
+        assert row["fast_alert"] is False
+        assert engine.recommended_level() == 0
+
+    def test_stale_history_alone_cannot_keep_paging(self):
+        """Once the 5m window clears, the fast alert drops even though
+        the 1h window still remembers the burst."""
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        for _ in range(50):
+            engine.observe("knn", error=True)
+        assert engine.evaluate() >= 1
+        clock.advance(400.0)             # 5m window forgets the burst
+        for _ in range(50):
+            engine.observe("knn")
+        assert engine.evaluate() == 0
+
+    def test_slow_alert_is_a_ticket_not_a_page(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock, fast_burn=50.0, slow_burn=1.5)
+        for i in range(100):
+            engine.observe("knn", error=(i % 5 == 0))  # 20% bad, burn 2.0
+        assert engine.evaluate() == 0
+        row = engine.snapshot()["slos"]["avail"]
+        assert row["slow_alert"] is True
+        assert row["fast_alert"] is False
+
+
+class TestBrownoutLadder:
+    def test_level_1_on_fast_alert(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        _seed_good(engine)
+        clock.advance(7200.0)            # old good stays only in 6h/3d
+        for i in range(100):
+            engine.observe("knn", error=(i < 25))  # recent burn 2.5
+        assert engine.evaluate() == 1
+        assert engine.snapshot()["brownout"] == "reduced"
+
+    def test_level_2_when_5m_burn_doubles_fast_burn(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        _seed_good(engine)
+        clock.advance(7200.0)
+        for i in range(100):
+            engine.observe("knn", error=(i < 60))  # recent burn 6.0 >= 2x2.0
+        assert engine.evaluate() == 2
+        assert engine.snapshot()["brownout"] == "cache_only"
+
+    def test_level_3_when_budget_exhausted(self):
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        for _ in range(50):
+            engine.observe("knn", error=True)  # burn 10 in every window
+        assert engine.evaluate() == 3
+        row = engine.snapshot()["slos"]["avail"]
+        assert row["budget_remaining"] <= 0.0
+        assert engine.snapshot()["brownout"] == "reject"
+
+    def test_level_names_align_with_admission_ladder(self):
+        from repro.service.admission import LEVEL_NAMES
+        assert BROWNOUT_NAMES == LEVEL_NAMES
+
+
+class TestObjectives:
+    def test_latency_objective_counts_slow_successes(self):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine(
+            [SLOConfig(name="lat", objective="latency", target=0.9,
+                       threshold_ms=10.0, fast_burn=2.0)],
+            clock=clock, eval_interval_s=0.0)
+        for i in range(100):
+            engine.observe("knn", latency_ms=50.0 if i < 30 else 1.0)
+        engine.evaluate()
+        row = engine.snapshot()["slos"]["lat"]
+        assert row["observed"] == {"good": 70, "bad": 30}
+        assert row["burn_rate"]["5m"] == pytest.approx(3.0)
+
+    def test_staleness_objective_ignores_errors(self):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine(
+            [SLOConfig(name="fresh", objective="staleness", target=0.9,
+                       max_staleness=2)],
+            clock=clock, eval_interval_s=0.0)
+        engine.observe("knn", error=True)            # not observable
+        engine.observe("knn", staleness=1)           # within bound
+        engine.observe("knn", staleness=5)           # violating
+        engine.evaluate()
+        row = engine.snapshot()["slos"]["fresh"]
+        assert row["observed"] == {"good": 1, "bad": 1}
+
+    def test_query_kind_filter(self):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine(
+            [SLOConfig(name="knn-only", target=0.9, query_kind="knn")],
+            clock=clock, eval_interval_s=0.0)
+        engine.observe("window", error=True)
+        engine.observe("knn")
+        engine.evaluate()
+        row = engine.snapshot()["slos"]["knn-only"]
+        assert row["observed"] == {"good": 1, "bad": 0}
+
+    def test_latency_violation_names_the_slo(self):
+        engine = SLOEngine([
+            SLOConfig(name="lat-knn", objective="latency", target=0.99,
+                      threshold_ms=10.0, query_kind="knn"),
+            SLOConfig(name="avail", objective="availability"),
+        ])
+        assert engine.latency_violation("knn", 50.0) == "lat-knn"
+        assert engine.latency_violation("knn", 5.0) is None
+        assert engine.latency_violation("window", 50.0) is None
+
+
+class TestEvaluationAndExport:
+    def test_maybe_evaluate_is_rate_limited(self):
+        clock = FakeClock(1000.0)
+        engine = SLOEngine([SLOConfig(name="a")], clock=clock,
+                           eval_interval_s=1.0)
+        assert engine.maybe_evaluate() == 0      # first call evaluates
+        assert engine.maybe_evaluate() is None   # too soon
+        clock.advance(1.5)
+        assert engine.maybe_evaluate() == 0
+
+    def test_gauges_exported_to_registry(self):
+        clock = FakeClock(1000.0)
+        metrics = MetricsRegistry()
+        engine = SLOEngine([SLOConfig(name="avail", target=0.9,
+                                      fast_burn=2.0)],
+                           metrics=metrics, clock=clock, eval_interval_s=0.0)
+        for _ in range(10):
+            engine.observe("knn", error=True)
+        engine.evaluate()
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges['slo.burn_rate{slo="avail",window="5m"}'] \
+            == pytest.approx(10.0)
+        assert gauges['slo.budget_remaining{slo="avail"}'] < 0.0
+        assert gauges['slo.alert{severity="fast",slo="avail"}'] == 1.0
+        assert gauges["slo.brownout_level"] == 3.0
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+        clock = FakeClock(1000.0)
+        engine = _engine(clock)
+        engine.observe("knn")
+        engine.evaluate()
+        snap = engine.snapshot()
+        json.dumps(snap)
+        assert snap["brownout_level"] == 0
+        assert set(snap["slos"]) == {"avail"}
+        assert snap["evaluated_at"] == 1000.0

@@ -178,10 +178,11 @@ def test_concurrent_batches_account_every_query_exactly(uniform_1k):
     answered = counters.get("service.queries", 0)
     errored = counters.get("service.errors", 0)
     assert answered + errored == total
-    by_kind = sum(counters.get(f"service.queries.{kind}", 0)
+    by_kind = sum(counters.get(f'service.queries{{query_kind="{kind}"}}', 0)
                   for kind in ("knn", "window", "range"))
-    errors_by_kind = sum(counters.get(f"service.errors.{kind}", 0)
-                         for kind in ("knn", "window", "range"))
+    errors_by_kind = sum(
+        counters.get(f'service.errors{{query_kind="{kind}"}}', 0)
+        for kind in ("knn", "window", "range"))
     assert by_kind == answered
     assert errors_by_kind == errored
 

@@ -86,7 +86,7 @@ class TestHistogram:
         h.record(7.0)
         snap = h.snapshot()
         assert set(snap) == {"count", "sum", "mean", "min", "max",
-                             "p50", "p95", "p99"}
+                             "p50", "p95", "p99", "retained_samples"}
 
 
 class TestRegistry:

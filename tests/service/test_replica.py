@@ -263,7 +263,7 @@ def test_query_service_over_replica_set(points):
     assert len(snap["replica_set"]["replicas"]) == 3
     counters = service.metrics.snapshot()["counters"]
     rid = resp.replica_id
-    assert counters[f"service.replica.{rid}.queries"] == 1
+    assert counters[f'service.replica.queries{{replica="{rid}"}}'] == 1
     service.close()
     service.close()  # idempotent through every layer
 

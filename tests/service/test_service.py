@@ -98,7 +98,7 @@ class TestTracing:
             service.answer(Bogus())
         counters = service.metrics.snapshot()["counters"]
         assert counters["service.errors"] == 1
-        assert counters["service.errors.bogus"] == 1
+        assert counters['service.errors{query_kind="bogus"}'] == 1
         [trace] = service.recent_traces()
         assert trace.error is not None and "TypeError" in trace.error
 
@@ -108,7 +108,7 @@ class TestTracing:
             service.answer("knn at (0.5, 0.5)")
         counters = service.metrics.snapshot()["counters"]
         assert counters["service.errors"] == 1
-        assert counters["service.errors.str"] == 1
+        assert counters['service.errors{query_kind="str"}'] == 1
         [trace] = service.recent_traces()
         assert trace.kind == "str" and "TypeError" in trace.error
 
@@ -126,9 +126,10 @@ class TestMetricsConsistency:
         legacy = svc.server.io_stats.node_accesses_by_phase()
         counters = svc.metrics.snapshot()["counters"]
         for phase, count in legacy.items():
-            assert counters[f"service.node_accesses.{phase}"] == count
+            assert counters[f'service.node_accesses{{phase="{phase}"}}'] \
+                == count
         assert counters["service.queries"] == 12
-        assert counters["service.queries.knn"] == 4
+        assert counters['service.queries{query_kind="knn"}'] == 4
 
     def test_bytes_on_wire_matches_responses(self, small_tree):
         svc = QueryService(LocationServer(small_tree, UNIT))
@@ -142,9 +143,9 @@ class TestMetricsConsistency:
         svc = QueryService(LocationServer(small_tree, UNIT))
         svc.answer(KNNRequest((0.5, 0.5)))
         svc.answer(WindowRequest((0.5, 0.5), 0.1, 0.1))
-        hists = svc.metrics.snapshot()["histograms"]
         for kind in ("knn", "window"):
-            h = hists[f"service.latency_ms.{kind}"]
+            h = svc.metrics.histogram_merged("service.latency_ms",
+                                             query_kind=kind)
             assert h["count"] == 1
             assert h["p50"] > 0
             assert h["p99"] >= h["p95"] >= h["p50"]
@@ -160,7 +161,8 @@ class TestSnapshot:
         assert snap["service"]["bytes_on_wire"] > 0
         assert snap["disk"]["total_node_accesses"] > 0
         assert snap["server"]["num_points"] == 1000
-        assert "service.latency_ms.knn" in snap["metrics"]["histograms"]
+        assert ('service.latency_ms{degraded="false",query_kind="knn"}'
+                in snap["metrics"]["histograms"])
 
     def test_buffer_layer_reports_into_snapshot(self, uniform_1k):
         from repro.index import bulk_load_str

@@ -9,7 +9,7 @@ from repro.service import checkapi
 
 
 def test_version():
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 def test_all_exports_resolve():
